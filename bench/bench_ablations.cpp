@@ -1,0 +1,178 @@
+// Ablations the paper flags as open analysis:
+//
+//   1. Decoding strategy — "all results ... were obtained using greedy
+//      decoding. We would expect some improvement by using random sampling
+//      or beam search": greedy vs top-k temperature sampling.
+//   2. Prompt robustness — "we also hope to do more analysis on the models
+//      sensitivity to prompts and robustness to changes in indentation,
+//      quotes and letter case": the test prompts are perturbed (lowercase,
+//      UPPERCASE, quoted) and the metric drop is measured.
+//
+// Reuses the fine-tuned Wisdom-Ansible-Multi checkpoint cached by
+// bench_table4_finetune (or trains it on first run).
+#include <cctype>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/evaluate.hpp"
+#include "core/postprocess.hpp"
+#include "exec/equivalence.hpp"
+
+namespace bench = wisdom::bench;
+namespace core = wisdom::core;
+namespace data = wisdom::data;
+namespace metrics = wisdom::metrics;
+namespace model = wisdom::model;
+namespace util = wisdom::util;
+
+namespace {
+
+// Evaluation with an explicit decoding strategy (the harness itself is
+// greedy-only, matching the paper's main tables).
+metrics::MetricsReport evaluate_sampled(model::Transformer& m,
+                                        const wisdom::text::BpeTokenizer& tok,
+                                        std::span<const data::FtSample> samples,
+                                        float temperature, int top_k,
+                                        int beam_width, std::size_t limit) {
+  metrics::MetricsAccumulator acc;
+  for (std::size_t i = 0; i < std::min(limit, samples.size()); ++i) {
+    const data::FtSample& s = samples[i];
+    auto prompt_ids = tok.encode(s.model_input());
+    std::vector<std::int32_t> out;
+    if (beam_width > 1) {
+      model::Transformer::BeamOptions beam;
+      beam.beam_width = beam_width;
+      beam.max_new_tokens = 56;
+      beam.stop_token = wisdom::text::BpeTokenizer::kEndOfText;
+      out = m.generate_beam(prompt_ids, beam);
+    } else {
+      model::Transformer::GenerateOptions gen;
+      gen.stop_token = wisdom::text::BpeTokenizer::kEndOfText;
+      gen.max_new_tokens = 56;
+      gen.temperature = temperature;
+      gen.top_k = top_k;
+      gen.sample_seed = 1000 + i;
+      out = m.generate(prompt_ids, gen);
+    }
+    std::string body = core::trim_generation(tok.decode(out));
+    if (s.type != data::GenerationType::NlToPlaybook) {
+      body = core::truncate_to_first_task(
+          body, util::indent_width(s.input_line));
+    }
+    acc.add(s.input_line + body, s.full_target());
+  }
+  return acc.report();
+}
+
+std::string transform_prompt(const std::string& prompt, int kind) {
+  switch (kind) {
+    case 1: return util::to_lower(prompt);
+    case 2: {
+      std::string upper = prompt;
+      for (char& c : upper)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      return upper;
+    }
+    case 3: return "'" + util::replace_all(prompt, "'", "''") + "'";
+    default: return prompt;
+  }
+}
+
+}  // namespace
+
+int main(int, char** argv) {
+  util::set_log_level(util::LogLevel::Info);
+  core::Pipeline pipe(bench::default_pipeline_config(argv[0]));
+  const auto& tok = pipe.tokenizer();
+  const auto& splits = pipe.galaxy_splits();
+
+  core::Pipeline::FinetuneOptions opts;
+  model::Transformer m = pipe.finetuned(
+      core::PretrainMix::WisdomAnsibleMulti, model::SizeClass::S350M, opts);
+
+  const std::size_t limit = 200;
+
+  std::printf("=== Ablation 1: decoding strategy (Wisdom-Ansible-Multi FT, "
+              "%zu test samples) ===\n\n",
+              limit);
+  util::Table decode({"Decoding", "Schema Correct", "EM", "BLEU",
+                      "Ansible Aware"});
+  struct Strategy {
+    const char* label;
+    float temperature;
+    int top_k;
+    int beam_width;
+  };
+  for (const Strategy& s :
+       {Strategy{"greedy (paper)", 0.0f, 0, 1},
+        Strategy{"top-k 8, T=0.4", 0.4f, 8, 1},
+        Strategy{"top-k 8, T=0.8", 0.8f, 8, 1},
+        Strategy{"full, T=1.0", 1.0f, 0, 1},
+        Strategy{"beam width 4", 0.0f, 0, 4}}) {
+    auto report = evaluate_sampled(m, tok, splits.test, s.temperature,
+                                   s.top_k, s.beam_width, limit);
+    decode.add_row({s.label, util::fmt_fixed(report.schema_correct, 2),
+                    util::fmt_fixed(report.exact_match, 2),
+                    util::fmt_fixed(report.bleu, 2),
+                    util::fmt_fixed(report.ansible_aware, 2)});
+  }
+  std::printf("%s\n", decode.to_string().c_str());
+
+  std::printf("=== Ablation 2: prompt robustness (letter case, quoting) "
+              "===\n\n");
+  util::Table robust({"Prompt form", "Schema Correct", "EM", "BLEU",
+                      "Ansible Aware"});
+  const char* labels[] = {"original", "lowercase", "UPPERCASE", "quoted"};
+  for (int kind = 0; kind < 4; ++kind) {
+    std::vector<data::FtSample> perturbed;
+    for (std::size_t i = 0; i < std::min(limit, splits.test.size()); ++i) {
+      data::FtSample s = splits.test[i];
+      std::string p = transform_prompt(s.prompt, kind);
+      std::string pad(util::indent_width(s.input_line), ' ');
+      s.prompt = p;
+      s.input_line = pad + "- name: " + p + "\n";
+      perturbed.push_back(std::move(s));
+    }
+    core::EvalOptions eval;
+    auto report = core::evaluate_model(m, tok, perturbed, eval);
+    robust.add_row({labels[kind], util::fmt_fixed(report.schema_correct, 2),
+                    util::fmt_fixed(report.exact_match, 2),
+                    util::fmt_fixed(report.bleu, 2),
+                    util::fmt_fixed(report.ansible_aware, 2)});
+  }
+  std::printf("%s", robust.to_string().c_str());
+  std::printf(
+      "\nNote: perturbed prompts keep the original gold bodies; EM/BLEU "
+      "compare against the perturbed name line (shared by prediction and "
+      "target), so drops isolate the effect on the generated body.\n");
+
+  // --- Ablation 3: execution-based evaluation ------------------------------
+  // The paper rules this out on real infrastructure ("it would be
+  // impractical to evaluate a task that installs a package on a number of
+  // remote hosts by executing it"); the simulated managed node makes it
+  // possible. Predictions and golds run from identical baseline hosts;
+  // equivalent final states count as correct.
+  std::printf("\n=== Ablation 3: execution-based evaluation (simulated "
+              "managed node) ===\n\n");
+  wisdom::exec::EquivalenceStats exec_stats;
+  core::EvalOptions eval;
+  for (std::size_t i = 0; i < std::min(limit, splits.test.size()); ++i) {
+    const data::FtSample& s = splits.test[i];
+    std::string prediction = core::predict_snippet(m, tok, s, eval);
+    exec_stats.add(
+        wisdom::exec::execution_equivalence(prediction, s.full_target()));
+  }
+  util::Table exec_table({"Outcome", "Count"});
+  exec_table.add_row({"equivalent (state match)",
+                      std::to_string(exec_stats.equivalent)});
+  exec_table.add_row({"different final state",
+                      std::to_string(exec_stats.different)});
+  exec_table.add_row({"prediction failed to run",
+                      std::to_string(exec_stats.pred_failed)});
+  exec_table.add_row({"unscorable (unsimulated/gold failed)",
+                      std::to_string(exec_stats.unscorable)});
+  std::printf("%s", exec_table.to_string().c_str());
+  std::printf("\nExecution-equivalence rate over scorable samples: %.2f%%\n",
+              100.0 * exec_stats.rate());
+  return 0;
+}

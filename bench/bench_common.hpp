@@ -1,0 +1,61 @@
+// Shared helpers for the table-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "metrics/aggregate.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace wisdom::bench {
+
+// Checkpoint cache shared by all benchmark binaries, colocated with the
+// build tree (<exe dir>/../wisdom_cache) so repeated runs and later tables
+// reuse earlier pre-training work.
+inline std::string cache_dir_for(const char* argv0) {
+  std::filesystem::path exe(argv0);
+  std::filesystem::path dir =
+      exe.parent_path().empty() ? std::filesystem::path(".")
+                                : exe.parent_path();
+  std::filesystem::path cache = dir / ".." / "wisdom_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(cache, ec);
+  return cache.string();
+}
+
+inline core::PipelineConfig default_pipeline_config(const char* argv0) {
+  core::PipelineConfig cfg;
+  cfg.cache_dir = cache_dir_for(argv0);
+  return cfg;
+}
+
+// Formats a metric cell as "measured (paper X)" so each table can be read
+// against the original. Pass a negative paper value to omit it.
+inline std::string cell(double measured, double paper) {
+  std::string out = util::fmt_fixed(measured, 2);
+  if (paper >= 0.0) out += " (" + util::fmt_fixed(paper, 2) + ")";
+  return out;
+}
+
+struct PaperRow {
+  double schema = -1.0;
+  double em = -1.0;
+  double bleu = -1.0;
+  double aware = -1.0;
+};
+
+inline void add_metric_row(util::Table& table, const std::string& model,
+                           const std::string& size, const std::string& ctx,
+                           const metrics::MetricsReport& report,
+                           const PaperRow& paper) {
+  table.add_row({model, size, ctx, cell(report.schema_correct, paper.schema),
+                 cell(report.exact_match, paper.em),
+                 cell(report.bleu, paper.bleu),
+                 cell(report.ansible_aware, paper.aware)});
+}
+
+}  // namespace wisdom::bench

@@ -1,0 +1,120 @@
+// Microbenchmarks of the substrate components: YAML parse/emit, BPE
+// tokenizer training and encoding, the two novel metrics, and the schema
+// linter. These bound the data-pipeline throughput (the paper processes
+// 3.3M files) and the per-request overhead of the serving path.
+#include <benchmark/benchmark.h>
+
+#include "ansible/linter.hpp"
+#include "data/ansible_gen.hpp"
+#include "metrics/ansible_aware.hpp"
+#include "metrics/bleu.hpp"
+#include "metrics/schema_correct.hpp"
+#include "text/bpe.hpp"
+#include "util/rng.hpp"
+#include "yaml/emit.hpp"
+#include "yaml/parse.hpp"
+
+namespace {
+
+using wisdom::util::Rng;
+
+std::string sample_playbook() {
+  wisdom::data::AnsibleGenerator gen{Rng{42}};
+  return gen.playbook_text(4);
+}
+
+std::string sample_corpus(std::size_t files) {
+  wisdom::data::AnsibleGenerator gen{Rng{7}};
+  std::string out;
+  for (std::size_t i = 0; i < files; ++i) out += gen.role_tasks_text(4);
+  return out;
+}
+
+void BM_YamlParse(benchmark::State& state) {
+  std::string text = sample_playbook();
+  for (auto _ : state) {
+    auto doc = wisdom::yaml::parse_document(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_YamlParse);
+
+void BM_YamlRoundTrip(benchmark::State& state) {
+  std::string text = sample_playbook();
+  for (auto _ : state) {
+    auto normalized = wisdom::yaml::normalize(text);
+    benchmark::DoNotOptimize(normalized);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_YamlRoundTrip);
+
+void BM_BpeTrain(benchmark::State& state) {
+  std::string corpus = sample_corpus(50);
+  for (auto _ : state) {
+    auto tok = wisdom::text::BpeTokenizer::train(corpus, 512);
+    benchmark::DoNotOptimize(tok.vocab_size());
+  }
+}
+BENCHMARK(BM_BpeTrain)->Unit(benchmark::kMillisecond);
+
+void BM_BpeEncode(benchmark::State& state) {
+  std::string corpus = sample_corpus(50);
+  auto tok = wisdom::text::BpeTokenizer::train(corpus, 512);
+  std::string text = sample_playbook();
+  for (auto _ : state) {
+    auto ids = tok.encode(text);
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_BpeEncode);
+
+void BM_MetricBleu(benchmark::State& state) {
+  wisdom::data::AnsibleGenerator gen{Rng{3}};
+  std::string a = gen.role_tasks_text(3);
+  std::string b = gen.role_tasks_text(3);
+  for (auto _ : state) {
+    double score = wisdom::metrics::sentence_bleu(a, b);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_MetricBleu);
+
+void BM_MetricAnsibleAware(benchmark::State& state) {
+  wisdom::data::AnsibleGenerator gen{Rng{4}};
+  std::string a = gen.role_tasks_text(3);
+  std::string b = gen.role_tasks_text(3);
+  for (auto _ : state) {
+    double score = wisdom::metrics::ansible_aware_text(a, b);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_MetricAnsibleAware);
+
+void BM_MetricSchemaCorrect(benchmark::State& state) {
+  std::string text = sample_playbook();
+  for (auto _ : state) {
+    bool ok = wisdom::metrics::schema_correct(text);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_MetricSchemaCorrect);
+
+void BM_Linter(benchmark::State& state) {
+  std::string text = sample_playbook();
+  auto doc = wisdom::yaml::parse_document(text);
+  for (auto _ : state) {
+    auto result = wisdom::ansible::lint_playbook(*doc);
+    benchmark::DoNotOptimize(result.violations.size());
+  }
+}
+BENCHMARK(BM_Linter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

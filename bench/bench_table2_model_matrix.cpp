@@ -1,0 +1,56 @@
+// Reproduces Table II: model names and their associated pre-training
+// datasets, plus the scaled-down architecture each paper size maps to in
+// this reproduction.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "model/config.hpp"
+
+namespace core = wisdom::core;
+namespace model = wisdom::model;
+namespace util = wisdom::util;
+
+int main(int, char**) {
+  std::printf("=== Table II: models and their pre-training datasets ===\n\n");
+
+  struct Row {
+    core::PretrainMix mix;
+    bool pile, bigquery, bigpython, ansible_yaml, generic_yaml;
+  };
+  const Row rows[] = {
+      {core::PretrainMix::CodeGenNL, true, false, false, false, false},
+      {core::PretrainMix::CodeGenMulti, true, true, false, false, false},
+      {core::PretrainMix::CodeGenMono, true, true, true, false, false},
+      {core::PretrainMix::WisdomAnsible, false, false, false, true, false},
+      {core::PretrainMix::WisdomYaml, false, false, false, true, true},
+      {core::PretrainMix::WisdomAnsibleMulti, true, true, false, true, false},
+      {core::PretrainMix::WisdomYamlMulti, true, true, false, true, true},
+  };
+
+  util::Table table({"Model", "The Pile", "BigQuery", "BigPython",
+                     "Ansible YAML", "Generic YAML"});
+  auto mark = [](bool b) { return std::string(b ? "x" : ""); };
+  for (const Row& r : rows) {
+    table.add_row({core::mix_label(r.mix), mark(r.pile), mark(r.bigquery),
+                   mark(r.bigpython), mark(r.ansible_yaml),
+                   mark(r.generic_yaml)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("=== Scaled-down architecture family ===\n\n");
+  util::Table sizes({"Paper size", "d_model", "heads", "layers", "d_ff",
+                     "params (sim)"});
+  for (auto size : {model::SizeClass::S350M, model::SizeClass::M2_7B,
+                    model::SizeClass::L6B, model::SizeClass::XL175B}) {
+    model::ModelConfig cfg = model::config_for(size, 512, 96);
+    sizes.add_row({model::size_label(size), std::to_string(cfg.d_model),
+                   std::to_string(cfg.n_head), std::to_string(cfg.n_layer),
+                   std::to_string(cfg.d_ff),
+                   std::to_string(cfg.param_count())});
+  }
+  std::printf("%s", sizes.to_string().c_str());
+  std::printf(
+      "\nContext windows: paper 512 / 1024 / 2048 tokens map to simulated "
+      "48 / 96 / 192.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Table IV: few-shot evaluation of the CodeGen baselines, the
+// Codex-Davinci-002 analog, and the four Wisdom pre-training variants on
+// the Galaxy test split, with the paper's Schema Correct / EM / BLEU /
+// Ansible Aware metrics. Pre-trained checkpoints are cached under
+// build/wisdom_cache, so later tables and repeated runs skip the training.
+//
+// Expected shape (not absolute values — our substrate is a scaled-down
+// simulator): CodeGen-NL worst; +code (Multi/Mono) better; larger CodeGen
+// slightly better again; Codex-analog highest EM of the baselines (Galaxy
+// leakage); Wisdom models best-in-class Ansible Aware at the smallest size.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/evaluate.hpp"
+
+namespace bench = wisdom::bench;
+namespace core = wisdom::core;
+namespace model = wisdom::model;
+namespace util = wisdom::util;
+
+int main(int, char** argv) {
+  util::set_log_level(util::LogLevel::Info);
+  core::Pipeline pipe(bench::default_pipeline_config(argv[0]));
+  const auto& tok = pipe.tokenizer();
+  const auto& splits = pipe.galaxy_splits();
+
+  struct Row {
+    core::PretrainMix mix;
+    model::SizeClass size;
+    bool ansible_prefix;  // "Ansible\n" helps CodeGen/Codex, not Wisdom
+    bench::PaperRow paper;
+  };
+  const Row rows[] = {
+      {core::PretrainMix::CodeGenNL, model::SizeClass::S350M, true,
+       {71.26, 1.69, 24.95, 6.24}},
+      {core::PretrainMix::CodeGenMono, model::SizeClass::S350M, true,
+       {82.40, 6.37, 34.24, 34.15}},
+      {core::PretrainMix::CodeGenMulti, model::SizeClass::S350M, true,
+       {83.65, 6.92, 34.26, 34.40}},
+      {core::PretrainMix::CodeGenMulti, model::SizeClass::M2_7B, true,
+       {78.00, 7.74, 37.27, 36.23}},
+      {core::PretrainMix::CodeGenMulti, model::SizeClass::L6B, true,
+       {85.80, 7.98, 39.67, 39.27}},
+      {core::PretrainMix::CodexAnalog, model::SizeClass::XL175B, true,
+       {88.82, 13.66, 50.40, 55.01}},
+      {core::PretrainMix::WisdomAnsibleMulti, model::SizeClass::S350M, false,
+       {96.56, 7.35, 46.58, 54.51}},
+      {core::PretrainMix::WisdomYamlMulti, model::SizeClass::S350M, false,
+       {95.97, 7.16, 45.52, 53.08}},
+      {core::PretrainMix::WisdomAnsible, model::SizeClass::S350M, false,
+       {95.10, 4.63, 39.49, 48.03}},
+      {core::PretrainMix::WisdomYaml, model::SizeClass::S350M, false,
+       {94.63, 4.19, 40.13, 47.76}},
+  };
+
+  std::printf("=== Table IV: few-shot results (measured, paper in parens) "
+              "===\n\n");
+  util::Table table({"Model", "Size", "Ctx", "Schema Correct", "EM", "BLEU",
+                     "Ansible Aware"});
+  int printed = 0;
+  for (const Row& row : rows) {
+    model::Transformer m = pipe.pretrained(row.mix, row.size);
+    // All models are evaluated at their pre-training window. (The paper's
+    // 2048-vs-1024 column is an inventory difference; rotary positions
+    // beyond the training window extrapolate poorly at this scale, so we
+    // do not widen the window at eval time.)
+    core::EvalOptions eval;
+    eval.ansible_prefix = row.ansible_prefix;
+    auto report = core::evaluate_model(m, tok, splits.test, eval);
+    bench::add_metric_row(table, core::mix_label(row.mix),
+                          model::size_label(row.size),
+                          std::to_string(m.config().ctx), report, row.paper);
+    // Section rules after the CodeGen block and the Codex block, as in the
+    // paper's layout.
+    ++printed;
+    if (printed == 5 || printed == 6) table.add_rule();
+    std::fprintf(stderr, "[table3] %s %s done\n",
+                 core::mix_label(row.mix).c_str(),
+                 model::size_label(row.size).c_str());
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nTest samples: %zu. Paper context windows 2048 (CodeGen/"
+              "Codex) and 1024 (Wisdom) correspond to simulated windows "
+              "shown in Ctx.\n",
+              splits.test.size());
+  return 0;
+}

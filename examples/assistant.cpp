@@ -1,0 +1,89 @@
+// The VS Code plugin workflow from the paper's Demo/Plugin section, as an
+// interactive terminal session: the "editor" holds a growing playbook, the
+// user types "- name: <intent>" lines, the inference service suggests the
+// task body, and the user accepts (tab) or rejects (escape).
+//
+// Usage:
+//   ./build/examples/assistant                 # scripted demo session
+//   ./build/examples/assistant "Install nginx" "Start nginx"  # your prompts
+//
+// The model is the fine-tuned Wisdom-Ansible-Multi; its checkpoint is
+// cached under build/wisdom_cache after the first run (or reused from the
+// benchmark runs).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "serve/service.hpp"
+#include "util/log.hpp"
+
+using namespace wisdom;
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::Info);
+  core::Pipeline pipeline(bench::default_pipeline_config(argv[0]));
+  const text::BpeTokenizer& tokenizer = pipeline.tokenizer();
+
+  std::fprintf(stderr,
+               "loading / training the Wisdom-Ansible-Multi model (cached "
+               "after first run)...\n");
+  core::Pipeline::FinetuneOptions opts;
+  model::Transformer model = pipeline.finetuned(
+      core::PretrainMix::WisdomAnsibleMulti, model::SizeClass::S350M, opts);
+
+  serve::InferenceService service(model, tokenizer);
+
+  std::vector<std::string> prompts;
+  for (int i = 1; i < argc; ++i) prompts.emplace_back(argv[i]);
+  if (prompts.empty()) {
+    prompts = {"Install nginx", "Write /etc/nginx/nginx.conf from template",
+               "Start nginx", "Allow port 443 with ufw"};
+  }
+
+  // The growing "editor buffer": a playbook header, tasks appended as the
+  // user accepts suggestions.
+  std::string buffer =
+      "- name: Provision web servers\n"
+      "  hosts: webservers\n"
+      "  become: true\n"
+      "  tasks:\n";
+  std::printf("--- editor ---\n%s", buffer.c_str());
+
+  for (const std::string& prompt : prompts) {
+    serve::SuggestionRequest request;
+    request.context = buffer;
+    request.prompt = prompt;
+    request.indent = 4;
+    serve::SuggestionResponse response = service.suggest(request);
+    std::printf("\nuser types:   - name: %s\n", prompt.c_str());
+    if (!response.ok) {
+      std::printf("(no suggestion)\n");
+      service.record_reject();
+      continue;
+    }
+    std::printf("suggestion (%.1f ms, %d tokens, schema %s):\n%s",
+                response.latency_ms, response.generated_tokens,
+                response.schema_correct ? "ok" : "VIOLATION",
+                response.snippet.c_str());
+    // Accept schema-correct suggestions (the plugin user's tab key).
+    if (response.schema_correct) {
+      service.record_accept();
+      buffer += response.snippet;
+    } else {
+      service.record_reject();
+    }
+  }
+
+  std::printf("\n--- final playbook ---\n%s", buffer.c_str());
+  const serve::ServiceStats& stats = service.stats();
+  std::printf(
+      "\n--- session stats ---\nrequests: %llu  accepted: %llu  rejected: "
+      "%llu  acceptance: %.0f%%  mean latency: %.1f ms\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.rejected),
+      100.0 * stats.acceptance_rate(), stats.mean_latency_ms());
+  return 0;
+}

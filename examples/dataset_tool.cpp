@@ -1,0 +1,95 @@
+// Data-pipeline tool: builds the synthetic corpora for all four Table I
+// sources, deduplicates them, lints them against the strict Ansible schema,
+// extracts fine-tuning samples, and (optionally) exports everything to a
+// directory for inspection.
+//
+// Usage:
+//   ./build/examples/dataset_tool             # statistics only
+//   ./build/examples/dataset_tool /tmp/out    # also write files
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "ansible/linter.hpp"
+#include "data/dataset.hpp"
+#include "data/dedup.hpp"
+#include "data/sources.hpp"
+#include "util/io.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace wisdom;
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : "";
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+  }
+
+  const std::uint64_t seed = 2023;
+  util::Table table({"Source", "Type", "Files", "Dedup kept", "Bytes",
+                     "Schema-correct files"});
+  for (const auto& spec : data::table1_sources()) {
+    auto files = data::build_source(spec, seed);
+    data::DedupStats stats;
+    files = data::dedup_files(std::move(files), &stats);
+    std::size_t bytes = 0;
+    std::size_t clean = 0;
+    for (const auto& file : files) {
+      bytes += file.text.size();
+      if (!file.ansible || ansible::lint_text(file.text).ok()) ++clean;
+    }
+    table.add_row({spec.label, spec.yaml_type, std::to_string(stats.input),
+                   std::to_string(stats.kept), std::to_string(bytes),
+                   std::to_string(clean)});
+
+    if (!out_dir.empty()) {
+      std::string sub = out_dir + "/" + util::to_lower(spec.label) + "_" +
+                        util::to_lower(spec.yaml_type);
+      sub = util::replace_all(sub, " + ", "_");
+      std::filesystem::create_directories(sub);
+      for (std::size_t i = 0; i < files.size(); ++i) {
+        util::write_file(sub + "/file_" + std::to_string(i) + ".yml",
+                         files[i].text);
+      }
+    }
+  }
+  std::printf("=== corpus statistics ===\n%s\n", table.to_string().c_str());
+
+  // Fine-tuning extraction.
+  auto galaxy = data::galaxy_corpus(seed ^ 0xF2);
+  auto files = data::dedup_files(std::move(galaxy.files));
+  auto samples = data::extract_corpus_samples(files);
+  std::map<data::GenerationType, int> counts;
+  std::map<data::GenerationType, std::size_t> context_bytes;
+  for (const auto& s : samples) {
+    counts[s.type]++;
+    context_bytes[s.type] += s.context.size();
+  }
+  util::Table types({"Generation Type", "Samples", "Avg context bytes"});
+  for (const auto& [type, count] : counts) {
+    types.add_row({data::generation_type_label(type), std::to_string(count),
+                   std::to_string(context_bytes[type] /
+                                  static_cast<std::size_t>(count))});
+  }
+  std::printf("=== fine-tuning samples ===\n%s", types.to_string().c_str());
+
+  if (!out_dir.empty()) {
+    std::string sample_dir = out_dir + "/ft_samples";
+    std::filesystem::create_directories(sample_dir);
+    for (std::size_t i = 0; i < std::min<std::size_t>(samples.size(), 200);
+         ++i) {
+      const auto& s = samples[i];
+      std::string text = "# type: ";
+      text += data::generation_type_label(s.type);
+      text += "\n# --- model input ---\n" + s.model_input() +
+              "# --- gold completion ---\n" + s.target_body;
+      util::write_file(sample_dir + "/sample_" + std::to_string(i) + ".txt",
+                       text);
+    }
+    std::printf("\nwrote corpora and %zu sample files under %s\n",
+                std::min<std::size_t>(samples.size(), 200), out_dir.c_str());
+  }
+  return 0;
+}

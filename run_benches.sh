@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs every benchmark binary in order (tables first, then ablations and
+# the timing benchmarks). First run trains the model zoo (~1h on one core);
+# cached runs take ~15 minutes.
+set -e
+cd "$(dirname "$0")"
+for b in build/bench/bench_table1_datasets build/bench/bench_table2_model_matrix \
+         build/bench/bench_table3_fewshot build/bench/bench_table4_finetune \
+         build/bench/bench_table5_gentypes build/bench/bench_ablations \
+         build/bench/bench_micro build/bench/bench_throughput; do
+  echo "==================== $b ===================="
+  "$b"
+  echo
+done

@@ -1,0 +1,504 @@
+#include "ansible/catalog.hpp"
+
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace wisdom::ansible {
+
+const ParamSpec* ModuleSpec::param(std::string_view name) const {
+  for (const ParamSpec& p : params) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Equivalence groups from the paper's Ansible Aware description
+// ("command / shell, copy / template, package / apt, dnf, yum") plus the
+// analogous service/systemd and include/import pairs.
+enum EquivGroup : int {
+  kNoGroup = -1,
+  kExec = 0,
+  kFileContent = 1,
+  kPackage = 2,
+  kService = 3,
+  kTasksInclude = 4,
+  kRoleInclude = 5,
+};
+
+using PT = ParamType;
+
+ParamSpec p(std::string name, PT type = PT::Str, bool required = false,
+            std::vector<std::string> choices = {}) {
+  return ParamSpec{std::move(name), type, required, std::move(choices)};
+}
+
+ParamSpec state(std::vector<std::string> choices) {
+  return p("state", PT::Choice, false, std::move(choices));
+}
+
+struct Builder {
+  std::vector<ModuleSpec> mods;
+
+  ModuleSpec& add(std::string fqcn, std::string category,
+                  std::vector<ParamSpec> params, int group = kNoGroup) {
+    ModuleSpec spec;
+    spec.fqcn = std::move(fqcn);
+    auto dot = spec.fqcn.rfind('.');
+    spec.short_name =
+        dot == std::string::npos ? spec.fqcn : spec.fqcn.substr(dot + 1);
+    spec.category = std::move(category);
+    spec.equivalence_group = group;
+    spec.params = std::move(params);
+    mods.push_back(std::move(spec));
+    return mods.back();
+  }
+};
+
+std::vector<ModuleSpec> build_catalog() {
+  Builder b;
+
+  // --- packaging ---------------------------------------------------------
+  b.add("ansible.builtin.apt", "packaging",
+        {p("name", PT::List), state({"present", "absent", "latest",
+                                     "build-dep", "fixed"}),
+         p("update_cache", PT::Bool), p("cache_valid_time", PT::Int),
+         p("upgrade", PT::Choice, false, {"dist", "full", "safe", "yes"}),
+         p("force", PT::Bool), p("install_recommends", PT::Bool),
+         p("deb", PT::Path), p("default_release"), p("autoremove", PT::Bool),
+         p("purge", PT::Bool)},
+        kPackage);
+  b.add("ansible.builtin.yum", "packaging",
+        {p("name", PT::List, true),
+         state({"present", "absent", "latest", "installed", "removed"}),
+         p("enablerepo", PT::List), p("disablerepo", PT::List),
+         p("update_cache", PT::Bool), p("security", PT::Bool),
+         p("exclude", PT::List)},
+        kPackage);
+  b.add("ansible.builtin.dnf", "packaging",
+        {p("name", PT::List, true),
+         state({"present", "absent", "latest", "installed", "removed"}),
+         p("enablerepo", PT::List), p("disablerepo", PT::List),
+         p("update_cache", PT::Bool), p("autoremove", PT::Bool)},
+        kPackage);
+  b.add("ansible.builtin.package", "packaging",
+        {p("name", PT::List, true),
+         state({"present", "absent", "latest"}), p("use")},
+        kPackage);
+  b.add("ansible.builtin.pip", "packaging",
+        {p("name", PT::List),
+         state({"present", "absent", "latest", "forcereinstall"}),
+         p("requirements", PT::Path), p("virtualenv", PT::Path),
+         p("executable", PT::Path), p("extra_args"), p("version")});
+  b.add("ansible.builtin.apt_repository", "packaging",
+        {p("repo", PT::Str, true), state({"present", "absent"}),
+         p("filename"), p("update_cache", PT::Bool)});
+  b.add("ansible.builtin.apt_key", "packaging",
+        {p("url"), p("id"), p("keyserver"), state({"present", "absent"}),
+         p("keyring", PT::Path)});
+  b.add("ansible.builtin.rpm_key", "packaging",
+        {p("key", PT::Str, true), state({"present", "absent"}),
+         p("fingerprint")});
+
+  // --- files ---------------------------------------------------------------
+  b.add("ansible.builtin.copy", "files",
+        {p("src", PT::Path), p("dest", PT::Path, true), p("content"),
+         p("owner"), p("group"), p("mode"), p("backup", PT::Bool),
+         p("remote_src", PT::Bool), p("force", PT::Bool),
+         p("directory_mode"), p("validate")},
+        kFileContent);
+  b.add("ansible.builtin.template", "files",
+        {p("src", PT::Path, true), p("dest", PT::Path, true), p("owner"),
+         p("group"), p("mode"), p("backup", PT::Bool), p("validate"),
+         p("force", PT::Bool), p("lstrip_blocks", PT::Bool),
+         p("trim_blocks", PT::Bool)},
+        kFileContent);
+  b.add("ansible.builtin.file", "files",
+        {p("path", PT::Path, true),
+         state({"file", "directory", "link", "hard", "touch", "absent"}),
+         p("owner"), p("group"), p("mode"), p("src", PT::Path),
+         p("recurse", PT::Bool), p("force", PT::Bool), p("follow", PT::Bool)});
+  b.add("ansible.builtin.lineinfile", "files",
+        {p("path", PT::Path, true), p("line"), p("regexp"),
+         state({"present", "absent"}), p("insertafter"), p("insertbefore"),
+         p("create", PT::Bool), p("backup", PT::Bool),
+         p("backrefs", PT::Bool), p("owner"), p("group"), p("mode"),
+         p("validate")});
+  b.add("ansible.builtin.blockinfile", "files",
+        {p("path", PT::Path, true), p("block"), p("marker"),
+         state({"present", "absent"}), p("insertafter"), p("insertbefore"),
+         p("create", PT::Bool), p("backup", PT::Bool), p("owner"),
+         p("group"), p("mode")});
+  b.add("ansible.builtin.replace", "files",
+        {p("path", PT::Path, true), p("regexp", PT::Str, true), p("replace"),
+         p("backup", PT::Bool), p("owner"), p("group"), p("mode"),
+         p("validate")});
+  b.add("ansible.builtin.stat", "files",
+        {p("path", PT::Path, true), p("follow", PT::Bool),
+         p("get_checksum", PT::Bool),
+         p("checksum_algorithm", PT::Choice, false,
+           {"md5", "sha1", "sha224", "sha256", "sha384", "sha512"}),
+         p("get_mime", PT::Bool), p("get_attributes", PT::Bool)});
+  b.add("ansible.builtin.fetch", "files",
+        {p("src", PT::Path, true), p("dest", PT::Path, true),
+         p("flat", PT::Bool), p("fail_on_missing", PT::Bool),
+         p("validate_checksum", PT::Bool)});
+  b.add("ansible.builtin.unarchive", "files",
+        {p("src", PT::Path, true), p("dest", PT::Path, true),
+         p("remote_src", PT::Bool), p("creates", PT::Path), p("owner"),
+         p("group"), p("mode"), p("extra_opts", PT::List),
+         p("exclude", PT::List), p("keep_newer", PT::Bool)});
+  b.add("ansible.builtin.ini_file", "files",
+        {p("path", PT::Path, true), p("section", PT::Str, true), p("option"),
+         p("value"), state({"present", "absent"}), p("backup", PT::Bool),
+         p("mode")});
+  b.add("ansible.builtin.tempfile", "files",
+        {state({"file", "directory"}), p("suffix"), p("prefix"),
+         p("path", PT::Path)});
+  b.add("ansible.builtin.slurp", "files", {p("src", PT::Path, true)});
+
+  // --- net / web -----------------------------------------------------------
+  b.add("ansible.builtin.get_url", "net",
+        {p("url", PT::Str, true), p("dest", PT::Path, true), p("mode"),
+         p("owner"), p("group"), p("checksum"), p("timeout", PT::Int),
+         p("validate_certs", PT::Bool), p("force", PT::Bool),
+         p("headers", PT::Dict), p("url_username"), p("url_password")});
+  b.add("ansible.builtin.uri", "net",
+        {p("url", PT::Str, true),
+         p("method", PT::Choice, false,
+           {"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD", "OPTIONS"}),
+         p("body"), p("body_format", PT::Choice, false,
+                      {"json", "form-urlencoded", "raw"}),
+         p("status_code", PT::List), p("return_content", PT::Bool),
+         p("headers", PT::Dict), p("timeout", PT::Int),
+         p("validate_certs", PT::Bool), p("user"), p("password"),
+         p("force_basic_auth", PT::Bool), p("dest", PT::Path),
+         p("creates", PT::Path)});
+
+  // --- commands ------------------------------------------------------------
+  {
+    auto& m = b.add("ansible.builtin.command", "commands",
+                    {p("cmd"), p("argv", PT::List), p("chdir", PT::Path),
+                     p("creates", PT::Path), p("removes", PT::Path),
+                     p("stdin"), p("strip_empty_ends", PT::Bool)},
+                    kExec);
+    m.free_form = true;
+  }
+  {
+    auto& m = b.add("ansible.builtin.shell", "commands",
+                    {p("cmd"), p("chdir", PT::Path), p("creates", PT::Path),
+                     p("removes", PT::Path), p("executable", PT::Path),
+                     p("stdin")},
+                    kExec);
+    m.free_form = true;
+  }
+  {
+    auto& m = b.add("ansible.builtin.raw", "commands",
+                    {p("executable", PT::Path)});
+    m.free_form = true;
+  }
+  {
+    auto& m = b.add("ansible.builtin.script", "commands",
+                    {p("cmd"), p("chdir", PT::Path), p("creates", PT::Path),
+                     p("removes", PT::Path), p("executable", PT::Path)});
+    m.free_form = true;
+  }
+
+  // --- system ---------------------------------------------------------------
+  b.add("ansible.builtin.service", "system",
+        {p("name", PT::Str, true),
+         state({"started", "stopped", "restarted", "reloaded"}),
+         p("enabled", PT::Bool), p("sleep", PT::Int), p("pattern"),
+         p("arguments")},
+        kService);
+  b.add("ansible.builtin.systemd", "system",
+        {p("name"), state({"started", "stopped", "restarted", "reloaded"}),
+         p("enabled", PT::Bool), p("daemon_reload", PT::Bool),
+         p("masked", PT::Bool),
+         p("scope", PT::Choice, false, {"system", "user", "global"}),
+         p("no_block", PT::Bool)},
+        kService);
+  b.add("ansible.builtin.cron", "system",
+        {p("name", PT::Str, true), p("minute"), p("hour"), p("day"),
+         p("month"), p("weekday"), p("job"), state({"present", "absent"}),
+         p("user"),
+         p("special_time", PT::Choice, false,
+           {"reboot", "yearly", "annually", "monthly", "weekly", "daily",
+            "hourly"}),
+         p("disabled", PT::Bool), p("cron_file", PT::Path)});
+  b.add("ansible.builtin.user", "system",
+        {p("name", PT::Str, true), state({"present", "absent"}),
+         p("uid", PT::Int), p("group"), p("groups", PT::List),
+         p("append", PT::Bool), p("shell", PT::Path), p("home", PT::Path),
+         p("create_home", PT::Bool), p("password"), p("comment"),
+         p("system", PT::Bool), p("remove", PT::Bool),
+         p("generate_ssh_key", PT::Bool), p("ssh_key_bits", PT::Int),
+         p("ssh_key_file", PT::Path),
+         p("update_password", PT::Choice, false, {"always", "on_create"})});
+  b.add("ansible.builtin.group", "system",
+        {p("name", PT::Str, true), state({"present", "absent"}),
+         p("gid", PT::Int), p("system", PT::Bool)});
+  b.add("ansible.posix.authorized_key", "system",
+        {p("user", PT::Str, true), p("key", PT::Str, true),
+         state({"present", "absent"}), p("path", PT::Path),
+         p("manage_dir", PT::Bool), p("exclusive", PT::Bool),
+         p("key_options")});
+  b.add("ansible.builtin.known_hosts", "system",
+        {p("name", PT::Str, true), p("key"), p("path", PT::Path),
+         state({"present", "absent"}), p("hash_host", PT::Bool)});
+  b.add("ansible.builtin.hostname", "system",
+        {p("name", PT::Str, true), p("use")});
+  b.add("ansible.builtin.reboot", "system",
+        {p("reboot_timeout", PT::Int), p("msg"),
+         p("pre_reboot_delay", PT::Int), p("post_reboot_delay", PT::Int),
+         p("test_command"), p("connect_timeout", PT::Int)});
+  b.add("ansible.builtin.wait_for", "system",
+        {p("host"), p("port", PT::Int), p("path", PT::Path),
+         state({"started", "stopped", "present", "absent", "drained"}),
+         p("timeout", PT::Int), p("delay", PT::Int), p("sleep", PT::Int),
+         p("search_regex"), p("connect_timeout", PT::Int), p("msg")});
+  b.add("ansible.builtin.wait_for_connection", "system",
+        {p("timeout", PT::Int), p("delay", PT::Int), p("sleep", PT::Int),
+         p("connect_timeout", PT::Int)});
+  b.add("ansible.builtin.pause", "system",
+        {p("seconds", PT::Int), p("minutes", PT::Int), p("prompt"),
+         p("echo", PT::Bool)});
+  b.add("ansible.builtin.iptables", "system",
+        {p("chain"), p("jump"), p("protocol"), p("destination_port"),
+         p("source"), state({"present", "absent"}),
+         p("action", PT::Choice, false, {"append", "insert"}),
+         p("comment"),
+         p("table", PT::Choice, false,
+           {"filter", "nat", "mangle", "raw", "security"})});
+  b.add("ansible.posix.sysctl", "system",
+        {p("name", PT::Str, true), p("value"), state({"present", "absent"}),
+         p("reload", PT::Bool), p("sysctl_file", PT::Path),
+         p("sysctl_set", PT::Bool)});
+  b.add("ansible.posix.mount", "system",
+        {p("path", PT::Path, true), p("src"), p("fstype"), p("opts"),
+         state({"mounted", "unmounted", "present", "absent", "remounted"}),
+         p("dump", PT::Int), p("passno", PT::Int)});
+  b.add("ansible.posix.firewalld", "system",
+        {p("service"), p("port"), p("zone"), p("permanent", PT::Bool),
+         p("immediate", PT::Bool),
+         state({"enabled", "disabled", "present", "absent"}),
+         p("rich_rule"), p("interface"), p("masquerade", PT::Bool)});
+  b.add("ansible.posix.seboolean", "system",
+        {p("name", PT::Str, true), p("state", PT::Bool, true),
+         p("persistent", PT::Bool)});
+  b.add("ansible.posix.selinux", "system",
+        {p("policy"),
+         p("state", PT::Choice, true,
+           {"enforcing", "permissive", "disabled"})});
+  b.add("ansible.posix.synchronize", "system",
+        {p("src", PT::Path, true), p("dest", PT::Path, true),
+         p("mode", PT::Choice, false, {"push", "pull"}),
+         p("delete", PT::Bool), p("recursive", PT::Bool),
+         p("rsync_opts", PT::List), p("archive", PT::Bool)});
+  b.add("community.general.ufw", "system",
+        {p("rule", PT::Choice, false, {"allow", "deny", "limit", "reject"}),
+         p("port"),
+         p("proto", PT::Choice, false,
+           {"tcp", "udp", "any", "esp", "ah", "gre"}),
+         state({"enabled", "disabled", "reloaded", "reset"}),
+         p("policy", PT::Choice, false, {"allow", "deny", "reject"}),
+         p("direction", PT::Choice, false,
+           {"in", "out", "incoming", "outgoing", "routed"}),
+         p("from_ip"), p("to_ip"), p("comment"), p("delete", PT::Bool),
+         p("log", PT::Bool)});
+  b.add("community.general.timezone", "system",
+        {p("name", PT::Str, true),
+         p("hwclock", PT::Choice, false, {"local", "UTC"})});
+  b.add("community.general.locale_gen", "system",
+        {p("name", PT::Str, true), state({"present", "absent"})});
+
+  // --- utilities -------------------------------------------------------------
+  b.add("ansible.builtin.ping", "utilities", {p("data")});
+  b.add("ansible.builtin.setup", "utilities",
+        {p("filter", PT::List), p("gather_subset", PT::List),
+         p("gather_timeout", PT::Int)});
+  b.add("ansible.builtin.service_facts", "utilities", {});
+  b.add("ansible.builtin.package_facts", "utilities",
+        {p("manager", PT::List)});
+  b.add("ansible.builtin.debug", "utilities",
+        {p("msg"), p("var"), p("verbosity", PT::Int)});
+  b.add("ansible.builtin.fail", "utilities", {p("msg")});
+  b.add("ansible.builtin.assert", "utilities",
+        {p("that", PT::List, true), p("msg"), p("fail_msg"),
+         p("success_msg"), p("quiet", PT::Bool)});
+  {
+    auto& m = b.add("ansible.builtin.set_fact", "utilities",
+                    {p("cacheable", PT::Bool)});
+    m.arbitrary_params = true;
+  }
+  b.add("ansible.builtin.include_vars", "utilities",
+        {p("file", PT::Path), p("dir", PT::Path), p("name"),
+         p("depth", PT::Int), p("files_matching"),
+         p("ignore_files", PT::List)});
+  {
+    auto& m = b.add("ansible.builtin.include_tasks", "utilities",
+                    {p("file", PT::Path), p("apply", PT::Dict)},
+                    kTasksInclude);
+    m.free_form = true;  // `include_tasks: setup.yml`
+  }
+  {
+    auto& m = b.add("ansible.builtin.import_tasks", "utilities",
+                    {p("file", PT::Path)}, kTasksInclude);
+    m.free_form = true;
+  }
+  b.add("ansible.builtin.include_role", "utilities",
+        {p("name", PT::Str, true), p("tasks_from"), p("vars_from"),
+         p("defaults_from"), p("apply", PT::Dict), p("public", PT::Bool)},
+        kRoleInclude);
+  b.add("ansible.builtin.import_role", "utilities",
+        {p("name", PT::Str, true), p("tasks_from"), p("vars_from"),
+         p("defaults_from")},
+        kRoleInclude);
+  {
+    auto& m = b.add("ansible.builtin.meta", "utilities", {});
+    m.free_form = true;  // `meta: flush_handlers`
+  }
+  {
+    auto& m = b.add("ansible.builtin.add_host", "utilities",
+                    {p("name", PT::Str, true), p("groups", PT::List)});
+    m.arbitrary_params = true;
+  }
+  b.add("ansible.builtin.group_by", "utilities",
+        {p("key", PT::Str, true), p("parents", PT::List)});
+
+  // --- source control ---------------------------------------------------------
+  b.add("ansible.builtin.git", "source_control",
+        {p("repo", PT::Str, true), p("dest", PT::Path, true), p("version"),
+         p("update", PT::Bool), p("force", PT::Bool), p("depth", PT::Int),
+         p("clone", PT::Bool), p("bare", PT::Bool),
+         p("accept_hostkey", PT::Bool), p("key_file", PT::Path),
+         p("track_submodules", PT::Bool)});
+
+  // --- language package managers ----------------------------------------------
+  b.add("community.general.npm", "packaging",
+        {p("name"), p("path", PT::Path), p("global", PT::Bool),
+         state({"present", "absent", "latest"}), p("version"),
+         p("production", PT::Bool), p("registry")});
+  b.add("community.general.gem", "packaging",
+        {p("name", PT::Str, true), state({"present", "absent", "latest"}),
+         p("version"), p("user_install", PT::Bool),
+         p("executable", PT::Path)});
+  b.add("community.general.make", "commands",
+        {p("chdir", PT::Path, true), p("target"), p("params", PT::Dict),
+         p("jobs", PT::Int)});
+
+  // --- containers / cloud -------------------------------------------------------
+  b.add("community.docker.docker_container", "cloud",
+        {p("name", PT::Str, true), p("image"),
+         state({"started", "stopped", "absent", "present"}),
+         p("ports", PT::List), p("volumes", PT::List), p("env", PT::Dict),
+         p("restart_policy", PT::Choice, false,
+           {"no", "on-failure", "always", "unless-stopped"}),
+         p("detach", PT::Bool), p("command"), p("networks", PT::List),
+         p("pull", PT::Bool), p("recreate", PT::Bool), p("memory")});
+  b.add("community.docker.docker_image", "cloud",
+        {p("name", PT::Str, true), p("tag"),
+         p("source", PT::Choice, false, {"pull", "build", "local", "load"}),
+         state({"present", "absent"}), p("force_source", PT::Bool),
+         p("build", PT::Dict), p("push", PT::Bool)});
+  b.add("kubernetes.core.k8s", "cloud",
+        {state({"present", "absent", "patched"}), p("definition", PT::Dict),
+         p("src", PT::Path), p("kind"), p("name"), p("namespace"),
+         p("api_version"), p("wait", PT::Bool), p("wait_timeout", PT::Int),
+         p("kubeconfig", PT::Path)});
+  b.add("kubernetes.core.helm", "cloud",
+        {p("name", PT::Str, true), p("chart_ref"), p("release_namespace"),
+         state({"present", "absent"}), p("values", PT::Dict),
+         p("create_namespace", PT::Bool), p("update_repo_cache", PT::Bool)});
+
+  // --- databases ------------------------------------------------------------------
+  b.add("community.mysql.mysql_db", "database",
+        {p("name", PT::Str, true),
+         state({"present", "absent", "dump", "import"}), p("login_user"),
+         p("login_password"), p("login_host"), p("target", PT::Path),
+         p("encoding"), p("collation")});
+  b.add("community.mysql.mysql_user", "database",
+        {p("name", PT::Str, true), p("password"), p("priv"), p("host"),
+         state({"present", "absent"}), p("append_privs", PT::Bool),
+         p("login_user"), p("login_password")});
+  b.add("community.postgresql.postgresql_db", "database",
+        {p("name", PT::Str, true),
+         state({"present", "absent", "dump", "restore"}), p("owner"),
+         p("encoding"), p("template"), p("login_user"),
+         p("login_password"), p("login_host")});
+  b.add("community.postgresql.postgresql_user", "database",
+        {p("name", PT::Str, true), p("password"), p("db"), p("priv"),
+         p("role_attr_flags"), state({"present", "absent"}),
+         p("login_user"), p("login_password")});
+
+  // --- network devices ---------------------------------------------------------------
+  b.add("vyos.vyos.vyos_facts", "network",
+        {p("gather_subset", PT::List),
+         p("gather_network_resources", PT::List)});
+  b.add("vyos.vyos.vyos_config", "network",
+        {p("lines", PT::List), p("src", PT::Path), p("backup", PT::Bool),
+         p("save", PT::Bool),
+         p("match", PT::Choice, false, {"line", "none"}), p("comment")});
+  b.add("cisco.ios.ios_facts", "network",
+        {p("gather_subset", PT::List),
+         p("gather_network_resources", PT::List)});
+  b.add("cisco.ios.ios_config", "network",
+        {p("lines", PT::List), p("parents", PT::List), p("src", PT::Path),
+         p("backup", PT::Bool),
+         p("save_when", PT::Choice, false,
+           {"always", "never", "modified", "changed"}),
+         p("match", PT::Choice, false, {"line", "strict", "exact", "none"}),
+         p("replace", PT::Choice, false, {"line", "block"})});
+
+  return b.mods;
+}
+
+}  // namespace
+
+ModuleCatalog::ModuleCatalog() : modules_(build_catalog()) {}
+
+const ModuleCatalog& ModuleCatalog::instance() {
+  static const ModuleCatalog catalog;
+  return catalog;
+}
+
+const ModuleSpec* ModuleCatalog::by_fqcn(std::string_view fqcn) const {
+  for (const ModuleSpec& m : modules_) {
+    if (m.fqcn == fqcn) return &m;
+  }
+  return nullptr;
+}
+
+const ModuleSpec* ModuleCatalog::by_short_name(std::string_view name) const {
+  for (const ModuleSpec& m : modules_) {
+    if (m.short_name == name) return &m;
+  }
+  return nullptr;
+}
+
+const ModuleSpec* ModuleCatalog::resolve(std::string_view name) const {
+  if (name.find('.') != std::string_view::npos) return by_fqcn(name);
+  return by_short_name(name);
+}
+
+std::string ModuleCatalog::to_fqcn(std::string_view name) const {
+  const ModuleSpec* spec = resolve(name);
+  return spec ? spec->fqcn : std::string(name);
+}
+
+bool ModuleCatalog::same_module(std::string_view a, std::string_view b) const {
+  return to_fqcn(a) == to_fqcn(b);
+}
+
+bool ModuleCatalog::near_equivalent(std::string_view a,
+                                    std::string_view b) const {
+  const ModuleSpec* ma = resolve(a);
+  const ModuleSpec* mb = resolve(b);
+  if (!ma || !mb || ma == mb) return false;
+  return ma->equivalence_group >= 0 &&
+         ma->equivalence_group == mb->equivalence_group;
+}
+
+}  // namespace wisdom::ansible

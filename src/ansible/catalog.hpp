@@ -1,0 +1,82 @@
+// Ansible module catalog.
+//
+// The catalog is the single source of truth shared by three consumers:
+//   * the synthetic corpus generator (which modules exist, what parameters
+//     they take, which values are plausible),
+//   * the schema linter behind the Schema Correct metric,
+//   * the Ansible Aware metric (FQCN resolution and the module
+//     near-equivalence classes: command/shell, copy/template,
+//     package/apt/dnf/yum, ... — exactly the classes the paper lists).
+//
+// It covers the high-frequency builtin modules plus common collection
+// modules (ansible.posix, community.*, vyos.vyos, cisco.ios) so that the
+// synthetic corpus exhibits the same Zipfian module distribution and FQCN
+// variety as the paper's Galaxy/GitHub data.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wisdom::ansible {
+
+enum class ParamType { Str, Bool, Int, Path, List, Dict, Choice };
+
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::Str;
+  bool required = false;
+  // Non-empty only for ParamType::Choice.
+  std::vector<std::string> choices;
+};
+
+struct ModuleSpec {
+  std::string fqcn;        // e.g. "ansible.builtin.apt"
+  std::string short_name;  // e.g. "apt"
+  std::string category;    // packaging, files, system, commands, net, ...
+  // Modules in the same non-negative group are "almost equivalent" for the
+  // Ansible Aware metric; -1 means no group.
+  int equivalence_group = -1;
+  // command/shell/raw/script accept a free-form string argument; meta and
+  // include/import_tasks accept a plain string operand the same way.
+  bool free_form = false;
+  // set_fact / add_host accept arbitrary user-chosen keys.
+  bool arbitrary_params = false;
+  std::vector<ParamSpec> params;
+
+  const ParamSpec* param(std::string_view name) const;
+  bool has_param(std::string_view name) const { return param(name) != nullptr; }
+};
+
+class ModuleCatalog {
+ public:
+  // The process-wide catalog (immutable after construction).
+  static const ModuleCatalog& instance();
+
+  std::span<const ModuleSpec> all() const { return modules_; }
+
+  const ModuleSpec* by_fqcn(std::string_view fqcn) const;
+  // Short names are unique in this catalog (as they are for builtins).
+  const ModuleSpec* by_short_name(std::string_view name) const;
+  // Accepts either spelling.
+  const ModuleSpec* resolve(std::string_view name) const;
+
+  // Resolves any module name to its fully qualified collection name; names
+  // not in the catalog are returned unchanged (the Aware metric then
+  // compares them literally).
+  std::string to_fqcn(std::string_view name) const;
+
+  // True when the two names resolve to the same module.
+  bool same_module(std::string_view a, std::string_view b) const;
+  // True when the two names resolve to distinct modules of the same
+  // equivalence group (command/shell etc.).
+  bool near_equivalent(std::string_view a, std::string_view b) const;
+
+ private:
+  ModuleCatalog();
+  std::vector<ModuleSpec> modules_;
+};
+
+}  // namespace wisdom::ansible

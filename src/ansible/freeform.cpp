@@ -1,0 +1,76 @@
+#include "ansible/freeform.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace wisdom::ansible {
+
+namespace util = wisdom::util;
+
+namespace {
+
+// A word is a k=v pair if it has '=' after a bare identifier-ish key.
+// The '=' must not be the first character.
+bool split_kv(std::string_view word, std::string& key, std::string& value) {
+  std::size_t eq = word.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  for (std::size_t i = 0; i < eq; ++i) {
+    char c = word[i];
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  key = std::string(word.substr(0, eq));
+  value = std::string(word.substr(eq + 1));
+  return true;
+}
+
+}  // namespace
+
+FreeFormSplit parse_free_form(std::string_view text) {
+  FreeFormSplit out;
+  // Leading k=v pairs are parameters; as soon as a non-pair word appears,
+  // the rest of the original string (from that word on) is free text.
+  std::string key, value;
+  std::string_view rest = util::trim(text);
+  while (!rest.empty()) {
+    // Find the next whitespace outside quotes to isolate the word.
+    char quote = 0;
+    std::size_t i = 0;
+    for (; i < rest.size(); ++i) {
+      char c = rest[i];
+      if (quote != 0) {
+        if (c == quote) quote = 0;
+      } else if (c == '\'' || c == '"') {
+        quote = c;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+    }
+    std::string_view word = rest.substr(0, i);
+    // Unquote for the k=v test (the '=' is never inside quotes for a pair).
+    if (split_kv(word, key, value)) {
+      // Strip surrounding quotes from the value.
+      if (value.size() >= 2 &&
+          (value.front() == '\'' || value.front() == '"') &&
+          value.back() == value.front()) {
+        value = value.substr(1, value.size() - 2);
+        out.params.entries().emplace_back(key, yaml::Node::str(value));
+      } else {
+        out.params.entries().emplace_back(key, yaml::resolve_plain_scalar(value));
+      }
+      rest = util::trim_left(rest.substr(i));
+    } else {
+      out.free_text = std::string(rest);
+      break;
+    }
+  }
+  return out;
+}
+
+bool looks_like_kv_args(std::string_view text) {
+  FreeFormSplit split = parse_free_form(text);
+  return split.free_text.empty() && split.params.size() > 0;
+}
+
+}  // namespace wisdom::ansible

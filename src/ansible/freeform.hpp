@@ -1,0 +1,35 @@
+// Parsing of the historical "k1=v1 k2=v2" module-argument syntax.
+//
+// The Ansible Aware metric normalizes this old form into a parameter dict
+// before comparing ("convert the old k1=v1, k2=v2 syntax for module
+// parameters into a dict"), and the linter needs to recognize it to type-
+// check old-style tasks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "yaml/node.hpp"
+
+namespace wisdom::ansible {
+
+struct FreeFormSplit {
+  // Key=value pairs, in order, as a yaml mapping of resolved scalars.
+  yaml::Node params = yaml::Node::map();
+  // Leading words that are not k=v pairs (the free-form command text of
+  // command/shell); empty when everything parsed as parameters.
+  std::string free_text;
+};
+
+// Splits an old-style argument string. Values may be single- or double-
+// quoted to protect spaces; k=v tokens after the first non-k=v word belong
+// to the free text (mirroring Ansible's own shlex-based splitting:
+// `shell: echo a=b` keeps `a=b` as command text).
+FreeFormSplit parse_free_form(std::string_view text);
+
+// True if the string looks like pure k=v arguments (at least one pair and
+// no free text).
+bool looks_like_kv_args(std::string_view text);
+
+}  // namespace wisdom::ansible

@@ -1,0 +1,479 @@
+#include "ansible/jinja.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace wisdom::ansible {
+
+namespace util = wisdom::util;
+
+namespace {
+
+enum class TokKind {
+  End,
+  Ident,
+  Number,
+  String,
+  Op,      // == != <= >= < > + - * / % ~ =
+  Pipe,    // |
+  Dot,
+  Comma,
+  Colon,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Error,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string_view text;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    std::size_t start = pos_;
+    if (pos_ >= text_.size()) return {TokKind::End, {}, start};
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_'))
+        ++pos_;
+      return {TokKind::Ident, text_.substr(start, pos_ - start), start};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.'))
+        ++pos_;
+      return {TokKind::Number, text_.substr(start, pos_ - start), start};
+    }
+    if (c == '\'' || c == '"') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != c) {
+        if (text_[pos_] == '\\') ++pos_;
+        ++pos_;
+      }
+      if (pos_ >= text_.size())
+        return {TokKind::Error, "unterminated string", start};
+      ++pos_;
+      return {TokKind::String, text_.substr(start, pos_ - start), start};
+    }
+    auto two = text_.substr(start, 2);
+    if (two == "==" || two == "!=" || two == "<=" || two == ">=" ||
+        two == "//" || two == "**") {
+      pos_ += 2;
+      return {TokKind::Op, two, start};
+    }
+    ++pos_;
+    switch (c) {
+      case '<': case '>': case '+': case '-': case '*': case '/':
+      case '%': case '~': case '=':
+        return {TokKind::Op, text_.substr(start, 1), start};
+      case '|': return {TokKind::Pipe, "|", start};
+      case '.': return {TokKind::Dot, ".", start};
+      case ',': return {TokKind::Comma, ",", start};
+      case ':': return {TokKind::Colon, ":", start};
+      case '(': return {TokKind::LParen, "(", start};
+      case ')': return {TokKind::RParen, ")", start};
+      case '[': return {TokKind::LBracket, "[", start};
+      case ']': return {TokKind::RBracket, "]", start};
+      case '{': return {TokKind::LBrace, "{", start};
+      case '}': return {TokKind::RBrace, "}", start};
+      default:
+        return {TokKind::Error, text_.substr(start, 1), start};
+    }
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  bool parse(JinjaError* error) {
+    if (cur_.kind == TokKind::End) {
+      set_error("empty expression", 0);
+    } else {
+      parse_or();
+      if (!failed_ && cur_.kind != TokKind::End) {
+        set_error("unexpected trailing token", cur_.pos);
+      }
+    }
+    if (failed_ && error) *error = error_;
+    return !failed_;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  void set_error(std::string message, std::size_t pos) {
+    if (failed_) return;
+    failed_ = true;
+    error_ = {std::move(message), pos};
+  }
+
+  bool accept_ident(std::string_view word) {
+    if (cur_.kind == TokKind::Ident && cur_.text == word) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void parse_or() {
+    parse_and();
+    while (!failed_ && accept_ident("or")) parse_and();
+  }
+
+  void parse_and() {
+    parse_not();
+    while (!failed_ && accept_ident("and")) parse_not();
+  }
+
+  void parse_not() {
+    if (accept_ident("not")) {
+      parse_not();
+      return;
+    }
+    parse_comparison();
+  }
+
+  void parse_comparison() {
+    parse_arith();
+    while (!failed_) {
+      if (cur_.kind == TokKind::Op &&
+          (cur_.text == "==" || cur_.text == "!=" || cur_.text == "<" ||
+           cur_.text == ">" || cur_.text == "<=" || cur_.text == ">=")) {
+        advance();
+        parse_arith();
+        continue;
+      }
+      if (cur_.kind == TokKind::Ident &&
+          (cur_.text == "in" || cur_.text == "is")) {
+        bool is_test = cur_.text == "is";
+        advance();
+        accept_ident("not");
+        if (is_test) {
+          // `is defined`, `is none`, `is match('x')` — a test name with
+          // optional arguments.
+          if (cur_.kind != TokKind::Ident) {
+            set_error("expected test name after 'is'", cur_.pos);
+            return;
+          }
+          advance();
+          if (cur_.kind == TokKind::LParen) parse_call_args();
+          continue;
+        }
+        parse_arith();
+        continue;
+      }
+      if (cur_.kind == TokKind::Ident && cur_.text == "not") {
+        // `x not in y`
+        advance();
+        if (!accept_ident("in")) {
+          set_error("expected 'in' after 'not'", cur_.pos);
+          return;
+        }
+        parse_arith();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void parse_arith() {
+    parse_filtered();
+    while (!failed_ && cur_.kind == TokKind::Op &&
+           (cur_.text == "+" || cur_.text == "-" || cur_.text == "*" ||
+            cur_.text == "/" || cur_.text == "%" || cur_.text == "~" ||
+            cur_.text == "//" || cur_.text == "**")) {
+      advance();
+      parse_filtered();
+    }
+  }
+
+  void parse_filtered() {
+    parse_primary();
+    while (!failed_ && cur_.kind == TokKind::Pipe) {
+      advance();
+      if (cur_.kind != TokKind::Ident) {
+        set_error("expected filter name after '|'", cur_.pos);
+        return;
+      }
+      advance();
+      if (cur_.kind == TokKind::LParen) parse_call_args();
+    }
+  }
+
+  void parse_primary() {
+    if (failed_) return;
+    switch (cur_.kind) {
+      case TokKind::Number:
+      case TokKind::String:
+        advance();
+        break;
+      case TokKind::Ident: {
+        // unary keywords already handled; treat as name reference.
+        advance();
+        break;
+      }
+      case TokKind::Op:
+        if (cur_.text == "-" || cur_.text == "+") {
+          advance();
+          parse_primary();
+          break;
+        }
+        set_error("unexpected operator", cur_.pos);
+        return;
+      case TokKind::LParen:
+        advance();
+        parse_or();
+        if (cur_.kind != TokKind::RParen) {
+          set_error("expected ')'", cur_.pos);
+          return;
+        }
+        advance();
+        break;
+      case TokKind::LBracket: {
+        advance();
+        if (cur_.kind != TokKind::RBracket) {
+          parse_or();
+          while (!failed_ && cur_.kind == TokKind::Comma) {
+            advance();
+            parse_or();
+          }
+        }
+        if (!failed_ && cur_.kind != TokKind::RBracket) {
+          set_error("expected ']'", cur_.pos);
+          return;
+        }
+        if (!failed_) advance();
+        break;
+      }
+      case TokKind::LBrace: {
+        advance();
+        if (cur_.kind != TokKind::RBrace) {
+          for (;;) {
+            parse_or();
+            if (failed_) return;
+            if (cur_.kind != TokKind::Colon) {
+              set_error("expected ':' in dict literal", cur_.pos);
+              return;
+            }
+            advance();
+            parse_or();
+            if (failed_) return;
+            if (cur_.kind == TokKind::Comma) {
+              advance();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!failed_ && cur_.kind != TokKind::RBrace) {
+          set_error("expected '}'", cur_.pos);
+          return;
+        }
+        if (!failed_) advance();
+        break;
+      }
+      case TokKind::Error:
+        set_error("bad character in expression", cur_.pos);
+        return;
+      default:
+        set_error("expected a value", cur_.pos);
+        return;
+    }
+    parse_postfix();
+  }
+
+  void parse_postfix() {
+    while (!failed_) {
+      if (cur_.kind == TokKind::Dot) {
+        advance();
+        if (cur_.kind != TokKind::Ident && cur_.kind != TokKind::Number) {
+          set_error("expected attribute name after '.'", cur_.pos);
+          return;
+        }
+        advance();
+        continue;
+      }
+      if (cur_.kind == TokKind::LBracket) {
+        advance();
+        parse_or();
+        if (!failed_ && cur_.kind != TokKind::RBracket) {
+          set_error("expected ']' after subscript", cur_.pos);
+          return;
+        }
+        if (!failed_) advance();
+        continue;
+      }
+      if (cur_.kind == TokKind::LParen) {
+        parse_call_args();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void parse_call_args() {
+    // cur_ is LParen.
+    advance();
+    if (cur_.kind == TokKind::RParen) {
+      advance();
+      return;
+    }
+    for (;;) {
+      // keyword argument `name=value`?
+      parse_or();
+      if (failed_) return;
+      if (cur_.kind == TokKind::Op && cur_.text == "=") {
+        advance();
+        parse_or();
+        if (failed_) return;
+      }
+      if (cur_.kind == TokKind::Comma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (cur_.kind != TokKind::RParen) {
+      set_error("expected ')' in call", cur_.pos);
+      return;
+    }
+    advance();
+  }
+
+  Lexer lexer_;
+  Token cur_;
+  bool failed_ = false;
+  JinjaError error_;
+};
+
+void check_node(const yaml::Node& node, LintResult& result);
+
+void check_scalar(const yaml::Node& node, LintResult& result) {
+  if (!node.is_str()) return;
+  JinjaError error;
+  if (!validate_template_string(node.as_str(), &error)) {
+    result.add(Severity::Error, "jinja-syntax",
+               error.message + " in \"" + node.as_str() + "\"");
+  }
+}
+
+void check_node(const yaml::Node& node, LintResult& result) {
+  if (node.is_seq()) {
+    for (const auto& item : node.items()) check_node(item, result);
+  } else if (node.is_map()) {
+    for (const auto& [key, value] : node.entries())
+      check_node(value, result);
+  } else {
+    check_scalar(node, result);
+  }
+}
+
+void check_expression_value(const yaml::Node& value, LintResult& result) {
+  auto check_one = [&](const yaml::Node& node) {
+    if (!node.is_str()) return;  // booleans are fine for when:
+    JinjaError error;
+    if (!validate_jinja_expression(node.as_str(), &error)) {
+      result.add(Severity::Error, "jinja-syntax",
+                 error.message + " in expression \"" + node.as_str() + "\"");
+    }
+  };
+  if (value.is_seq()) {
+    for (const auto& item : value.items()) check_one(item);
+  } else {
+    check_one(value);
+  }
+}
+
+}  // namespace
+
+bool validate_jinja_expression(std::string_view expression,
+                               JinjaError* error) {
+  return Parser(expression).parse(error);
+}
+
+bool validate_template_string(std::string_view text, JinjaError* error) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t open = text.find("{{", pos);
+    std::size_t stmt = text.find("{%", pos);
+    // Unbalanced closers before any opener.
+    std::size_t close = text.find("}}", pos);
+    std::size_t first_open = std::min(open, stmt);
+    if (close != std::string_view::npos && close < first_open) {
+      if (error) *error = {"'}}' without matching '{{'", close};
+      return false;
+    }
+    if (first_open == std::string_view::npos) return true;
+    if (first_open == stmt) {
+      std::size_t end = text.find("%}", stmt + 2);
+      if (end == std::string_view::npos) {
+        if (error) *error = {"unterminated '{%' block", stmt};
+        return false;
+      }
+      pos = end + 2;
+      continue;
+    }
+    std::size_t end = text.find("}}", open + 2);
+    if (end == std::string_view::npos) {
+      if (error) *error = {"unterminated '{{' interpolation", open};
+      return false;
+    }
+    std::string_view inner = text.substr(open + 2, end - open - 2);
+    JinjaError inner_error;
+    if (!validate_jinja_expression(util::trim(inner), &inner_error)) {
+      if (error) {
+        *error = {inner_error.message,
+                  open + 2 + inner_error.position};
+      }
+      return false;
+    }
+    pos = end + 2;
+  }
+  return true;
+}
+
+LintResult lint_task_jinja(const yaml::Node& task) {
+  LintResult result;
+  if (!task.is_map()) return result;
+  static constexpr std::string_view kExpressionKeywords[] = {
+      "when", "changed_when", "failed_when", "until"};
+  for (const auto& [key, value] : task.entries()) {
+    bool is_expression = false;
+    for (std::string_view kw : kExpressionKeywords) {
+      if (key == kw) {
+        is_expression = true;
+        break;
+      }
+    }
+    if (is_expression) {
+      check_expression_value(value, result);
+    } else {
+      check_node(value, result);
+    }
+  }
+  return result;
+}
+
+}  // namespace wisdom::ansible

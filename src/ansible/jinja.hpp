@@ -1,0 +1,41 @@
+// Syntax validation for the Jinja2 expression subset Ansible uses.
+//
+// Ansible values lean on Jinja in two forms: bare expressions (`when:
+// ansible_os_family == 'Debian'`, `until: result.rc == 0`) and template
+// interpolations inside strings (`path: {{ base_dir }}/conf`). The strict
+// linter treats templated values as satisfying any shape — this module
+// adds the missing syntactic check (balanced {{ }}, a well-formed
+// expression grammar with filters, tests, attribute/subscript access and
+// calls), available as an opt-in deep-lint pass so the Schema Correct
+// metric of the paper stays exactly as specified.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ansible/linter.hpp"
+#include "yaml/node.hpp"
+
+namespace wisdom::ansible {
+
+struct JinjaError {
+  std::string message;
+  std::size_t position = 0;  // byte offset into the validated text
+};
+
+// Validates a bare Jinja expression (the `when:` form).
+bool validate_jinja_expression(std::string_view expression,
+                               JinjaError* error = nullptr);
+
+// Validates a string that may contain {{ ... }} interpolations: every
+// interpolation must be balanced and contain a valid expression. {% ... %}
+// statement blocks are accepted opaquely when balanced.
+bool validate_template_string(std::string_view text,
+                              JinjaError* error = nullptr);
+
+// Deep-lint pass over a task mapping: checks `when` / `changed_when` /
+// `failed_when` / `until` values as bare expressions and every string
+// scalar as a template. Reports violations under the "jinja-syntax" rule.
+LintResult lint_task_jinja(const yaml::Node& task);
+
+}  // namespace wisdom::ansible

@@ -1,0 +1,113 @@
+#include "ansible/keywords.hpp"
+
+#include <array>
+
+namespace wisdom::ansible {
+
+namespace {
+
+using KV = KeywordValue;
+
+constexpr std::array kTaskKeywords = {
+    KeywordSpec{"when", KV::Any},  // string expression or list of them
+    KeywordSpec{"loop", KV::Any},  // list or jinja string
+    KeywordSpec{"with_items", KV::Any},
+    KeywordSpec{"with_dict", KV::Any},
+    KeywordSpec{"with_fileglob", KV::Any},
+    KeywordSpec{"loop_control", KV::Dict},
+    KeywordSpec{"register", KV::Str},
+    KeywordSpec{"become", KV::Bool},
+    KeywordSpec{"become_user", KV::Str},
+    KeywordSpec{"become_method", KV::Str},
+    KeywordSpec{"ignore_errors", KV::Bool},
+    KeywordSpec{"changed_when", KV::Any},
+    KeywordSpec{"failed_when", KV::Any},
+    KeywordSpec{"until", KV::Str},
+    KeywordSpec{"retries", KV::Int},
+    KeywordSpec{"delay", KV::Int},
+    KeywordSpec{"delegate_to", KV::Str},
+    KeywordSpec{"delegate_facts", KV::Bool},
+    KeywordSpec{"run_once", KV::Bool},
+    KeywordSpec{"environment", KV::Any},  // dict or list of dicts
+    KeywordSpec{"vars", KV::Dict},
+    KeywordSpec{"tags", KV::StrOrList},
+    KeywordSpec{"notify", KV::StrOrList},
+    KeywordSpec{"no_log", KV::Bool},
+    KeywordSpec{"check_mode", KV::Bool},
+    KeywordSpec{"diff", KV::Bool},
+    KeywordSpec{"args", KV::Dict},
+    KeywordSpec{"any_errors_fatal", KV::Bool},
+    KeywordSpec{"throttle", KV::Int},
+    KeywordSpec{"timeout", KV::Int},
+    KeywordSpec{"remote_user", KV::Str},
+    KeywordSpec{"connection", KV::Str},
+    KeywordSpec{"collections", KV::List},
+    KeywordSpec{"listen", KV::StrOrList},  // handlers
+    KeywordSpec{"first_available_file", KV::List},
+};
+
+constexpr std::array kPlayKeywords = {
+    KeywordSpec{"hosts", KV::StrOrList},
+    KeywordSpec{"connection", KV::Str},
+    KeywordSpec{"gather_facts", KV::Bool},
+    KeywordSpec{"become", KV::Bool},
+    KeywordSpec{"become_user", KV::Str},
+    KeywordSpec{"become_method", KV::Str},
+    KeywordSpec{"vars", KV::Dict},
+    KeywordSpec{"vars_files", KV::List},
+    KeywordSpec{"vars_prompt", KV::List},
+    KeywordSpec{"roles", KV::List},
+    KeywordSpec{"tasks", KV::List},
+    KeywordSpec{"pre_tasks", KV::List},
+    KeywordSpec{"post_tasks", KV::List},
+    KeywordSpec{"handlers", KV::List},
+    KeywordSpec{"environment", KV::Any},
+    KeywordSpec{"tags", KV::StrOrList},
+    KeywordSpec{"serial", KV::Any},  // int, percentage string, or list
+    KeywordSpec{"max_fail_percentage", KV::Int},
+    KeywordSpec{"remote_user", KV::Str},
+    KeywordSpec{"collections", KV::List},
+    KeywordSpec{"any_errors_fatal", KV::Bool},
+    KeywordSpec{"force_handlers", KV::Bool},
+    KeywordSpec{"strategy", KV::Str},
+    KeywordSpec{"order", KV::Str},
+    KeywordSpec{"gather_subset", KV::List},
+    KeywordSpec{"gather_timeout", KV::Int},
+    KeywordSpec{"no_log", KV::Bool},
+    KeywordSpec{"ignore_errors", KV::Bool},
+    KeywordSpec{"ignore_unreachable", KV::Bool},
+    KeywordSpec{"throttle", KV::Int},
+    KeywordSpec{"timeout", KV::Int},
+};
+
+constexpr std::array<std::string_view, 3> kBlockKeys = {"block", "rescue",
+                                                        "always"};
+
+}  // namespace
+
+std::span<const KeywordSpec> task_keywords() { return kTaskKeywords; }
+std::span<const KeywordSpec> play_keywords() { return kPlayKeywords; }
+std::span<const std::string_view> block_keys() { return kBlockKeys; }
+
+const KeywordSpec* find_task_keyword(std::string_view name) {
+  for (const KeywordSpec& k : kTaskKeywords) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+const KeywordSpec* find_play_keyword(std::string_view name) {
+  for (const KeywordSpec& k : kPlayKeywords) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+bool is_block_key(std::string_view name) {
+  for (std::string_view k : kBlockKeys) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+}  // namespace wisdom::ansible

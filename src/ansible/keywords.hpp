@@ -1,0 +1,43 @@
+// Registry of Ansible play and task keywords with their expected value
+// shapes. The paper's Ansible Aware metric distinguishes "the module key"
+// from "the optional keywords [that] define conditions that influence the
+// execution of the task (environment, elevated privileges, remote userid,
+// error handling, conditionals, loops)" — this registry is how both the
+// linter and the metric tell the two apart.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace wisdom::ansible {
+
+// Accepted value shapes for a keyword. `Any` disables checking.
+enum class KeywordValue {
+  Str,
+  Bool,
+  Int,
+  StrOrList,  // tags: either a string or a list of strings
+  List,
+  Dict,
+  Any,
+};
+
+struct KeywordSpec {
+  std::string_view name;
+  KeywordValue value = KeywordValue::Any;
+};
+
+// Keywords valid on a task (name excluded; it is handled separately).
+std::span<const KeywordSpec> task_keywords();
+// Keywords valid on a play.
+std::span<const KeywordSpec> play_keywords();
+// Keys that make a task a block rather than a module invocation.
+std::span<const std::string_view> block_keys();
+
+const KeywordSpec* find_task_keyword(std::string_view name);
+const KeywordSpec* find_play_keyword(std::string_view name);
+bool is_block_key(std::string_view name);
+
+}  // namespace wisdom::ansible

@@ -1,0 +1,373 @@
+#include "ansible/linter.hpp"
+
+#include "ansible/catalog.hpp"
+#include "ansible/freeform.hpp"
+#include "ansible/keywords.hpp"
+#include "ansible/model.hpp"
+#include "util/strings.hpp"
+#include "yaml/parse.hpp"
+
+namespace wisdom::ansible {
+
+namespace util = wisdom::util;
+
+bool LintResult::ok() const { return error_count() == 0; }
+
+std::size_t LintResult::error_count() const {
+  std::size_t n = 0;
+  for (const Violation& v : violations)
+    if (v.severity == Severity::Error) ++n;
+  return n;
+}
+
+std::string LintResult::to_string() const {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.severity == Severity::Error ? "error" : "warning";
+    out += " [" + v.rule + "]: " + v.message + "\n";
+  }
+  return out;
+}
+
+void LintResult::add(Severity severity, std::string rule,
+                     std::string message) {
+  violations.push_back({std::move(rule), std::move(message), severity});
+}
+
+void LintResult::merge(const LintResult& other) {
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+namespace {
+
+// Jinja expressions are opaque to schema validation: "{{ anything }}" can
+// produce any type at runtime, so a templated scalar satisfies any shape.
+bool is_templated(const yaml::Node& node) {
+  return node.is_str() && util::contains(node.as_str(), "{{");
+}
+
+bool accepts_bool(const yaml::Node& node) {
+  if (node.is_bool()) return true;
+  return is_templated(node);
+}
+
+bool accepts_int(const yaml::Node& node) {
+  if (node.is_int()) return true;
+  if (node.is_str() && util::is_integer(node.as_str())) return true;
+  return is_templated(node);
+}
+
+bool accepts_scalar_str(const yaml::Node& node) {
+  // Ansible stringifies scalars; only collections are a shape error.
+  return node.is_scalar();
+}
+
+bool accepts_list(const yaml::Node& node) {
+  if (node.is_seq()) {
+    return true;
+  }
+  // Scalars coerce to single-element lists; jinja can expand to a list.
+  return node.is_scalar();
+}
+
+bool accepts_str_or_list(const yaml::Node& node) {
+  if (node.is_seq()) {
+    for (const yaml::Node& item : node.items())
+      if (!item.is_scalar()) return false;
+    return true;
+  }
+  return node.is_scalar();
+}
+
+void check_keyword_value(const KeywordSpec& spec, const yaml::Node& value,
+                         LintResult& result) {
+  bool ok = true;
+  switch (spec.value) {
+    case KeywordValue::Str: ok = accepts_scalar_str(value); break;
+    case KeywordValue::Bool: ok = accepts_bool(value); break;
+    case KeywordValue::Int: ok = accepts_int(value); break;
+    case KeywordValue::StrOrList: ok = accepts_str_or_list(value); break;
+    case KeywordValue::List: ok = accepts_list(value); break;
+    case KeywordValue::Dict:
+      ok = value.is_map() || is_templated(value);
+      break;
+    case KeywordValue::Any: ok = true; break;
+  }
+  if (!ok) {
+    result.add(Severity::Error, "keyword-type",
+               "keyword '" + std::string(spec.name) +
+                   "' has an invalid value shape");
+  }
+}
+
+void check_param_value(const ModuleSpec& module, const ParamSpec& param,
+                       const yaml::Node& value, LintResult& result) {
+  if (is_templated(value)) return;
+  bool ok = true;
+  switch (param.type) {
+    case ParamType::Str:
+    case ParamType::Path:
+      ok = value.is_scalar();
+      break;
+    case ParamType::Bool: ok = accepts_bool(value); break;
+    case ParamType::Int: ok = accepts_int(value); break;
+    case ParamType::List: ok = accepts_list(value); break;
+    case ParamType::Dict: ok = value.is_map(); break;
+    case ParamType::Choice: {
+      ok = value.is_scalar();
+      if (ok && value.is_str()) {
+        ok = false;
+        for (const std::string& choice : param.choices) {
+          if (value.as_str() == choice) {
+            ok = true;
+            break;
+          }
+        }
+      } else if (ok && value.is_bool()) {
+        // `state: true` style booleans (seboolean) pass only when the
+        // parameter is declared Bool; a Choice never accepts a boolean.
+        ok = false;
+      }
+      break;
+    }
+  }
+  if (!ok) {
+    result.add(Severity::Error, "param-value",
+               "module '" + module.fqcn + "' parameter '" + param.name +
+                   "' has an invalid value");
+  }
+}
+
+void check_module_args(const ModuleSpec& module, const yaml::Node& args,
+                       const yaml::Node& task_node, LintResult& result) {
+  // Merge `args:` keyword content with the module value when both exist.
+  const yaml::Node* extra = task_node.find("args");
+
+  if (args.is_str()) {
+    if (module.free_form) {
+      return;  // command/shell/meta/include_tasks string operand
+    }
+    if (looks_like_kv_args(args.as_str())) {
+      // Historical form: valid Ansible, rejected by the strict schema —
+      // exactly the mismatch the paper calls out for Schema Correct.
+      result.add(Severity::Error, "old-style-args",
+                 "module '" + module.fqcn +
+                     "' uses the legacy k=v argument string");
+      return;
+    }
+    result.add(Severity::Error, "args-shape",
+               "module '" + module.fqcn +
+                   "' does not accept a free-form string");
+    return;
+  }
+  if (args.is_null()) {
+    // Acceptable only when no parameter is required or args: supplies them.
+    for (const ParamSpec& p : module.params) {
+      if (p.required && !(extra && extra->is_map() && extra->has(p.name))) {
+        result.add(Severity::Error, "missing-required-param",
+                   "module '" + module.fqcn + "' requires parameter '" +
+                       p.name + "'");
+      }
+    }
+    return;
+  }
+  if (!args.is_map()) {
+    result.add(Severity::Error, "args-shape",
+               "module '" + module.fqcn + "' arguments must be a mapping");
+    return;
+  }
+
+  for (const auto& [key, value] : args.entries()) {
+    const ParamSpec* param = module.param(key);
+    if (!param) {
+      if (module.arbitrary_params) continue;  // set_fact/add_host
+      if (module.free_form && (key == "cmd" || key == "_raw_params"))
+        continue;
+      result.add(Severity::Error, "unknown-param",
+                 "module '" + module.fqcn + "' has no parameter '" + key +
+                     "'");
+      continue;
+    }
+    check_param_value(module, *param, value, result);
+  }
+  for (const ParamSpec& p : module.params) {
+    if (!p.required) continue;
+    bool present = args.has(p.name) ||
+                   (extra && extra->is_map() && extra->has(p.name));
+    if (!present) {
+      result.add(Severity::Error, "missing-required-param",
+                 "module '" + module.fqcn + "' requires parameter '" +
+                     p.name + "'");
+    }
+  }
+}
+
+void lint_block(const yaml::Node& task, bool handler_context,
+                LintResult& result);
+
+void lint_one_task(const yaml::Node& task, bool handler_context,
+                   LintResult& result) {
+  if (!task.is_map()) {
+    result.add(Severity::Error, "task-shape", "task must be a mapping");
+    return;
+  }
+  if (task.size() == 0) {
+    result.add(Severity::Error, "task-shape", "task mapping is empty");
+    return;
+  }
+  if (is_block(task)) {
+    lint_block(task, handler_context, result);
+    return;
+  }
+
+  const ModuleCatalog& catalog = ModuleCatalog::instance();
+  std::string module_key;
+  for (const auto& [key, value] : task.entries()) {
+    if (key == "name") {
+      if (!value.is_scalar()) {
+        result.add(Severity::Error, "name-shape",
+                   "task name must be a scalar");
+      }
+      continue;
+    }
+    const KeywordSpec* keyword = find_task_keyword(key);
+    if (keyword) {
+      check_keyword_value(*keyword, value, result);
+      continue;
+    }
+    if (!module_key.empty()) {
+      result.add(Severity::Error, "multiple-modules",
+                 "task has more than one module key ('" + module_key +
+                     "' and '" + key + "')");
+      continue;
+    }
+    module_key = key;
+    const ModuleSpec* module = catalog.resolve(key);
+    if (!module) {
+      result.add(Severity::Error, "unknown-module",
+                 "unknown module or keyword '" + key + "'");
+      continue;
+    }
+    if (key.find('.') == std::string::npos) {
+      // Short module names lint as warnings (fqcn rule of ansible-lint).
+      result.add(Severity::Warning, "fqcn",
+                 "module '" + key + "' should use its FQCN '" +
+                     module->fqcn + "'");
+    }
+    check_module_args(*module, value, task, result);
+  }
+  if (module_key.empty()) {
+    result.add(Severity::Error, "module-missing",
+               "task does not invoke a module");
+  }
+}
+
+void lint_block(const yaml::Node& task, bool handler_context,
+                LintResult& result) {
+  for (const auto& [key, value] : task.entries()) {
+    if (is_block_key(key)) {
+      if (!value.is_seq() || value.size() == 0) {
+        result.add(Severity::Error, "block-shape",
+                   "'" + key + "' must be a non-empty task list");
+        continue;
+      }
+      for (const yaml::Node& child : value.items())
+        lint_one_task(child, handler_context, result);
+      continue;
+    }
+    if (key == "name") continue;
+    const KeywordSpec* keyword = find_task_keyword(key);
+    if (!keyword) {
+      result.add(Severity::Error, "unknown-keyword",
+                 "unknown block keyword '" + key + "'");
+      continue;
+    }
+    check_keyword_value(*keyword, value, result);
+  }
+}
+
+}  // namespace
+
+LintResult lint_task(const yaml::Node& task, bool handler_context) {
+  LintResult result;
+  lint_one_task(task, handler_context, result);
+  return result;
+}
+
+LintResult lint_task_list(const yaml::Node& tasks) {
+  LintResult result;
+  if (!tasks.is_seq()) {
+    result.add(Severity::Error, "tasks-shape",
+               "task file must be a sequence of tasks");
+    return result;
+  }
+  for (const yaml::Node& task : tasks.items())
+    lint_one_task(task, /*handler_context=*/false, result);
+  return result;
+}
+
+LintResult lint_playbook(const yaml::Node& playbook) {
+  LintResult result;
+  if (!playbook.is_seq() || playbook.size() == 0) {
+    result.add(Severity::Error, "playbook-shape",
+               "playbook must be a non-empty sequence of plays");
+    return result;
+  }
+  for (const yaml::Node& play : playbook.items()) {
+    if (!play.is_map()) {
+      result.add(Severity::Error, "play-shape", "play must be a mapping");
+      continue;
+    }
+    bool has_hosts = false;
+    bool has_body = false;
+    for (const auto& [key, value] : play.entries()) {
+      if (key == "name") {
+        if (!value.is_scalar())
+          result.add(Severity::Error, "name-shape",
+                     "play name must be a scalar");
+        continue;
+      }
+      const KeywordSpec* keyword = find_play_keyword(key);
+      if (!keyword) {
+        result.add(Severity::Error, "unknown-play-keyword",
+                   "unknown play keyword '" + key + "'");
+        continue;
+      }
+      check_keyword_value(*keyword, value, result);
+      if (key == "hosts") has_hosts = true;
+      if (key == "tasks" || key == "pre_tasks" || key == "post_tasks" ||
+          key == "roles" || key == "handlers") {
+        has_body = true;
+        if (value.is_seq() && key != "roles") {
+          for (const yaml::Node& task : value.items())
+            lint_one_task(task, key == "handlers", result);
+        }
+      }
+    }
+    if (!has_hosts) {
+      result.add(Severity::Error, "hosts-missing",
+                 "play does not declare 'hosts'");
+    }
+    if (!has_body) {
+      result.add(Severity::Error, "play-empty",
+                 "play has no tasks, roles or handlers");
+    }
+  }
+  return result;
+}
+
+LintResult lint_text(std::string_view text) {
+  LintResult result;
+  yaml::ParseError err;
+  auto doc = yaml::parse_document(text, &err);
+  if (!doc) {
+    result.add(Severity::Error, "yaml-syntax", err.to_string());
+    return result;
+  }
+  if (doc->is_map()) return lint_task(*doc);
+  if (looks_like_playbook(*doc)) return lint_playbook(*doc);
+  return lint_task_list(*doc);
+}
+
+}  // namespace wisdom::ansible

@@ -1,0 +1,48 @@
+// Strict Ansible schema validation, in the spirit of the ansible-lint
+// schemas the paper used for its Schema Correct metric. The paper notes the
+// schemas "are quite strict and do not accept some historical forms which
+// are still allowed by Ansible itself" — this linter reproduces that: the
+// old k=v argument string on a non-free-form module is an error here even
+// though Ansible would run it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "yaml/node.hpp"
+
+namespace wisdom::ansible {
+
+enum class Severity { Warning, Error };
+
+struct Violation {
+  std::string rule;     // stable rule id, e.g. "unknown-module"
+  std::string message;  // human-readable detail
+  Severity severity = Severity::Error;
+};
+
+struct LintResult {
+  std::vector<Violation> violations;
+
+  // Schema-correct means no *errors*; warnings are advisory.
+  bool ok() const;
+  std::size_t error_count() const;
+  std::string to_string() const;
+
+  void add(Severity severity, std::string rule, std::string message);
+  void merge(const LintResult& other);
+};
+
+// Validates a single task mapping.
+LintResult lint_task(const yaml::Node& task, bool handler_context = false);
+// Validates a sequence of tasks (a role's tasks/main.yml body).
+LintResult lint_task_list(const yaml::Node& tasks);
+// Validates a playbook (sequence of plays).
+LintResult lint_playbook(const yaml::Node& playbook);
+
+// Parses `text` and dispatches on its shape (playbook / task list / task).
+// A YAML parse failure is itself a lint error ("yaml-syntax").
+LintResult lint_text(std::string_view text);
+
+}  // namespace wisdom::ansible

@@ -1,0 +1,133 @@
+#include "ansible/model.hpp"
+
+#include "ansible/catalog.hpp"
+#include "ansible/keywords.hpp"
+
+namespace wisdom::ansible {
+
+namespace {
+
+// A key is treated as the module key when it is not a known task keyword
+// and either resolves in the catalog or (for unknown modules) looks like a
+// module name (identifier or dotted path). The first such key wins.
+bool could_be_module_key(std::string_view key) {
+  if (key == "name" || find_task_keyword(key) || is_block_key(key))
+    return false;
+  if (key.empty()) return false;
+  for (char c : key) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+              c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Task Task::from_node(const yaml::Node& node) {
+  Task task;
+  if (!node.is_map()) return task;
+  for (const auto& [key, value] : node.entries()) {
+    if (key == "name" && task.name.empty() && value.is_str()) {
+      task.name = value.as_str();
+      continue;
+    }
+    if (task.module.empty() && could_be_module_key(key)) {
+      task.module = key;
+      task.args = value;
+      continue;
+    }
+    task.keywords.emplace_back(key, value);
+  }
+  return task;
+}
+
+yaml::Node Task::to_node() const {
+  yaml::Node node = yaml::Node::map();
+  if (!name.empty()) node.set("name", yaml::Node::str(name));
+  if (!module.empty()) node.set(module, args);
+  for (const auto& [key, value] : keywords)
+    node.entries().emplace_back(key, value);
+  return node;
+}
+
+Play Play::from_node(const yaml::Node& node) {
+  Play play;
+  if (!node.is_map()) return play;
+  for (const auto& [key, value] : node.entries()) {
+    if (key == "name" && play.name.empty() && value.is_str()) {
+      play.name = value.as_str();
+      continue;
+    }
+    if ((key == "tasks" || key == "pre_tasks" || key == "post_tasks" ||
+         key == "handlers") &&
+        value.is_seq()) {
+      // All task-bearing sections are flattened into `tasks` for the
+      // structured view; the raw node keeps the distinction.
+      for (const yaml::Node& t : value.items())
+        play.tasks.push_back(Task::from_node(t));
+      if (key == "tasks") continue;
+    }
+    play.keywords.emplace_back(key, value);
+  }
+  return play;
+}
+
+yaml::Node Play::to_node() const {
+  yaml::Node node = yaml::Node::map();
+  if (!name.empty()) node.set("name", yaml::Node::str(name));
+  for (const auto& [key, value] : keywords)
+    node.entries().emplace_back(key, value);
+  if (!tasks.empty()) {
+    yaml::Node list = yaml::Node::seq();
+    for (const Task& t : tasks) list.push_back(t.to_node());
+    node.set("tasks", list);
+  }
+  return node;
+}
+
+std::optional<Playbook> Playbook::from_node(const yaml::Node& node) {
+  if (!node.is_seq()) return std::nullopt;
+  Playbook pb;
+  for (const yaml::Node& item : node.items()) {
+    if (!item.is_map()) return std::nullopt;
+    pb.plays.push_back(Play::from_node(item));
+  }
+  return pb;
+}
+
+yaml::Node Playbook::to_node() const {
+  yaml::Node node = yaml::Node::seq();
+  for (const Play& p : plays) node.push_back(p.to_node());
+  return node;
+}
+
+bool is_block(const yaml::Node& task_node) {
+  if (!task_node.is_map()) return false;
+  for (const auto& [key, value] : task_node.entries()) {
+    if (is_block_key(key)) return true;
+  }
+  return false;
+}
+
+bool looks_like_playbook(const yaml::Node& node) {
+  if (!node.is_seq() || node.size() == 0) return false;
+  // A play is recognized by play-structure keys that never occur on tasks.
+  static constexpr std::string_view kPlayOnly[] = {
+      "hosts", "roles", "tasks", "pre_tasks", "post_tasks",
+      "handlers", "vars_files", "gather_facts", "serial", "strategy"};
+  for (const yaml::Node& item : node.items()) {
+    if (!item.is_map()) return false;
+    bool has_play_key = false;
+    for (std::string_view key : kPlayOnly) {
+      if (item.has(key)) {
+        has_play_key = true;
+        break;
+      }
+    }
+    if (!has_play_key) return false;
+  }
+  return true;
+}
+
+}  // namespace wisdom::ansible

@@ -1,0 +1,64 @@
+// Structured view over parsed Ansible YAML.
+//
+// A Task is the unit the paper's models generate; a Play groups tasks under
+// target hosts; a Playbook is a sequence of plays. Conversion from yaml::Node
+// is lenient — it classifies keys (name / module / keywords) without
+// validating them, so the Aware metric can score malformed predictions;
+// strict validation lives in linter.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "yaml/node.hpp"
+
+namespace wisdom::ansible {
+
+struct Task {
+  // The natural-language "name" value ("" when absent).
+  std::string name;
+  // The module key exactly as written (may be short or FQCN); empty when no
+  // module key could be identified (malformed task or block).
+  std::string module;
+  // The module's argument node (map, free-form string, or null).
+  yaml::Node args;
+  // Remaining key/value pairs (when, loop, become, ...) in source order.
+  std::vector<yaml::MapEntry> keywords;
+
+  // Classifies the entries of a task mapping. Never fails: unknown shapes
+  // land in `keywords` and `module` stays empty.
+  static Task from_node(const yaml::Node& node);
+  // Reassembles the canonical node (name first, module second, keywords in
+  // recorded order) as the paper's formatting standardization produces.
+  yaml::Node to_node() const;
+};
+
+struct Play {
+  std::string name;
+  // All non-task-list keywords in source order (hosts, become, vars, ...).
+  std::vector<yaml::MapEntry> keywords;
+  std::vector<Task> tasks;
+
+  static Play from_node(const yaml::Node& node);
+  yaml::Node to_node() const;
+};
+
+struct Playbook {
+  std::vector<Play> plays;
+
+  static std::optional<Playbook> from_node(const yaml::Node& node);
+  yaml::Node to_node() const;
+};
+
+// True when the mapping is a block (has block/rescue/always) rather than a
+// module task.
+bool is_block(const yaml::Node& task_node);
+
+// Heuristic used everywhere a raw node must be classified: a playbook is a
+// sequence whose mapping items carry play keys (hosts/roles/tasks/...); a
+// task list is a sequence of task mappings.
+bool looks_like_playbook(const yaml::Node& node);
+
+}  // namespace wisdom::ansible

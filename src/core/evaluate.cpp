@@ -1,0 +1,78 @@
+#include "core/evaluate.hpp"
+
+#include "core/postprocess.hpp"
+#include "util/strings.hpp"
+
+namespace wisdom::core {
+
+namespace {
+
+// Column of the "- " item marker in the sample's name line.
+std::size_t item_indent(const data::FtSample& sample) {
+  return util::indent_width(sample.input_line);
+}
+
+}  // namespace
+
+std::string predict_snippet(model::Transformer& model,
+                            const text::BpeTokenizer& tokenizer,
+                            const data::FtSample& sample,
+                            const EvalOptions& options) {
+  std::string input_text = data::format_input(sample, options.format);
+  if (options.ansible_prefix && sample.context.empty()) {
+    input_text = "Ansible\n" + input_text;
+  }
+  std::vector<std::int32_t> prompt_ids = tokenizer.encode(input_text);
+
+  model::Transformer::GenerateOptions gen;
+  gen.stop_token = text::BpeTokenizer::kEndOfText;
+  gen.max_new_tokens =
+      sample.type == data::GenerationType::NlToPlaybook
+          ? options.max_new_tokens_playbook
+          : options.max_new_tokens;
+  std::vector<std::int32_t> out_ids = model.generate(prompt_ids, gen);
+  std::string body = trim_generation(tokenizer.decode(out_ids));
+
+  // "we truncated the models output predictions to keep only the first
+  // generated task ... for playbook generation we did not apply any
+  // truncation".
+  if (sample.type != data::GenerationType::NlToPlaybook) {
+    body = truncate_to_first_task(body, item_indent(sample));
+  }
+  return sample.input_line + body;
+}
+
+metrics::MetricsReport evaluate_model(model::Transformer& model,
+                                      const text::BpeTokenizer& tokenizer,
+                                      std::span<const data::FtSample> samples,
+                                      const EvalOptions& options) {
+  metrics::MetricsAccumulator acc;
+  std::size_t limit = options.max_samples == 0
+                          ? samples.size()
+                          : std::min(options.max_samples, samples.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    std::string prediction =
+        predict_snippet(model, tokenizer, samples[i], options);
+    acc.add(prediction, samples[i].full_target());
+  }
+  return acc.report();
+}
+
+std::map<data::GenerationType, metrics::MetricsReport> evaluate_by_type(
+    model::Transformer& model, const text::BpeTokenizer& tokenizer,
+    std::span<const data::FtSample> samples, const EvalOptions& options) {
+  std::map<data::GenerationType, metrics::MetricsAccumulator> accs;
+  std::size_t limit = options.max_samples == 0
+                          ? samples.size()
+                          : std::min(options.max_samples, samples.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    std::string prediction =
+        predict_snippet(model, tokenizer, samples[i], options);
+    accs[samples[i].type].add(prediction, samples[i].full_target());
+  }
+  std::map<data::GenerationType, metrics::MetricsReport> out;
+  for (auto& [type, acc] : accs) out[type] = acc.report();
+  return out;
+}
+
+}  // namespace wisdom::core

@@ -1,0 +1,48 @@
+// Evaluation harness producing the rows of Tables IV-VI: greedy decoding
+// over a test split, truncation to the first generated task (except for
+// playbook generation), and the four metrics.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "metrics/aggregate.hpp"
+#include "model/transformer.hpp"
+#include "text/bpe.hpp"
+
+namespace wisdom::core {
+
+struct EvalOptions {
+  data::PromptFormat format = data::PromptFormat::NameCompletion;
+  // Prepend "Ansible\n" to context-free prompts — the paper found this
+  // helps the CodeGen/Codex baselines but not the Wisdom models.
+  bool ansible_prefix = false;
+  // Token budget for task generation; playbooks get a larger one.
+  int max_new_tokens = 56;
+  int max_new_tokens_playbook = 72;
+  // Evaluate only the first N samples (0 = all) — used to keep the
+  // many-model benchmark tables tractable.
+  std::size_t max_samples = 0;
+};
+
+// Runs one sample end to end and returns the prediction text comparable to
+// sample.full_target(): the name line plus the (truncated) generated body.
+std::string predict_snippet(model::Transformer& model,
+                            const text::BpeTokenizer& tokenizer,
+                            const data::FtSample& sample,
+                            const EvalOptions& options);
+
+// Aggregate metrics over a split.
+metrics::MetricsReport evaluate_model(model::Transformer& model,
+                                      const text::BpeTokenizer& tokenizer,
+                                      std::span<const data::FtSample> samples,
+                                      const EvalOptions& options);
+
+// Per-generation-type breakdown (Table VI).
+std::map<data::GenerationType, metrics::MetricsReport> evaluate_by_type(
+    model::Transformer& model, const text::BpeTokenizer& tokenizer,
+    std::span<const data::FtSample> samples, const EvalOptions& options);
+
+}  // namespace wisdom::core

@@ -1,0 +1,39 @@
+#include "core/postprocess.hpp"
+
+#include "util/strings.hpp"
+
+namespace wisdom::core {
+
+namespace util = wisdom::util;
+
+std::string trim_generation(std::string_view generated) {
+  // Keep only full lines; a trailing fragment without '\n' is an artifact
+  // of the token budget running out mid-line.
+  std::size_t last_nl = generated.rfind('\n');
+  if (last_nl == std::string_view::npos) return {};
+  return std::string(generated.substr(0, last_nl + 1));
+}
+
+std::string truncate_to_first_task(std::string_view generated,
+                                   std::size_t item_indent) {
+  std::string out;
+  for (const std::string& line : util::split_lines(generated)) {
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) break;  // blank line ends the snippet
+    std::size_t indent = util::indent_width(line);
+    if (trimmed == "---" || trimmed == "...") break;
+    // A new sequence item at (or above) the task's own indent starts the
+    // next task.
+    if (indent <= item_indent &&
+        (trimmed == "-" || util::starts_with(trimmed, "- "))) {
+      break;
+    }
+    // A dedent past the item body that is not a continuation ends it too.
+    if (indent <= item_indent) break;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wisdom::core

@@ -1,0 +1,22 @@
+// Prediction post-processing: "in the case of Ansible task generations, we
+// truncated the models output predictions to keep only the first generated
+// task. For playbook generation we did not apply any truncation."
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wisdom::core {
+
+// Truncates generated body text to the first task. `item_indent` is the
+// column of the task's "- name:" line (0 for role tasks, 4 inside a
+// playbook): generation stops at the next "- " item at that indent, any
+// dedent past it, or a document marker.
+std::string truncate_to_first_task(std::string_view generated,
+                                   std::size_t item_indent);
+
+// Trims decoder artifacts: anything after an end-of-text marker leak and
+// trailing partial lines without a newline.
+std::string trim_generation(std::string_view generated);
+
+}  // namespace wisdom::core

@@ -1,0 +1,153 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+#include "nn/adamw.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace wisdom::core {
+
+namespace {
+
+// Assembles a micro-batch from window indices.
+void gather(const data::TokenBatchSet& set,
+            std::span<const std::size_t> indices,
+            std::vector<std::int32_t>& x, std::vector<std::int32_t>& y) {
+  const std::size_t w = static_cast<std::size_t>(set.window);
+  x.resize(indices.size() * w);
+  y.resize(indices.size() * w);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    auto in = set.input(indices[i]);
+    auto tg = set.target(indices[i]);
+    std::copy(in.begin(), in.end(), x.begin() + static_cast<std::ptrdiff_t>(i * w));
+    std::copy(tg.begin(), tg.end(), y.begin() + static_cast<std::ptrdiff_t>(i * w));
+  }
+}
+
+}  // namespace
+
+float evaluate_loss(model::Transformer& model, const data::TokenBatchSet& set,
+                    int micro_batch) {
+  if (set.count() == 0) return 0.0f;
+  double total = 0.0;
+  std::size_t batches = 0;
+  std::vector<std::int32_t> x, y;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < set.count(); i += static_cast<std::size_t>(micro_batch)) {
+    indices.clear();
+    for (std::size_t j = i;
+         j < std::min(set.count(), i + static_cast<std::size_t>(micro_batch));
+         ++j) {
+      indices.push_back(j);
+    }
+    gather(set, indices, x, y);
+    total += model.evaluate(x, y, static_cast<int>(indices.size()),
+                            set.window);
+    ++batches;
+  }
+  return batches == 0 ? 0.0f : static_cast<float>(total / static_cast<double>(batches));
+}
+
+TrainResult train_model(model::Transformer& model,
+                        const data::TokenBatchSet& train_set,
+                        const data::TokenBatchSet* valid_set,
+                        const TrainConfig& config) {
+  TrainResult result;
+  if (train_set.count() == 0) return result;
+
+  const std::size_t windows = train_set.count();
+  const std::size_t windows_per_step =
+      static_cast<std::size_t>(config.micro_batch) *
+      static_cast<std::size_t>(config.grad_accum);
+  const std::int64_t steps_per_epoch = static_cast<std::int64_t>(
+      (windows + windows_per_step - 1) / windows_per_step);
+  const std::int64_t total_steps = steps_per_epoch * config.epochs;
+
+  nn::LrSchedule schedule;
+  schedule.base_lr = config.lr;
+  schedule.total_steps = std::max<std::int64_t>(1, total_steps);
+  schedule.warmup_steps = static_cast<std::int64_t>(
+      config.warmup_frac * static_cast<float>(total_steps));
+  schedule.decay = config.decay;
+  schedule.min_ratio = 0.05f;
+
+  nn::AdamW opt;
+  util::Rng rng(config.shuffle_seed);
+  std::vector<std::size_t> order(windows);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::string best_weights;
+  float best_score = -std::numeric_limits<float>::infinity();
+  std::int64_t step = 0;
+  std::vector<std::int32_t> x, y;
+  float epoch_loss = 0.0f;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t loss_count = 0;
+    std::size_t cursor = 0;
+    while (cursor < windows) {
+      model.zero_grad();
+      int micros = 0;
+      for (int g = 0; g < config.grad_accum && cursor < windows; ++g) {
+        std::size_t take = std::min<std::size_t>(
+            static_cast<std::size_t>(config.micro_batch), windows - cursor);
+        std::span<const std::size_t> slice(order.data() + cursor, take);
+        gather(train_set, slice, x, y);
+        float loss = model.forward_backward(
+            x, y, static_cast<int>(take), train_set.window);
+        loss_sum += loss;
+        ++loss_count;
+        ++micros;
+        cursor += take;
+      }
+      model.optim_step(opt, schedule.at(step),
+                       1.0f / static_cast<float>(std::max(1, micros)),
+                       config.clip_norm);
+      ++step;
+    }
+    epoch_loss = loss_count == 0
+                     ? 0.0f
+                     : static_cast<float>(loss_sum / static_cast<double>(loss_count));
+
+    // Validation scoring for best-checkpoint selection.
+    float score = std::numeric_limits<float>::quiet_NaN();
+    if (config.validator) {
+      score = config.validator(model);
+    } else if (valid_set && valid_set->count() > 0) {
+      score = -evaluate_loss(model, *valid_set, config.micro_batch);
+    }
+    if (!std::isnan(score) && score > best_score) {
+      best_score = score;
+      best_weights = model::save_checkpoint(model, "");
+      result.best_epoch = epoch;
+    }
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss, score);
+    util::log_info("epoch " + std::to_string(epoch) + " train_loss=" +
+                   util::fmt_fixed(epoch_loss, 4) + " val_score=" +
+                   (std::isnan(score) ? std::string("n/a")
+                                      : util::fmt_fixed(score, 4)));
+  }
+
+  if (!best_weights.empty()) {
+    auto best = model::load_checkpoint(best_weights, nullptr);
+    if (best) {
+      auto src = best->parameters();
+      auto dst = model.parameters();
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i]->w = src[i]->w;
+    }
+    result.best_validation_score = best_score;
+  }
+  result.final_train_loss = epoch_loss;
+  result.steps = step;
+  return result;
+}
+
+}  // namespace wisdom::core

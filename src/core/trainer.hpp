@@ -1,0 +1,59 @@
+// Training loop shared by pre-training and fine-tuning.
+//
+// Mirrors the paper's recipe at reproduction scale: effective batch size 32
+// via gradient accumulation, AdamW, warmup followed by a linear (pre-
+// training) or cosine (fine-tuning) decay, gradient clipping at 1.0, and
+// best-checkpoint selection on the validation set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "data/packing.hpp"
+#include "model/transformer.hpp"
+#include "nn/schedule.hpp"
+
+namespace wisdom::core {
+
+struct TrainConfig {
+  int epochs = 2;
+  int micro_batch = 4;
+  int grad_accum = 8;  // micro_batch * grad_accum = 32, the paper's batch
+  // The paper fine-tunes a 350M model at 5e-5; the scaled-down models are
+  // ~3 orders of magnitude smaller and need a proportionally larger rate.
+  float lr = 2e-3f;
+  nn::DecayKind decay = nn::DecayKind::Linear;
+  float warmup_frac = 0.03f;
+  float clip_norm = 1.0f;
+  std::uint64_t shuffle_seed = 1234;
+  // Called after each epoch with (epoch, train_loss, validation_score).
+  // validation_score is the metric used for best-checkpoint selection
+  // (higher is better); NaN when no validator is installed.
+  std::function<void(int, float, float)> on_epoch;
+  // Optional validation scorer (e.g. BLEU on the validation split, as in
+  // the paper). When absent, the negated validation loss is used if a
+  // validation set exists, else the final weights are kept.
+  std::function<float(model::Transformer&)> validator;
+};
+
+struct TrainResult {
+  float final_train_loss = 0.0f;
+  float best_validation_score = 0.0f;
+  int best_epoch = -1;
+  std::int64_t steps = 0;
+};
+
+// Trains in place. When a validator (or validation set) is present the
+// model ends holding the best-scoring epoch's weights, reproducing "we used
+// the BLEU score on the validation set to determine the best checkpoint".
+TrainResult train_model(model::Transformer& model,
+                        const data::TokenBatchSet& train_set,
+                        const data::TokenBatchSet* valid_set,
+                        const TrainConfig& config);
+
+// Mean loss of a model over a batch set (forward only).
+float evaluate_loss(model::Transformer& model, const data::TokenBatchSet& set,
+                    int micro_batch = 8);
+
+}  // namespace wisdom::core

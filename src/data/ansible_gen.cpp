@@ -1,0 +1,763 @@
+#include "data/ansible_gen.hpp"
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/values.hpp"
+#include "util/strings.hpp"
+#include "yaml/emit.hpp"
+
+namespace wisdom::data {
+
+namespace util = wisdom::util;
+namespace yaml = wisdom::yaml;
+using ansible::ModuleCatalog;
+using ansible::ModuleSpec;
+using ansible::ParamSpec;
+using ansible::ParamType;
+
+namespace {
+
+yaml::Node S(std::string_view s) { return yaml::Node::str(std::string(s)); }
+
+// Popularity weights for the Zipfian module mix (unlisted catalog modules
+// get a small tail weight). Derived from the module frequency ranking of
+// public Ansible corpora: packaging, files, services and commands dominate.
+const std::unordered_map<std::string_view, double>& popularity() {
+  static const std::unordered_map<std::string_view, double> weights = {
+      {"apt", 20},          {"copy", 18},          {"file", 16},
+      {"service", 15},      {"template", 14},      {"command", 12},
+      {"shell", 12},        {"yum", 10},           {"systemd", 10},
+      {"dnf", 8},           {"lineinfile", 8},     {"debug", 8},
+      {"user", 7},          {"package", 6},        {"git", 6},
+      {"get_url", 6},       {"set_fact", 6},       {"pip", 5},
+      {"uri", 4},           {"unarchive", 4},      {"cron", 4},
+      {"apt_repository", 3},{"apt_key", 3},        {"authorized_key", 3},
+      {"stat", 3},          {"blockinfile", 3},    {"replace", 3},
+      {"wait_for", 3},      {"sysctl", 3},         {"ufw", 3},
+      {"firewalld", 3},     {"include_tasks", 3},  {"docker_container", 3},
+      {"group", 3},         {"mount", 2},          {"npm", 2},
+      {"docker_image", 2},  {"k8s", 2},            {"mysql_db", 2},
+      {"mysql_user", 2},    {"postgresql_db", 2},  {"postgresql_user", 2},
+      {"hostname", 2},      {"timezone", 2},       {"assert", 2},
+      {"import_tasks", 2},  {"include_role", 2},   {"ini_file", 2},
+      {"synchronize", 2},   {"script", 2},         {"ping", 2},
+      {"include_vars", 2},  {"vyos_config", 2},    {"vyos_facts", 2},
+      {"ios_config", 1},    {"ios_facts", 1},      {"helm", 1},
+  };
+  return weights;
+}
+
+std::string join_list(const yaml::Node& value) {
+  if (value.is_seq()) {
+    std::vector<std::string> parts;
+    for (const auto& item : value.items()) parts.push_back(item.scalar_text());
+    return util::join(parts, ", ");
+  }
+  return value.scalar_text();
+}
+
+std::string arg_text(const yaml::Node& args, std::string_view key,
+                     std::string_view fallback) {
+  if (args.is_map()) {
+    if (const yaml::Node* v = args.find(key)) return join_list(*v);
+  }
+  return std::string(fallback);
+}
+
+}  // namespace
+
+const ModuleSpec& AnsibleGenerator::pick_module() {
+  const auto& catalog = ModuleCatalog::instance().all();
+  static const std::vector<double> weights = [&] {
+    std::vector<double> w;
+    w.reserve(catalog.size());
+    const auto& pop = popularity();
+    for (const ModuleSpec& m : catalog) {
+      auto it = pop.find(m.short_name);
+      w.push_back(it == pop.end() ? 0.5 : it->second);
+    }
+    return w;
+  }();
+  return catalog[rng_.weighted(weights)];
+}
+
+yaml::Node AnsibleGenerator::args_for(const ModuleSpec& module) {
+  yaml::Node args = yaml::Node::map();
+  const std::string_view m = module.short_name;
+
+  // --- module-specific realistic argument shapes -------------------------
+  if (m == "apt" || m == "yum" || m == "dnf" || m == "package") {
+    args.set("name", S(pick_zipf(rng_, packages())));
+    const char* states[] = {"present", "present", "present", "latest",
+                            "absent"};
+    args.set("state", S(states[rng_.uniform(5)]));
+    if (m == "apt" && rng_.chance(0.35))
+      args.set("update_cache", yaml::Node::boolean(true));
+    return args;
+  }
+  if (m == "pip") {
+    args.set("name", S(rng_.chance(0.5) ? "flask" : "requests"));
+    if (rng_.chance(0.4)) args.set("state", S("present"));
+    if (rng_.chance(0.25))
+      args.set("virtualenv", S("/opt/app/venv"));
+    return args;
+  }
+  if (m == "npm" || m == "gem") {
+    args.set("name", S(rng_.chance(0.5) ? "pm2" : "express"));
+    if (m == "npm" && rng_.chance(0.5))
+      args.set("global", yaml::Node::boolean(true));
+    return args;
+  }
+  if (m == "copy") {
+    if (rng_.chance(0.8)) {
+      args.set("src", S(std::string("files/") +
+                        std::string(pick(rng_, users())) + ".conf"));
+    } else {
+      args.set("content", S("managed by ansible\n"));
+    }
+    args.set("dest", S(pick_zipf(rng_, config_paths())));
+    if (rng_.chance(0.5)) args.set("owner", S(pick(rng_, users())));
+    if (rng_.chance(0.4)) args.set("group", S(pick(rng_, groups())));
+    if (rng_.chance(0.5)) args.set("mode", S(pick(rng_, file_modes())));
+    return args;
+  }
+  if (m == "template") {
+    args.set("src", S(pick_zipf(rng_, template_sources())));
+    args.set("dest", S(pick_zipf(rng_, config_paths())));
+    if (rng_.chance(0.4)) args.set("owner", S(pick(rng_, users())));
+    if (rng_.chance(0.4)) args.set("mode", S(pick(rng_, file_modes())));
+    return args;
+  }
+  if (m == "file") {
+    args.set("path", S(rng_.chance(0.6) ? pick_zipf(rng_, directories())
+                                        : pick_zipf(rng_, config_paths())));
+    const char* states[] = {"directory", "directory", "touch", "absent",
+                            "file"};
+    args.set("state", S(states[rng_.uniform(5)]));
+    if (rng_.chance(0.5)) args.set("owner", S(pick(rng_, users())));
+    if (rng_.chance(0.4)) args.set("mode", S(pick(rng_, file_modes())));
+    return args;
+  }
+  if (m == "lineinfile") {
+    args.set("path", S(pick_zipf(rng_, config_paths())));
+    args.set("line", S(rng_.chance(0.5) ? "PermitRootLogin no"
+                                        : "MaxClients 256"));
+    if (rng_.chance(0.5)) args.set("regexp", S("^#?PermitRootLogin"));
+    if (rng_.chance(0.3)) args.set("state", S("present"));
+    return args;
+  }
+  if (m == "blockinfile") {
+    args.set("path", S(pick_zipf(rng_, config_paths())));
+    args.set("block", S("# BEGIN managed\noption on\n# END managed\n"));
+    return args;
+  }
+  if (m == "replace") {
+    args.set("path", S(pick_zipf(rng_, config_paths())));
+    args.set("regexp", S("listen 80"));
+    args.set("replace", S("listen 8080"));
+    return args;
+  }
+  if (m == "ini_file") {
+    args.set("path", S("/etc/app/settings.ini"));
+    args.set("section", S(rng_.chance(0.5) ? "database" : "server"));
+    args.set("option", S("port"));
+    args.set("value", S(std::to_string(plausible_port(rng_))));
+    return args;
+  }
+  if (m == "stat") {
+    args.set("path", S(pick_zipf(rng_, config_paths())));
+    return args;
+  }
+  if (m == "fetch" || m == "synchronize") {
+    args.set("src", S(pick_zipf(rng_, directories())));
+    args.set("dest", S("/var/backups"));
+    return args;
+  }
+  if (m == "unarchive") {
+    args.set("src", S("/tmp/app.tar.gz"));
+    args.set("dest", S(pick_zipf(rng_, directories())));
+    if (rng_.chance(0.6)) args.set("remote_src", yaml::Node::boolean(true));
+    return args;
+  }
+  if (m == "get_url") {
+    args.set("url", S(pick_zipf(rng_, urls())));
+    args.set("dest", S("/tmp/download"));
+    if (rng_.chance(0.4)) args.set("mode", S(pick(rng_, file_modes())));
+    return args;
+  }
+  if (m == "uri") {
+    args.set("url", S(pick_zipf(rng_, urls())));
+    if (rng_.chance(0.5)) args.set("method", S("GET"));
+    if (rng_.chance(0.4)) args.set("status_code",
+                                   yaml::Node::seq({yaml::Node::integer(200)}));
+    return args;
+  }
+  if (m == "command" || m == "shell") {
+    // Free-form string argument, occasionally with creates/chdir dict form.
+    if (rng_.chance(0.8)) return S(pick_zipf(rng_, shell_commands()));
+    args.set("cmd", S(pick_zipf(rng_, shell_commands())));
+    args.set("creates", S("/var/run/app.done"));
+    return args;
+  }
+  if (m == "raw") return S("uptime");
+  if (m == "script") return S("scripts/bootstrap.sh");
+  if (m == "service" || m == "systemd") {
+    args.set("name", S(pick_zipf(rng_, services())));
+    const char* states[] = {"started", "started", "restarted", "stopped",
+                            "reloaded"};
+    args.set("state", S(states[rng_.uniform(5)]));
+    if (rng_.chance(0.5)) args.set("enabled", yaml::Node::boolean(true));
+    if (m == "systemd" && rng_.chance(0.3))
+      args.set("daemon_reload", yaml::Node::boolean(true));
+    return args;
+  }
+  if (m == "cron") {
+    args.set("name", S("nightly backup"));
+    args.set("minute", S("0"));
+    args.set("hour", S("2"));
+    args.set("job", S("/opt/scripts/backup.sh"));
+    return args;
+  }
+  if (m == "user") {
+    args.set("name", S(pick(rng_, users())));
+    if (rng_.chance(0.6)) args.set("state", S("present"));
+    if (rng_.chance(0.5)) args.set("shell", S("/bin/bash"));
+    if (rng_.chance(0.4)) args.set("groups",
+                                   yaml::Node::seq({S(pick(rng_, groups()))}));
+    return args;
+  }
+  if (m == "group") {
+    args.set("name", S(pick(rng_, groups())));
+    args.set("state", S("present"));
+    return args;
+  }
+  if (m == "authorized_key") {
+    args.set("user", S(pick(rng_, users())));
+    args.set("key", S("{{ lookup('file', 'files/id_rsa.pub') }}"));
+    return args;
+  }
+  if (m == "known_hosts") {
+    args.set("name", S("github.com"));
+    args.set("key", S("{{ github_host_key }}"));
+    return args;
+  }
+  if (m == "hostname") {
+    args.set("name", S(rng_.chance(0.5) ? "web-01" : "app-server"));
+    return args;
+  }
+  if (m == "wait_for") {
+    args.set("port", yaml::Node::integer(plausible_port(rng_)));
+    if (rng_.chance(0.5)) args.set("timeout", yaml::Node::integer(60));
+    return args;
+  }
+  if (m == "git") {
+    args.set("repo", S(pick_zipf(rng_, repos())));
+    args.set("dest", S(pick_zipf(rng_, directories())));
+    if (rng_.chance(0.5)) args.set("version", S("main"));
+    return args;
+  }
+  if (m == "sysctl") {
+    args.set("name", S("vm.swappiness"));
+    args.set("value", S("10"));
+    if (rng_.chance(0.4)) args.set("reload", yaml::Node::boolean(true));
+    return args;
+  }
+  if (m == "mount") {
+    args.set("path", S("/mnt/data"));
+    args.set("src", S("/dev/sdb1"));
+    args.set("fstype", S("ext4"));
+    args.set("state", S("mounted"));
+    return args;
+  }
+  if (m == "firewalld") {
+    args.set("service", S(rng_.chance(0.5) ? "http" : "https"));
+    args.set("permanent", yaml::Node::boolean(true));
+    args.set("state", S("enabled"));
+    return args;
+  }
+  if (m == "ufw") {
+    args.set("rule", S("allow"));
+    args.set("port", S(std::to_string(plausible_port(rng_))));
+    if (rng_.chance(0.6)) args.set("proto", S("tcp"));
+    return args;
+  }
+  if (m == "iptables") {
+    args.set("chain", S("INPUT"));
+    args.set("protocol", S("tcp"));
+    args.set("destination_port", S(std::to_string(plausible_port(rng_))));
+    args.set("jump", S("ACCEPT"));
+    return args;
+  }
+  if (m == "seboolean") {
+    args.set("name", S("httpd_can_network_connect"));
+    args.set("state", yaml::Node::boolean(true));
+    args.set("persistent", yaml::Node::boolean(true));
+    return args;
+  }
+  if (m == "selinux") {
+    args.set("policy", S("targeted"));
+    args.set("state", S("enforcing"));
+    return args;
+  }
+  if (m == "timezone") {
+    args.set("name", S(pick(rng_, timezones())));
+    return args;
+  }
+  if (m == "locale_gen") {
+    args.set("name", S("en_US.UTF-8"));
+    return args;
+  }
+  if (m == "apt_repository") {
+    args.set("repo", S("ppa:deadsnakes/ppa"));
+    args.set("state", S("present"));
+    return args;
+  }
+  if (m == "apt_key" || m == "rpm_key") {
+    args.set(m == "apt_key" ? "url" : "key", S(pick_zipf(rng_, urls())));
+    args.set("state", S("present"));
+    return args;
+  }
+  if (m == "debug") {
+    if (rng_.chance(0.6)) {
+      args.set("msg", S("Deployment finished on {{ inventory_hostname }}"));
+    } else {
+      args.set("var", S("result"));
+    }
+    return args;
+  }
+  if (m == "fail") {
+    args.set("msg", S("Unsupported distribution"));
+    return args;
+  }
+  if (m == "assert") {
+    args.set("that",
+             yaml::Node::seq({S("ansible_memtotal_mb >= 1024")}));
+    return args;
+  }
+  if (m == "set_fact") {
+    if (rng_.chance(0.5)) {
+      args.set("app_port", yaml::Node::integer(plausible_port(rng_)));
+    } else {
+      args.set("deploy_color", S(rng_.chance(0.5) ? "blue" : "green"));
+    }
+    return args;
+  }
+  if (m == "include_vars") {
+    args.set("file", S("vars/{{ ansible_os_family }}.yml"));
+    return args;
+  }
+  if (m == "include_tasks" || m == "import_tasks") {
+    return S(rng_.chance(0.5) ? "setup.yml" : "configure.yml");
+  }
+  if (m == "include_role" || m == "import_role") {
+    args.set("name", S(rng_.chance(0.5) ? "common" : "webserver"));
+    return args;
+  }
+  if (m == "meta") return S("flush_handlers");
+  if (m == "add_host") {
+    args.set("name", S("{{ new_host }}"));
+    args.set("groups", yaml::Node::seq({S("dynamic")}));
+    return args;
+  }
+  if (m == "group_by") {
+    args.set("key", S("os_{{ ansible_os_family }}"));
+    return args;
+  }
+  if (m == "slurp") {
+    args.set("src", S(pick_zipf(rng_, config_paths())));
+    return args;
+  }
+  if (m == "tempfile") {
+    args.set("state", S("file"));
+    args.set("suffix", S("build"));
+    return args;
+  }
+  if (m == "reboot") {
+    args.set("reboot_timeout", yaml::Node::integer(300));
+    return args;
+  }
+  if (m == "pause") {
+    args.set("seconds", yaml::Node::integer(10));
+    return args;
+  }
+  if (m == "wait_for_connection") {
+    args.set("timeout", yaml::Node::integer(120));
+    return args;
+  }
+  if (m == "make") {
+    args.set("chdir", S("/opt/app"));
+    args.set("target", S("install"));
+    return args;
+  }
+  if (m == "docker_container") {
+    args.set("name", S("app"));
+    args.set("image", S("example/app:latest"));
+    args.set("state", S("started"));
+    if (rng_.chance(0.6)) {
+      args.set("ports", yaml::Node::seq({S("8080:8080")}));
+    }
+    if (rng_.chance(0.4)) args.set("restart_policy", S("always"));
+    return args;
+  }
+  if (m == "docker_image") {
+    args.set("name", S("example/app"));
+    args.set("tag", S("latest"));
+    args.set("source", S("pull"));
+    return args;
+  }
+  if (m == "k8s") {
+    args.set("state", S("present"));
+    args.set("src", S("manifests/deployment.yml"));
+    if (rng_.chance(0.5)) args.set("namespace", S("production"));
+    return args;
+  }
+  if (m == "helm") {
+    args.set("name", S("ingress"));
+    args.set("chart_ref", S("stable/nginx-ingress"));
+    args.set("release_namespace", S("kube-system"));
+    return args;
+  }
+  if (m == "mysql_db" || m == "postgresql_db") {
+    args.set("name", S("appdb"));
+    args.set("state", S("present"));
+    if (rng_.chance(0.4)) args.set("login_user", S("root"));
+    return args;
+  }
+  if (m == "mysql_user" || m == "postgresql_user") {
+    args.set("name", S("appuser"));
+    args.set("password", S("{{ vault_db_password }}"));
+    args.set("state", S("present"));
+    return args;
+  }
+  if (m == "vyos_facts" || m == "ios_facts") {
+    args.set("gather_subset", yaml::Node::seq({S("all")}));
+    return args;
+  }
+  if (m == "vyos_config") {
+    yaml::Node lines = yaml::Node::seq();
+    lines.push_back(S(pick(rng_, vyos_lines())));
+    if (rng_.chance(0.4)) lines.push_back(S(pick(rng_, vyos_lines())));
+    args.set("lines", lines);
+    if (rng_.chance(0.4)) args.set("save", yaml::Node::boolean(true));
+    return args;
+  }
+  if (m == "ios_config") {
+    yaml::Node lines = yaml::Node::seq();
+    lines.push_back(S(pick(rng_, ios_lines())));
+    args.set("lines", lines);
+    return args;
+  }
+  if (m == "ping" || m == "setup" || m == "service_facts" ||
+      m == "package_facts") {
+    return yaml::Node::null();
+  }
+
+  // Fallback: fill required params with generic-but-typed values.
+  for (const ParamSpec& p : module.params) {
+    if (!p.required) continue;
+    switch (p.type) {
+      case ParamType::Bool: args.set(p.name, yaml::Node::boolean(true)); break;
+      case ParamType::Int: args.set(p.name, yaml::Node::integer(1)); break;
+      case ParamType::Choice:
+        args.set(p.name, S(p.choices.front()));
+        break;
+      case ParamType::List:
+        args.set(p.name, yaml::Node::seq({S("item")}));
+        break;
+      case ParamType::Dict: args.set(p.name, yaml::Node::map()); break;
+      default: args.set(p.name, S("value")); break;
+    }
+  }
+  if (args.size() == 0) return yaml::Node::null();
+  return args;
+}
+
+std::string AnsibleGenerator::name_for(const ModuleSpec& module,
+                                       const yaml::Node& args) {
+  const std::string_view m = module.short_name;
+  auto arg = [&](std::string_view key, std::string_view fallback = "") {
+    return arg_text(args, key, fallback);
+  };
+  auto pick_t = [&](std::initializer_list<const char*> variants) {
+    const char* const* base = variants.begin();
+    return std::string(base[rng_.uniform(variants.size())]);
+  };
+
+  if (m == "apt" || m == "yum" || m == "dnf" || m == "package") {
+    std::string pkg = arg("name", "packages");
+    std::string state = arg("state", "present");
+    if (state == "absent")
+      return pick_t({"Remove ", "Uninstall "}) + pkg;
+    if (state == "latest")
+      return "Ensure " + pkg + " is at the latest version";
+    return pick_t({"Install ", "Install package ", "Ensure installed: "}) +
+           pkg;
+  }
+  if (m == "pip") return "Install " + arg("name", "python package") +
+                         " with pip";
+  if (m == "npm") return "Install " + arg("name", "node package") +
+                         " with npm";
+  if (m == "gem") return "Install " + arg("name", "ruby gem") + " gem";
+  if (m == "copy") {
+    return pick_t({"Copy ", "Deploy ", "Place "}) + arg("dest", "file");
+  }
+  if (m == "template") {
+    return pick_t({"Write ", "Render ", "Template "}) +
+           arg("dest", "config file") + " from template";
+  }
+  if (m == "file") {
+    std::string state = arg("state", "file");
+    std::string path = arg("path", "path");
+    if (state == "directory") return "Create directory " + path;
+    if (state == "absent") return "Remove " + path;
+    if (state == "touch") return "Touch " + path;
+    return "Manage file " + path;
+  }
+  if (m == "lineinfile") return "Set line in " + arg("path", "file");
+  if (m == "blockinfile") return "Insert block into " + arg("path", "file");
+  if (m == "replace") return "Replace pattern in " + arg("path", "file");
+  if (m == "ini_file")
+    return "Set " + arg("option", "option") + " in " + arg("section", "ini");
+  if (m == "stat") return "Check " + arg("path", "file") + " exists";
+  if (m == "fetch") return "Fetch " + arg("src", "file") + " from remote";
+  if (m == "synchronize") return "Synchronize " + arg("src", "directory");
+  if (m == "unarchive") return "Extract archive to " + arg("dest", "path");
+  if (m == "get_url") return "Download " + arg("url", "file");
+  if (m == "uri") return "Call " + arg("url", "endpoint");
+  if (m == "command" || m == "shell") {
+    std::string cmd = args.is_str() ? args.as_str() : arg("cmd", "command");
+    return pick_t({"Run ", "Execute "}) + cmd;
+  }
+  if (m == "raw") return "Run raw command";
+  if (m == "script") return "Run bootstrap script";
+  if (m == "service" || m == "systemd") {
+    std::string svc = arg("name", "service");
+    std::string state = arg("state", "started");
+    if (state == "restarted") return "Restart " + svc;
+    if (state == "stopped") return "Stop " + svc;
+    if (state == "reloaded") return "Reload " + svc;
+    return pick_t({"Start ", "Start and enable "}) + svc;
+  }
+  if (m == "cron") return "Schedule " + arg("name", "cron job");
+  if (m == "user") {
+    std::string user = arg("name", "user");
+    return arg("state", "present") == "absent" ? "Remove user " + user
+                                               : "Create user " + user;
+  }
+  if (m == "group") return "Create group " + arg("name", "group");
+  if (m == "authorized_key")
+    return "Add ssh key for " + arg("user", "user");
+  if (m == "known_hosts") return "Add " + arg("name", "host") +
+                                 " to known hosts";
+  if (m == "hostname") return "Set hostname to " + arg("name", "host");
+  if (m == "wait_for")
+    return "Wait for port " + arg("port", "port") + " to open";
+  if (m == "git") return "Clone repository to " + arg("dest", "path");
+  if (m == "sysctl") return "Set sysctl " + arg("name", "key");
+  if (m == "mount") return "Mount " + arg("path", "filesystem");
+  if (m == "firewalld")
+    return "Allow " + arg("service", "service") + " through firewalld";
+  if (m == "ufw") return "Allow port " + arg("port", "port") + " with ufw";
+  if (m == "iptables") return "Open port " +
+                              arg("destination_port", "port") +
+                              " in iptables";
+  if (m == "seboolean") return "Enable selinux boolean " + arg("name", "flag");
+  if (m == "selinux") return "Set selinux to " + arg("state", "enforcing");
+  if (m == "timezone") return "Set timezone to " + arg("name", "UTC");
+  if (m == "locale_gen") return "Generate locale " + arg("name", "locale");
+  if (m == "apt_repository") return "Add apt repository " +
+                                    arg("repo", "repo");
+  if (m == "apt_key" || m == "rpm_key") return "Import signing key";
+  if (m == "debug") {
+    return args.is_map() && args.has("var") ? "Print " + arg("var", "value")
+                                            : "Show deployment message";
+  }
+  if (m == "fail") return "Fail on unsupported platform";
+  if (m == "assert") return "Assert host requirements";
+  if (m == "set_fact") {
+    if (args.is_map() && args.size() > 0)
+      return "Set fact " + args.entries()[0].first;
+    return "Set deployment facts";
+  }
+  if (m == "include_vars") return "Load OS specific variables";
+  if (m == "include_tasks" || m == "import_tasks") {
+    std::string f = args.is_str() ? args.as_str() : arg("file", "tasks");
+    return "Include tasks from " + f;
+  }
+  if (m == "include_role" || m == "import_role")
+    return "Apply role " + arg("name", "role");
+  if (m == "meta") return "Flush handlers";
+  if (m == "add_host") return "Add host to dynamic inventory";
+  if (m == "group_by") return "Group hosts by OS family";
+  if (m == "slurp") return "Read " + arg("src", "file");
+  if (m == "tempfile") return "Create temporary file";
+  if (m == "reboot") return "Reboot the server";
+  if (m == "pause") return "Pause before continuing";
+  if (m == "wait_for_connection") return "Wait for host to come back";
+  if (m == "make") return "Build " + arg("target", "all") + " with make";
+  if (m == "docker_container")
+    return "Start container " + arg("name", "app");
+  if (m == "docker_image") return "Pull image " + arg("name", "image");
+  if (m == "k8s") return "Apply kubernetes manifest";
+  if (m == "helm") return "Deploy helm chart " + arg("chart_ref", "chart");
+  if (m == "mysql_db" || m == "postgresql_db")
+    return "Create database " + arg("name", "db");
+  if (m == "mysql_user" || m == "postgresql_user")
+    return "Create database user " + arg("name", "user");
+  if (m == "vyos_facts" || m == "ios_facts")
+    return "Get config for " + std::string(m == "vyos_facts" ? "VyOS" : "IOS") +
+           " devices";
+  if (m == "vyos_config") return "Update VyOS configuration";
+  if (m == "ios_config") return "Update IOS configuration";
+  if (m == "ping") return "Check connectivity";
+  if (m == "setup") return "Gather facts";
+  if (m == "service_facts") return "Collect service facts";
+  if (m == "package_facts") return "Collect package facts";
+  return "Configure " + std::string(m);
+}
+
+void AnsibleGenerator::maybe_add_keywords(yaml::Node& task_node, double prob) {
+  if (!rng_.chance(prob)) return;
+  switch (rng_.uniform(7)) {
+    case 0:
+      task_node.set("become", yaml::Node::boolean(true));
+      break;
+    case 1:
+      task_node.set("when", S(rng_.chance(0.5)
+                                  ? "ansible_os_family == 'Debian'"
+                                  : "ansible_os_family == 'RedHat'"));
+      break;
+    case 2:
+      task_node.set("register", S("result"));
+      break;
+    case 3: {
+      yaml::Node tags = yaml::Node::seq();
+      tags.push_back(S(rng_.chance(0.5) ? "setup" : "deploy"));
+      task_node.set("tags", tags);
+      break;
+    }
+    case 4:
+      task_node.set("notify", S("restart nginx"));
+      break;
+    case 5:
+      task_node.set("ignore_errors", yaml::Node::boolean(true));
+      break;
+    case 6: {
+      yaml::Node loop = yaml::Node::seq();
+      loop.push_back(S(pick_zipf(rng_, packages())));
+      loop.push_back(S(pick_zipf(rng_, packages())));
+      task_node.set("loop", loop);
+      break;
+    }
+  }
+}
+
+yaml::Node AnsibleGenerator::task(const TaskGenOptions& options) {
+  const ModuleSpec& module = pick_module();
+  yaml::Node args = args_for(module);
+
+  yaml::Node node = yaml::Node::map();
+  if (options.with_name) node.set("name", S(name_for(module, args)));
+
+  std::string key = rng_.chance(options.short_name_prob) ? module.short_name
+                                                         : module.fqcn;
+  // Legacy form: flatten scalar params into "k=v" text.
+  if (args.is_map() && args.size() > 0 &&
+      rng_.chance(options.old_style_prob)) {
+    bool all_scalar = true;
+    for (const auto& [k, v] : args.entries()) all_scalar &= v.is_scalar();
+    if (all_scalar) {
+      std::vector<std::string> parts;
+      for (const auto& [k, v] : args.entries())
+        parts.push_back(k + "=" + v.scalar_text());
+      node.set(key, S(util::join(parts, " ")));
+      maybe_add_keywords(node, options.keyword_prob);
+      return node;
+    }
+  }
+  node.set(key, args);
+  maybe_add_keywords(node, options.keyword_prob);
+  return node;
+}
+
+yaml::Node AnsibleGenerator::block(const TaskGenOptions& options) {
+  // Blocks group tasks; their inner tasks never recurse into blocks.
+  TaskGenOptions inner = options;
+  inner.block_prob = 0.0;
+  yaml::Node node = yaml::Node::map();
+  node.set("name", S(rng_.chance(0.5) ? "Install and configure the service"
+                                      : "Attempt the deployment steps"));
+  yaml::Node body = yaml::Node::seq();
+  int count = static_cast<int>(rng_.uniform_int(1, 2));
+  for (int i = 0; i < count; ++i) body.push_back(task(inner));
+  node.set("block", body);
+  if (rng_.chance(0.5)) {
+    yaml::Node rescue = yaml::Node::seq();
+    yaml::Node report = yaml::Node::map();
+    report.set("name", S("Report the failure"));
+    yaml::Node dbg = yaml::Node::map();
+    dbg.set("msg", S("deployment step failed"));
+    report.set("ansible.builtin.debug", dbg);
+    rescue.push_back(report);
+    node.set("rescue", rescue);
+  }
+  if (rng_.chance(0.4)) node.set("become", yaml::Node::boolean(true));
+  if (rng_.chance(0.3))
+    node.set("when", S("ansible_os_family == 'Debian'"));
+  return node;
+}
+
+yaml::Node AnsibleGenerator::role_tasks(int count,
+                                        const TaskGenOptions& options) {
+  yaml::Node out = yaml::Node::seq();
+  for (int i = 0; i < count; ++i) {
+    if (options.block_prob > 0.0 && rng_.chance(options.block_prob)) {
+      out.push_back(block(options));
+    } else {
+      out.push_back(task(options));
+    }
+  }
+  return out;
+}
+
+yaml::Node AnsibleGenerator::playbook(int task_count,
+                                      const TaskGenOptions& options) {
+  yaml::Node play = yaml::Node::map();
+  static constexpr std::string_view kPlayNames[] = {
+      "Provision web servers",   "Configure database hosts",
+      "Deploy the application",  "Harden ssh access",
+      "Set up monitoring",       "Bootstrap new hosts",
+      "Network Setup Playbook",  "Install base packages",
+  };
+  play.set("name", S(kPlayNames[rng_.uniform(std::size(kPlayNames))]));
+  play.set("hosts", S(pick_zipf(rng_, host_groups())));
+  if (rng_.chance(0.5)) play.set("become", yaml::Node::boolean(true));
+  if (rng_.chance(0.25)) play.set("gather_facts", yaml::Node::boolean(false));
+  if (rng_.chance(0.2)) {
+    yaml::Node vars = yaml::Node::map();
+    vars.set("app_port", yaml::Node::integer(plausible_port(rng_)));
+    play.set("vars", vars);
+  }
+  play.set("tasks", role_tasks(task_count, options));
+  yaml::Node doc = yaml::Node::seq();
+  doc.push_back(play);
+  return doc;
+}
+
+std::string AnsibleGenerator::role_tasks_text(int count,
+                                              const TaskGenOptions& options) {
+  yaml::EmitOptions emit_opts;
+  emit_opts.document_start = true;
+  return yaml::emit(role_tasks(count, options), emit_opts);
+}
+
+std::string AnsibleGenerator::playbook_text(int task_count,
+                                            const TaskGenOptions& options) {
+  yaml::EmitOptions emit_opts;
+  emit_opts.document_start = true;
+  return yaml::emit(playbook(task_count, options), emit_opts);
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,66 @@
+// Synthetic Ansible-YAML generator.
+//
+// Stands in for the paper's crawled Ansible corpus (GitHub / GitLab /
+// Google BigQuery / Ansible Galaxy). The generator is driven by the module
+// catalog: it picks modules with a Zipfian popularity profile, fills their
+// parameters with plausible correlated values, and derives the natural-
+// language "name" line from the module and its arguments — the exact
+// name -> code correlation the Wisdom models learn to invert. A small
+// fraction of samples use short module names or legacy k=v argument
+// strings, mirroring the stylistic noise of real crawled repositories.
+#pragma once
+
+#include <string>
+
+#include "ansible/catalog.hpp"
+#include "util/rng.hpp"
+#include "yaml/node.hpp"
+
+namespace wisdom::data {
+
+struct TaskGenOptions {
+  bool with_name = true;
+  // Probability of attaching extra execution keywords (become, when, ...).
+  double keyword_prob = 0.3;
+  // Probability of using the short module name instead of the FQCN.
+  double short_name_prob = 0.15;
+  // Probability of emitting legacy "k=v" argument strings.
+  double old_style_prob = 0.04;
+  // Probability that a role-task slot becomes an Ansible block (a named
+  // group of tasks with optional rescue). The paper's corpus contains
+  // blocks but its models are "not specifically trained and tested on"
+  // them; default 0 reproduces that, raising it exercises the extension.
+  double block_prob = 0.0;
+};
+
+class AnsibleGenerator {
+ public:
+  explicit AnsibleGenerator(util::Rng rng) : rng_(rng) {}
+
+  // One task mapping (name, module, params[, keywords]).
+  yaml::Node task(const TaskGenOptions& options = {});
+  // A block: name + block/rescue task lists with optional keywords.
+  yaml::Node block(const TaskGenOptions& options = {});
+  // A role's tasks file: sequence of `count` tasks.
+  yaml::Node role_tasks(int count, const TaskGenOptions& options = {});
+  // A playbook: one play with name/hosts[/keywords] and `task_count` tasks.
+  yaml::Node playbook(int task_count, const TaskGenOptions& options = {});
+
+  // Emitted text forms (canonical style, with document start for files).
+  std::string role_tasks_text(int count, const TaskGenOptions& options = {});
+  std::string playbook_text(int task_count,
+                            const TaskGenOptions& options = {});
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  const ansible::ModuleSpec& pick_module();
+  yaml::Node args_for(const ansible::ModuleSpec& module);
+  std::string name_for(const ansible::ModuleSpec& module,
+                       const yaml::Node& args);
+  void maybe_add_keywords(yaml::Node& task_node, double prob);
+
+  util::Rng rng_;
+};
+
+}  // namespace wisdom::data

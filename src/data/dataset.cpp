@@ -1,0 +1,236 @@
+#include "data/dataset.hpp"
+
+#include <unordered_set>
+
+#include "ansible/model.hpp"
+#include "util/hashing.hpp"
+#include "util/strings.hpp"
+#include "yaml/emit.hpp"
+#include "yaml/parse.hpp"
+
+namespace wisdom::data {
+
+namespace ansible = wisdom::ansible;
+namespace util = wisdom::util;
+namespace yaml = wisdom::yaml;
+
+const char* generation_type_label(GenerationType type) {
+  switch (type) {
+    case GenerationType::NlToPlaybook: return "NL->PB";
+    case GenerationType::PbNlToTask: return "PB+NL->T";
+    case GenerationType::NlToTask: return "NL->T";
+    case GenerationType::TNlToTask: return "T+NL->T";
+  }
+  return "?";
+}
+
+namespace {
+
+// Splits emitted YAML at the end of its first line; returns false when the
+// first line is not a "- name:" line (samples require named outputs).
+bool split_name_line(const std::string& emitted, std::string& first,
+                     std::string& rest) {
+  std::size_t nl = emitted.find('\n');
+  if (nl == std::string::npos) return false;
+  first = emitted.substr(0, nl + 1);
+  rest = emitted.substr(nl + 1);
+  return util::starts_with(first, "- name: ") && !rest.empty();
+}
+
+std::string indent_lines(const std::string& text, std::size_t spaces) {
+  std::string pad(spaces, ' ');
+  std::string out;
+  for (const std::string& line : util::split_lines(text)) {
+    if (line.empty()) {
+      out += "\n";
+    } else {
+      out += pad + line + "\n";
+    }
+  }
+  return out;
+}
+
+std::string task_name(const yaml::Node& task) {
+  if (!task.is_map()) return {};
+  const yaml::Node* name = task.find("name");
+  return name && name->is_str() ? name->as_str() : std::string();
+}
+
+std::string emit_single_task(const yaml::Node& task) {
+  return yaml::emit(yaml::Node::seq({task}));
+}
+
+void extract_from_playbook(const yaml::Node& doc,
+                           std::vector<FtSample>& out) {
+  const yaml::Node& play = doc.items()[0];
+  if (!play.is_map()) return;
+  const yaml::Node* tasks = play.find("tasks");
+  if (!tasks || !tasks->is_seq() || tasks->size() == 0) return;
+  std::string play_name = task_name(play);
+  if (play_name.empty()) return;
+  for (const yaml::Node& task : tasks->items()) {
+    if (task_name(task).empty()) return;  // unnamed outputs are unusable
+  }
+  const std::size_t n = tasks->size();
+
+  if (n <= 2) {
+    // NL -> PB, with the combined play+task names as prompt.
+    std::string prompt = play_name;
+    for (const yaml::Node& task : tasks->items())
+      prompt += ". " + task_name(task);
+    std::string emitted = yaml::emit(doc);
+    std::string first, rest;
+    if (split_name_line(emitted, first, rest)) {
+      FtSample sample;
+      sample.type = GenerationType::NlToPlaybook;
+      sample.prompt = prompt;
+      sample.input_line = "- name: " + prompt + "\n";
+      sample.target_body = rest;
+      out.push_back(std::move(sample));
+    }
+  }
+  // PB+NL -> T: predict task k given the playbook truncated to k tasks.
+  for (std::size_t k = 1; k < n; ++k) {
+    yaml::Node truncated_play = yaml::Node::map();
+    for (const auto& [key, value] : play.entries()) {
+      if (key == "tasks") {
+        yaml::Node prefix = yaml::Node::seq();
+        for (std::size_t i = 0; i < k; ++i)
+          prefix.push_back(tasks->items()[i]);
+        truncated_play.set("tasks", prefix);
+      } else {
+        truncated_play.set(key, value);
+      }
+    }
+    const yaml::Node& next = tasks->items()[k];
+    std::string emitted = indent_lines(emit_single_task(next), 4);
+    // After indenting, the first line is "    - name: ...".
+    std::size_t nl = emitted.find('\n');
+    if (nl == std::string::npos) continue;
+    FtSample sample;
+    sample.type = GenerationType::PbNlToTask;
+    sample.context = yaml::emit(yaml::Node::seq({truncated_play}));
+    sample.prompt = task_name(next);
+    sample.input_line = emitted.substr(0, nl + 1);
+    sample.target_body = emitted.substr(nl + 1);
+    if (sample.target_body.empty()) continue;
+    out.push_back(std::move(sample));
+  }
+}
+
+void extract_from_role(const yaml::Node& doc, std::vector<FtSample>& out) {
+  for (const yaml::Node& task : doc.items()) {
+    if (!task.is_map() || task_name(task).empty()) return;
+  }
+  const std::size_t n = doc.size();
+  // NL -> T from the first task of the role.
+  {
+    std::string emitted = emit_single_task(doc.items()[0]);
+    std::string first, rest;
+    if (split_name_line(emitted, first, rest)) {
+      FtSample sample;
+      sample.type = GenerationType::NlToTask;
+      sample.prompt = task_name(doc.items()[0]);
+      sample.input_line = first;
+      sample.target_body = rest;
+      out.push_back(std::move(sample));
+    }
+  }
+  // T+NL -> T for every subsequent task.
+  for (std::size_t k = 1; k < n; ++k) {
+    yaml::Node context = yaml::Node::seq();
+    for (std::size_t i = 0; i < k; ++i) context.push_back(doc.items()[i]);
+    std::string emitted = emit_single_task(doc.items()[k]);
+    std::string first, rest;
+    if (!split_name_line(emitted, first, rest)) continue;
+    FtSample sample;
+    sample.type = GenerationType::TNlToTask;
+    sample.context = yaml::emit(context);
+    sample.prompt = task_name(doc.items()[k]);
+    sample.input_line = first;
+    sample.target_body = rest;
+    out.push_back(std::move(sample));
+  }
+}
+
+}  // namespace
+
+std::vector<FtSample> extract_samples(const std::string& file_text) {
+  std::vector<FtSample> out;
+  auto doc = yaml::parse_document(file_text);
+  if (!doc || !doc->is_seq() || doc->size() == 0) return out;
+  if (ansible::looks_like_playbook(*doc)) {
+    extract_from_playbook(*doc, out);
+  } else {
+    extract_from_role(*doc, out);
+  }
+  return out;
+}
+
+std::vector<FtSample> extract_corpus_samples(
+    const std::vector<CorpusFile>& files) {
+  std::vector<FtSample> all;
+  for (const CorpusFile& file : files) {
+    auto samples = extract_samples(file.text);
+    all.insert(all.end(), std::make_move_iterator(samples.begin()),
+               std::make_move_iterator(samples.end()));
+  }
+  // Sample-level exact-match dedup on the full training string.
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<FtSample> kept;
+  kept.reserve(all.size());
+  for (FtSample& sample : all) {
+    std::uint64_t h = util::fnv1a64(sample.context);
+    h = util::hash_combine(h, util::fnv1a64(sample.input_line));
+    h = util::hash_combine(h, util::fnv1a64(sample.target_body));
+    if (seen.insert(h).second) kept.push_back(std::move(sample));
+  }
+  return kept;
+}
+
+DatasetSplits split_dataset(std::vector<FtSample> samples, std::uint64_t seed,
+                            double train_frac, double valid_frac) {
+  util::Rng rng(seed);
+  rng.shuffle(samples);
+  DatasetSplits splits;
+  std::size_t n = samples.size();
+  std::size_t n_train = static_cast<std::size_t>(
+      static_cast<double>(n) * train_frac);
+  std::size_t n_valid = static_cast<std::size_t>(
+      static_cast<double>(n) * valid_frac);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      splits.train.push_back(std::move(samples[i]));
+    } else if (i < n_train + n_valid) {
+      splits.valid.push_back(std::move(samples[i]));
+    } else {
+      splits.test.push_back(std::move(samples[i]));
+    }
+  }
+  return splits;
+}
+
+std::string format_input(const FtSample& sample, PromptFormat format) {
+  switch (format) {
+    case PromptFormat::NameCompletion:
+      return sample.model_input();
+    case PromptFormat::Prefix: {
+      // The ablation baseline: labelled sections instead of pure
+      // completion. The trailing name line keeps decode alignment.
+      std::string out = "### context code\n";
+      out += sample.context;
+      out += "### prompt\n";
+      out += sample.prompt + "\n";
+      out += sample.input_line;
+      return out;
+    }
+  }
+  return sample.model_input();
+}
+
+std::string format_training_text(const FtSample& sample,
+                                 PromptFormat format) {
+  return format_input(sample, format) + sample.target_body;
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,89 @@
+// Fine-tuning sample extraction and prompt formulation (§Methodology).
+//
+// From each Galaxy file the pipeline derives samples of the paper's four
+// generation types:
+//   NL -> PB     : empty context, the combined play+task names as prompt,
+//                  the whole (1-2 task) playbook as output.
+//   PB+NL -> T   : a playbook with k >= 1 tasks as context, predict task k+1.
+//   NL -> T      : empty context, predict the first task of a role.
+//   T+NL -> T    : the previous role tasks as context, predict the next one.
+//
+// Prompt formulation follows Eq. (2): the natural-language prompt is the
+// value of the output's own "name" line, so generation is code completion —
+// the model sees   context + "- name: <prompt>\n"   and produces the body.
+// The prefix-based ablation baseline (CodeGen-prefix in Table V) instead
+// frames the input as "context code"/"prompt" sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/sources.hpp"
+#include "util/rng.hpp"
+
+namespace wisdom::data {
+
+enum class GenerationType {
+  NlToPlaybook,   // NL -> PB
+  PbNlToTask,     // PB+NL -> T
+  NlToTask,       // NL -> T
+  TNlToTask,      // T+NL -> T
+};
+
+const char* generation_type_label(GenerationType type);
+
+struct FtSample {
+  GenerationType type = GenerationType::NlToTask;
+  // Preceding YAML (playbook header + earlier tasks, or earlier role
+  // tasks); empty for the context-free types.
+  std::string context;
+  // The natural-language prompt (the name value, or the combined names for
+  // playbooks).
+  std::string prompt;
+  // The "- name: <prompt>" line the model completes, with the indentation
+  // the output position requires.
+  std::string input_line;
+  // Gold completion: everything after the name line.
+  std::string target_body;
+
+  // What the model is fed / what metrics compare against.
+  std::string model_input() const { return context + input_line; }
+  std::string full_target() const { return input_line + target_body; }
+};
+
+// Extracts all samples from one parsed Galaxy file (text form). Files that
+// fail to parse or have unnamed outputs yield no samples (the paper's
+// pipeline validity-checks with PyYAML the same way).
+std::vector<FtSample> extract_samples(const std::string& file_text);
+
+// Full corpus extraction + exact-match sample dedup.
+std::vector<FtSample> extract_corpus_samples(
+    const std::vector<CorpusFile>& files);
+
+struct DatasetSplits {
+  std::vector<FtSample> train;
+  std::vector<FtSample> valid;
+  std::vector<FtSample> test;
+};
+
+// Random 80/10/10 split (the paper splits Galaxy this way).
+DatasetSplits split_dataset(std::vector<FtSample> samples, std::uint64_t seed,
+                            double train_frac = 0.8, double valid_frac = 0.1);
+
+// --- prompt formats ----------------------------------------------------------
+
+enum class PromptFormat {
+  NameCompletion,  // Eq. (2): context + name line (the Wisdom format)
+  Prefix,          // "context code:"/"prompt:" sections (ablation baseline)
+};
+
+// Renders the model input under a format. For NameCompletion this is
+// sample.model_input(); for Prefix it wraps the pieces in labelled
+// sections and ends with the same name line so decoding starts at the body
+// either way.
+std::string format_input(const FtSample& sample, PromptFormat format);
+// Full training string: input + gold body (+ terminating newline).
+std::string format_training_text(const FtSample& sample, PromptFormat format);
+
+}  // namespace wisdom::data

@@ -1,0 +1,45 @@
+#include "data/dedup.hpp"
+
+#include <unordered_set>
+
+#include "util/hashing.hpp"
+
+namespace wisdom::data {
+
+namespace util = wisdom::util;
+
+std::vector<CorpusFile> dedup_files(std::vector<CorpusFile> files,
+                                    DedupStats* stats) {
+  DedupStats local;
+  local.input = files.size();
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<CorpusFile> kept;
+  kept.reserve(files.size());
+  for (CorpusFile& file : files) {
+    if (seen.insert(util::fnv1a64(file.text)).second) {
+      kept.push_back(std::move(file));
+    }
+  }
+  local.kept = kept.size();
+  if (stats) *stats = local;
+  return kept;
+}
+
+std::vector<std::string> dedup_strings(std::vector<std::string> texts,
+                                       DedupStats* stats) {
+  DedupStats local;
+  local.input = texts.size();
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::string> kept;
+  kept.reserve(texts.size());
+  for (std::string& text : texts) {
+    if (seen.insert(util::fnv1a64(text)).second) {
+      kept.push_back(std::move(text));
+    }
+  }
+  local.kept = kept.size();
+  if (stats) *stats = local;
+  return kept;
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,28 @@
+// Exact-match deduplication, as in the paper: "We de-duplicated the dataset
+// using a simple exact match criterion", applied at both the file and the
+// sample level.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/sources.hpp"
+
+namespace wisdom::data {
+
+struct DedupStats {
+  std::size_t input = 0;
+  std::size_t kept = 0;
+  std::size_t removed() const { return input - kept; }
+};
+
+// Keeps the first occurrence of each distinct text; order preserved.
+std::vector<CorpusFile> dedup_files(std::vector<CorpusFile> files,
+                                    DedupStats* stats = nullptr);
+
+// Same policy over arbitrary strings (used for fine-tuning samples).
+std::vector<std::string> dedup_strings(std::vector<std::string> texts,
+                                       DedupStats* stats = nullptr);
+
+}  // namespace wisdom::data

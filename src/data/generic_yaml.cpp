@@ -1,0 +1,157 @@
+#include "data/generic_yaml.hpp"
+
+#include <string_view>
+
+#include "data/values.hpp"
+#include "yaml/emit.hpp"
+
+namespace wisdom::data {
+
+namespace yaml = wisdom::yaml;
+
+namespace {
+yaml::Node S(std::string_view s) { return yaml::Node::str(std::string(s)); }
+
+constexpr std::string_view kAppNames[] = {
+    "web", "api", "worker", "frontend", "backend", "cache", "queue",
+};
+constexpr std::string_view kImages[] = {
+    "nginx:1.25",       "redis:7",           "postgres:15",
+    "node:20-alpine",   "python:3.11-slim",  "example/app:latest",
+};
+}  // namespace
+
+yaml::Node GenericYamlGenerator::kubernetes_manifest() {
+  std::string_view app = kAppNames[rng_.uniform(std::size(kAppNames))];
+  yaml::Node doc = yaml::Node::map();
+  bool deployment = rng_.chance(0.6);
+  doc.set("apiVersion", S(deployment ? "apps/v1" : "v1"));
+  doc.set("kind", S(deployment ? "Deployment" : "Service"));
+
+  yaml::Node metadata = yaml::Node::map();
+  metadata.set("name", S(std::string(app) + (deployment ? "" : "-svc")));
+  yaml::Node labels = yaml::Node::map();
+  labels.set("app", S(app));
+  metadata.set("labels", labels);
+  if (rng_.chance(0.4)) metadata.set("namespace", S("production"));
+  doc.set("metadata", metadata);
+
+  yaml::Node spec = yaml::Node::map();
+  if (deployment) {
+    spec.set("replicas", yaml::Node::integer(rng_.uniform_int(1, 5)));
+    yaml::Node selector = yaml::Node::map();
+    yaml::Node match = yaml::Node::map();
+    match.set("app", S(app));
+    selector.set("matchLabels", match);
+    spec.set("selector", selector);
+    yaml::Node tmpl = yaml::Node::map();
+    yaml::Node tmeta = yaml::Node::map();
+    tmeta.set("labels", labels);
+    tmpl.set("metadata", tmeta);
+    yaml::Node pod_spec = yaml::Node::map();
+    yaml::Node container = yaml::Node::map();
+    container.set("name", S(app));
+    container.set("image", S(kImages[rng_.uniform(std::size(kImages))]));
+    yaml::Node port = yaml::Node::map();
+    port.set("containerPort", yaml::Node::integer(plausible_port(rng_)));
+    container.set("ports", yaml::Node::seq({port}));
+    if (rng_.chance(0.5)) {
+      yaml::Node env_var = yaml::Node::map();
+      env_var.set("name", S("LOG_LEVEL"));
+      env_var.set("value", S("info"));
+      container.set("env", yaml::Node::seq({env_var}));
+    }
+    pod_spec.set("containers", yaml::Node::seq({container}));
+    tmpl.set("spec", pod_spec);
+    spec.set("template", tmpl);
+  } else {
+    yaml::Node selector = yaml::Node::map();
+    selector.set("app", S(app));
+    spec.set("selector", selector);
+    yaml::Node port = yaml::Node::map();
+    port.set("port", yaml::Node::integer(80));
+    port.set("targetPort", yaml::Node::integer(plausible_port(rng_)));
+    spec.set("ports", yaml::Node::seq({port}));
+    if (rng_.chance(0.3)) spec.set("type", S("ClusterIP"));
+  }
+  doc.set("spec", spec);
+  return doc;
+}
+
+yaml::Node GenericYamlGenerator::ci_pipeline() {
+  yaml::Node doc = yaml::Node::map();
+  doc.set("name", S(rng_.chance(0.5) ? "CI" : "Build and test"));
+  yaml::Node on = yaml::Node::map();
+  yaml::Node push = yaml::Node::map();
+  push.set("branches", yaml::Node::seq({S("main")}));
+  on.set("push", push);
+  if (rng_.chance(0.5)) on.set("pull_request", yaml::Node::map());
+  doc.set("on", on);
+
+  yaml::Node steps = yaml::Node::seq();
+  {
+    yaml::Node step = yaml::Node::map();
+    step.set("uses", S("actions/checkout@v4"));
+    steps.push_back(step);
+  }
+  if (rng_.chance(0.6)) {
+    yaml::Node step = yaml::Node::map();
+    step.set("name", S("Set up runtime"));
+    step.set("uses", S(rng_.chance(0.5) ? "actions/setup-node@v4"
+                                        : "actions/setup-python@v5"));
+    steps.push_back(step);
+  }
+  {
+    yaml::Node step = yaml::Node::map();
+    step.set("name", S("Run tests"));
+    step.set("run", S(rng_.chance(0.5) ? "make test" : "npm test"));
+    steps.push_back(step);
+  }
+  yaml::Node job = yaml::Node::map();
+  job.set("runs-on", S("ubuntu-latest"));
+  job.set("steps", steps);
+  yaml::Node jobs = yaml::Node::map();
+  jobs.set("build", job);
+  doc.set("jobs", jobs);
+  return doc;
+}
+
+yaml::Node GenericYamlGenerator::compose_file() {
+  yaml::Node doc = yaml::Node::map();
+  doc.set("version", S("3.8"));
+  yaml::Node services = yaml::Node::map();
+  int count = static_cast<int>(rng_.uniform_int(1, 3));
+  for (int i = 0; i < count; ++i) {
+    std::string_view app = kAppNames[rng_.uniform(std::size(kAppNames))];
+    if (services.has(app)) continue;
+    yaml::Node svc = yaml::Node::map();
+    svc.set("image", S(kImages[rng_.uniform(std::size(kImages))]));
+    yaml::Node ports = yaml::Node::seq();
+    int port = plausible_port(rng_);
+    ports.push_back(S(std::to_string(port) + ":" + std::to_string(port)));
+    svc.set("ports", ports);
+    if (rng_.chance(0.5)) svc.set("restart", S("unless-stopped"));
+    if (rng_.chance(0.4)) {
+      yaml::Node env = yaml::Node::map();
+      env.set("TZ", S("UTC"));
+      svc.set("environment", env);
+    }
+    services.set(app, svc);
+  }
+  doc.set("services", services);
+  return doc;
+}
+
+std::string GenericYamlGenerator::file_text() {
+  yaml::Node doc;
+  switch (rng_.uniform(3)) {
+    case 0: doc = kubernetes_manifest(); break;
+    case 1: doc = ci_pipeline(); break;
+    default: doc = compose_file(); break;
+  }
+  yaml::EmitOptions opts;
+  opts.document_start = true;
+  return yaml::emit(doc, opts);
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,31 @@
+// Generic (non-Ansible) YAML generator: Kubernetes manifests, GitHub-
+// Actions-style CI pipelines and docker-compose files. These are the
+// "2.2M other generic YAML files" of Table I — they teach the models YAML
+// syntax (indentation, mappings, sequences) without Ansible semantics,
+// which is exactly the distinction the Wisdom-Yaml vs Wisdom-Ansible
+// ablation probes.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+#include "yaml/node.hpp"
+
+namespace wisdom::data {
+
+class GenericYamlGenerator {
+ public:
+  explicit GenericYamlGenerator(util::Rng rng) : rng_(rng) {}
+
+  yaml::Node kubernetes_manifest();
+  yaml::Node ci_pipeline();
+  yaml::Node compose_file();
+
+  // A random document of one of the three kinds, emitted canonically.
+  std::string file_text();
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace wisdom::data

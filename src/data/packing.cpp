@@ -1,0 +1,78 @@
+#include "data/packing.hpp"
+
+namespace wisdom::data {
+
+using text::BpeTokenizer;
+
+std::span<const std::int32_t> TokenBatchSet::input(std::size_t i) const {
+  return {inputs.data() + i * static_cast<std::size_t>(window),
+          static_cast<std::size_t>(window)};
+}
+
+std::span<const std::int32_t> TokenBatchSet::target(std::size_t i) const {
+  return {targets.data() + i * static_cast<std::size_t>(window),
+          static_cast<std::size_t>(window)};
+}
+
+namespace {
+
+// Cuts a token stream into (input, shifted-target) windows.
+TokenBatchSet window_stream(const std::vector<std::int32_t>& stream,
+                            int window) {
+  TokenBatchSet set;
+  set.window = window;
+  if (stream.size() < 2) return set;
+  const std::size_t usable = stream.size() - 1;  // last token has no target
+  const std::size_t w = static_cast<std::size_t>(window);
+  const std::size_t n_windows = (usable + w - 1) / w;
+  set.inputs.reserve(n_windows * w);
+  set.targets.reserve(n_windows * w);
+  for (std::size_t start = 0; start < usable; start += w) {
+    for (std::size_t j = 0; j < w; ++j) {
+      std::size_t pos = start + j;
+      if (pos < usable) {
+        set.inputs.push_back(stream[pos]);
+        std::int32_t target = stream[pos + 1];
+        // Never ask the model to predict padding.
+        set.targets.push_back(target == BpeTokenizer::kPad ? -1 : target);
+      } else {
+        set.inputs.push_back(BpeTokenizer::kPad);
+        set.targets.push_back(-1);
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+TokenBatchSet pack_files(const text::BpeTokenizer& tokenizer,
+                         std::span<const std::string> files, int window) {
+  std::vector<std::int32_t> stream;
+  for (const std::string& file : files) {
+    std::vector<std::int32_t> ids = tokenizer.encode(file);
+    stream.insert(stream.end(), ids.begin(), ids.end());
+    stream.push_back(BpeTokenizer::kEndOfText);
+  }
+  return window_stream(stream, window);
+}
+
+TokenBatchSet pack_samples(const text::BpeTokenizer& tokenizer,
+                           std::span<const std::string> samples, int window) {
+  std::vector<std::int32_t> stream;
+  for (const std::string& sample : samples) {
+    std::vector<std::int32_t> ids = tokenizer.encode(sample);
+    // Left-truncate oversized samples, keeping the completion end (the
+    // paper left-truncates inputs larger than the context window).
+    if (static_cast<int>(ids.size()) >= window) {
+      ids.erase(ids.begin(),
+                ids.begin() + (static_cast<std::ptrdiff_t>(ids.size()) -
+                               window + 1));
+    }
+    stream.insert(stream.end(), ids.begin(), ids.end());
+    stream.push_back(BpeTokenizer::kEndOfText);
+  }
+  return window_stream(stream, window);
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,40 @@
+// Token packing for pre-training: "YAML files were packed to fill up a
+// context window of 1024, and we used a special separator token to separate
+// the files." Files are encoded, joined with the end-of-text separator and
+// cut into fixed-size windows; each window yields (input, target) pairs via
+// the standard next-token shift.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/bpe.hpp"
+
+namespace wisdom::data {
+
+struct TokenBatchSet {
+  // Flattened windows, each `window` tokens long.
+  std::vector<std::int32_t> inputs;
+  std::vector<std::int32_t> targets;  // -1 where the loss is masked
+  int window = 0;
+  std::size_t count() const {
+    return window == 0 ? 0 : inputs.size() / static_cast<std::size_t>(window);
+  }
+  std::span<const std::int32_t> input(std::size_t i) const;
+  std::span<const std::int32_t> target(std::size_t i) const;
+};
+
+// Packs whole files into windows (pre-training). The trailing partial
+// window is padded; padded positions are masked in the targets.
+TokenBatchSet pack_files(const text::BpeTokenizer& tokenizer,
+                         std::span<const std::string> files, int window);
+
+// Packs fine-tuning strings: each sample is terminated with the separator
+// and packed back to back (samples longer than the window are
+// left-truncated, keeping the completion end).
+TokenBatchSet pack_samples(const text::BpeTokenizer& tokenizer,
+                           std::span<const std::string> samples, int window);
+
+}  // namespace wisdom::data

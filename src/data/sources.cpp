@@ -1,0 +1,163 @@
+#include "data/sources.hpp"
+
+#include <array>
+
+#include "data/ansible_gen.hpp"
+#include "data/generic_yaml.hpp"
+#include "data/textgen.hpp"
+#include "util/rng.hpp"
+
+namespace wisdom::data {
+
+namespace {
+
+constexpr std::array<SourceSpec, 4> kSources = {{
+    {SourceId::Galaxy, "Galaxy", 112'000, 1120, "Ansible", "FT"},
+    {SourceId::GitLab, "GitLab", 64'000, 64, "Ansible", "PT"},
+    {SourceId::GitHubGbqAnsible, "GitHub + GBQ", 1'100'000, 1100, "Ansible",
+     "PT"},
+    {SourceId::GitHubGbqGeneric, "GitHub + GBQ", 2'200'000, 2200, "Generic",
+     "PT"},
+}};
+
+// Style profile per source: Galaxy is clean, crawls are noisy.
+TaskGenOptions style_for(SourceId id) {
+  TaskGenOptions options;
+  switch (id) {
+    case SourceId::Galaxy:
+      options.short_name_prob = 0.05;
+      options.old_style_prob = 0.01;
+      options.keyword_prob = 0.3;
+      break;
+    case SourceId::GitLab:
+      options.short_name_prob = 0.3;
+      options.old_style_prob = 0.08;
+      options.keyword_prob = 0.35;
+      break;
+    case SourceId::GitHubGbqAnsible:
+      options.short_name_prob = 0.25;
+      options.old_style_prob = 0.06;
+      options.keyword_prob = 0.3;
+      break;
+    case SourceId::GitHubGbqGeneric:
+      break;
+  }
+  return options;
+}
+
+CorpusFile make_ansible_file(AnsibleGenerator& gen, const TaskGenOptions& opts,
+                             SourceId id) {
+  CorpusFile file;
+  file.source = id;
+  file.ansible = true;
+  util::Rng& rng = gen.rng();
+  if (rng.chance(0.3)) {
+    // Playbooks skew small: "the vast majority" have 1-2 tasks.
+    int tasks = rng.chance(0.6) ? static_cast<int>(rng.uniform_int(1, 2))
+                                : static_cast<int>(rng.uniform_int(3, 5));
+    file.text = gen.playbook_text(tasks, opts);
+  } else {
+    file.text = gen.role_tasks_text(static_cast<int>(rng.uniform_int(2, 6)),
+                                    opts);
+  }
+  return file;
+}
+
+}  // namespace
+
+std::span<const SourceSpec> table1_sources() { return kSources; }
+
+std::vector<CorpusFile> build_source(const SourceSpec& spec,
+                                     std::uint64_t seed) {
+  util::Rng root(seed);
+  util::Rng rng = root.fork(spec.label + std::string(spec.yaml_type));
+  std::vector<CorpusFile> files;
+  files.reserve(spec.scaled_file_count);
+  if (spec.id == SourceId::GitHubGbqGeneric) {
+    GenericYamlGenerator gen(rng);
+    for (std::size_t i = 0; i < spec.scaled_file_count; ++i) {
+      CorpusFile file;
+      file.source = spec.id;
+      file.ansible = false;
+      file.text = gen.file_text();
+      files.push_back(std::move(file));
+    }
+    return files;
+  }
+  AnsibleGenerator gen(rng);
+  TaskGenOptions opts = style_for(spec.id);
+  for (std::size_t i = 0; i < spec.scaled_file_count; ++i) {
+    files.push_back(make_ansible_file(gen, opts, spec.id));
+  }
+  return files;
+}
+
+std::size_t CorpusBundle::total_bytes() const {
+  std::size_t n = 0;
+  for (const CorpusFile& f : files) n += f.text.size();
+  return n;
+}
+
+std::string CorpusBundle::concatenated() const {
+  std::string out;
+  out.reserve(total_bytes());
+  for (const CorpusFile& f : files) out += f.text;
+  return out;
+}
+
+CorpusBundle ansible_pretraining_corpus(std::uint64_t seed) {
+  CorpusBundle bundle;
+  for (const SourceSpec& spec : kSources) {
+    if (spec.id == SourceId::GitLab || spec.id == SourceId::GitHubGbqAnsible) {
+      auto files = build_source(spec, seed);
+      bundle.files.insert(bundle.files.end(),
+                          std::make_move_iterator(files.begin()),
+                          std::make_move_iterator(files.end()));
+    }
+  }
+  return bundle;
+}
+
+CorpusBundle generic_yaml_corpus(std::uint64_t seed) {
+  CorpusBundle bundle;
+  bundle.files = build_source(kSources[3], seed);
+  return bundle;
+}
+
+CorpusBundle galaxy_corpus(std::uint64_t seed) {
+  CorpusBundle bundle;
+  bundle.files = build_source(kSources[0], seed);
+  return bundle;
+}
+
+CorpusBundle nl_corpus(std::uint64_t seed, std::size_t documents) {
+  util::Rng root(seed);
+  NlTextGenerator gen(root.fork("pile-nl"));
+  CorpusBundle bundle;
+  bundle.files.reserve(documents);
+  for (std::size_t i = 0; i < documents; ++i) {
+    CorpusFile file;
+    file.source = SourceId::GitHubGbqGeneric;
+    file.ansible = false;
+    file.text = gen.document();
+    bundle.files.push_back(std::move(file));
+  }
+  return bundle;
+}
+
+CorpusBundle code_corpus(std::uint64_t seed, std::size_t documents) {
+  util::Rng root(seed);
+  CodeTextGenerator gen(root.fork("bigquery-code"));
+  CorpusBundle bundle;
+  bundle.files.reserve(documents);
+  for (std::size_t i = 0; i < documents; ++i) {
+    CorpusFile file;
+    file.source = SourceId::GitHubGbqGeneric;
+    file.ansible = false;
+    file.text = gen.document();
+    bundle.files.push_back(std::move(file));
+  }
+  return bundle;
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,69 @@
+// Data-source simulators reproducing Table I of the paper:
+//
+//   | Source       | File Count | YAML Type | Usage |
+//   | Galaxy       | 112K       | Ansible   | FT    |
+//   | GitLab       | 64K        | Ansible   | PT    |
+//   | GitHub + GBQ | 1.1M       | Ansible   | PT    |
+//   | GitHub + GBQ | 2.2M       | Generic   | PT    |
+//
+// File counts are scaled down (1/1000 for the pre-training sources; Galaxy
+// is scaled 1/100 so that the fine-tuning split keeps a usable number of
+// samples per generation type — the paper's per-type proportions in Table
+// VI are preserved either way). Each source has its own style profile:
+// Galaxy files are community-vetted (FQCN, no legacy syntax), the crawled
+// sources carry short module names and old-style k=v arguments at realistic
+// rates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wisdom::data {
+
+enum class SourceId {
+  Galaxy,
+  GitLab,
+  GitHubGbqAnsible,
+  GitHubGbqGeneric,
+};
+
+struct SourceSpec {
+  SourceId id;
+  const char* label;
+  std::size_t paper_file_count;   // from Table I
+  std::size_t scaled_file_count;  // what we synthesize
+  const char* yaml_type;          // "Ansible" | "Generic"
+  const char* usage;              // "PT" | "FT"
+};
+
+struct CorpusFile {
+  std::string text;
+  SourceId source = SourceId::Galaxy;
+  bool ansible = true;
+};
+
+// The four rows of Table I.
+std::span<const SourceSpec> table1_sources();
+
+// Synthesizes all files of one source, deterministically from `seed`.
+std::vector<CorpusFile> build_source(const SourceSpec& spec,
+                                     std::uint64_t seed);
+
+// Convenience corpus bundles used by the pre-training mixes.
+struct CorpusBundle {
+  std::vector<CorpusFile> files;
+  std::size_t total_bytes() const;
+  // Concatenation helper for tokenizer training.
+  std::string concatenated() const;
+};
+
+CorpusBundle ansible_pretraining_corpus(std::uint64_t seed);  // GitLab + GH/GBQ
+CorpusBundle generic_yaml_corpus(std::uint64_t seed);         // GH/GBQ generic
+CorpusBundle galaxy_corpus(std::uint64_t seed);               // FT source
+// "Pile" and "BigQuery code" analogs for the CodeGen baseline mixes.
+CorpusBundle nl_corpus(std::uint64_t seed, std::size_t documents = 1600);
+CorpusBundle code_corpus(std::uint64_t seed, std::size_t documents = 1200);
+
+}  // namespace wisdom::data

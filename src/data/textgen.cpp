@@ -1,0 +1,117 @@
+#include "data/textgen.hpp"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace wisdom::data {
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kSubjects = {
+    "the server",      "the deployment",  "our infrastructure",
+    "the application", "the database",    "the cluster",
+    "the service",     "the network",     "the pipeline",
+    "the operating system",
+};
+
+constexpr std::array<std::string_view, 10> kVerbs = {
+    "requires", "manages",  "provides",  "monitors", "restarts",
+    "installs", "updates",  "validates", "deploys",  "configures",
+};
+
+constexpr std::array<std::string_view, 10> kObjects = {
+    "a configuration file", "several packages",   "the web service",
+    "user accounts",        "security patches",   "log rotation",
+    "network interfaces",   "storage volumes",    "system facts",
+    "scheduled backups",
+};
+
+constexpr std::array<std::string_view, 6> kAdverbs = {
+    "automatically", "reliably", "periodically",
+    "in production", "at boot",  "after every release",
+};
+
+constexpr std::array<std::string_view, 8> kIdentifiers = {
+    "config", "handler", "result", "payload",
+    "buffer", "request", "status", "record",
+};
+
+constexpr std::array<std::string_view, 6> kFuncNames = {
+    "process", "validate", "transform", "parse", "update", "collect",
+};
+
+}  // namespace
+
+std::string NlTextGenerator::sentence() {
+  std::string s;
+  std::string_view subject = kSubjects[rng_.uniform(kSubjects.size())];
+  s += subject;
+  s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  s += " ";
+  s += kVerbs[rng_.uniform(kVerbs.size())];
+  s += " ";
+  s += kObjects[rng_.uniform(kObjects.size())];
+  if (rng_.chance(0.5)) {
+    s += " ";
+    s += kAdverbs[rng_.uniform(kAdverbs.size())];
+  }
+  s += ".";
+  return s;
+}
+
+std::string NlTextGenerator::document() {
+  std::string doc;
+  int sentences = static_cast<int>(rng_.uniform_int(3, 8));
+  for (int i = 0; i < sentences; ++i) {
+    if (i) doc += " ";
+    doc += sentence();
+  }
+  doc += "\n";
+  return doc;
+}
+
+std::string CodeTextGenerator::python_function() {
+  std::string_view fn = kFuncNames[rng_.uniform(kFuncNames.size())];
+  std::string_view var = kIdentifiers[rng_.uniform(kIdentifiers.size())];
+  std::string_view arg = kIdentifiers[rng_.uniform(kIdentifiers.size())];
+  std::string out;
+  out += "def " + std::string(fn) + "_" + std::string(var) + "(" +
+         std::string(arg) + "):\n";
+  if (rng_.chance(0.5)) {
+    out += "    if " + std::string(arg) + " is None:\n";
+    out += "        return None\n";
+  }
+  out += "    " + std::string(var) + " = " + std::string(arg);
+  out += rng_.chance(0.5) ? ".strip()\n" : ".lower()\n";
+  out += "    return " + std::string(var) + "\n";
+  return out;
+}
+
+std::string CodeTextGenerator::c_function() {
+  std::string_view fn = kFuncNames[rng_.uniform(kFuncNames.size())];
+  std::string_view var = kIdentifiers[rng_.uniform(kIdentifiers.size())];
+  std::string out;
+  out += "int " + std::string(fn) + "_" + std::string(var) + "(int n) {\n";
+  out += "    int " + std::string(var) + " = 0;\n";
+  out += "    for (int i = 0; i < n; i++) {\n";
+  out += "        " + std::string(var) +
+         (rng_.chance(0.5) ? " += i;\n" : " += i * i;\n");
+  out += "    }\n";
+  out += "    return " + std::string(var) + ";\n";
+  out += "}\n";
+  return out;
+}
+
+std::string CodeTextGenerator::document() {
+  std::string doc;
+  int functions = static_cast<int>(rng_.uniform_int(1, 3));
+  bool python = rng_.chance(0.6);
+  for (int i = 0; i < functions; ++i) {
+    if (i) doc += "\n";
+    doc += python ? python_function() : c_function();
+  }
+  return doc;
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,38 @@
+// Natural-language and source-code text generators, standing in for the
+// Pile (NL + some code) and the Google BigQuery multi-language code corpus
+// of the CodeGen pre-training mixes. Template-based: the point is to give
+// the CodeGen-analog checkpoints the same kind of prior the paper's
+// baselines have (fluent-ish English, code-shaped indentation and
+// punctuation) without any Ansible semantics.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace wisdom::data {
+
+class NlTextGenerator {
+ public:
+  explicit NlTextGenerator(util::Rng rng) : rng_(rng) {}
+  // A short paragraph of English prose (a "Pile" document).
+  std::string document();
+
+ private:
+  std::string sentence();
+  util::Rng rng_;
+};
+
+class CodeTextGenerator {
+ public:
+  explicit CodeTextGenerator(util::Rng rng) : rng_(rng) {}
+  // A small source file (Python- or C-flavoured, as in BigQuery).
+  std::string document();
+
+ private:
+  std::string python_function();
+  std::string c_function();
+  util::Rng rng_;
+};
+
+}  // namespace wisdom::data

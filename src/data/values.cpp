@@ -1,0 +1,168 @@
+#include "data/values.hpp"
+
+#include <array>
+
+namespace wisdom::data {
+
+namespace {
+
+constexpr std::array<std::string_view, 28> kPackages = {
+    "nginx",        "httpd",        "postgresql",  "mysql-server",
+    "redis",        "docker",       "git",         "curl",
+    "vim",          "htop",         "openssh-server", "python3",
+    "python3-pip",  "nodejs",       "npm",         "java-11-openjdk",
+    "haproxy",      "memcached",    "rabbitmq-server", "mariadb-server",
+    "php-fpm",      "certbot",      "fail2ban",    "ufw",
+    "rsync",        "unzip",        "wget",        "jq",
+};
+
+constexpr std::array<std::string_view, 14> kServices = {
+    "nginx",   "httpd",     "postgresql", "mysql",     "redis",
+    "docker",  "sshd",      "firewalld",  "haproxy",   "memcached",
+    "rabbitmq-server", "php-fpm", "fail2ban", "crond",
+};
+
+constexpr std::array<std::string_view, 16> kConfigPaths = {
+    "/etc/nginx/nginx.conf",
+    "/etc/nginx/conf.d/default.conf",
+    "/etc/httpd/conf/httpd.conf",
+    "/etc/postgresql/postgresql.conf",
+    "/etc/mysql/my.cnf",
+    "/etc/redis/redis.conf",
+    "/etc/ssh/sshd_config",
+    "/etc/haproxy/haproxy.cfg",
+    "/etc/hosts",
+    "/etc/motd",
+    "/etc/environment",
+    "/etc/sysctl.conf",
+    "/etc/app/config.yml",
+    "/etc/app/secrets.env",
+    "/opt/app/settings.ini",
+    "/var/www/html/index.html",
+};
+
+constexpr std::array<std::string_view, 12> kDirectories = {
+    "/var/www/html",  "/opt/app",        "/var/log/app",
+    "/etc/app",       "/srv/data",       "/home/deploy/releases",
+    "/var/lib/app",   "/tmp/build",      "/usr/local/bin",
+    "/var/backups",   "/srv/www",        "/opt/scripts",
+};
+
+constexpr std::array<std::string_view, 10> kTemplates = {
+    "templates/nginx.conf.j2",    "templates/httpd.conf.j2",
+    "templates/app.config.j2",    "templates/haproxy.cfg.j2",
+    "templates/my.cnf.j2",        "templates/redis.conf.j2",
+    "templates/motd.j2",          "templates/sshd_config.j2",
+    "templates/env.j2",           "templates/index.html.j2",
+};
+
+constexpr std::array<std::string_view, 8> kUrls = {
+    "https://example.com/releases/app.tar.gz",
+    "https://example.com/keys/release.gpg",
+    "https://download.example.org/installer.sh",
+    "https://artifacts.example.com/app/latest.zip",
+    "https://api.example.com/health",
+    "https://mirror.example.net/repo/packages.tgz",
+    "https://example.com/bootstrap/setup.sh",
+    "https://cdn.example.org/assets/static.tar.gz",
+};
+
+constexpr std::array<std::string_view, 10> kUsers = {
+    "deploy", "app",   "www-data", "postgres", "redis",
+    "admin",  "jenkins", "backup", "monitor",  "webadmin",
+};
+
+constexpr std::array<std::string_view, 8> kGroups = {
+    "deploy", "app", "www-data", "docker", "wheel", "admin", "backup", "web",
+};
+
+constexpr std::array<std::string_view, 9> kHostGroups = {
+    "all", "webservers", "dbservers", "servers", "app", "workers",
+    "loadbalancers", "cache", "localhost",
+};
+
+constexpr std::array<std::string_view, 12> kShellCommands = {
+    "systemctl daemon-reload",
+    "nginx -t",
+    "make install",
+    "pg_ctl reload",
+    "update-ca-certificates",
+    "ldconfig",
+    "sysctl -p",
+    "apt-get clean",
+    "swapoff -a",
+    "timedatectl set-ntp true",
+    "ufw --force enable",
+    "certbot renew --quiet",
+};
+
+constexpr std::array<std::string_view, 6> kRepos = {
+    "https://github.com/example/app.git",
+    "https://github.com/example/infra.git",
+    "https://gitlab.com/example/service.git",
+    "https://github.com/example/tools.git",
+    "git@github.com:example/private.git",
+    "https://github.com/example/website.git",
+};
+
+constexpr std::array<std::string_view, 6> kModes = {
+    "0644", "0755", "0600", "0640", "0750", "0444",
+};
+
+constexpr std::array<std::string_view, 6> kTimezones = {
+    "UTC",           "Europe/Berlin", "America/New_York",
+    "Asia/Kolkata",  "Europe/London", "America/Los_Angeles",
+};
+
+constexpr std::array<std::string_view, 6> kVyosLines = {
+    "set system host-name vyos-prod",
+    "set service ssh port 22",
+    "set interfaces ethernet eth0 address dhcp",
+    "set system name-server 1.1.1.1",
+    "set system time-zone UTC",
+    "set service lldp interface all",
+};
+
+constexpr std::array<std::string_view, 6> kIosLines = {
+    "hostname core-switch",
+    "ip domain-name example.com",
+    "ntp server 10.0.0.1",
+    "logging host 10.0.0.50",
+    "no ip http server",
+    "service password-encryption",
+};
+
+}  // namespace
+
+std::span<const std::string_view> packages() { return kPackages; }
+std::span<const std::string_view> services() { return kServices; }
+std::span<const std::string_view> config_paths() { return kConfigPaths; }
+std::span<const std::string_view> directories() { return kDirectories; }
+std::span<const std::string_view> template_sources() { return kTemplates; }
+std::span<const std::string_view> urls() { return kUrls; }
+std::span<const std::string_view> users() { return kUsers; }
+std::span<const std::string_view> groups() { return kGroups; }
+std::span<const std::string_view> host_groups() { return kHostGroups; }
+std::span<const std::string_view> shell_commands() { return kShellCommands; }
+std::span<const std::string_view> repos() { return kRepos; }
+std::span<const std::string_view> file_modes() { return kModes; }
+std::span<const std::string_view> timezones() { return kTimezones; }
+std::span<const std::string_view> vyos_lines() { return kVyosLines; }
+std::span<const std::string_view> ios_lines() { return kIosLines; }
+
+std::string_view pick_zipf(util::Rng& rng,
+                           std::span<const std::string_view> pool) {
+  return pool[rng.zipf(pool.size(), 0.8)];
+}
+
+std::string_view pick(util::Rng& rng,
+                      std::span<const std::string_view> pool) {
+  return pool[static_cast<std::size_t>(rng.uniform(pool.size()))];
+}
+
+int plausible_port(util::Rng& rng) {
+  static constexpr int kPorts[] = {80, 443, 8080, 5432, 3306, 6379, 22, 8443};
+  return kPorts[rng.uniform(8)];
+}
+
+}  // namespace wisdom::data

@@ -1,0 +1,41 @@
+// Shared pools of plausible values for the synthetic corpora: package
+// names, services, file paths, hosts, users, and so on. Pool sizes are
+// deliberately moderate — the learning signal in the real Galaxy data comes
+// from heavy repetition of common entities (nginx, /etc/..., port 8080),
+// and the scaled-down models need the same repetition to learn the
+// name -> module -> parameter correlations.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace wisdom::data {
+
+std::span<const std::string_view> packages();
+std::span<const std::string_view> services();
+std::span<const std::string_view> config_paths();
+std::span<const std::string_view> directories();
+std::span<const std::string_view> template_sources();
+std::span<const std::string_view> urls();
+std::span<const std::string_view> users();
+std::span<const std::string_view> groups();
+std::span<const std::string_view> host_groups();
+std::span<const std::string_view> shell_commands();
+std::span<const std::string_view> repos();
+std::span<const std::string_view> file_modes();
+std::span<const std::string_view> timezones();
+std::span<const std::string_view> vyos_lines();
+std::span<const std::string_view> ios_lines();
+
+// Zipf-weighted pick from a pool (common entities dominate).
+std::string_view pick_zipf(util::Rng& rng,
+                           std::span<const std::string_view> pool);
+// Uniform pick.
+std::string_view pick(util::Rng& rng, std::span<const std::string_view> pool);
+
+int plausible_port(util::Rng& rng);
+
+}  // namespace wisdom::data

@@ -1,0 +1,53 @@
+#include "exec/equivalence.hpp"
+
+namespace wisdom::exec {
+
+HostState baseline_host() {
+  HostState host;
+  host.hostname = "node-01";
+  host.timezone = "UTC";
+  host.packages = {"curl", "openssh-server", "python3"};
+  host.services["sshd"] = {true, true, 0};
+  host.services["crond"] = {true, true, 0};
+  host.users = {"root", "deploy"};
+  host.groups = {"root", "deploy", "wheel"};
+  FileState sshd;
+  sshd.content = "Port 22\nPermitRootLogin yes\n";
+  sshd.mode = "0600";
+  host.files["/etc/ssh/sshd_config"] = sshd;
+  FileState motd;
+  motd.content = "welcome\n";
+  host.files["/etc/motd"] = motd;
+  FileState www;
+  www.is_directory = true;
+  host.files["/var/www/html"] = www;
+  host.open_ports = {"22"};
+  return host;
+}
+
+Equivalence execution_equivalence(std::string_view prediction,
+                                  std::string_view gold) {
+  HostState gold_host = baseline_host();
+  TaskResult gold_result = execute_text(gold, gold_host);
+  if (!gold_result.ran()) return Equivalence::Unscorable;
+
+  HostState pred_host = baseline_host();
+  TaskResult pred_result = execute_text(prediction, pred_host);
+  if (pred_result.status == TaskStatus::Unsupported)
+    return Equivalence::Unscorable;
+  if (!pred_result.ran()) return Equivalence::PredFailed;
+
+  return gold_host == pred_host ? Equivalence::Equivalent
+                                : Equivalence::Different;
+}
+
+void EquivalenceStats::add(Equivalence e) {
+  switch (e) {
+    case Equivalence::Equivalent: ++equivalent; break;
+    case Equivalence::Different: ++different; break;
+    case Equivalence::PredFailed: ++pred_failed; break;
+    case Equivalence::Unscorable: ++unscorable; break;
+  }
+}
+
+}  // namespace wisdom::exec

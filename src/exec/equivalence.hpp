@@ -1,0 +1,52 @@
+// Execution-based equivalence: the evaluation the paper rules out on real
+// infrastructure ("it would be impractical to evaluate a task that installs
+// a package on a number of remote hosts by executing it"), made practical
+// on the simulated node. Two snippets are execution-equivalent when,
+// started from identical baseline hosts, both run to completion and leave
+// the hosts in identical states.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "exec/executor.hpp"
+
+namespace wisdom::exec {
+
+// Baseline host used by the metric: a plausible half-configured server, so
+// that removals and idempotent re-runs are observable (an empty host would
+// make `state: absent` a universal no-op).
+HostState baseline_host();
+
+enum class Equivalence {
+  Equivalent,    // both ran; final states identical
+  Different,     // both ran; final states differ
+  PredFailed,    // gold ran, prediction failed to execute
+  Unscorable,    // gold failed or touched unsimulated modules
+};
+
+Equivalence execution_equivalence(std::string_view prediction,
+                                  std::string_view gold);
+
+// Aggregate over samples: fraction of scorable samples that are
+// equivalent (the execution analog of Exact Match — stricter than Ansible
+// Aware on values, looser on key spelling).
+struct EquivalenceStats {
+  std::size_t equivalent = 0;
+  std::size_t different = 0;
+  std::size_t pred_failed = 0;
+  std::size_t unscorable = 0;
+
+  void add(Equivalence e);
+  std::size_t scorable() const {
+    return equivalent + different + pred_failed;
+  }
+  double rate() const {
+    return scorable() == 0
+               ? 0.0
+               : static_cast<double>(equivalent) /
+                     static_cast<double>(scorable());
+  }
+};
+
+}  // namespace wisdom::exec

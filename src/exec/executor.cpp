@@ -1,0 +1,431 @@
+#include "exec/executor.hpp"
+
+#include <vector>
+
+#include "ansible/catalog.hpp"
+#include "ansible/freeform.hpp"
+#include "util/strings.hpp"
+#include "yaml/parse.hpp"
+
+namespace wisdom::exec {
+
+namespace ansible = wisdom::ansible;
+namespace util = wisdom::util;
+namespace yaml = wisdom::yaml;
+
+namespace {
+
+// Argument accessor over the (possibly legacy k=v) module args.
+class Args {
+ public:
+  explicit Args(const yaml::Node& raw) {
+    if (raw.is_str() && ansible::looks_like_kv_args(raw.as_str())) {
+      parsed_ = ansible::parse_free_form(raw.as_str()).params;
+      node_ = &parsed_;
+    } else {
+      node_ = &raw;
+    }
+  }
+
+  bool is_map() const { return node_->is_map(); }
+  bool is_string() const { return node_->is_str(); }
+  std::string free_text() const {
+    return node_->is_str() ? node_->as_str() : std::string();
+  }
+
+  std::string str(std::string_view key, std::string fallback = "") const {
+    if (!node_->is_map()) return fallback;
+    const yaml::Node* v = node_->find(key);
+    if (!v || !v->is_scalar()) return fallback;
+    return v->scalar_text();
+  }
+
+  bool boolean(std::string_view key, bool fallback = false) const {
+    if (!node_->is_map()) return fallback;
+    const yaml::Node* v = node_->find(key);
+    if (!v) return fallback;
+    if (v->is_bool()) return v->as_bool();
+    return fallback;
+  }
+
+  bool has(std::string_view key) const {
+    return node_->is_map() && node_->has(key);
+  }
+
+  // A parameter that accepts one name or a list of names (apt's `name`).
+  std::vector<std::string> list(std::string_view key) const {
+    std::vector<std::string> out;
+    if (!node_->is_map()) return out;
+    const yaml::Node* v = node_->find(key);
+    if (!v) return out;
+    if (v->is_seq()) {
+      for (const yaml::Node& item : v->items()) {
+        if (item.is_scalar()) out.push_back(item.scalar_text());
+      }
+    } else if (v->is_scalar()) {
+      out.push_back(v->scalar_text());
+    }
+    return out;
+  }
+
+ private:
+  const yaml::Node* node_ = nullptr;
+  yaml::Node parsed_;
+};
+
+TaskResult ok_or_changed(bool changed, std::string message = "") {
+  return {changed ? TaskStatus::Changed : TaskStatus::Ok,
+          std::move(message)};
+}
+
+TaskResult failed(std::string message) {
+  return {TaskStatus::Failed, std::move(message)};
+}
+
+TaskResult unsupported(const std::string& module) {
+  return {TaskStatus::Unsupported, "module not simulated: " + module};
+}
+
+// --- module semantics -------------------------------------------------------
+
+TaskResult run_package(const Args& args, HostState& host,
+                       std::string_view prefix) {
+  std::vector<std::string> names = args.list("name");
+  if (names.empty()) return failed("package: missing name");
+  std::string state = args.str("state", "present");
+  bool changed = false;
+  for (const std::string& raw : names) {
+    std::string pkg = std::string(prefix) + raw;
+    if (state == "absent" || state == "removed") {
+      changed |= host.packages.erase(pkg) > 0;
+    } else {  // present / latest / installed: ensure installed
+      changed |= host.packages.insert(pkg).second;
+      if (state == "latest") changed = true;  // upgrade counts as a change
+    }
+  }
+  return ok_or_changed(changed);
+}
+
+TaskResult run_service(const Args& args, HostState& host) {
+  std::string name = args.str("name");
+  if (name.empty()) return failed("service: missing name");
+  ServiceState& svc = host.services[name];
+  bool changed = false;
+  std::string state = args.str("state");
+  if (state == "started") {
+    changed |= !svc.running;
+    svc.running = true;
+  } else if (state == "stopped") {
+    changed |= svc.running;
+    svc.running = false;
+  } else if (state == "restarted") {
+    svc.running = true;
+    ++svc.restarts;
+    changed = true;
+  } else if (state == "reloaded") {
+    changed = true;
+  } else if (!state.empty()) {
+    return failed("service: bad state " + state);
+  }
+  if (args.has("enabled")) {
+    bool enable = args.boolean("enabled");
+    changed |= svc.enabled != enable;
+    svc.enabled = enable;
+  }
+  return ok_or_changed(changed);
+}
+
+void apply_file_attrs(const Args& args, FileState& file) {
+  if (args.has("mode")) file.mode = args.str("mode");
+  if (args.has("owner")) file.owner = args.str("owner");
+  if (args.has("group")) file.group = args.str("group");
+}
+
+TaskResult run_copy_like(const Args& args, HostState& host,
+                         std::string_view tag) {
+  std::string dest = args.str("dest");
+  if (dest.empty()) return failed("copy/template: missing dest");
+  FileState next;
+  if (args.has("content")) {
+    next.content = args.str("content");
+  } else {
+    next.content = std::string(tag) + ":" + args.str("src");
+  }
+  apply_file_attrs(args, next);
+  FileState& current = host.files[dest];
+  bool changed = !(current == next);
+  current = next;
+  return ok_or_changed(changed);
+}
+
+TaskResult run_file(const Args& args, HostState& host) {
+  std::string path = args.str("path");
+  if (path.empty()) return failed("file: missing path");
+  std::string state = args.str("state", "file");
+  bool changed = false;
+  if (state == "absent") {
+    changed = host.files.erase(path) > 0;
+    return ok_or_changed(changed);
+  }
+  auto it = host.files.find(path);
+  if (it == host.files.end()) {
+    if (state == "file") {
+      // `state: file` does not create; it asserts existence.
+      return failed("file: path does not exist: " + path);
+    }
+    changed = true;
+    it = host.files.emplace(path, FileState{}).first;
+  }
+  FileState before = it->second;
+  it->second.is_directory = (state == "directory");
+  apply_file_attrs(args, it->second);
+  changed |= !(before == it->second);
+  return ok_or_changed(changed);
+}
+
+TaskResult run_lineinfile(const Args& args, HostState& host) {
+  std::string path = args.str("path");
+  if (path.empty()) return failed("lineinfile: missing path");
+  std::string line = args.str("line");
+  std::string state = args.str("state", "present");
+  FileState& file = host.files[path];
+  bool present = util::contains(file.content, line);
+  if (state == "present") {
+    if (line.empty()) return failed("lineinfile: missing line");
+    if (present) return ok_or_changed(false);
+    if (!file.content.empty() && file.content.back() != '\n')
+      file.content += '\n';
+    file.content += line + "\n";
+    return ok_or_changed(true);
+  }
+  if (!present || line.empty()) return ok_or_changed(false);
+  file.content = util::replace_all(file.content, line + "\n", "");
+  return ok_or_changed(true);
+}
+
+TaskResult run_blockinfile(const Args& args, HostState& host) {
+  std::string path = args.str("path");
+  if (path.empty()) return failed("blockinfile: missing path");
+  std::string block = args.str("block");
+  FileState& file = host.files[path];
+  if (util::contains(file.content, block)) return ok_or_changed(false);
+  file.content += block;
+  return ok_or_changed(true);
+}
+
+TaskResult run_replace(const Args& args, HostState& host) {
+  std::string path = args.str("path");
+  std::string pattern = args.str("regexp");
+  if (path.empty() || pattern.empty())
+    return failed("replace: missing path/regexp");
+  FileState& file = host.files[path];
+  // Literal-substring semantics (the generator emits literal patterns).
+  if (!util::contains(file.content, pattern)) return ok_or_changed(false);
+  file.content =
+      util::replace_all(file.content, pattern, args.str("replace"));
+  return ok_or_changed(true);
+}
+
+TaskResult run_command(const Args& args, HostState& host,
+                       std::string_view module) {
+  std::string cmd =
+      args.is_string() ? args.free_text() : args.str("cmd");
+  if (cmd.empty() && module == "script") cmd = args.free_text();
+  if (cmd.empty()) return failed(std::string(module) + ": missing command");
+  // `creates:` idempotency guard.
+  std::string creates = args.str("creates");
+  if (!creates.empty() && host.files.count(creates))
+    return ok_or_changed(false);
+  host.command_journal.push_back(cmd);
+  if (!creates.empty()) host.files[creates] = FileState{};
+  return ok_or_changed(true);
+}
+
+TaskResult run_user_group(const Args& args, HostState& host, bool is_user) {
+  std::string name = args.str("name");
+  if (name.empty()) return failed("user/group: missing name");
+  auto& set = is_user ? host.users : host.groups;
+  bool changed;
+  if (args.str("state", "present") == "absent") {
+    changed = set.erase(name) > 0;
+  } else {
+    changed = set.insert(name).second;
+  }
+  return ok_or_changed(changed);
+}
+
+TaskResult run_firewall(const Args& args, HostState& host,
+                        std::string_view module) {
+  std::string port = args.str("port");
+  std::string service = args.str("service");
+  if (module == "iptables") port = args.str("destination_port");
+  std::string key = !port.empty() ? port : service;
+  if (key.empty()) return failed("firewall: missing port/service");
+  std::string state = args.str("state", "enabled");
+  std::string rule = args.str("rule", "allow");
+  bool open = (module == "ufw") ? (rule == "allow" || rule == "limit")
+                                : (state == "enabled" || state == "present");
+  bool changed = open ? host.open_ports.insert(key).second
+                      : host.open_ports.erase(key) > 0;
+  return ok_or_changed(changed);
+}
+
+}  // namespace
+
+TaskResult execute_task(const ansible::Task& task, HostState& host) {
+  if (task.module.empty()) return failed("task has no module");
+  const ansible::ModuleCatalog& catalog = ansible::ModuleCatalog::instance();
+  const ansible::ModuleSpec* spec = catalog.resolve(task.module);
+  if (!spec) return unsupported(task.module);
+  const std::string& m = spec->short_name;
+  Args args(task.args);
+
+  if (m == "apt" || m == "yum" || m == "dnf" || m == "package")
+    return run_package(args, host, "");
+  if (m == "pip") return run_package(args, host, "pip:");
+  if (m == "npm") return run_package(args, host, "npm:");
+  if (m == "gem") return run_package(args, host, "gem:");
+  if (m == "service" || m == "systemd") return run_service(args, host);
+  if (m == "copy") return run_copy_like(args, host, "copy");
+  if (m == "template") return run_copy_like(args, host, "template");
+  if (m == "file") return run_file(args, host);
+  if (m == "lineinfile") return run_lineinfile(args, host);
+  if (m == "blockinfile") return run_blockinfile(args, host);
+  if (m == "replace") return run_replace(args, host);
+  if (m == "command" || m == "shell" || m == "raw" || m == "script")
+    return run_command(args, host, m);
+  if (m == "user") return run_user_group(args, host, true);
+  if (m == "group") return run_user_group(args, host, false);
+  if (m == "ufw" || m == "firewalld" || m == "iptables")
+    return run_firewall(args, host, m);
+  if (m == "hostname") {
+    std::string name = args.str("name");
+    if (name.empty()) return failed("hostname: missing name");
+    bool changed = host.hostname != name;
+    host.hostname = name;
+    return ok_or_changed(changed);
+  }
+  if (m == "timezone") {
+    std::string name = args.str("name");
+    if (name.empty()) return failed("timezone: missing name");
+    bool changed = host.timezone != name;
+    host.timezone = name;
+    return ok_or_changed(changed);
+  }
+  if (m == "sysctl") {
+    std::string key = args.str("name");
+    if (key.empty()) return failed("sysctl: missing name");
+    std::string value = args.str("value");
+    bool changed = host.sysctl[key] != value;
+    host.sysctl[key] = value;
+    return ok_or_changed(changed);
+  }
+  if (m == "mount") {
+    std::string path = args.str("path");
+    if (path.empty()) return failed("mount: missing path");
+    std::string state = args.str("state", "mounted");
+    bool changed = (state == "absent" || state == "unmounted")
+                       ? host.mounts.erase(path) > 0
+                       : host.mounts.insert(path).second;
+    return ok_or_changed(changed);
+  }
+  if (m == "get_url") {
+    std::string dest = args.str("dest");
+    if (dest.empty()) return failed("get_url: missing dest");
+    FileState next;
+    next.content = "download:" + args.str("url");
+    apply_file_attrs(args, next);
+    bool changed = !(host.files[dest] == next);
+    host.files[dest] = next;
+    return ok_or_changed(changed);
+  }
+  if (m == "git") {
+    std::string dest = args.str("dest");
+    if (dest.empty()) return failed("git: missing dest");
+    FileState next;
+    next.is_directory = true;
+    next.content = "git:" + args.str("repo");
+    bool changed = !(host.files[dest] == next);
+    host.files[dest] = next;
+    return ok_or_changed(changed);
+  }
+  if (m == "unarchive") {
+    std::string dest = args.str("dest");
+    if (dest.empty()) return failed("unarchive: missing dest");
+    FileState& dir = host.files[dest];
+    bool changed = !dir.is_directory ||
+                   dir.content != "archive:" + args.str("src");
+    dir.is_directory = true;
+    dir.content = "archive:" + args.str("src");
+    return ok_or_changed(changed);
+  }
+  if (m == "set_fact") {
+    bool changed = false;
+    if (task.args.is_map()) {
+      for (const auto& [key, value] : task.args.entries()) {
+        if (key == "cacheable") continue;
+        std::string rendered = value.is_scalar() ? value.scalar_text() : "";
+        changed |= host.facts[key] != rendered;
+        host.facts[key] = rendered;
+      }
+    }
+    return ok_or_changed(changed);
+  }
+  if (m == "reboot") {
+    host.rebooted = true;
+    return ok_or_changed(true);
+  }
+  if (m == "fail") return failed(args.str("msg", "failed"));
+  if (m == "debug" || m == "ping" || m == "setup" || m == "assert" ||
+      m == "service_facts" || m == "package_facts" || m == "meta" ||
+      m == "wait_for" || m == "wait_for_connection" || m == "pause" ||
+      m == "stat" || m == "slurp") {
+    return ok_or_changed(false);  // read-only / no-op on host state
+  }
+  return unsupported(task.module);
+}
+
+TaskResult execute_text(std::string_view yaml_text, HostState& host) {
+  auto doc = yaml::parse_document(yaml_text);
+  if (!doc) return failed("yaml parse error");
+
+  std::vector<ansible::Task> tasks;
+  if (doc->is_map()) {
+    tasks.push_back(ansible::Task::from_node(*doc));
+  } else if (doc->is_seq()) {
+    if (ansible::looks_like_playbook(*doc)) {
+      auto playbook = ansible::Playbook::from_node(*doc);
+      if (!playbook) return failed("bad playbook");
+      for (const auto& play : playbook->plays)
+        for (const auto& task : play.tasks) tasks.push_back(task);
+    } else {
+      for (const yaml::Node& item : doc->items())
+        tasks.push_back(ansible::Task::from_node(item));
+    }
+  } else {
+    return failed("not a task, task list or playbook");
+  }
+  if (tasks.empty()) return failed("nothing to execute");
+
+  bool changed = false;
+  bool skipped = false;
+  for (const ansible::Task& task : tasks) {
+    TaskResult result = execute_task(task, host);
+    switch (result.status) {
+      case TaskStatus::Failed:
+        return result;  // Ansible stops the play on failure
+      case TaskStatus::Unsupported:
+        skipped = true;
+        break;
+      case TaskStatus::Changed:
+        changed = true;
+        break;
+      case TaskStatus::Ok:
+        break;
+    }
+  }
+  if (skipped) return {TaskStatus::Unsupported, "some tasks not simulated"};
+  return ok_or_changed(changed);
+}
+
+}  // namespace wisdom::exec

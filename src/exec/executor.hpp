@@ -1,0 +1,43 @@
+// Task execution against a simulated HostState.
+//
+// Implements the effective semantics of the high-frequency catalog modules
+// (packaging, services, files, users, firewall, commands, facts). Modules
+// outside the implemented set return Unsupported — the equivalence metric
+// treats those samples as unscorable rather than wrong, mirroring how an
+// execution-based harness would have to skip tasks touching resources it
+// cannot provision.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ansible/model.hpp"
+#include "exec/host_state.hpp"
+
+namespace wisdom::exec {
+
+enum class TaskStatus {
+  Ok,           // ran, no state change
+  Changed,      // ran, state changed
+  Failed,       // ran and failed (bad arguments, fail module, ...)
+  Unsupported,  // module not modelled by the simulator
+};
+
+struct TaskResult {
+  TaskStatus status = TaskStatus::Ok;
+  std::string message;
+  bool ran() const {
+    return status == TaskStatus::Ok || status == TaskStatus::Changed;
+  }
+};
+
+// Executes one structured task against the host.
+TaskResult execute_task(const ansible::Task& task, HostState& host);
+
+// Parses `yaml_text` (a task mapping, a task list, or a playbook) and
+// executes every contained task in order. Returns Failed on the first
+// failure (remaining tasks are not run, as Ansible would stop), Unsupported
+// if any task was skipped, Changed if anything changed, Ok otherwise.
+TaskResult execute_text(std::string_view yaml_text, HostState& host);
+
+}  // namespace wisdom::exec

@@ -1,0 +1,35 @@
+#include "exec/host_state.hpp"
+
+namespace wisdom::exec {
+
+std::string HostState::to_string() const {
+  std::string out;
+  out += "packages:";
+  for (const auto& p : packages) out += " " + p;
+  out += "\nservices:";
+  for (const auto& [name, s] : services) {
+    out += " " + name + "(" + (s.running ? "up" : "down") +
+           (s.enabled ? ",enabled" : "") +
+           (s.restarts ? ",restarts=" + std::to_string(s.restarts) : "") +
+           ")";
+  }
+  out += "\nfiles:";
+  for (const auto& [path, f] : files) {
+    out += " " + path + (f.is_directory ? "/" : "");
+    if (!f.mode.empty()) out += "[" + f.mode + "]";
+  }
+  out += "\nusers:";
+  for (const auto& u : users) out += " " + u;
+  out += "\ngroups:";
+  for (const auto& g : groups) out += " " + g;
+  out += "\nports:";
+  for (const auto& p : open_ports) out += " " + p;
+  out += "\ncommands:";
+  for (const auto& c : command_journal) out += " [" + c + "]";
+  if (!hostname.empty()) out += "\nhostname: " + hostname;
+  if (!timezone.empty()) out += "\ntimezone: " + timezone;
+  out += "\n";
+  return out;
+}
+
+}  // namespace wisdom::exec

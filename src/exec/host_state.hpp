@@ -1,0 +1,61 @@
+// A simulated managed node.
+//
+// The paper's evaluation section opens with: "since the generated ansible
+// task ... always has high dependency on external resources, it is not
+// practical to evaluate the correctness of a task by executing it". That
+// is true of real infrastructure — but a reproduction built on a synthetic
+// substrate can close exactly this gap: HostState models the managed
+// node's observable state (packages, services, files, users, firewall,
+// ...) and the executor applies module semantics to it, enabling the
+// execution-based equivalence metric in equivalence.hpp.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wisdom::exec {
+
+struct FileState {
+  std::string content;  // literal content or a provenance tag such as
+                        // "template:src.j2" / "download:https://..."
+  std::string mode;
+  std::string owner;
+  std::string group;
+  bool is_directory = false;
+
+  bool operator==(const FileState&) const = default;
+};
+
+struct ServiceState {
+  bool running = false;
+  bool enabled = false;
+  int restarts = 0;  // observable effect of `state: restarted`
+
+  bool operator==(const ServiceState&) const = default;
+};
+
+struct HostState {
+  std::set<std::string> packages;       // os packages; "pip:x"/"npm:x" for
+                                        // language package managers
+  std::map<std::string, ServiceState> services;
+  std::map<std::string, FileState> files;
+  std::set<std::string> users;
+  std::set<std::string> groups;
+  std::map<std::string, std::string> sysctl;
+  std::map<std::string, std::string> facts;  // set_fact results
+  std::set<std::string> open_ports;          // ufw/firewalld/iptables
+  std::set<std::string> mounts;
+  std::vector<std::string> command_journal;  // command/shell/raw/script
+  std::string hostname;
+  std::string timezone;
+  bool rebooted = false;
+
+  bool operator==(const HostState&) const = default;
+
+  // Human-readable dump (tests, debugging).
+  std::string to_string() const;
+};
+
+}  // namespace wisdom::exec

@@ -1,0 +1,41 @@
+#include "metrics/aggregate.hpp"
+
+#include "metrics/ansible_aware.hpp"
+#include "metrics/exact_match.hpp"
+#include "metrics/schema_correct.hpp"
+#include "util/strings.hpp"
+
+namespace wisdom::metrics {
+
+namespace util = wisdom::util;
+
+std::string MetricsReport::to_string() const {
+  return "schema=" + util::fmt_fixed(schema_correct, 2) +
+         " em=" + util::fmt_fixed(exact_match, 2) +
+         " bleu=" + util::fmt_fixed(bleu, 2) +
+         " aware=" + util::fmt_fixed(ansible_aware, 2) +
+         " n=" + std::to_string(count);
+}
+
+void MetricsAccumulator::add(std::string_view prediction,
+                             std::string_view target) {
+  bleu_.add(prediction, target);
+  if (schema_correct(prediction)) ++schema_ok_;
+  if (exact_match(prediction, target)) ++exact_;
+  aware_sum_ += ansible_aware_text(prediction, target);
+  ++count_;
+}
+
+MetricsReport MetricsAccumulator::report() const {
+  MetricsReport report;
+  report.count = count_;
+  if (count_ == 0) return report;
+  double n = static_cast<double>(count_);
+  report.schema_correct = 100.0 * static_cast<double>(schema_ok_) / n;
+  report.exact_match = 100.0 * static_cast<double>(exact_) / n;
+  report.bleu = 100.0 * bleu_.score();
+  report.ansible_aware = 100.0 * aware_sum_ / n;
+  return report;
+}
+
+}  // namespace wisdom::metrics

@@ -1,0 +1,40 @@
+// Aggregation of the four paper metrics over a test set, producing the
+// row format of Tables IV-VI: Schema Correct / EM / BLEU / Ansible Aware,
+// all scaled to [0, 100].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "metrics/bleu.hpp"
+
+namespace wisdom::metrics {
+
+struct MetricsReport {
+  double schema_correct = 0.0;
+  double exact_match = 0.0;
+  double bleu = 0.0;
+  double ansible_aware = 0.0;
+  std::size_t count = 0;
+
+  std::string to_string() const;
+};
+
+class MetricsAccumulator {
+ public:
+  // Adds one (prediction, target) pair; computes all four metrics.
+  void add(std::string_view prediction, std::string_view target);
+
+  MetricsReport report() const;
+  std::size_t sample_count() const { return count_; }
+
+ private:
+  BleuAccumulator bleu_;
+  std::size_t schema_ok_ = 0;
+  std::size_t exact_ = 0;
+  double aware_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace wisdom::metrics

@@ -1,0 +1,208 @@
+#include "metrics/ansible_aware.hpp"
+
+#include <string>
+
+#include "ansible/catalog.hpp"
+#include "ansible/freeform.hpp"
+#include "ansible/keywords.hpp"
+#include "ansible/model.hpp"
+#include "util/strings.hpp"
+#include "yaml/parse.hpp"
+
+namespace wisdom::metrics {
+
+namespace ansible = wisdom::ansible;
+namespace util = wisdom::util;
+namespace yaml = wisdom::yaml;
+
+namespace {
+
+const ansible::ModuleCatalog& catalog() {
+  return ansible::ModuleCatalog::instance();
+}
+
+// Scalar equality on resolved values, with a literal-text fallback so that
+// e.g. the string "1" and the integer 1 (a quoting difference with no
+// execution effect) compare equal.
+bool scalar_equal(const yaml::Node& a, const yaml::Node& b) {
+  if (a == b) return true;
+  return util::trim(a.scalar_text()) == util::trim(b.scalar_text());
+}
+
+// Converts an old-style "k1=v1 k2=v2" argument string to a parameter dict;
+// anything else passes through unchanged.
+yaml::Node normalize_args(const yaml::Node& args) {
+  if (args.is_str() && ansible::looks_like_kv_args(args.as_str())) {
+    return ansible::parse_free_form(args.as_str()).params;
+  }
+  return args;
+}
+
+// Generic recursive value score, used for keyword values, module parameter
+// dicts and nested structures.
+double score_value(const yaml::Node& pred, const yaml::Node& target) {
+  if (target.is_scalar()) {
+    if (!pred.is_scalar()) return 0.0;
+    return scalar_equal(pred, target) ? 1.0 : 0.0;
+  }
+  if (target.is_seq()) {
+    if (!pred.is_seq()) return 0.0;
+    if (target.size() == 0) return 1.0;  // nothing required, inserts ignored
+    double sum = 0.0;
+    for (std::size_t i = 0; i < target.size(); ++i) {
+      if (i < pred.size())
+        sum += score_value(pred.items()[i], target.items()[i]);
+    }
+    return sum / static_cast<double>(target.size());
+  }
+  // target is a mapping: average over target entries; missing keys score 0,
+  // inserted prediction keys are ignored.
+  if (!pred.is_map()) return 0.0;
+  if (target.size() == 0) return 1.0;
+  double sum = 0.0;
+  for (const auto& [key, value] : target.entries()) {
+    const yaml::Node* pv = pred.find(key);
+    if (!pv) continue;  // key score 0, value score 0
+    sum += 0.5 + 0.5 * score_value(*pv, value);  // avg(key=1, value)
+  }
+  return sum / static_cast<double>(target.size());
+}
+
+double score_task(const yaml::Node& pred_node, const yaml::Node& target_node);
+
+// Scores the module key-value pair of a task.
+double score_module_pair(const ansible::Task& pred,
+                         const ansible::Task& target) {
+  if (pred.module.empty()) return 0.0;
+  std::string pred_fqcn = catalog().to_fqcn(pred.module);
+  std::string target_fqcn = catalog().to_fqcn(target.module);
+
+  double key_score = 0.0;
+  if (pred_fqcn == target_fqcn) {
+    key_score = 1.0;
+  } else if (catalog().near_equivalent(pred.module, target.module)) {
+    // "such module differences are given a partial key score which is
+    // averaged with the score of their arguments"
+    key_score = 0.5;
+  } else {
+    return 0.0;
+  }
+  double value_score =
+      score_value(normalize_args(pred.args), normalize_args(target.args));
+  return 0.5 * (key_score + value_score);
+}
+
+// Scores one task against the target task, per the paper's recipe.
+double score_task(const yaml::Node& pred_node,
+                  const yaml::Node& target_node) {
+  if (!target_node.is_map()) return 0.0;
+  if (!pred_node.is_map()) return 0.0;
+
+  ansible::Task pred = ansible::Task::from_node(pred_node);
+  ansible::Task target = ansible::Task::from_node(target_node);
+
+  double sum = 0.0;
+  std::size_t pairs = 0;
+
+  if (!target.module.empty()) {
+    sum += score_module_pair(pred, target);
+    ++pairs;
+  }
+  for (const auto& [key, value] : target.keywords) {
+    ++pairs;
+    // Block bodies are task lists and recurse through task scoring.
+    if (ansible::is_block_key(key)) {
+      const yaml::Node* pv = pred_node.find(key);
+      if (!pv || !pv->is_seq() || !value.is_seq()) continue;
+      double body = 0.0;
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        if (i < pv->size()) body += score_task(pv->items()[i], value.items()[i]);
+      }
+      if (value.size() > 0) body /= static_cast<double>(value.size());
+      sum += 0.5 * (1.0 + body);
+      continue;
+    }
+    const yaml::Node* pv = nullptr;
+    for (const auto& [pk, pvv] : pred.keywords) {
+      if (pk == key) {
+        pv = &pvv;
+        break;
+      }
+    }
+    if (!pv) continue;  // missing keyword: 0
+    sum += 0.5 * (1.0 + score_value(*pv, value));
+  }
+  if (pairs == 0) return 1.0;  // target carried only a name
+  return sum / static_cast<double>(pairs);
+}
+
+double score_play(const yaml::Node& pred_node, const yaml::Node& target_node) {
+  if (!target_node.is_map()) return 0.0;
+  if (!pred_node.is_map()) return 0.0;
+
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (const auto& [key, value] : target_node.entries()) {
+    if (key == "name") continue;  // ignored, like task names
+    ++pairs;
+    const yaml::Node* pv = pred_node.find(key);
+    if (!pv) continue;
+    if ((key == "tasks" || key == "pre_tasks" || key == "post_tasks" ||
+         key == "handlers") &&
+        value.is_seq()) {
+      double body = 0.0;
+      if (pv->is_seq()) {
+        for (std::size_t i = 0; i < value.size(); ++i) {
+          if (i < pv->size())
+            body += score_task(pv->items()[i], value.items()[i]);
+        }
+        if (value.size() > 0) body /= static_cast<double>(value.size());
+      }
+      sum += 0.5 * (1.0 + body);
+    } else {
+      sum += 0.5 * (1.0 + score_value(*pv, value));
+    }
+  }
+  if (pairs == 0) return 1.0;
+  return sum / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+double ansible_aware(const yaml::Node& prediction, const yaml::Node& target) {
+  if (target.is_map()) {
+    // Single task. Accept a one-element sequence prediction (a model that
+    // wrapped its task in a list) by unwrapping it.
+    const yaml::Node* pred = &prediction;
+    if (prediction.is_seq() && prediction.size() >= 1 &&
+        prediction.items()[0].is_map()) {
+      pred = &prediction.items()[0];
+    }
+    return score_task(*pred, target);
+  }
+  if (!target.is_seq()) {
+    return score_value(prediction, target);
+  }
+  if (target.size() == 0) return 1.0;
+  if (!prediction.is_seq()) return 0.0;
+
+  bool playbook = ansible::looks_like_playbook(target);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (i >= prediction.size()) continue;
+    sum += playbook ? score_play(prediction.items()[i], target.items()[i])
+                    : score_task(prediction.items()[i], target.items()[i]);
+  }
+  return sum / static_cast<double>(target.size());
+}
+
+double ansible_aware_text(std::string_view prediction,
+                          std::string_view target) {
+  auto target_doc = yaml::parse_document(target);
+  if (!target_doc) return 0.0;
+  auto pred_doc = yaml::parse_document(prediction);
+  if (!pred_doc) return 0.0;
+  return ansible_aware(*pred_doc, *target_doc);
+}
+
+}  // namespace wisdom::metrics

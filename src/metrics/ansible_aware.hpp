@@ -1,0 +1,41 @@
+// The Ansible Aware metric, implemented exactly as §Experiments/Evaluation
+// Metrics describes it:
+//
+//   * A task is a mapping; its score is the average of the scores of the
+//     top-level key-value pairs *found in the target* — keys missing from
+//     the prediction score 0, keys inserted by the prediction are ignored
+//     ("insertions are less costly than deletions as they can be easily
+//     removed").
+//   * The "name" key and its value are ignored (no effect on execution).
+//   * Each pair's score is the average of its key score and value score.
+//   * List / dict values are scored recursively by averaging their items /
+//     entries.
+//   * Module names are replaced by their FQCN before comparison
+//     (copy -> ansible.builtin.copy).
+//   * Old-style "k1=v1 k2=v2" parameter strings are converted to a dict
+//     before comparison.
+//   * Almost-equivalent modules (command/shell, copy/template,
+//     package/apt/dnf/yum) receive a partial key score which is averaged
+//     with the score of their arguments.
+//   * For playbooks, the play's top-level pairs are averaged, with each
+//     task scored as above.
+//
+// Scores are in [0, 1]; the evaluation harness reports them scaled to 100.
+#pragma once
+
+#include <string_view>
+
+#include "yaml/node.hpp"
+
+namespace wisdom::metrics {
+
+// Score structured nodes (target defines which pairs count).
+double ansible_aware(const yaml::Node& prediction, const yaml::Node& target);
+
+// Parses both sides. An unparseable prediction scores 0; the target is
+// expected to be valid (it comes from the dataset) — if it does not parse
+// the sample scores 0 as well.
+double ansible_aware_text(std::string_view prediction,
+                          std::string_view target);
+
+}  // namespace wisdom::metrics

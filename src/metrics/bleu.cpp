@@ -1,0 +1,100 @@
+#include "metrics/bleu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/ngram.hpp"
+#include "text/tokenize.hpp"
+
+namespace wisdom::metrics {
+
+namespace text = wisdom::text;
+
+namespace {
+
+struct OrderStats {
+  std::int64_t matches = 0;
+  std::int64_t total = 0;
+};
+
+void accumulate_orders(std::span<const std::string> cand,
+                       std::span<const std::string> ref,
+                       OrderStats (&stats)[kBleuMaxOrder]) {
+  for (std::size_t n = 1; n <= kBleuMaxOrder; ++n) {
+    text::NgramCounts cand_counts = text::count_ngrams(cand, n);
+    text::NgramCounts ref_counts = text::count_ngrams(ref, n);
+    std::int64_t total = 0;
+    for (const auto& [gram, count] : cand_counts) total += count;
+    stats[n - 1].matches += text::clipped_matches(cand_counts, ref_counts);
+    stats[n - 1].total += total;
+  }
+}
+
+double brevity_penalty(std::int64_t cand_len, std::int64_t ref_len) {
+  if (cand_len >= ref_len) return 1.0;
+  if (cand_len == 0) return 0.0;
+  return std::exp(1.0 - static_cast<double>(ref_len) /
+                            static_cast<double>(cand_len));
+}
+
+}  // namespace
+
+double sentence_bleu(std::string_view candidate, std::string_view reference) {
+  std::vector<std::string> cand = text::bleu_tokenize(candidate);
+  std::vector<std::string> ref = text::bleu_tokenize(reference);
+  if (cand.empty() || ref.empty()) return cand.empty() && ref.empty() ? 1.0 : 0.0;
+
+  OrderStats stats[kBleuMaxOrder];
+  accumulate_orders(cand, ref, stats);
+
+  double log_sum = 0.0;
+  for (std::size_t n = 1; n <= kBleuMaxOrder; ++n) {
+    double matches = static_cast<double>(stats[n - 1].matches);
+    double total = static_cast<double>(stats[n - 1].total);
+    if (n > 1) {
+      // ORANGE add-one smoothing.
+      matches += 1.0;
+      total += 1.0;
+    }
+    if (total == 0.0) {
+      // Candidate shorter than n tokens: treat the missing order as a hard
+      // miss only when unsmoothed (n == 1 cannot be empty here).
+      return 0.0;
+    }
+    if (matches == 0.0) return 0.0;
+    log_sum += std::log(matches / total);
+  }
+  double precision = std::exp(log_sum / kBleuMaxOrder);
+  return brevity_penalty(static_cast<std::int64_t>(cand.size()),
+                         static_cast<std::int64_t>(ref.size())) *
+         precision;
+}
+
+void BleuAccumulator::add(std::string_view candidate,
+                          std::string_view reference) {
+  std::vector<std::string> cand = text::bleu_tokenize(candidate);
+  std::vector<std::string> ref = text::bleu_tokenize(reference);
+  OrderStats stats[kBleuMaxOrder];
+  accumulate_orders(cand, ref, stats);
+  for (std::size_t n = 0; n < kBleuMaxOrder; ++n) {
+    matches_[n] += stats[n].matches;
+    totals_[n] += stats[n].total;
+  }
+  candidate_length_ += static_cast<std::int64_t>(cand.size());
+  reference_length_ += static_cast<std::int64_t>(ref.size());
+  ++samples_;
+}
+
+double BleuAccumulator::score() const {
+  if (samples_ == 0) return 0.0;
+  double log_sum = 0.0;
+  for (std::size_t n = 0; n < kBleuMaxOrder; ++n) {
+    if (totals_[n] == 0 || matches_[n] == 0) return 0.0;
+    log_sum += std::log(static_cast<double>(matches_[n]) /
+                        static_cast<double>(totals_[n]));
+  }
+  return brevity_penalty(candidate_length_, reference_length_) *
+         std::exp(log_sum / kBleuMaxOrder);
+}
+
+}  // namespace wisdom::metrics

@@ -1,0 +1,41 @@
+// BLEU for Ansible-YAML, as used in the paper ("the BLEU score's basis on
+// n-gram coverage suggests it could be a useful metric" — sequences matter
+// in YAML while some reordering is permitted). Standard modified n-gram
+// precision up to 4-grams with brevity penalty; sentence-level scores use
+// ORANGE add-one smoothing (Lin & Och 2004, the paper's second BLEU
+// reference) so short near-misses are not zeroed by an empty 4-gram match.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wisdom::metrics {
+
+inline constexpr std::size_t kBleuMaxOrder = 4;
+
+// Sentence BLEU in [0, 1] with add-one smoothing for orders > 1.
+double sentence_bleu(std::string_view candidate, std::string_view reference);
+
+// Corpus BLEU accumulator: clipped match and total counts are pooled over
+// the whole test set before the geometric mean, the standard corpus BLEU
+// definition (no smoothing needed once counts are pooled).
+class BleuAccumulator {
+ public:
+  void add(std::string_view candidate, std::string_view reference);
+
+  // Corpus BLEU in [0, 1]; 0 when nothing was added.
+  double score() const;
+  std::size_t sample_count() const { return samples_; }
+
+ private:
+  std::int64_t matches_[kBleuMaxOrder] = {0, 0, 0, 0};
+  std::int64_t totals_[kBleuMaxOrder] = {0, 0, 0, 0};
+  std::int64_t candidate_length_ = 0;
+  std::int64_t reference_length_ = 0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace wisdom::metrics

@@ -1,0 +1,18 @@
+#include "metrics/exact_match.hpp"
+
+#include "util/strings.hpp"
+#include "yaml/emit.hpp"
+
+namespace wisdom::metrics {
+
+namespace util = wisdom::util;
+namespace yaml = wisdom::yaml;
+
+bool exact_match(std::string_view prediction, std::string_view target) {
+  auto norm_pred = yaml::normalize(prediction);
+  auto norm_target = yaml::normalize(target);
+  if (norm_pred && norm_target) return *norm_pred == *norm_target;
+  return util::trim(prediction) == util::trim(target);
+}
+
+}  // namespace wisdom::metrics

@@ -1,0 +1,14 @@
+// Exact Match after canonical formatting: both sides are normalized with
+// the Ansible-style emitter before comparison, so differences in quoting,
+// flow vs block style or trailing whitespace do not break a match, while
+// any structural or value difference does. Unparseable predictions can only
+// match by literal (trimmed) equality.
+#pragma once
+
+#include <string_view>
+
+namespace wisdom::metrics {
+
+bool exact_match(std::string_view prediction, std::string_view target);
+
+}  // namespace wisdom::metrics

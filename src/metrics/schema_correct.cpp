@@ -1,0 +1,11 @@
+#include "metrics/schema_correct.hpp"
+
+#include "ansible/linter.hpp"
+
+namespace wisdom::metrics {
+
+bool schema_correct(std::string_view prediction) {
+  return wisdom::ansible::lint_text(prediction).ok();
+}
+
+}  // namespace wisdom::metrics

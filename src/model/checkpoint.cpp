@@ -1,0 +1,71 @@
+#include "model/checkpoint.hpp"
+
+#include "util/io.hpp"
+
+namespace wisdom::model {
+
+namespace util = wisdom::util;
+
+namespace {
+constexpr std::uint32_t kMagic = 0x5749534D;  // "WISM"
+}
+
+std::string save_checkpoint(const Transformer& model,
+                            const std::string& tokenizer_blob) {
+  std::string out;
+  util::put_u32(out, kMagic);
+  const ModelConfig& cfg = model.config();
+  util::put_u32(out, static_cast<std::uint32_t>(cfg.vocab));
+  util::put_u32(out, static_cast<std::uint32_t>(cfg.ctx));
+  util::put_u32(out, static_cast<std::uint32_t>(cfg.d_model));
+  util::put_u32(out, static_cast<std::uint32_t>(cfg.n_head));
+  util::put_u32(out, static_cast<std::uint32_t>(cfg.n_layer));
+  util::put_u32(out, static_cast<std::uint32_t>(cfg.d_ff));
+  util::put_string(out, tokenizer_blob);
+  auto params = model.parameters();
+  util::put_u64(out, params.size());
+  for (const nn::Param* p : params) util::put_f32_vec(out, p->w);
+  return out;
+}
+
+std::optional<Transformer> load_checkpoint(std::string_view data,
+                                           std::string* tokenizer_blob) {
+  util::ByteReader reader(data);
+  if (reader.get_u32() != kMagic) return std::nullopt;
+  ModelConfig cfg;
+  cfg.vocab = static_cast<std::int32_t>(reader.get_u32());
+  cfg.ctx = static_cast<std::int32_t>(reader.get_u32());
+  cfg.d_model = static_cast<std::int32_t>(reader.get_u32());
+  cfg.n_head = static_cast<std::int32_t>(reader.get_u32());
+  cfg.n_layer = static_cast<std::int32_t>(reader.get_u32());
+  cfg.d_ff = static_cast<std::int32_t>(reader.get_u32());
+  std::string blob = reader.get_string();
+  if (!reader.ok() || !cfg.valid()) return std::nullopt;
+  if (tokenizer_blob) *tokenizer_blob = std::move(blob);
+
+  Transformer model(cfg, /*seed=*/0);
+  auto params = model.parameters();
+  std::uint64_t count = reader.get_u64();
+  if (count != params.size()) return std::nullopt;
+  for (nn::Param* p : params) {
+    nn::Vec w = reader.get_f32_vec();
+    if (!reader.ok() || w.size() != p->w.size()) return std::nullopt;
+    p->w = std::move(w);
+  }
+  if (!reader.at_end()) return std::nullopt;
+  return model;
+}
+
+bool save_checkpoint_file(const std::string& path, const Transformer& model,
+                          const std::string& tokenizer_blob) {
+  return util::write_file(path, save_checkpoint(model, tokenizer_blob));
+}
+
+std::optional<Transformer> load_checkpoint_file(const std::string& path,
+                                                std::string* tokenizer_blob) {
+  auto data = util::read_file(path);
+  if (!data) return std::nullopt;
+  return load_checkpoint(*data, tokenizer_blob);
+}
+
+}  // namespace wisdom::model

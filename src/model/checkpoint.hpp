@@ -1,0 +1,36 @@
+// Checkpoint save/load: model config + every parameter tensor, plus the
+// tokenizer blob so a checkpoint is self-contained (the paper's workflow of
+// resuming from a released CodeGen checkpoint and extending its pre-training
+// maps onto load -> continue training here).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "model/transformer.hpp"
+#include "text/bpe.hpp"
+
+namespace wisdom::model {
+
+struct Checkpoint {
+  ModelConfig config;
+  std::string weights;    // serialized parameter data
+  std::string tokenizer;  // serialized BPE tokenizer
+};
+
+// Serializes the model (and optionally its tokenizer blob) to bytes.
+std::string save_checkpoint(const Transformer& model,
+                            const std::string& tokenizer_blob);
+
+// Restores a model; nullopt on a malformed blob. The tokenizer blob is
+// returned through `tokenizer_blob` when non-null.
+std::optional<Transformer> load_checkpoint(std::string_view data,
+                                           std::string* tokenizer_blob);
+
+// Convenience file wrappers.
+bool save_checkpoint_file(const std::string& path, const Transformer& model,
+                          const std::string& tokenizer_blob);
+std::optional<Transformer> load_checkpoint_file(const std::string& path,
+                                                std::string* tokenizer_blob);
+
+}  // namespace wisdom::model

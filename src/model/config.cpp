@@ -1,0 +1,66 @@
+#include "model/config.hpp"
+
+namespace wisdom::model {
+
+std::int64_t ModelConfig::param_count() const {
+  std::int64_t d = d_model;
+  std::int64_t per_layer = 0;
+  per_layer += 2 * d;          // ln1 gain/bias
+  per_layer += d * 3 * d + 3 * d;  // qkv
+  per_layer += d * d + d;      // attention out
+  per_layer += 2 * d;          // ln2
+  per_layer += d * d_ff + d_ff;  // fc
+  per_layer += static_cast<std::int64_t>(d_ff) * d + d;  // proj
+  std::int64_t total = n_layer * per_layer;
+  total += static_cast<std::int64_t>(vocab) * d;  // wte
+  total += 2 * d;                                 // final ln
+  total += static_cast<std::int64_t>(d) * vocab;  // lm head
+  return total;
+}
+
+bool ModelConfig::valid() const {
+  return vocab > 0 && ctx > 0 && d_model > 0 && n_head > 0 && n_layer > 0 &&
+         d_ff > 0 && d_model % n_head == 0 && head_dim() >= 2;
+}
+
+ModelConfig config_for(SizeClass size, std::int32_t vocab, std::int32_t ctx) {
+  ModelConfig cfg;
+  cfg.vocab = vocab;
+  cfg.ctx = ctx;
+  switch (size) {
+    case SizeClass::S350M:
+      cfg.d_model = 48;
+      cfg.n_head = 4;
+      cfg.n_layer = 2;
+      break;
+    case SizeClass::M2_7B:
+      cfg.d_model = 64;
+      cfg.n_head = 4;
+      cfg.n_layer = 3;
+      break;
+    case SizeClass::L6B:
+      cfg.d_model = 80;
+      cfg.n_head = 4;
+      cfg.n_layer = 4;
+      break;
+    case SizeClass::XL175B:
+      cfg.d_model = 96;
+      cfg.n_head = 4;
+      cfg.n_layer = 3;
+      break;
+  }
+  cfg.d_ff = 4 * cfg.d_model;
+  return cfg;
+}
+
+std::string size_label(SizeClass size) {
+  switch (size) {
+    case SizeClass::S350M: return "350M";
+    case SizeClass::M2_7B: return "2.7B";
+    case SizeClass::L6B: return "6B";
+    case SizeClass::XL175B: return "175B";
+  }
+  return "?";
+}
+
+}  // namespace wisdom::model

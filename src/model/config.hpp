@@ -1,0 +1,49 @@
+// Model configuration family.
+//
+// The paper uses CodeGen checkpoints at 350M, 2.7B and 6B parameters plus
+// Codex-Davinci-002 at 175B. Training those requires a GPU cluster; the
+// reproduction maps each onto a scaled-down decoder-only config (same
+// architecture: pre-LN residual blocks, multi-head causal attention with
+// rotary position embeddings, GELU MLP) chosen so that the *relative*
+// compute ordering of the family is preserved on one CPU core. The paper's
+// context windows 512/1024/2048 map to 48/96/192 simulated tokens — our
+// BPE over synthetic Ansible averages ~2.5 bytes/token, so 96 tokens cover
+// a multi-task context just as 1024 covers one in the real data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wisdom::model {
+
+struct ModelConfig {
+  std::int32_t vocab = 320;
+  std::int32_t ctx = 96;       // context window (tokens)
+  std::int32_t d_model = 48;
+  std::int32_t n_head = 4;
+  std::int32_t n_layer = 2;
+  std::int32_t d_ff = 192;     // 4 * d_model
+
+  std::int32_t head_dim() const { return d_model / n_head; }
+  // Rotary over the full head dimension (CodeGen applies it to a prefix;
+  // with small heads the full dimension is the faithful choice).
+  std::int32_t rotary_dim() const { return head_dim() & ~1; }
+  std::int64_t param_count() const;
+  bool valid() const;
+};
+
+// Paper-size labels used in the result tables.
+enum class SizeClass {
+  S350M,   // "350M"  — the deployed Wisdom size
+  M2_7B,   // "2.7B"
+  L6B,     // "6B"
+  XL175B,  // "175B"  — the Codex-Davinci-002 analog
+};
+
+// Canonical scaled-down config for each size label.
+ModelConfig config_for(SizeClass size, std::int32_t vocab, std::int32_t ctx);
+
+// Label as printed in the tables ("350M", "2.7B", ...).
+std::string size_label(SizeClass size);
+
+}  // namespace wisdom::model

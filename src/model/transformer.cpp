@@ -1,0 +1,691 @@
+#include "model/transformer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "nn/ops.hpp"
+
+namespace wisdom::model {
+
+using nn::Vec;
+
+namespace {
+
+// dB[t x hd] += dC^T-style product for attention: dk[j] += sum_i ds[i][j]*q[i].
+void accumulate_dk(const float* dscores, const float* q, float* dk, int t,
+                   int hd) {
+  for (int i = 0; i < t; ++i) {
+    const float* ds_row = dscores + static_cast<std::size_t>(i) * t;
+    const float* q_row = q + static_cast<std::size_t>(i) * hd;
+    for (int j = 0; j <= i; ++j) {
+      const float s = ds_row[j];
+      if (s == 0.0f) continue;
+      float* dk_row = dk + static_cast<std::size_t>(j) * hd;
+      for (int c = 0; c < hd; ++c) dk_row[c] += s * q_row[c];
+    }
+  }
+}
+
+}  // namespace
+
+Transformer::Transformer(const ModelConfig& config, std::uint64_t seed)
+    : config_(config) {
+  assert(config_.valid());
+  util::Rng rng(seed);
+  const int d = config_.d_model;
+  const int ff = config_.d_ff;
+  const int v = config_.vocab;
+  const float std_embed = 0.02f;
+  // Residual projections scaled by 1/sqrt(2*n_layer) (GPT-2 practice) keeps
+  // the residual stream variance flat at init.
+  const float std_resid =
+      0.02f / std::sqrt(2.0f * static_cast<float>(config_.n_layer));
+
+  wte_.resize(static_cast<std::size_t>(v) * d);
+  nn::init_normal(wte_.w, rng, std_embed);
+  head_.resize(static_cast<std::size_t>(d) * v);
+  nn::init_normal(head_.w, rng, std_embed);
+  lnf_g_.resize(d);
+  nn::fill(lnf_g_.w, 1.0f);
+  lnf_b_.resize(d);
+
+  layers_.resize(static_cast<std::size_t>(config_.n_layer));
+  for (Layer& layer : layers_) {
+    layer.ln1_g.resize(d);
+    nn::fill(layer.ln1_g.w, 1.0f);
+    layer.ln1_b.resize(d);
+    layer.wqkv.resize(static_cast<std::size_t>(d) * 3 * d);
+    nn::init_normal(layer.wqkv.w, rng, std_embed);
+    layer.bqkv.resize(3 * d);
+    layer.wo.resize(static_cast<std::size_t>(d) * d);
+    nn::init_normal(layer.wo.w, rng, std_resid);
+    layer.bo.resize(d);
+    layer.ln2_g.resize(d);
+    nn::fill(layer.ln2_g.w, 1.0f);
+    layer.ln2_b.resize(d);
+    layer.wfc.resize(static_cast<std::size_t>(d) * ff);
+    nn::init_normal(layer.wfc.w, rng, std_embed);
+    layer.bfc.resize(ff);
+    layer.wproj.resize(static_cast<std::size_t>(ff) * d);
+    nn::init_normal(layer.wproj.w, rng, std_resid);
+    layer.bproj.resize(d);
+  }
+  acts_.resize(layers_.size());
+}
+
+void Transformer::set_context_window(std::int32_t ctx) {
+  assert(ctx >= 8);
+  config_.ctx = ctx;
+}
+
+std::int64_t Transformer::param_count() const {
+  std::int64_t total = 0;
+  for (const nn::Param* p : parameters()) {
+    total += static_cast<std::int64_t>(p->size());
+  }
+  return total;
+}
+
+std::vector<nn::Param*> Transformer::parameters() {
+  std::vector<nn::Param*> out = {&wte_};
+  for (Layer& l : layers_) {
+    for (nn::Param* p : {&l.ln1_g, &l.ln1_b, &l.wqkv, &l.bqkv, &l.wo, &l.bo,
+                         &l.ln2_g, &l.ln2_b, &l.wfc, &l.bfc, &l.wproj,
+                         &l.bproj}) {
+      out.push_back(p);
+    }
+  }
+  out.push_back(&lnf_g_);
+  out.push_back(&lnf_b_);
+  out.push_back(&head_);
+  return out;
+}
+
+std::vector<const nn::Param*> Transformer::parameters() const {
+  auto mut = const_cast<Transformer*>(this)->parameters();
+  return {mut.begin(), mut.end()};
+}
+
+void Transformer::zero_grad() {
+  for (nn::Param* p : parameters()) p->zero_grad();
+}
+
+void Transformer::optim_step(nn::AdamW& opt, float lr, float grad_scale,
+                             float clip_norm) {
+  auto params = parameters();
+  if (grad_scale != 1.0f) {
+    for (nn::Param* p : params) {
+      for (float& g : p->g) g *= grad_scale;
+    }
+  }
+  if (clip_norm > 0.0f) nn::clip_grad_norm(params, clip_norm);
+  opt.begin_step();
+  for (nn::Param* p : params) {
+    // No weight decay on layernorm gains/biases and other 1-D params.
+    bool decay = p->size() > static_cast<std::size_t>(3 * config_.d_model);
+    opt.step_param(*p, lr, decay);
+  }
+}
+
+float Transformer::forward_backward(std::span<const std::int32_t> x,
+                                    std::span<const std::int32_t> y,
+                                    int batch, int t) {
+  return run(x, y, batch, t, /*backward=*/true);
+}
+
+float Transformer::evaluate(std::span<const std::int32_t> x,
+                            std::span<const std::int32_t> y, int batch,
+                            int t) {
+  return run(x, y, batch, t, /*backward=*/false);
+}
+
+float Transformer::run(std::span<const std::int32_t> x,
+                       std::span<const std::int32_t> y, int batch, int t,
+                       bool backward) {
+  assert(t <= config_.ctx);
+  const int d = config_.d_model;
+  const int h = config_.n_head;
+  const int hd = config_.head_dim();
+  const int rot = config_.rotary_dim();
+  const int ff = config_.d_ff;
+  const int v = config_.vocab;
+  const int rows = batch * t;
+  assert(static_cast<int>(x.size()) == rows);
+  assert(static_cast<int>(y.size()) == rows);
+  const std::size_t rd = static_cast<std::size_t>(rows) * d;
+  const float att_scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // --- forward -------------------------------------------------------------
+  Vec residual(rd);
+  nn::embedding(wte_.w.data(), x.data(), residual.data(), rows, d);
+
+  Vec qh(static_cast<std::size_t>(t) * hd), kh(qh.size()), vh(qh.size()),
+      oh(qh.size());
+  Vec scores(static_cast<std::size_t>(t) * t);
+
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    Layer& L = layers_[li];
+    LayerActs& A = acts_[li];
+    A.input = residual;
+    A.ln1_out.resize(rd);
+    A.ln1_mean.resize(rows);
+    A.ln1_rstd.resize(rows);
+    nn::layernorm(A.input.data(), L.ln1_g.w.data(), L.ln1_b.w.data(),
+                  A.ln1_out.data(), A.ln1_mean.data(), A.ln1_rstd.data(),
+                  rows, d);
+    A.qkv.resize(static_cast<std::size_t>(rows) * 3 * d);
+    nn::matmul(A.ln1_out.data(), L.wqkv.w.data(), A.qkv.data(), rows, d,
+               3 * d);
+    nn::add_bias(A.qkv.data(), L.bqkv.w.data(), A.qkv.data(), rows, 3 * d);
+
+    A.att_probs.assign(
+        static_cast<std::size_t>(batch) * h * t * t, 0.0f);
+    A.att_mix.assign(rd, 0.0f);
+
+    for (int b = 0; b < batch; ++b) {
+      for (int head = 0; head < h; ++head) {
+        // Gather contiguous per-head q/k/v.
+        for (int i = 0; i < t; ++i) {
+          const float* row =
+              A.qkv.data() + (static_cast<std::size_t>(b) * t + i) * 3 * d;
+          std::memcpy(&qh[static_cast<std::size_t>(i) * hd],
+                      row + head * hd, hd * sizeof(float));
+          std::memcpy(&kh[static_cast<std::size_t>(i) * hd],
+                      row + d + head * hd, hd * sizeof(float));
+          std::memcpy(&vh[static_cast<std::size_t>(i) * hd],
+                      row + 2 * d + head * hd, hd * sizeof(float));
+        }
+        nn::rotary(qh.data(), t, hd, rot, 0);
+        nn::rotary(kh.data(), t, hd, rot, 0);
+        // Write the rotated q/k back so the backward pass sees them.
+        for (int i = 0; i < t; ++i) {
+          float* row =
+              A.qkv.data() + (static_cast<std::size_t>(b) * t + i) * 3 * d;
+          std::memcpy(row + head * hd, &qh[static_cast<std::size_t>(i) * hd],
+                      hd * sizeof(float));
+          std::memcpy(row + d + head * hd,
+                      &kh[static_cast<std::size_t>(i) * hd],
+                      hd * sizeof(float));
+        }
+        // Causal attention.
+        nn::matmul_bt(qh.data(), kh.data(), scores.data(), t, hd, t);
+        for (int i = 0; i < t; ++i) {
+          float* srow = scores.data() + static_cast<std::size_t>(i) * t;
+          for (int j = 0; j <= i; ++j) srow[j] *= att_scale;
+          for (int j = i + 1; j < t; ++j) srow[j] = -1e30f;
+        }
+        float* probs =
+            A.att_probs.data() +
+            (static_cast<std::size_t>(b) * h + head) * t * t;
+        nn::softmax(scores.data(), probs, t, t);
+        nn::matmul(probs, vh.data(), oh.data(), t, t, hd);
+        for (int i = 0; i < t; ++i) {
+          std::memcpy(A.att_mix.data() +
+                          (static_cast<std::size_t>(b) * t + i) * d +
+                          head * hd,
+                      &oh[static_cast<std::size_t>(i) * hd],
+                      hd * sizeof(float));
+        }
+      }
+    }
+
+    // Attention output projection + residual.
+    Vec att_out(rd);
+    nn::matmul(A.att_mix.data(), L.wo.w.data(), att_out.data(), rows, d, d);
+    nn::add_bias(att_out.data(), L.bo.w.data(), att_out.data(), rows, d);
+    A.mid.resize(rd);
+    for (std::size_t i = 0; i < rd; ++i)
+      A.mid[i] = A.input[i] + att_out[i];
+
+    // MLP.
+    A.ln2_out.resize(rd);
+    A.ln2_mean.resize(rows);
+    A.ln2_rstd.resize(rows);
+    nn::layernorm(A.mid.data(), L.ln2_g.w.data(), L.ln2_b.w.data(),
+                  A.ln2_out.data(), A.ln2_mean.data(), A.ln2_rstd.data(),
+                  rows, d);
+    A.fc_pre.resize(static_cast<std::size_t>(rows) * ff);
+    nn::matmul(A.ln2_out.data(), L.wfc.w.data(), A.fc_pre.data(), rows, d,
+               ff);
+    nn::add_bias(A.fc_pre.data(), L.bfc.w.data(), A.fc_pre.data(), rows, ff);
+    A.fc_act.resize(A.fc_pre.size());
+    nn::gelu(A.fc_pre.data(), A.fc_act.data(),
+             static_cast<int>(A.fc_pre.size()));
+    Vec proj(rd);
+    nn::matmul(A.fc_act.data(), L.wproj.w.data(), proj.data(), rows, ff, d);
+    nn::add_bias(proj.data(), L.bproj.w.data(), proj.data(), rows, d);
+    for (std::size_t i = 0; i < rd; ++i) residual[i] = A.mid[i] + proj[i];
+  }
+
+  final_in_ = residual;
+  final_out_.resize(rd);
+  final_mean_.resize(rows);
+  final_rstd_.resize(rows);
+  nn::layernorm(final_in_.data(), lnf_g_.w.data(), lnf_b_.w.data(),
+                final_out_.data(), final_mean_.data(), final_rstd_.data(),
+                rows, d);
+  logits_.resize(static_cast<std::size_t>(rows) * v);
+  nn::matmul(final_out_.data(), head_.w.data(), logits_.data(), rows, d, v);
+  dlogits_.resize(logits_.size());
+  float loss = nn::cross_entropy(logits_.data(), y.data(), rows, v,
+                                 /*ignore_index=*/-1, dlogits_.data());
+  if (!backward) return loss;
+
+  // --- backward ------------------------------------------------------------
+  Vec dfinal_out(rd, 0.0f);
+  nn::matmul_backward(final_out_.data(), head_.w.data(), dlogits_.data(),
+                      dfinal_out.data(), head_.g.data(), rows, d, v);
+  Vec dres(rd, 0.0f);
+  nn::layernorm_backward(final_in_.data(), lnf_g_.w.data(),
+                         final_mean_.data(), final_rstd_.data(),
+                         dfinal_out.data(), dres.data(), lnf_g_.g.data(),
+                         lnf_b_.g.data(), rows, d);
+
+  Vec dqh(qh.size()), dkh(kh.size()), dvh(vh.size()), doh(oh.size());
+  Vec dprobs(scores.size()), dscores(scores.size());
+
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& L = layers_[li];
+    LayerActs& A = acts_[li];
+
+    // residual_out = mid + proj; dres covers both branches.
+    Vec dfc_act(static_cast<std::size_t>(rows) * ff, 0.0f);
+    nn::matmul_backward(A.fc_act.data(), L.wproj.w.data(), dres.data(),
+                        dfc_act.data(), L.wproj.g.data(), rows, ff, d);
+    nn::add_bias_backward(dres.data(), L.bproj.g.data(), rows, d);
+    Vec dfc_pre(dfc_act.size(), 0.0f);
+    nn::gelu_backward(A.fc_pre.data(), dfc_act.data(), dfc_pre.data(),
+                      static_cast<int>(dfc_pre.size()));
+    Vec dln2(rd, 0.0f);
+    nn::matmul_backward(A.ln2_out.data(), L.wfc.w.data(), dfc_pre.data(),
+                        dln2.data(), L.wfc.g.data(), rows, d, ff);
+    nn::add_bias_backward(dfc_pre.data(), L.bfc.g.data(), rows, ff);
+
+    Vec dmid = dres;  // gradient through the second residual connection
+    nn::layernorm_backward(A.mid.data(), L.ln2_g.w.data(), A.ln2_mean.data(),
+                           A.ln2_rstd.data(), dln2.data(), dmid.data(),
+                           L.ln2_g.g.data(), L.ln2_b.g.data(), rows, d);
+
+    // mid = input + att_out.
+    Vec datt_mix(rd, 0.0f);
+    nn::matmul_backward(A.att_mix.data(), L.wo.w.data(), dmid.data(),
+                        datt_mix.data(), L.wo.g.data(), rows, d, d);
+    nn::add_bias_backward(dmid.data(), L.bo.g.data(), rows, d);
+
+    Vec dqkv(static_cast<std::size_t>(rows) * 3 * d, 0.0f);
+    for (int b = 0; b < batch; ++b) {
+      for (int head = 0; head < h; ++head) {
+        for (int i = 0; i < t; ++i) {
+          const float* row =
+              A.qkv.data() + (static_cast<std::size_t>(b) * t + i) * 3 * d;
+          std::memcpy(&qh[static_cast<std::size_t>(i) * hd],
+                      row + head * hd, hd * sizeof(float));
+          std::memcpy(&kh[static_cast<std::size_t>(i) * hd],
+                      row + d + head * hd, hd * sizeof(float));
+          std::memcpy(&vh[static_cast<std::size_t>(i) * hd],
+                      row + 2 * d + head * hd, hd * sizeof(float));
+          std::memcpy(&doh[static_cast<std::size_t>(i) * hd],
+                      datt_mix.data() +
+                          (static_cast<std::size_t>(b) * t + i) * d +
+                          head * hd,
+                      hd * sizeof(float));
+        }
+        const float* probs =
+            A.att_probs.data() +
+            (static_cast<std::size_t>(b) * h + head) * t * t;
+        // oh = probs * vh
+        std::fill(dprobs.begin(), dprobs.end(), 0.0f);
+        std::fill(dvh.begin(), dvh.end(), 0.0f);
+        nn::matmul_backward(probs, vh.data(), doh.data(), dprobs.data(),
+                            dvh.data(), t, t, hd);
+        std::fill(dscores.begin(), dscores.end(), 0.0f);
+        nn::softmax_backward(probs, dprobs.data(), dscores.data(), t, t);
+        // scores = (qh kh^T) * att_scale with causal mask.
+        for (int i = 0; i < t; ++i) {
+          float* row = dscores.data() + static_cast<std::size_t>(i) * t;
+          for (int j = 0; j <= i; ++j) row[j] *= att_scale;
+          for (int j = i + 1; j < t; ++j) row[j] = 0.0f;
+        }
+        nn::matmul(dscores.data(), kh.data(), dqh.data(), t, t, hd);
+        std::fill(dkh.begin(), dkh.end(), 0.0f);
+        accumulate_dk(dscores.data(), qh.data(), dkh.data(), t, hd);
+        nn::rotary_backward(dqh.data(), t, hd, rot, 0);
+        nn::rotary_backward(dkh.data(), t, hd, rot, 0);
+        for (int i = 0; i < t; ++i) {
+          float* row =
+              dqkv.data() + (static_cast<std::size_t>(b) * t + i) * 3 * d;
+          std::memcpy(row + head * hd, &dqh[static_cast<std::size_t>(i) * hd],
+                      hd * sizeof(float));
+          std::memcpy(row + d + head * hd,
+                      &dkh[static_cast<std::size_t>(i) * hd],
+                      hd * sizeof(float));
+          std::memcpy(row + 2 * d + head * hd,
+                      &dvh[static_cast<std::size_t>(i) * hd],
+                      hd * sizeof(float));
+        }
+      }
+    }
+
+    Vec dln1(rd, 0.0f);
+    nn::matmul_backward(A.ln1_out.data(), L.wqkv.w.data(), dqkv.data(),
+                        dln1.data(), L.wqkv.g.data(), rows, d, 3 * d);
+    nn::add_bias_backward(dqkv.data(), L.bqkv.g.data(), rows, 3 * d);
+
+    Vec dinput = dmid;  // gradient through the first residual connection
+    nn::layernorm_backward(A.input.data(), L.ln1_g.w.data(),
+                           A.ln1_mean.data(), A.ln1_rstd.data(), dln1.data(),
+                           dinput.data(), L.ln1_g.g.data(),
+                           L.ln1_b.g.data(), rows, d);
+    dres = std::move(dinput);
+  }
+  nn::embedding_backward(x.data(), dres.data(), wte_.g.data(), rows, d);
+  return loss;
+}
+
+Transformer::KvCache Transformer::make_cache() const {
+  KvCache cache;
+  const std::size_t per_layer =
+      static_cast<std::size_t>(config_.ctx) * config_.d_model;
+  cache.keys.assign(layers_.size(), Vec(per_layer, 0.0f));
+  cache.values.assign(layers_.size(), Vec(per_layer, 0.0f));
+  return cache;
+}
+
+std::span<const float> Transformer::decode_step(KvCache& cache,
+                                                std::int32_t token) {
+  assert(cache.length < config_.ctx);
+  assert(token >= 0 && token < config_.vocab);
+  const int d = config_.d_model;
+  const int h = config_.n_head;
+  const int hd = config_.head_dim();
+  const int rot = config_.rotary_dim();
+  const int ff = config_.d_ff;
+  const int v = config_.vocab;
+  const int pos = cache.length;
+  const float att_scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  Vec x(static_cast<std::size_t>(d));
+  std::memcpy(x.data(), wte_.w.data() + static_cast<std::size_t>(token) * d,
+              d * sizeof(float));
+  Vec a1(d), qkv(3 * d), mix(d), tmp(d), a2(d), fc(ff), mean(1), rstd(1);
+  Vec att(static_cast<std::size_t>(pos) + 1);
+
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    Layer& L = layers_[li];
+    nn::layernorm(x.data(), L.ln1_g.w.data(), L.ln1_b.w.data(), a1.data(),
+                  mean.data(), rstd.data(), 1, d);
+    nn::matmul(a1.data(), L.wqkv.w.data(), qkv.data(), 1, d, 3 * d);
+    nn::add_bias(qkv.data(), L.bqkv.w.data(), qkv.data(), 1, 3 * d);
+    // Rotate q and k at this position.
+    for (int head = 0; head < h; ++head) {
+      nn::rotary(qkv.data() + head * hd, 1, hd, rot, pos);
+      nn::rotary(qkv.data() + d + head * hd, 1, hd, rot, pos);
+    }
+    // Append rotated k and v.
+    std::memcpy(cache.keys[li].data() + static_cast<std::size_t>(pos) * d,
+                qkv.data() + d, d * sizeof(float));
+    std::memcpy(cache.values[li].data() + static_cast<std::size_t>(pos) * d,
+                qkv.data() + 2 * d, d * sizeof(float));
+
+    for (int head = 0; head < h; ++head) {
+      const float* q = qkv.data() + head * hd;
+      for (int j = 0; j <= pos; ++j) {
+        const float* krow =
+            cache.keys[li].data() + static_cast<std::size_t>(j) * d +
+            head * hd;
+        float acc = 0.0f;
+        for (int c = 0; c < hd; ++c) acc += q[c] * krow[c];
+        att[static_cast<std::size_t>(j)] = acc * att_scale;
+      }
+      nn::softmax(att.data(), att.data(), 1, pos + 1);
+      float* out = mix.data() + head * hd;
+      std::fill(out, out + hd, 0.0f);
+      for (int j = 0; j <= pos; ++j) {
+        const float w = att[static_cast<std::size_t>(j)];
+        const float* vrow =
+            cache.values[li].data() + static_cast<std::size_t>(j) * d +
+            head * hd;
+        for (int c = 0; c < hd; ++c) out[c] += w * vrow[c];
+      }
+    }
+    nn::matmul(mix.data(), L.wo.w.data(), tmp.data(), 1, d, d);
+    nn::add_bias(tmp.data(), L.bo.w.data(), tmp.data(), 1, d);
+    for (int c = 0; c < d; ++c) x[static_cast<std::size_t>(c)] += tmp[c];
+
+    nn::layernorm(x.data(), L.ln2_g.w.data(), L.ln2_b.w.data(), a2.data(),
+                  mean.data(), rstd.data(), 1, d);
+    nn::matmul(a2.data(), L.wfc.w.data(), fc.data(), 1, d, ff);
+    nn::add_bias(fc.data(), L.bfc.w.data(), fc.data(), 1, ff);
+    nn::gelu(fc.data(), fc.data(), ff);
+    nn::matmul(fc.data(), L.wproj.w.data(), tmp.data(), 1, ff, d);
+    nn::add_bias(tmp.data(), L.bproj.w.data(), tmp.data(), 1, d);
+    for (int c = 0; c < d; ++c) x[static_cast<std::size_t>(c)] += tmp[c];
+  }
+  nn::layernorm(x.data(), lnf_g_.w.data(), lnf_b_.w.data(), a1.data(),
+                mean.data(), rstd.data(), 1, d);
+  decode_logits_.resize(static_cast<std::size_t>(v));
+  nn::matmul(a1.data(), head_.w.data(), decode_logits_.data(), 1, d, v);
+  cache.length = pos + 1;
+  return decode_logits_;
+}
+
+std::vector<std::int32_t> Transformer::generate(
+    std::span<const std::int32_t> prompt, const GenerateOptions& options) {
+  // Left-truncate the prompt so prompt + generation fits the window, but
+  // never reserve more than half the window for generation — a prompt
+  // crushed to a few tokens would leave nothing to condition on.
+  int reserve = std::min(options.max_new_tokens, config_.ctx / 2);
+  int budget = std::max(1, config_.ctx - reserve);
+  std::span<const std::int32_t> kept = prompt;
+  if (static_cast<int>(kept.size()) > budget)
+    kept = kept.subspan(kept.size() - static_cast<std::size_t>(budget));
+
+  KvCache cache = make_cache();
+  std::span<const float> logits;
+  for (std::int32_t token : kept) logits = decode_step(cache, token);
+  std::vector<std::int32_t> out;
+  if (kept.empty()) return out;
+  util::Rng rng(options.sample_seed);
+  for (int i = 0; i < options.max_new_tokens && cache.length < config_.ctx;
+       ++i) {
+    std::int32_t next =
+        options.temperature > 0.0f
+            ? sample_token(logits, options.temperature, options.top_k, rng)
+            : argmax_token(logits);
+    if (next == options.stop_token) break;
+    out.push_back(next);
+    if (cache.length < config_.ctx) logits = decode_step(cache, next);
+  }
+  return out;
+}
+
+namespace {
+
+// Row log-softmax into `out` (size vocab).
+void log_softmax(std::span<const float> logits, std::vector<float>& out) {
+  out.resize(logits.size());
+  float mx = logits[0];
+  for (float v : logits) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    sum += std::exp(static_cast<double>(logits[i] - mx));
+  const float log_z = mx + static_cast<float>(std::log(sum));
+  for (std::size_t i = 0; i < logits.size(); ++i) out[i] = logits[i] - log_z;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> Transformer::generate_beam(
+    std::span<const std::int32_t> prompt, const BeamOptions& options) {
+  const int width = std::max(1, options.beam_width);
+  int reserve = std::min(options.max_new_tokens, config_.ctx / 2);
+  int budget = std::max(1, config_.ctx - reserve);
+  std::span<const std::int32_t> kept = prompt;
+  if (static_cast<int>(kept.size()) > budget)
+    kept = kept.subspan(kept.size() - static_cast<std::size_t>(budget));
+  if (kept.empty()) return {};
+
+  struct Beam {
+    KvCache cache;
+    std::vector<std::int32_t> tokens;
+    float score = 0.0f;
+    std::vector<float> logprobs;  // of the next-token distribution
+  };
+  auto normalized = [&](float score, std::size_t length) {
+    if (length == 0) return score;
+    return score / std::pow(static_cast<float>(length),
+                            options.length_penalty);
+  };
+
+  // Seed beam: the prompt fed once.
+  Beam seed;
+  seed.cache = make_cache();
+  std::span<const float> logits;
+  for (std::int32_t token : kept) logits = decode_step(seed.cache, token);
+  log_softmax(logits, seed.logprobs);
+
+  std::vector<Beam> beams;
+  beams.push_back(std::move(seed));
+  std::vector<std::int32_t> best_finished;
+  float best_finished_score = -std::numeric_limits<float>::infinity();
+
+  for (int step = 0; step < options.max_new_tokens && !beams.empty();
+       ++step) {
+    // Gather candidate expansions from every live beam.
+    struct Candidate {
+      std::size_t beam;
+      std::int32_t token;
+      float score;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(beams.size() * static_cast<std::size_t>(width) * 2);
+    for (std::size_t b = 0; b < beams.size(); ++b) {
+      // Only the top `width` tokens of a beam can survive the global cut.
+      std::vector<std::int32_t> order(
+          static_cast<std::size_t>(config_.vocab));
+      for (std::int32_t j = 0; j < config_.vocab; ++j)
+        order[static_cast<std::size_t>(j)] = j;
+      std::size_t keep_n =
+          std::min<std::size_t>(static_cast<std::size_t>(width),
+                                order.size());
+      std::partial_sort(
+          order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep_n),
+          order.end(), [&](std::int32_t x, std::int32_t y) {
+            return beams[b].logprobs[static_cast<std::size_t>(x)] >
+                   beams[b].logprobs[static_cast<std::size_t>(y)];
+          });
+      for (std::size_t i = 0; i < keep_n; ++i) {
+        candidates.push_back(
+            {b, order[i],
+             beams[b].score +
+                 beams[b].logprobs[static_cast<std::size_t>(order[i])]});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.score > b.score;
+              });
+
+    std::vector<Beam> next;
+    for (const Candidate& c : candidates) {
+      if (static_cast<int>(next.size()) >= width) break;
+      const Beam& parent = beams[c.beam];
+      if (c.token == options.stop_token) {
+        float score = normalized(c.score, parent.tokens.size() + 1);
+        if (score > best_finished_score) {
+          best_finished_score = score;
+          best_finished = parent.tokens;
+        }
+        continue;
+      }
+      if (parent.cache.length >= config_.ctx) {
+        // Out of window: treat as finished without the stop token.
+        float score = normalized(c.score, parent.tokens.size() + 1);
+        if (score > best_finished_score) {
+          best_finished_score = score;
+          best_finished = parent.tokens;
+          best_finished.push_back(c.token);
+        }
+        continue;
+      }
+      Beam child;
+      child.cache = parent.cache;  // copy (small at this scale)
+      child.tokens = parent.tokens;
+      child.tokens.push_back(c.token);
+      child.score = c.score;
+      std::span<const float> child_logits =
+          decode_step(child.cache, c.token);
+      log_softmax(child_logits, child.logprobs);
+      next.push_back(std::move(child));
+    }
+    beams = std::move(next);
+    // Early-stop heuristic (standard practice): once the best finished
+    // hypothesis outscores every live beam's current normalized score,
+    // further expansion is very unlikely to win.
+    if (!beams.empty()) {
+      float best_live = -std::numeric_limits<float>::infinity();
+      for (const Beam& b : beams)
+        best_live = std::max(best_live,
+                             normalized(b.score, b.tokens.size()));
+      if (best_finished_score > best_live &&
+          best_finished_score > -std::numeric_limits<float>::infinity())
+        break;
+    }
+  }
+  if (!best_finished.empty() ||
+      best_finished_score > -std::numeric_limits<float>::infinity()) {
+    return best_finished;
+  }
+  // No beam finished: return the best live hypothesis.
+  const Beam* best = nullptr;
+  for (const Beam& b : beams) {
+    if (!best || normalized(b.score, b.tokens.size()) >
+                     normalized(best->score, best->tokens.size()))
+      best = &b;
+  }
+  return best ? best->tokens : std::vector<std::int32_t>{};
+}
+
+std::int32_t Transformer::argmax_token(std::span<const float> logits) const {
+  std::int32_t best = 0;
+  for (std::int32_t j = 1; j < config_.vocab; ++j) {
+    if (logits[static_cast<std::size_t>(j)] >
+        logits[static_cast<std::size_t>(best)])
+      best = j;
+  }
+  return best;
+}
+
+std::int32_t Transformer::sample_token(std::span<const float> logits,
+                                       float temperature, int top_k,
+                                       util::Rng& rng) const {
+  // Rank candidates, keep the top-k (or all), temperature-scale, sample.
+  std::vector<std::int32_t> order(static_cast<std::size_t>(config_.vocab));
+  for (std::int32_t j = 0; j < config_.vocab; ++j)
+    order[static_cast<std::size_t>(j)] = j;
+  std::size_t keep = top_k > 0 ? std::min<std::size_t>(
+                                     static_cast<std::size_t>(top_k),
+                                     order.size())
+                               : order.size();
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](std::int32_t a, std::int32_t b) {
+                      return logits[static_cast<std::size_t>(a)] >
+                             logits[static_cast<std::size_t>(b)];
+                    });
+  order.resize(keep);
+
+  const float max_logit = logits[static_cast<std::size_t>(order[0])];
+  std::vector<double> weights(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    weights[i] = std::exp(
+        (logits[static_cast<std::size_t>(order[i])] - max_logit) /
+        temperature);
+  }
+  return order[rng.weighted(weights)];
+}
+
+}  // namespace wisdom::model

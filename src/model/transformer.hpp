@@ -1,0 +1,140 @@
+// Decoder-only transformer with hand-written backpropagation.
+//
+// Architecture (CodeGen-style): token embedding, N pre-LN residual blocks
+// of {causal multi-head self-attention with rotary position embeddings,
+// GELU MLP}, final layernorm and an untied LM head. No dropout (the tiny
+// models underfit, not overfit, at this scale). Gradients accumulate
+// across forward_backward calls until zero_grad(), which is what gives the
+// paper's effective batch size of 32 via gradient accumulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "nn/adamw.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace wisdom::model {
+
+class Transformer {
+ public:
+  Transformer(const ModelConfig& config, std::uint64_t seed);
+
+  const ModelConfig& config() const { return config_; }
+  std::int64_t param_count() const;
+
+  // Changes the runtime context window. Weights are position-independent
+  // (rotary embeddings), so the same checkpoint can train or decode at any
+  // window size — which is how the context-window ablation (512/1024/2048
+  // in Table V) reuses one pre-trained model.
+  void set_context_window(std::int32_t ctx);
+
+  // Runs a training micro-batch: inputs x[B*T], next-token targets
+  // y[B*T] (ignore_index = -1 for padding). Returns the mean loss and
+  // accumulates gradients. T must be <= ctx.
+  float forward_backward(std::span<const std::int32_t> x,
+                         std::span<const std::int32_t> y, int batch, int t);
+
+  // Forward-only mean loss (validation).
+  float evaluate(std::span<const std::int32_t> x,
+                 std::span<const std::int32_t> y, int batch, int t);
+
+  void zero_grad();
+  // Scales accumulated gradients (1/num_micro_batches), clips to
+  // `clip_norm` if positive, and applies one AdamW step at `lr`.
+  void optim_step(nn::AdamW& opt, float lr, float grad_scale,
+                  float clip_norm = 1.0f);
+
+  // --- greedy decoding with a KV cache ------------------------------------
+  struct KvCache {
+    // Per layer: rotated keys and values, [ctx x d_model] each.
+    std::vector<nn::Vec> keys;
+    std::vector<nn::Vec> values;
+    int length = 0;
+  };
+  KvCache make_cache() const;
+  // Appends `token` at the cache's current position and returns the logits
+  // for the next position (valid until the next call). Cache length must be
+  // < ctx.
+  std::span<const float> decode_step(KvCache& cache, std::int32_t token);
+
+  struct GenerateOptions {
+    int max_new_tokens = 64;
+    std::int32_t stop_token = -1;  // stop when emitted (not included)
+    // Decoding strategy. The paper evaluates with greedy decoding and notes
+    // "we would expect some improvement by using random sampling"; set
+    // temperature > 0 for top-k temperature sampling.
+    float temperature = 0.0f;  // 0 = greedy
+    int top_k = 0;             // 0 = full distribution
+    std::uint64_t sample_seed = 1;
+  };
+  // Greedy generation. The prompt is left-truncated to fit the context
+  // window with room for at least one generated token — the paper: "when
+  // the input is larger than the context window, it is left-truncated".
+  std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
+                                     const GenerateOptions& options);
+
+  // Beam-search decoding (the paper's other suggested improvement over
+  // greedy). Returns the highest-scoring finished hypothesis; scores are
+  // summed token log-probabilities with optional length normalization
+  // (score / length^length_penalty).
+  struct BeamOptions {
+    int beam_width = 4;
+    int max_new_tokens = 64;
+    std::int32_t stop_token = -1;
+    float length_penalty = 0.6f;
+  };
+  std::vector<std::int32_t> generate_beam(std::span<const std::int32_t> prompt,
+                                          const BeamOptions& options);
+
+  // All learnable parameters, in a stable order (checkpoint format).
+  std::vector<nn::Param*> parameters();
+  std::int32_t argmax_token(std::span<const float> logits) const;
+  std::int32_t sample_token(std::span<const float> logits, float temperature,
+                            int top_k, util::Rng& rng) const;
+  std::vector<const nn::Param*> parameters() const;
+
+ private:
+  struct Layer {
+    nn::Param ln1_g, ln1_b;
+    nn::Param wqkv, bqkv;  // [d, 3d], [3d]
+    nn::Param wo, bo;      // [d, d], [d]
+    nn::Param ln2_g, ln2_b;
+    nn::Param wfc, bfc;    // [d, ff], [ff]
+    nn::Param wproj, bproj;  // [ff, d], [d]
+  };
+
+  // Per-layer activation cache for one forward/backward round.
+  struct LayerActs {
+    nn::Vec input;       // residual stream entering the block [R x d]
+    nn::Vec ln1_out, ln1_mean, ln1_rstd;
+    nn::Vec qkv;         // post-rotary [R x 3d]
+    nn::Vec att_probs;   // [B x H x T x T]
+    nn::Vec att_mix;     // heads-merged attention output [R x d]
+    nn::Vec mid;         // residual stream after attention [R x d]
+    nn::Vec ln2_out, ln2_mean, ln2_rstd;
+    nn::Vec fc_pre;      // pre-GELU [R x ff]
+    nn::Vec fc_act;      // post-GELU [R x ff]
+  };
+
+  float run(std::span<const std::int32_t> x, std::span<const std::int32_t> y,
+            int batch, int t, bool backward);
+
+  ModelConfig config_;
+  nn::Param wte_;
+  std::vector<Layer> layers_;
+  nn::Param lnf_g_, lnf_b_;
+  nn::Param head_;  // [d, vocab]
+
+  // Workspaces reused across calls.
+  std::vector<LayerActs> acts_;
+  nn::Vec final_in_, final_out_, final_mean_, final_rstd_;
+  nn::Vec logits_, dlogits_;
+  nn::Vec decode_logits_;
+};
+
+}  // namespace wisdom::model

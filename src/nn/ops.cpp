@@ -1,0 +1,279 @@
+#include "nn/ops.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace wisdom::nn {
+
+void matmul(const float* a, const float* b, float* c, int m, int k, int n) {
+  std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+void matmul_backward(const float* a, const float* b, const float* dc,
+                     float* da, float* db, int m, int k, int n) {
+  // dA += dC * B^T
+  if (da) {
+    for (int i = 0; i < m; ++i) {
+      const float* dcrow = dc + static_cast<std::size_t>(i) * n;
+      float* darow = da + static_cast<std::size_t>(i) * k;
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * n;
+        float acc = 0.0f;
+        for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+        darow[p] += acc;
+      }
+    }
+  }
+  // dB += A^T * dC
+  if (db) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      const float* dcrow = dc + static_cast<std::size_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        float* dbrow = db + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+      }
+    }
+  }
+}
+
+void add_bias(const float* x, const float* bias, float* y, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* xrow = x + static_cast<std::size_t>(i) * n;
+    float* yrow = y + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) yrow[j] = xrow[j] + bias[j];
+  }
+}
+
+void add_bias_backward(const float* dy, float* dbias, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* row = dy + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) dbias[j] += row[j];
+  }
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+void gelu(const float* x, float* y, int n) {
+  for (int i = 0; i < n; ++i) {
+    float v = x[i];
+    float u = kGeluC * (v + 0.044715f * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(u));
+  }
+}
+
+void gelu_backward(const float* x, const float* dy, float* dx, int n) {
+  for (int i = 0; i < n; ++i) {
+    float v = x[i];
+    float u = kGeluC * (v + 0.044715f * v * v * v);
+    float t = std::tanh(u);
+    float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+    float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx[i] += dy[i] * grad;
+  }
+}
+
+void layernorm(const float* x, const float* gain, const float* bias, float* y,
+               float* mean, float* rstd, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<std::size_t>(i) * n;
+    float* yr = y + static_cast<std::size_t>(i) * n;
+    float mu = 0.0f;
+    for (int j = 0; j < n; ++j) mu += xr[j];
+    mu /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      float d = xr[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    float rs = 1.0f / std::sqrt(var + 1e-5f);
+    mean[i] = mu;
+    rstd[i] = rs;
+    for (int j = 0; j < n; ++j)
+      yr[j] = (xr[j] - mu) * rs * gain[j] + bias[j];
+  }
+}
+
+void layernorm_backward(const float* x, const float* gain, const float* mean,
+                        const float* rstd, const float* dy, float* dx,
+                        float* dgain, float* dbias, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<std::size_t>(i) * n;
+    const float* dyr = dy + static_cast<std::size_t>(i) * n;
+    float* dxr = dx + static_cast<std::size_t>(i) * n;
+    const float mu = mean[i];
+    const float rs = rstd[i];
+
+    float sum_dnorm = 0.0f;
+    float sum_dnorm_xhat = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      float xhat = (xr[j] - mu) * rs;
+      float dnorm = dyr[j] * gain[j];
+      sum_dnorm += dnorm;
+      sum_dnorm_xhat += dnorm * xhat;
+      dgain[j] += dyr[j] * xhat;
+      dbias[j] += dyr[j];
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (int j = 0; j < n; ++j) {
+      float xhat = (xr[j] - mu) * rs;
+      float dnorm = dyr[j] * gain[j];
+      dxr[j] += rs * (dnorm - inv_n * sum_dnorm - xhat * inv_n * sum_dnorm_xhat);
+    }
+  }
+}
+
+void softmax(const float* x, float* y, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* xr = x + static_cast<std::size_t>(i) * n;
+    float* yr = y + static_cast<std::size_t>(i) * n;
+    float mx = xr[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      yr[j] = std::exp(xr[j] - mx);
+      sum += yr[j];
+    }
+    float inv = 1.0f / sum;
+    for (int j = 0; j < n; ++j) yr[j] *= inv;
+  }
+}
+
+void softmax_backward(const float* y, const float* dy, float* dx, int m,
+                      int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* yr = y + static_cast<std::size_t>(i) * n;
+    const float* dyr = dy + static_cast<std::size_t>(i) * n;
+    float* dxr = dx + static_cast<std::size_t>(i) * n;
+    float dot = 0.0f;
+    for (int j = 0; j < n; ++j) dot += yr[j] * dyr[j];
+    for (int j = 0; j < n; ++j) dxr[j] += yr[j] * (dyr[j] - dot);
+  }
+}
+
+void rotary(float* x, int t, int dim, int rot_dim, int pos0) {
+  const int half = rot_dim / 2;
+  for (int i = 0; i < t; ++i) {
+    float* row = x + static_cast<std::size_t>(i) * dim;
+    const float pos = static_cast<float>(pos0 + i);
+    for (int j = 0; j < half; ++j) {
+      // GPT-NeoX / CodeGen style: channel pairs (j, j + half).
+      float theta =
+          pos * std::pow(10000.0f, -2.0f * static_cast<float>(j) /
+                                        static_cast<float>(rot_dim));
+      float c = std::cos(theta);
+      float s = std::sin(theta);
+      float a = row[j];
+      float b = row[j + half];
+      row[j] = a * c - b * s;
+      row[j + half] = a * s + b * c;
+    }
+  }
+}
+
+void rotary_backward(float* dx, int t, int dim, int rot_dim, int pos0) {
+  // The rotation is orthogonal; the gradient transforms by the inverse
+  // (negative-angle) rotation.
+  const int half = rot_dim / 2;
+  for (int i = 0; i < t; ++i) {
+    float* row = dx + static_cast<std::size_t>(i) * dim;
+    const float pos = static_cast<float>(pos0 + i);
+    for (int j = 0; j < half; ++j) {
+      float theta =
+          pos * std::pow(10000.0f, -2.0f * static_cast<float>(j) /
+                                        static_cast<float>(rot_dim));
+      float c = std::cos(theta);
+      float s = std::sin(theta);
+      float a = row[j];
+      float b = row[j + half];
+      row[j] = a * c + b * s;
+      row[j + half] = -a * s + b * c;
+    }
+  }
+}
+
+float cross_entropy(const float* logits, const std::int32_t* targets,
+                    int rows, int vocab, int ignore_index, float* dlogits) {
+  double loss = 0.0;
+  int counted = 0;
+  for (int i = 0; i < rows; ++i) {
+    if (targets[i] != ignore_index) ++counted;
+  }
+  if (counted == 0) {
+    std::memset(dlogits, 0,
+                static_cast<std::size_t>(rows) * vocab * sizeof(float));
+    return 0.0f;
+  }
+  const float inv_count = 1.0f / static_cast<float>(counted);
+  for (int i = 0; i < rows; ++i) {
+    const float* lr = logits + static_cast<std::size_t>(i) * vocab;
+    float* dr = dlogits + static_cast<std::size_t>(i) * vocab;
+    if (targets[i] == ignore_index) {
+      std::memset(dr, 0, static_cast<std::size_t>(vocab) * sizeof(float));
+      continue;
+    }
+    float mx = lr[0];
+    for (int j = 1; j < vocab; ++j) mx = std::max(mx, lr[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < vocab; ++j) {
+      dr[j] = std::exp(lr[j] - mx);
+      sum += dr[j];
+    }
+    const float inv_sum = 1.0f / sum;
+    const int target = targets[i];
+    loss -= std::log(static_cast<double>(dr[target]) * inv_sum);
+    for (int j = 0; j < vocab; ++j) {
+      float p = dr[j] * inv_sum;
+      dr[j] = (p - (j == target ? 1.0f : 0.0f)) * inv_count;
+    }
+  }
+  return static_cast<float>(loss / counted);
+}
+
+void embedding(const float* table, const std::int32_t* ids, float* out,
+               int count, int dim) {
+  for (int i = 0; i < count; ++i) {
+    std::memcpy(out + static_cast<std::size_t>(i) * dim,
+                table + static_cast<std::size_t>(ids[i]) * dim,
+                static_cast<std::size_t>(dim) * sizeof(float));
+  }
+}
+
+void embedding_backward(const std::int32_t* ids, const float* dout,
+                        float* dtable, int count, int dim) {
+  for (int i = 0; i < count; ++i) {
+    const float* src = dout + static_cast<std::size_t>(i) * dim;
+    float* dst = dtable + static_cast<std::size_t>(ids[i]) * dim;
+    for (int j = 0; j < dim; ++j) dst[j] += src[j];
+  }
+}
+
+}  // namespace wisdom::nn

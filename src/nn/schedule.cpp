@@ -1,0 +1,30 @@
+#include "nn/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wisdom::nn {
+
+float LrSchedule::at(std::int64_t step) const {
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return base_lr * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps);
+  }
+  std::int64_t decay_total = std::max<std::int64_t>(1, total_steps - warmup_steps);
+  std::int64_t decay_step = std::min(step - warmup_steps, decay_total);
+  float progress =
+      static_cast<float>(decay_step) / static_cast<float>(decay_total);
+  float factor = 1.0f;
+  switch (decay) {
+    case DecayKind::Linear:
+      factor = 1.0f - progress;
+      break;
+    case DecayKind::Cosine:
+      factor = 0.5f * (1.0f + std::cos(3.14159265358979323846f * progress));
+      break;
+  }
+  factor = min_ratio + (1.0f - min_ratio) * factor;
+  return base_lr * factor;
+}
+
+}  // namespace wisdom::nn

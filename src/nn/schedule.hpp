@@ -1,0 +1,23 @@
+// Learning-rate schedules. The paper pre-trains with a linearly decreasing
+// schedule and fine-tunes with a cosine decreasing schedule; both include a
+// short warmup here.
+#pragma once
+
+#include <cstdint>
+
+namespace wisdom::nn {
+
+enum class DecayKind { Linear, Cosine };
+
+struct LrSchedule {
+  float base_lr = 5e-5f;  // the paper's value for both phases
+  std::int64_t warmup_steps = 0;
+  std::int64_t total_steps = 1;
+  DecayKind decay = DecayKind::Linear;
+  // Floor as a fraction of base_lr.
+  float min_ratio = 0.0f;
+
+  float at(std::int64_t step) const;
+};
+
+}  // namespace wisdom::nn

@@ -1,0 +1,55 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+
+#include "core/postprocess.hpp"
+#include "metrics/schema_correct.hpp"
+#include "util/strings.hpp"
+
+namespace wisdom::serve {
+
+InferenceService::InferenceService(model::Transformer& model,
+                                   const text::BpeTokenizer& tokenizer,
+                                   int max_new_tokens)
+    : model_(model), tokenizer_(tokenizer), max_new_tokens_(max_new_tokens) {}
+
+SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
+  auto start = std::chrono::steady_clock::now();
+  SuggestionResponse response;
+  if (request.prompt.empty() || request.indent < 0) {
+    ++stats_.requests;
+    return response;
+  }
+
+  std::string pad(static_cast<std::size_t>(request.indent), ' ');
+  std::string name_line = pad + "- name: " + request.prompt + "\n";
+  std::string input_text = request.context + name_line;
+
+  std::vector<std::int32_t> ids = tokenizer_.encode(input_text);
+  model::Transformer::GenerateOptions gen;
+  gen.max_new_tokens = max_new_tokens_;
+  gen.stop_token = text::BpeTokenizer::kEndOfText;
+  std::vector<std::int32_t> out = model_.generate(ids, gen);
+
+  std::string body = core::trim_generation(tokenizer_.decode(out));
+  body = core::truncate_to_first_task(
+      body, static_cast<std::size_t>(request.indent));
+
+  response.ok = !body.empty();
+  response.snippet = name_line + body;
+  response.schema_correct =
+      response.ok && metrics::schema_correct(response.snippet);
+  response.generated_tokens = static_cast<int>(out.size());
+  auto end = std::chrono::steady_clock::now();
+  response.latency_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+
+  ++stats_.requests;
+  stats_.total_latency_ms += response.latency_ms;
+  return response;
+}
+
+void InferenceService::record_accept() { ++stats_.accepted; }
+void InferenceService::record_reject() { ++stats_.rejected; }
+
+}  // namespace wisdom::serve

@@ -1,0 +1,77 @@
+// In-process inference service modelling the paper's GRPC/REST serving path
+// and VS Code plugin workflow: the editor sends the current file content
+// plus the "- name: ..." prompt line the user just typed, the service
+// returns a formatted suggestion, and the user accepts (tab) or rejects
+// (escape). Latency statistics back the paper's model-size argument (a
+// coding assistant must respond interactively, which is why Wisdom ships
+// the 350M model rather than the 2.7B one).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "text/bpe.hpp"
+
+namespace wisdom::serve {
+
+struct SuggestionRequest {
+  // YAML already in the editor above the cursor (may be empty).
+  std::string context;
+  // Natural-language intent, the value of the name line being completed.
+  std::string prompt;
+  // Indentation column of the task item ("- name:") being completed.
+  int indent = 0;
+};
+
+struct SuggestionResponse {
+  bool ok = false;
+  // The full suggested snippet (name line + generated body), formatted for
+  // pasting at the cursor.
+  std::string snippet;
+  // Whether the suggestion passes the strict Ansible schema.
+  bool schema_correct = false;
+  double latency_ms = 0.0;
+  int generated_tokens = 0;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  double total_latency_ms = 0.0;
+  double mean_latency_ms() const {
+    return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);
+  }
+  double acceptance_rate() const {
+    std::uint64_t decided = accepted + rejected;
+    return decided == 0 ? 0.0
+                        : static_cast<double>(accepted) /
+                              static_cast<double>(decided);
+  }
+};
+
+class InferenceService {
+ public:
+  // Borrows the model and tokenizer; both must outlive the service.
+  InferenceService(model::Transformer& model,
+                   const text::BpeTokenizer& tokenizer,
+                   int max_new_tokens = 56);
+
+  SuggestionResponse suggest(const SuggestionRequest& request);
+
+  // The plugin's accept/reject feedback ("hit tab ... or escape").
+  void record_accept();
+  void record_reject();
+
+  const ServiceStats& stats() const { return stats_; }
+
+ private:
+  model::Transformer& model_;
+  const text::BpeTokenizer& tokenizer_;
+  int max_new_tokens_;
+  ServiceStats stats_;
+};
+
+}  // namespace wisdom::serve

@@ -1,0 +1,258 @@
+#include "serve/wire.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <variant>
+
+namespace wisdom::serve {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// A tiny JSON value model: only what the two messages need.
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string> value =
+      nullptr;
+
+  bool is_bool() const { return std::holds_alternative<bool>(value); }
+  bool is_number() const { return std::holds_alternative<double>(value); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value);
+  }
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonObject> parse_object() {
+    skip_ws();
+    if (!eat('{')) return std::nullopt;
+    JsonObject obj;
+    skip_ws();
+    if (eat('}')) return finish(obj);
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      obj[*key] = *value;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return finish(obj);
+      return std::nullopt;
+    }
+  }
+
+ private:
+  std::optional<JsonObject> finish(JsonObject obj) {
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return obj;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool match(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    JsonValue out;
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      out.value = std::move(*s);
+      return out;
+    }
+    if (match("true")) {
+      out.value = true;
+      return out;
+    }
+    if (match("false")) {
+      out.value = false;
+      return out;
+    }
+    if (match("null")) return out;
+    // number
+    std::size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    double number = 0.0;
+    auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                     text_.data() + pos_, number);
+    if (ec != std::errc() || ptr != text_.data() + pos_ || pos_ == start)
+      return std::nullopt;
+    out.value = number;
+    return out;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            auto [p, ec] = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc() || p != text_.data() + pos_ + 4)
+              return std::nullopt;
+            pos_ += 4;
+            // Only Latin-1 escapes are produced by json_escape.
+            if (code > 0xFF) return std::nullopt;
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+        continue;
+      }
+      out += c;
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find(const JsonObject& obj, const std::string& key) {
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::string to_json(const SuggestionRequest& request) {
+  std::string out = "{";
+  out += "\"context\": \"" + json_escape(request.context) + "\", ";
+  out += "\"prompt\": \"" + json_escape(request.prompt) + "\", ";
+  out += "\"indent\": " + std::to_string(request.indent);
+  out += "}";
+  return out;
+}
+
+std::optional<SuggestionRequest> request_from_json(std::string_view json) {
+  auto obj = JsonParser(json).parse_object();
+  if (!obj) return std::nullopt;
+  SuggestionRequest request;
+  const JsonValue* prompt = find(*obj, "prompt");
+  if (!prompt || !prompt->is_string()) return std::nullopt;
+  request.prompt = std::get<std::string>(prompt->value);
+  if (const JsonValue* context = find(*obj, "context")) {
+    if (!context->is_string()) return std::nullopt;
+    request.context = std::get<std::string>(context->value);
+  }
+  if (const JsonValue* indent = find(*obj, "indent")) {
+    if (!indent->is_number()) return std::nullopt;
+    request.indent = static_cast<int>(std::get<double>(indent->value));
+  }
+  return request;
+}
+
+std::string to_json(const SuggestionResponse& response) {
+  std::string out = "{";
+  out += std::string("\"ok\": ") + (response.ok ? "true" : "false") + ", ";
+  out += "\"snippet\": \"" + json_escape(response.snippet) + "\", ";
+  out += std::string("\"schema_correct\": ") +
+         (response.schema_correct ? "true" : "false") + ", ";
+  char latency[48];
+  std::snprintf(latency, sizeof(latency), "%.3f", response.latency_ms);
+  out += std::string("\"latency_ms\": ") + latency + ", ";
+  out += "\"generated_tokens\": " + std::to_string(response.generated_tokens);
+  out += "}";
+  return out;
+}
+
+std::optional<SuggestionResponse> response_from_json(std::string_view json) {
+  auto obj = JsonParser(json).parse_object();
+  if (!obj) return std::nullopt;
+  SuggestionResponse response;
+  const JsonValue* ok = find(*obj, "ok");
+  const JsonValue* snippet = find(*obj, "snippet");
+  if (!ok || !ok->is_bool() || !snippet || !snippet->is_string())
+    return std::nullopt;
+  response.ok = std::get<bool>(ok->value);
+  response.snippet = std::get<std::string>(snippet->value);
+  if (const JsonValue* sc = find(*obj, "schema_correct")) {
+    if (!sc->is_bool()) return std::nullopt;
+    response.schema_correct = std::get<bool>(sc->value);
+  }
+  if (const JsonValue* lat = find(*obj, "latency_ms")) {
+    if (!lat->is_number()) return std::nullopt;
+    response.latency_ms = std::get<double>(lat->value);
+  }
+  if (const JsonValue* toks = find(*obj, "generated_tokens")) {
+    if (!toks->is_number()) return std::nullopt;
+    response.generated_tokens =
+        static_cast<int>(std::get<double>(toks->value));
+  }
+  return response;
+}
+
+}  // namespace wisdom::serve

@@ -1,0 +1,28 @@
+// JSON wire format for the inference service, mirroring the paper's
+// REST interface ("we expose a GRPC and REST API based interface to model
+// predictions so that inference can be called out using GRPC and REST
+// clients"). A deliberately small JSON subset — objects, strings, numbers,
+// booleans — is all the two message types need; no third-party dependency.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/service.hpp"
+
+namespace wisdom::serve {
+
+// {"context": "...", "prompt": "...", "indent": 4}
+std::string to_json(const SuggestionRequest& request);
+std::optional<SuggestionRequest> request_from_json(std::string_view json);
+
+// {"ok": true, "snippet": "...", "schema_correct": true,
+//  "latency_ms": 12.5, "generated_tokens": 40}
+std::string to_json(const SuggestionResponse& response);
+std::optional<SuggestionResponse> response_from_json(std::string_view json);
+
+// JSON string escaping (exposed for tests).
+std::string json_escape(std::string_view text);
+
+}  // namespace wisdom::serve

@@ -1,0 +1,31 @@
+#include "text/ngram.hpp"
+
+#include <algorithm>
+
+namespace wisdom::text {
+
+NgramCounts count_ngrams(std::span<const std::string> tokens, std::size_t n) {
+  NgramCounts counts;
+  if (n == 0 || tokens.size() < n) return counts;
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string key;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j) key += '\x1f';
+      key += tokens[i + j];
+    }
+    counts[key]++;
+  }
+  return counts;
+}
+
+std::int64_t clipped_matches(const NgramCounts& candidate,
+                             const NgramCounts& reference) {
+  std::int64_t matches = 0;
+  for (const auto& [gram, count] : candidate) {
+    auto it = reference.find(gram);
+    if (it != reference.end()) matches += std::min(count, it->second);
+  }
+  return matches;
+}
+
+}  // namespace wisdom::text

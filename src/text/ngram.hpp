@@ -1,0 +1,25 @@
+// N-gram counting over token sequences, shared by BLEU and corpus
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wisdom::text {
+
+// Multiset of n-grams of exactly order `n`. Keys are the constituent tokens
+// joined with '\x1f' (a separator that cannot appear inside tokens produced
+// by bleu_tokenize).
+using NgramCounts = std::unordered_map<std::string, std::int64_t>;
+
+NgramCounts count_ngrams(std::span<const std::string> tokens, std::size_t n);
+
+// Sum over min(candidate[g], reference[g]) — the clipped match count used
+// by modified n-gram precision.
+std::int64_t clipped_matches(const NgramCounts& candidate,
+                             const NgramCounts& reference);
+
+}  // namespace wisdom::text

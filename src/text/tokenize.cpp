@@ -1,0 +1,37 @@
+#include "text/tokenize.hpp"
+
+#include <cctype>
+
+namespace wisdom::text {
+
+std::vector<std::string> bleu_tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c == '\n') {
+      tokens.emplace_back("<nl>");
+      ++i;
+      continue;
+    }
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (std::isalnum(c) || c == '_') {
+      std::size_t start = i;
+      while (i < text.size()) {
+        unsigned char k = static_cast<unsigned char>(text[i]);
+        if (!std::isalnum(k) && k != '_') break;
+        ++i;
+      }
+      tokens.emplace_back(text.substr(start, i - start));
+      continue;
+    }
+    tokens.emplace_back(text.substr(i, 1));
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace wisdom::text

@@ -1,0 +1,19 @@
+// Surface tokenization for the BLEU metric.
+//
+// BLEU over code needs a stable token stream, not model subwords: we split
+// into identifier/number runs and individual punctuation characters, and
+// keep one newline marker per line break so YAML's line structure counts in
+// the n-gram overlap (an indentation-destroying prediction should not get
+// full 4-gram credit).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wisdom::text {
+
+// "name: openssh-server\n" -> {"name", ":", "openssh", "-", "server", "<nl>"}
+std::vector<std::string> bleu_tokenize(std::string_view text);
+
+}  // namespace wisdom::text

@@ -1,0 +1,19 @@
+#include "util/hashing.hpp"
+
+namespace wisdom::util {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  seed ^= value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+}  // namespace wisdom::util

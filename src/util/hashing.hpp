@@ -1,0 +1,17 @@
+// Non-cryptographic hashing used for exact-match deduplication of the
+// synthesized corpora (the paper deduplicates "using a simple exact match
+// criterion") and for deterministic stream forking.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wisdom::util {
+
+// 64-bit FNV-1a over bytes.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+// Stable combiner (boost-style) for composing hashes.
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+}  // namespace wisdom::util

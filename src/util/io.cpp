@@ -1,0 +1,102 @@
+#include "util/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wisdom::util {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_f32(std::string& out, float v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+void put_f32_vec(std::string& out, const std::vector<float>& v) {
+  put_u64(out, v.size());
+  out.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(float));
+}
+
+bool ByteReader::take(std::size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  const char* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const char* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+float ByteReader::get_f32() {
+  const char* p = nullptr;
+  if (!take(4, &p)) return 0.0f;
+  float v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::string ByteReader::get_string() {
+  std::uint64_t n = get_u64();
+  const char* p = nullptr;
+  if (!take(static_cast<std::size_t>(n), &p)) return {};
+  return std::string(p, static_cast<std::size_t>(n));
+}
+
+std::vector<float> ByteReader::get_f32_vec() {
+  std::uint64_t n = get_u64();
+  const char* p = nullptr;
+  if (!take(static_cast<std::size_t>(n) * sizeof(float), &p)) return {};
+  std::vector<float> v(static_cast<std::size_t>(n));
+  std::memcpy(v.data(), p, v.size() * sizeof(float));
+  return v;
+}
+
+}  // namespace wisdom::util

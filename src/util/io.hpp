@@ -1,0 +1,48 @@
+// File I/O helpers for checkpoints and corpus export.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wisdom::util {
+
+// Whole-file read; nullopt if the file cannot be opened.
+std::optional<std::string> read_file(const std::string& path);
+
+// Whole-file write; returns false on failure.
+bool write_file(const std::string& path, std::string_view content);
+
+// Binary serialization primitives used by the model checkpoint format.
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_f32(std::string& out, float v);
+void put_string(std::string& out, std::string_view s);
+void put_f32_vec(std::string& out, const std::vector<float>& v);
+
+// Cursor-based reader; `ok()` turns false on any out-of-bounds read and all
+// subsequent reads return zero values, so callers can check once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  float get_f32();
+  std::string get_string();
+  std::vector<float> get_f32_vec();
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  bool take(std::size_t n, const char** out);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace wisdom::util

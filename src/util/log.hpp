@@ -1,0 +1,21 @@
+// Minimal leveled logging. Benchmarks set the level to Info to narrate
+// training progress; tests default to Warn to keep ctest output readable.
+#pragma once
+
+#include <string_view>
+
+namespace wisdom::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::Debug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::Info, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::Warn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::Error, m); }
+
+}  // namespace wisdom::util

@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/hashing.hpp"
+
+namespace wisdom::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 17);
+  mix ^= fnv1a64(label);
+  return Rng(mix);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t threshold = -n % n;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_real() {
+  // 53 bits of mantissa.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() {
+  double u1 = uniform_real();
+  double u2 = uniform_real();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+bool Rng::chance(double p) { return uniform_real() < p; }
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = uniform_real() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF on the harmonic weights would be exact but O(n) per draw; a
+  // power-transform of a uniform draw gives the same head-heavy, long-tailed
+  // rank shape in O(1), which matters when synthesizing millions of tasks.
+  double u = uniform_real();
+  double r = std::pow(u, 2.0 * s);
+  std::size_t idx = static_cast<std::size_t>(r * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace wisdom::util

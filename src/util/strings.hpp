@@ -1,0 +1,48 @@
+// Small string helpers shared across the YAML parser, the Ansible model and
+// the data pipeline. All functions are pure and allocation behaviour is
+// documented where it matters for the parser hot path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wisdom::util {
+
+// Split on a single character; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Split on any run of whitespace; drops empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+// Split into lines; both "\n" and trailing-newline-less inputs are handled.
+std::vector<std::string> split_lines(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view trim(std::string_view text);
+std::string_view trim_left(std::string_view text);
+std::string_view trim_right(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view text, std::string_view needle);
+
+std::string to_lower(std::string_view text);
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+// Number of leading spaces. Tabs are not counted: YAML forbids tabs in
+// indentation and the parser reports them as errors before calling this.
+std::size_t indent_width(std::string_view line);
+
+// Repeat a string n times.
+std::string repeat(std::string_view unit, std::size_t n);
+
+// Format a double with fixed decimals (benchmark tables).
+std::string fmt_fixed(double value, int decimals);
+
+// True if the text parses completely as a decimal integer.
+bool is_integer(std::string_view text);
+
+}  // namespace wisdom::util

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wisdom::util {
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back({std::move(cells), false});
+}
+
+void Table::add_rule() { rows_.push_back({{}, true}); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+  }
+
+  auto pad = [](const std::string& s, std::size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - s.size(), ' ');
+    out += s;
+    if (!right) out.append(w - s.size(), ' ');
+    return out;
+  };
+
+  std::string rule = "+";
+  for (std::size_t w : width) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule;
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out += " " + pad(headers_[c], width[c], false) + " |";
+  out += "\n" + rule;
+  for (const Row& row : rows_) {
+    if (row.rule) {
+      out += rule;
+      continue;
+    }
+    out += "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      out += " " + pad(row.cells[c], width[c], looks_numeric(row.cells[c])) +
+             " |";
+    out += "\n";
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace wisdom::util

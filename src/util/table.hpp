@@ -1,0 +1,31 @@
+// Console table renderer used by the benchmark binaries to print rows in the
+// same layout as the paper's tables (Tables I-VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wisdom::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Horizontal separator between logical sections (the paper's tables group
+  // CodeGen / Codex / Wisdom rows with rules).
+  void add_rule();
+
+  // Render with column auto-sizing; numeric-looking cells right-aligned.
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace wisdom::util

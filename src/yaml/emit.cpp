@@ -1,0 +1,206 @@
+#include "yaml/emit.hpp"
+
+#include <cassert>
+#include <cctype>
+
+#include "util/strings.hpp"
+#include "yaml/parse.hpp"
+
+namespace wisdom::yaml {
+
+namespace util = wisdom::util;
+
+namespace {
+
+bool has_control_chars(const std::string& text) {
+  for (unsigned char c : text) {
+    if (c < 0x20 && c != '\n') return true;
+  }
+  return false;
+}
+
+constexpr std::string_view kIndicatorChars = "-?:#&*!|>'\"%@`[]{},";
+
+}  // namespace
+
+bool scalar_needs_quotes(const std::string& text) {
+  if (text.empty()) return true;
+  if (text.find('\n') != std::string::npos) return true;
+  if (std::isspace(static_cast<unsigned char>(text.front())) ||
+      std::isspace(static_cast<unsigned char>(text.back())))
+    return true;
+  char first = text.front();
+  if (kIndicatorChars.find(first) != std::string_view::npos) {
+    // '-' and ':' are only indicators when followed by a space or alone.
+    if (first == '-' || first == ':' || first == '?') {
+      if (text.size() == 1 || text[1] == ' ') return true;
+    } else {
+      return true;
+    }
+  }
+  if (text.find(": ") != std::string::npos) return true;
+  if (text.back() == ':') return true;
+  if (text.find(" #") != std::string::npos) return true;
+  // Would resolve away from a string (true/1/null/3.5/...).
+  Node resolved = resolve_plain_scalar(text);
+  return !resolved.is_str();
+}
+
+std::string quote_scalar(const std::string& text) {
+  if (has_control_chars(text) || text.find('\n') != std::string::npos) {
+    std::string out = "\"";
+    for (char c : text) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default: out += c; break;
+      }
+    }
+    out += '"';
+    return out;
+  }
+  return "'" + util::replace_all(text, "'", "''") + "'";
+}
+
+namespace {
+
+class Emitter {
+ public:
+  explicit Emitter(const EmitOptions& options) : options_(options) {}
+
+  std::string run(const Node& node) {
+    out_.clear();
+    if (options_.document_start) out_ += "---\n";
+    if (node.is_scalar()) {
+      out_ += scalar_inline(node);
+      out_ += '\n';
+    } else if (node.size() == 0) {
+      out_ += node.is_seq() ? "[]" : "{}";
+      out_ += '\n';
+    } else {
+      write_block(node, 0);
+    }
+    return out_;
+  }
+
+ private:
+  std::string pad(int level) const {
+    return std::string(static_cast<std::size_t>(level) *
+                           static_cast<std::size_t>(options_.indent),
+                       ' ');
+  }
+
+  std::string scalar_inline(const Node& node) const {
+    if (node.is_str()) {
+      const std::string& s = node.as_str();
+      return scalar_needs_quotes(s) ? quote_scalar(s) : s;
+    }
+    if (node.is_null()) return "null";
+    return node.scalar_text();
+  }
+
+  static bool fits_literal_block(const std::string& s) {
+    // Literal blocks cannot represent strings with control characters or
+    // lines with trailing spaces (clip/strip ambiguity); those fall back to
+    // double-quoted escapes.
+    if (s.empty() || has_control_chars(s)) return false;
+    for (const std::string& line : util::split_lines(s)) {
+      if (!line.empty() && line.back() == ' ') return false;
+    }
+    return s.find('\n') != std::string::npos;
+  }
+
+  void write_literal_block(const std::string& s, int level) {
+    bool ends_nl = !s.empty() && s.back() == '\n';
+    out_ += ends_nl ? "|\n" : "|-\n";
+    for (const std::string& line : util::split_lines(s)) {
+      if (line.empty()) {
+        out_ += '\n';
+      } else {
+        out_ += pad(level);
+        out_ += line;
+        out_ += '\n';
+      }
+    }
+  }
+
+  void write_block(const Node& node, int level) {
+    assert(!node.is_scalar() && node.size() > 0);
+    if (node.is_map()) {
+      for (const auto& [key, value] : node.entries()) {
+        out_ += pad(level);
+        out_ += scalar_needs_quotes(key) ? quote_scalar(key) : key;
+        out_ += ':';
+        write_value(value, level);
+      }
+    } else {
+      for (const Node& item : node.items()) {
+        out_ += pad(level);
+        out_ += '-';
+        if (item.is_map() && item.size() > 0) {
+          // Compact form: first entry on the dash line.
+          const auto& entries = item.entries();
+          out_ += ' ';
+          out_ += scalar_needs_quotes(entries[0].first)
+                      ? quote_scalar(entries[0].first)
+                      : entries[0].first;
+          out_ += ':';
+          write_value(entries[0].second, level + 1);
+          for (std::size_t i = 1; i < entries.size(); ++i) {
+            out_ += pad(level + 1);
+            out_ += scalar_needs_quotes(entries[i].first)
+                        ? quote_scalar(entries[i].first)
+                        : entries[i].first;
+            out_ += ':';
+            write_value(entries[i].second, level + 1);
+          }
+        } else {
+          write_value(item, level);
+        }
+      }
+    }
+  }
+
+  // Writes the value part after "key:" or "-", choosing inline vs nested.
+  void write_value(const Node& value, int level) {
+    if (value.is_scalar()) {
+      if (value.is_str() && fits_literal_block(value.as_str())) {
+        out_ += ' ';
+        write_literal_block(value.as_str(), level + 1);
+        return;
+      }
+      out_ += ' ';
+      out_ += scalar_inline(value);
+      out_ += '\n';
+      return;
+    }
+    if (value.size() == 0) {
+      out_ += value.is_seq() ? " []" : " {}";
+      out_ += '\n';
+      return;
+    }
+    out_ += '\n';
+    write_block(value, level + 1);
+  }
+
+  EmitOptions options_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string emit(const Node& node, const EmitOptions& options) {
+  return Emitter(options).run(node);
+}
+
+std::optional<std::string> normalize(std::string_view text,
+                                     const EmitOptions& options) {
+  auto doc = parse_document(text);
+  if (!doc) return std::nullopt;
+  return emit(*doc, options);
+}
+
+}  // namespace wisdom::yaml

@@ -1,0 +1,42 @@
+// Block-style YAML emitter producing the Ansible-recommended layout: two
+// space indentation, sequences indented under their parent key, compact
+// mapping entries on sequence dashes ("- name: ..."), single-quoted strings
+// when quoting is required, and literal blocks for multi-line strings. The
+// fine-tuning pipeline normalizes every sample through parse+emit, exactly
+// as the paper "standardized the formatting to match the style recommended
+// by the Ansible team".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "yaml/node.hpp"
+
+namespace wisdom::yaml {
+
+struct EmitOptions {
+  // Prepend the "---" document start marker.
+  bool document_start = false;
+  // Number of spaces per indentation level.
+  int indent = 2;
+};
+
+// Emits one document. A trailing newline is always present.
+std::string emit(const Node& node, const EmitOptions& options = {});
+
+// True if `text` needs quoting to survive as a plain scalar (it would
+// resolve to a different type, collides with YAML syntax, or has leading or
+// trailing whitespace).
+bool scalar_needs_quotes(const std::string& text);
+
+// Quotes `text` as a YAML scalar (single-quoted unless control characters
+// force double quotes).
+std::string quote_scalar(const std::string& text);
+
+// parse + emit round trip; returns the canonicalized document or nullopt if
+// the input does not parse.
+std::optional<std::string> normalize(std::string_view text,
+                                     const EmitOptions& options = {});
+
+}  // namespace wisdom::yaml

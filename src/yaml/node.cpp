@@ -1,0 +1,269 @@
+#include "yaml/node.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace wisdom::yaml {
+
+Node Node::null() { return Node(); }
+
+Node Node::boolean(bool value) {
+  Node n;
+  n.type_ = NodeType::Bool;
+  n.bool_value_ = value;
+  return n;
+}
+
+Node Node::integer(std::int64_t value) {
+  Node n;
+  n.type_ = NodeType::Int;
+  n.int_value_ = value;
+  return n;
+}
+
+Node Node::floating(double value) {
+  Node n;
+  n.type_ = NodeType::Float;
+  n.float_value_ = value;
+  return n;
+}
+
+Node Node::str(std::string value) {
+  Node n;
+  n.type_ = NodeType::Str;
+  n.str_value_ = std::move(value);
+  return n;
+}
+
+Node Node::seq() {
+  Node n;
+  n.type_ = NodeType::Seq;
+  return n;
+}
+
+Node Node::seq(std::vector<Node> items) {
+  Node n;
+  n.type_ = NodeType::Seq;
+  n.seq_ = std::move(items);
+  return n;
+}
+
+Node Node::map() {
+  Node n;
+  n.type_ = NodeType::Map;
+  return n;
+}
+
+Node Node::map(std::vector<MapEntry> entries) {
+  Node n;
+  n.type_ = NodeType::Map;
+  n.map_ = std::move(entries);
+  return n;
+}
+
+bool Node::as_bool() const {
+  assert(is_bool());
+  return bool_value_;
+}
+
+std::int64_t Node::as_int() const {
+  assert(is_int());
+  return int_value_;
+}
+
+double Node::as_float() const {
+  assert(is_float() || is_int());
+  return is_int() ? static_cast<double>(int_value_) : float_value_;
+}
+
+const std::string& Node::as_str() const {
+  assert(is_str());
+  return str_value_;
+}
+
+std::string Node::scalar_text() const {
+  assert(is_scalar());
+  if (!raw_.empty()) return raw_;
+  switch (type_) {
+    case NodeType::Null:
+      return "null";
+    case NodeType::Bool:
+      return bool_value_ ? "true" : "false";
+    case NodeType::Int: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_value_));
+      return buf;
+    }
+    case NodeType::Float: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%g", float_value_);
+      return buf;
+    }
+    case NodeType::Str:
+      return str_value_;
+    default:
+      return {};
+  }
+}
+
+void Node::set_raw(std::string raw) { raw_ = std::move(raw); }
+
+const std::vector<Node>& Node::items() const {
+  assert(is_seq());
+  return seq_;
+}
+
+std::vector<Node>& Node::items() {
+  assert(is_seq());
+  return seq_;
+}
+
+void Node::push_back(Node child) {
+  assert(is_seq());
+  seq_.push_back(std::move(child));
+}
+
+const std::vector<MapEntry>& Node::entries() const {
+  assert(is_map());
+  return map_;
+}
+
+std::vector<MapEntry>& Node::entries() {
+  assert(is_map());
+  return map_;
+}
+
+const Node* Node::find(std::string_view key) const {
+  if (!is_map()) return nullptr;
+  for (const auto& [k, v] : map_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Node* Node::find(std::string_view key) {
+  return const_cast<Node*>(static_cast<const Node*>(this)->find(key));
+}
+
+void Node::set(std::string_view key, Node value) {
+  assert(is_map());
+  for (auto& [k, v] : map_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  map_.emplace_back(std::string(key), std::move(value));
+}
+
+std::size_t Node::erase(std::string_view key) {
+  assert(is_map());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < map_.size();) {
+    if (map_[i].first == key) {
+      map_.erase(map_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+std::size_t Node::size() const {
+  if (is_seq()) return seq_.size();
+  if (is_map()) return map_.size();
+  return 0;
+}
+
+bool Node::operator==(const Node& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case NodeType::Null:
+      return true;
+    case NodeType::Bool:
+      return bool_value_ == other.bool_value_;
+    case NodeType::Int:
+      return int_value_ == other.int_value_;
+    case NodeType::Float:
+      return float_value_ == other.float_value_;
+    case NodeType::Str:
+      return str_value_ == other.str_value_;
+    case NodeType::Seq:
+      return seq_ == other.seq_;
+    case NodeType::Map:
+      return map_ == other.map_;
+  }
+  return false;
+}
+
+namespace {
+
+bool parse_int(std::string_view text, std::int64_t& out) {
+  if (text.empty()) return false;
+  std::size_t start = (text[0] == '-' || text[0] == '+') ? 1 : 0;
+  if (start == text.size()) return false;
+  // Leading zeros (file modes) stay strings.
+  if (text.size() - start > 1 && text[start] == '0') return false;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+  }
+  auto first = text.data() + (text[0] == '+' ? 1 : 0);
+  auto [ptr, ec] = std::from_chars(first, text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_float(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  bool has_digit = false;
+  bool has_dot_or_exp = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      has_digit = true;
+    } else if (c == '.' || c == 'e' || c == 'E') {
+      has_dot_or_exp = true;
+    } else if (c == '-' || c == '+') {
+      // sign only at start or right after an exponent marker
+      if (i != 0 && text[i - 1] != 'e' && text[i - 1] != 'E') return false;
+    } else {
+      return false;
+    }
+  }
+  if (!has_digit || !has_dot_or_exp) return false;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+Node resolve_plain_scalar(std::string_view text) {
+  auto with_raw = [&](Node n) {
+    n.set_raw(std::string(text));
+    return n;
+  };
+  if (text.empty() || text == "~" || text == "null" || text == "Null" ||
+      text == "NULL") {
+    return with_raw(Node::null());
+  }
+  if (text == "true" || text == "True" || text == "TRUE" || text == "yes" ||
+      text == "Yes" || text == "YES" || text == "on" || text == "On") {
+    return with_raw(Node::boolean(true));
+  }
+  if (text == "false" || text == "False" || text == "FALSE" || text == "no" ||
+      text == "No" || text == "NO" || text == "off" || text == "Off") {
+    return with_raw(Node::boolean(false));
+  }
+  std::int64_t i = 0;
+  if (parse_int(text, i)) return with_raw(Node::integer(i));
+  double d = 0.0;
+  if (parse_float(text, d)) return with_raw(Node::floating(d));
+  return with_raw(Node::str(std::string(text)));
+}
+
+}  // namespace wisdom::yaml

@@ -1,0 +1,111 @@
+// YAML document object model.
+//
+// The subset implemented is the one Ansible playbooks and tasks live in:
+// block mappings with scalar string keys, block sequences, flow sequences
+// and mappings, plain / single-quoted / double-quoted scalars, literal (|)
+// and folded (>) block scalars, comments, and multi-document streams. This
+// matches what the paper's pipeline needed from PyYAML: validity checking,
+// structural access and style normalization.
+//
+// Scalars keep both a resolved type (for semantics, e.g. the Ansible-Aware
+// metric compares `yes` and `true` as equal booleans) and the raw source
+// text (so formatting survives round trips where it is meaningful, e.g.
+// file modes like "0644").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wisdom::yaml {
+
+enum class NodeType { Null, Bool, Int, Float, Str, Seq, Map };
+
+class Node;
+using MapEntry = std::pair<std::string, Node>;
+
+class Node {
+ public:
+  // Constructs a Null node.
+  Node() = default;
+
+  // Factories. `str` never re-resolves: Node::str("yes") is the string
+  // "yes", not a boolean. Plain-scalar resolution happens in the parser.
+  static Node null();
+  static Node boolean(bool value);
+  static Node integer(std::int64_t value);
+  static Node floating(double value);
+  static Node str(std::string value);
+  static Node seq();
+  static Node seq(std::vector<Node> items);
+  static Node map();
+  static Node map(std::vector<MapEntry> entries);
+
+  NodeType type() const { return type_; }
+  bool is_null() const { return type_ == NodeType::Null; }
+  bool is_bool() const { return type_ == NodeType::Bool; }
+  bool is_int() const { return type_ == NodeType::Int; }
+  bool is_float() const { return type_ == NodeType::Float; }
+  bool is_str() const { return type_ == NodeType::Str; }
+  bool is_seq() const { return type_ == NodeType::Seq; }
+  bool is_map() const { return type_ == NodeType::Map; }
+  bool is_scalar() const { return !is_seq() && !is_map(); }
+
+  // Typed accessors; calling the wrong one is a precondition violation
+  // (asserted in debug builds, value-initialized result otherwise).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_float() const;
+  const std::string& as_str() const;
+
+  // Scalar rendered back to text (the raw source spelling when the node
+  // came from the parser, a canonical spelling otherwise).
+  std::string scalar_text() const;
+  // Overrides the remembered source spelling (used by the parser).
+  void set_raw(std::string raw);
+
+  // Sequence access.
+  const std::vector<Node>& items() const;
+  std::vector<Node>& items();
+  void push_back(Node child);
+
+  // Mapping access; insertion order is preserved (Ansible task key order is
+  // name, module, keywords and the emitter must not sort it away).
+  const std::vector<MapEntry>& entries() const;
+  std::vector<MapEntry>& entries();
+  // First value for `key`, or nullptr.
+  const Node* find(std::string_view key) const;
+  Node* find(std::string_view key);
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+  // Appends or replaces.
+  void set(std::string_view key, Node value);
+  // Removes all entries with `key`; returns how many were removed.
+  std::size_t erase(std::string_view key);
+
+  std::size_t size() const;
+
+  // Deep structural equality. Scalars compare by resolved type and value
+  // (raw spelling is ignored: `yes` == `true`, `1.0` == `1.00`).
+  bool operator==(const Node& other) const;
+
+ private:
+  NodeType type_ = NodeType::Null;
+  bool bool_value_ = false;
+  std::int64_t int_value_ = 0;
+  double float_value_ = 0.0;
+  std::string str_value_;
+  std::string raw_;
+  std::vector<Node> seq_;
+  std::vector<MapEntry> map_;
+};
+
+// Resolves a plain (unquoted) scalar per the YAML core schema as Ansible
+// uses it: null/Null/NULL/~/"" -> Null; true/false/yes/no/on/off (any case
+// commonly written) -> Bool; integers; floats; otherwise Str. Multi-digit
+// integers with a leading zero (file modes such as 0644) stay strings so
+// they round-trip unmangled.
+Node resolve_plain_scalar(std::string_view text);
+
+}  // namespace wisdom::yaml

@@ -1,0 +1,710 @@
+#include "yaml/parse.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace wisdom::yaml {
+
+namespace util = wisdom::util;
+
+std::string ParseError::to_string() const {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+namespace {
+
+// Strips a trailing comment respecting quote state. A '#' begins a comment
+// when it is the first character or is preceded by whitespace and we are not
+// inside a quoted scalar.
+std::string_view strip_comment(std::string_view text) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_double) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_double = false;
+      }
+    } else if (in_single) {
+      if (c == '\'') {
+        // '' is an escaped quote inside single-quoted scalars.
+        if (i + 1 < text.size() && text[i + 1] == '\'') {
+          ++i;
+        } else {
+          in_single = false;
+        }
+      }
+    } else if (c == '"') {
+      in_double = true;
+    } else if (c == '\'') {
+      in_single = true;
+    } else if (c == '#') {
+      if (i == 0 || text[i - 1] == ' ' || text[i - 1] == '\t') {
+        return text.substr(0, i);
+      }
+    }
+  }
+  return text;
+}
+
+struct SignificantLine {
+  std::size_t raw_index = 0;  // index into the raw line array
+  std::size_t indent = 0;
+  std::string content;  // comment-stripped, right-trimmed, indent removed
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text)
+      : lines_(util::split_lines(text)) {}
+
+  ParseResult run() {
+    ParseResult result;
+    pos_ = 0;
+    for (;;) {
+      // Skip directives and document markers before a document.
+      bool saw_doc_start = false;
+      while (auto line = peek()) {
+        std::string_view c = line->content;
+        if (!c.empty() && c[0] == '%' && line->indent == 0) {
+          pos_ = line->raw_index + 1;
+        } else if (line->indent == 0 && (c == "---" || c == "...")) {
+          saw_doc_start = saw_doc_start || c == "---";
+          pos_ = line->raw_index + 1;
+        } else if (line->indent == 0 && util::starts_with(c, "--- ")) {
+          // Document start with inline content: rewrite the line without
+          // the marker and parse it as the document body.
+          lines_[line->raw_index] =
+              std::string(line->content.substr(4));
+          pos_ = line->raw_index;
+          break;
+        } else {
+          break;
+        }
+      }
+      auto line = peek();
+      if (!line) {
+        if (saw_doc_start && result.documents.empty() && !failed_) {
+          result.documents.push_back(Node::null());
+        }
+        break;
+      }
+      Node doc = parse_block(line->indent);
+      if (failed_) {
+        result.error = error_;
+        return result;
+      }
+      result.documents.push_back(std::move(doc));
+      // A following non-marker content line at this point means trailing
+      // garbage unless it is a new document marker; loop handles markers.
+      if (auto next = peek()) {
+        std::string_view c = next->content;
+        if (!(next->indent == 0 &&
+              (c == "---" || c == "..." || util::starts_with(c, "--- ") ||
+               (!c.empty() && c[0] == '%')))) {
+          fail(next->raw_index, "content after end of document");
+          result.error = error_;
+          return result;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  // --- line scanning -----------------------------------------------------
+
+  // Next significant (non-blank, non-comment-only) line at or after pos_.
+  std::optional<SignificantLine> peek() {
+    for (std::size_t i = pos_; i < lines_.size(); ++i) {
+      const std::string& raw = lines_[i];
+      // Tabs in indentation are a hard error in YAML.
+      std::size_t j = 0;
+      while (j < raw.size() && raw[j] == ' ') ++j;
+      if (j < raw.size() && raw[j] == '\t') {
+        fail(i, "tab character in indentation");
+        return std::nullopt;
+      }
+      std::string_view stripped = util::trim_right(strip_comment(raw));
+      if (stripped.size() <= j) continue;  // blank or comment-only
+      SignificantLine line;
+      line.raw_index = i;
+      line.indent = j;
+      line.content = std::string(stripped.substr(j));
+      return line;
+    }
+    return std::nullopt;
+  }
+
+  void consume(const SignificantLine& line) { pos_ = line.raw_index + 1; }
+
+  void fail(std::size_t raw_index, std::string message) {
+    if (failed_) return;
+    failed_ = true;
+    error_ = ParseError{std::move(message), raw_index + 1};
+  }
+
+  // --- anchors / aliases ---------------------------------------------------
+
+  // Extracts a leading "&name" from `text`; returns the anchor name and
+  // leaves `text` holding the remainder (trimmed).
+  static std::optional<std::string> take_anchor(std::string_view& text) {
+    if (text.empty() || text[0] != '&') return std::nullopt;
+    std::size_t i = 1;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i == 1) return std::nullopt;
+    std::string name(text.substr(1, i - 1));
+    text = util::trim(text.substr(i));
+    return name;
+  }
+
+  Node resolve_alias(std::string_view name, std::size_t raw_index) {
+    auto it = anchors_.find(std::string(name));
+    if (it == anchors_.end()) {
+      fail(raw_index, "unknown alias '*" + std::string(name) + "'");
+      return Node::null();
+    }
+    return it->second;  // deep copy
+  }
+
+  // --- block structure ---------------------------------------------------
+
+  Node parse_block(std::size_t indent) {
+    auto line = peek();
+    if (!line || failed_) return Node::null();
+    if (line->indent != indent) {
+      fail(line->raw_index, "unexpected indentation");
+      return Node::null();
+    }
+    // Anchored block node: "&name" alone (collection follows) or "&name X".
+    {
+      std::string_view content = line->content;
+      if (auto anchor = take_anchor(content)) {
+        if (content.empty()) {
+          consume(*line);
+          // The anchored node follows; after a "- &name" rewrite it sits at
+          // the same indent as the anchor, otherwise deeper.
+          Node value = Node::null();
+          if (auto next = peek();
+              next && next->indent >= indent && !failed_ &&
+              !is_document_marker(*next)) {
+            value = parse_block(next->indent);
+          }
+          anchors_[*anchor] = value;
+          return value;
+        }
+        lines_[line->raw_index] =
+            std::string(indent, ' ') + std::string(content);
+        pos_ = line->raw_index;
+        Node value = parse_block(indent);
+        anchors_[*anchor] = value;
+        return value;
+      }
+    }
+    if (is_sequence_entry(line->content)) return parse_sequence(indent);
+    if (find_key_split(line->content)) return parse_mapping(indent);
+    // Single scalar document / value.
+    consume(*line);
+    Node n = parse_scalar_value(line->content, line->raw_index);
+    if (auto next = peek();
+        next && next->indent > indent && !failed_) {
+      fail(next->raw_index,
+           "unexpected indentation (plain multi-line scalars unsupported)");
+    }
+    return n;
+  }
+
+  static bool is_sequence_entry(std::string_view content) {
+    return content == "-" || util::starts_with(content, "- ");
+  }
+
+  static bool is_document_marker(const SignificantLine& line) {
+    return line.indent == 0 &&
+           (line.content == "---" || line.content == "..." ||
+            util::starts_with(line.content, "--- "));
+  }
+
+  Node parse_sequence(std::size_t indent) {
+    Node out = Node::seq();
+    for (;;) {
+      auto line = peek();
+      if (!line || failed_) break;
+      if (is_document_marker(*line)) break;
+      if (line->indent < indent) break;
+      if (line->indent > indent) {
+        fail(line->raw_index, "bad indentation in sequence");
+        break;
+      }
+      if (!is_sequence_entry(line->content)) break;
+      if (line->content == "-") {
+        consume(*line);
+        // Item is the following more-indented block, or null.
+        auto next = peek();
+        if (next && next->indent > indent && !failed_) {
+          out.push_back(parse_block(next->indent));
+        } else {
+          out.push_back(Node::null());
+        }
+      } else {
+        // "- X": rewrite the raw line as X indented two extra columns and
+        // re-parse; compact mappings/sequences/scalars all fall out of this
+        // uniformly because following keys of a compact mapping sit at
+        // indent + 2.
+        std::string rest(line->content.substr(2));
+        lines_[line->raw_index] =
+            std::string(indent + 2, ' ') + rest;
+        pos_ = line->raw_index;
+        out.push_back(parse_block(indent + 2));
+      }
+    }
+    return out;
+  }
+
+  // Splits "key: value" / "key:" at the top level of the line. Returns the
+  // byte offset of the ':' or nullopt if the line is not a mapping entry.
+  static std::optional<std::size_t> find_key_split(std::string_view content) {
+    bool in_single = false;
+    bool in_double = false;
+    int flow_depth = 0;
+    for (std::size_t i = 0; i < content.size(); ++i) {
+      char c = content[i];
+      if (in_double) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_double = false;
+        }
+      } else if (in_single) {
+        if (c == '\'') {
+          if (i + 1 < content.size() && content[i + 1] == '\'')
+            ++i;
+          else
+            in_single = false;
+        }
+      } else if (c == '"' && flow_depth == 0 && i == 0) {
+        in_double = true;
+      } else if (c == '\'' && flow_depth == 0 && i == 0) {
+        in_single = true;
+      } else if (c == '[' || c == '{') {
+        ++flow_depth;
+      } else if (c == ']' || c == '}') {
+        --flow_depth;
+      } else if (c == ':' && flow_depth == 0) {
+        if (i + 1 == content.size() || content[i + 1] == ' ') return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  Node parse_mapping(std::size_t indent) {
+    Node out = Node::map();
+    // "<<" merge values, applied after explicit keys (explicit keys win).
+    std::vector<Node> merges;
+    for (;;) {
+      auto line = peek();
+      if (!line || failed_) break;
+      if (is_document_marker(*line)) break;
+      if (line->indent < indent) break;
+      if (line->indent > indent) {
+        fail(line->raw_index, "bad indentation in mapping");
+        break;
+      }
+      if (is_sequence_entry(line->content)) break;
+      auto split = find_key_split(line->content);
+      if (!split) {
+        fail(line->raw_index, "expected 'key: value'");
+        break;
+      }
+      std::string key = parse_key(
+          util::trim(std::string_view(line->content).substr(0, *split)),
+          line->raw_index);
+      std::string_view rest =
+          util::trim(std::string_view(line->content).substr(*split + 1));
+      consume(*line);
+      if (failed_) break;
+
+      std::optional<std::string> anchor = take_anchor(rest);
+      Node value;
+      if (rest.empty()) {
+        // Value is a nested block, a same-indent sequence, or null.
+        auto next = peek();
+        if (next && !failed_) {
+          if (next->indent > indent) {
+            value = parse_block(next->indent);
+          } else if (next->indent == indent &&
+                     is_sequence_entry(next->content)) {
+            value = parse_sequence(indent);
+          } else {
+            value = Node::null();
+          }
+        } else {
+          value = Node::null();
+        }
+      } else if (rest[0] == '|' || rest[0] == '>') {
+        value = parse_block_scalar(rest, indent, line->raw_index);
+      } else {
+        value = parse_scalar_value(rest, line->raw_index);
+        if (auto next = peek(); next && next->indent > indent && !failed_) {
+          fail(next->raw_index,
+               "unexpected indentation after 'key: value'");
+        }
+      }
+      if (failed_) break;
+      if (anchor) anchors_[*anchor] = value;
+      if (key == "<<") {
+        merges.push_back(std::move(value));
+        continue;
+      }
+      out.entries().emplace_back(std::move(key), std::move(value));
+    }
+    // Apply merge keys: entries from merged mappings (or sequences of
+    // mappings) are appended unless an explicit key already exists.
+    for (const Node& merge : merges) {
+      auto apply = [&out](const Node& m) {
+        if (!m.is_map()) return false;
+        for (const auto& [k, v] : m.entries()) {
+          if (!out.has(k)) out.entries().emplace_back(k, v);
+        }
+        return true;
+      };
+      bool ok = true;
+      if (merge.is_seq()) {
+        for (const Node& m : merge.items()) ok = ok && apply(m);
+      } else {
+        ok = apply(merge);
+      }
+      if (!ok && !failed_) {
+        fail(pos_ == 0 ? 0 : pos_ - 1,
+             "'<<' merge value must be a mapping or list of mappings");
+      }
+    }
+    return out;
+  }
+
+  std::string parse_key(std::string_view text, std::size_t raw_index) {
+    if (text.empty()) {
+      fail(raw_index, "empty mapping key");
+      return {};
+    }
+    if (text[0] == '"' || text[0] == '\'') {
+      std::size_t i = 0;
+      Node n = parse_quoted(text, i, raw_index);
+      if (!failed_ && i != text.size()) {
+        fail(raw_index, "garbage after quoted key");
+      }
+      return failed_ ? std::string() : n.as_str();
+    }
+    if (text[0] == '?') {
+      fail(raw_index, "complex mapping keys unsupported");
+      return {};
+    }
+    return std::string(text);
+  }
+
+  // --- scalars -----------------------------------------------------------
+
+  Node parse_scalar_value(std::string_view text, std::size_t raw_index) {
+    assert(!text.empty());
+    char c = text[0];
+    if (c == '[' || c == '{') {
+      std::size_t i = 0;
+      Node n = parse_flow(text, i, raw_index, 0);
+      if (!failed_) {
+        while (i < text.size() && text[i] == ' ') ++i;
+        if (i != text.size())
+          fail(raw_index, "garbage after flow collection");
+      }
+      return n;
+    }
+    if (c == '"' || c == '\'') {
+      std::size_t i = 0;
+      Node n = parse_quoted(text, i, raw_index);
+      if (!failed_ && i != text.size())
+        fail(raw_index, "garbage after quoted scalar");
+      return n;
+    }
+    if (c == '*') {
+      std::string_view name = util::trim(text.substr(1));
+      if (name.empty() ||
+          name.find(' ') != std::string_view::npos) {
+        fail(raw_index, "malformed alias");
+        return Node::null();
+      }
+      return resolve_alias(name, raw_index);
+    }
+    if (c == '&') {
+      // Anchors on plain values are handled by the callers; reaching here
+      // means a bare "&" with nothing to attach to.
+      fail(raw_index, "dangling anchor");
+      return Node::null();
+    }
+    if (util::starts_with(text, "!!") || c == '!') {
+      fail(raw_index, "tags unsupported");
+      return Node::null();
+    }
+    return resolve_plain_scalar(text);
+  }
+
+  Node parse_quoted(std::string_view text, std::size_t& i,
+                    std::size_t raw_index) {
+    char quote = text[i];
+    ++i;
+    std::string out;
+    while (i < text.size()) {
+      char c = text[i];
+      if (quote == '"' && c == '\\') {
+        if (i + 1 >= text.size()) break;
+        char esc = text[i + 1];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '0': out += '\0'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default: out += esc; break;
+        }
+        i += 2;
+        continue;
+      }
+      if (c == quote) {
+        if (quote == '\'' && i + 1 < text.size() && text[i + 1] == '\'') {
+          out += '\'';
+          i += 2;
+          continue;
+        }
+        ++i;
+        Node n = Node::str(std::move(out));
+        return n;
+      }
+      out += c;
+      ++i;
+    }
+    fail(raw_index, "unterminated quoted scalar");
+    return Node::null();
+  }
+
+  Node parse_flow(std::string_view text, std::size_t& i,
+                  std::size_t raw_index, int depth) {
+    if (depth > 32) {
+      fail(raw_index, "flow nesting too deep");
+      return Node::null();
+    }
+    auto skip_ws = [&] {
+      while (i < text.size() && text[i] == ' ') ++i;
+    };
+    skip_ws();
+    if (i >= text.size()) {
+      fail(raw_index, "unexpected end of flow content");
+      return Node::null();
+    }
+    char c = text[i];
+    if (c == '[') {
+      ++i;
+      Node out = Node::seq();
+      skip_ws();
+      if (i < text.size() && text[i] == ']') {
+        ++i;
+        return out;
+      }
+      for (;;) {
+        out.push_back(parse_flow(text, i, raw_index, depth + 1));
+        if (failed_) return out;
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          skip_ws();
+          // allow trailing comma
+          if (i < text.size() && text[i] == ']') {
+            ++i;
+            return out;
+          }
+          continue;
+        }
+        if (i < text.size() && text[i] == ']') {
+          ++i;
+          return out;
+        }
+        fail(raw_index, "expected ',' or ']' in flow sequence");
+        return out;
+      }
+    }
+    if (c == '{') {
+      ++i;
+      Node out = Node::map();
+      skip_ws();
+      if (i < text.size() && text[i] == '}') {
+        ++i;
+        return out;
+      }
+      for (;;) {
+        skip_ws();
+        Node key = parse_flow(text, i, raw_index, depth + 1);
+        if (failed_) return out;
+        if (!key.is_scalar()) {
+          fail(raw_index, "non-scalar key in flow mapping");
+          return out;
+        }
+        skip_ws();
+        Node value = Node::null();
+        if (i < text.size() && text[i] == ':') {
+          ++i;
+          skip_ws();
+          if (i < text.size() && text[i] != ',' && text[i] != '}') {
+            value = parse_flow(text, i, raw_index, depth + 1);
+            if (failed_) return out;
+          }
+        }
+        out.entries().emplace_back(key.scalar_text(), std::move(value));
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < text.size() && text[i] == '}') {
+          ++i;
+          return out;
+        }
+        fail(raw_index, "expected ',' or '}' in flow mapping");
+        return out;
+      }
+    }
+    if (c == '"' || c == '\'') return parse_quoted(text, i, raw_index);
+    if (c == '*') {
+      std::size_t start = ++i;
+      while (i < text.size() && text[i] != ',' && text[i] != ']' &&
+             text[i] != '}' && text[i] != ' ')
+        ++i;
+      return resolve_alias(text.substr(start, i - start), raw_index);
+    }
+    // Plain flow scalar: up to an unquoted , ] } or :.
+    std::size_t start = i;
+    while (i < text.size()) {
+      char p = text[i];
+      if (p == ',' || p == ']' || p == '}') break;
+      if (p == ':' && (i + 1 == text.size() || text[i + 1] == ' ' ||
+                       text[i + 1] == ',' || text[i + 1] == '}'))
+        break;
+      ++i;
+    }
+    std::string_view plain = util::trim(text.substr(start, i - start));
+    return resolve_plain_scalar(plain);
+  }
+
+  Node parse_block_scalar(std::string_view header, std::size_t parent_indent,
+                          std::size_t header_index) {
+    assert(header[0] == '|' || header[0] == '>');
+    bool folded = header[0] == '>';
+    char chomp = 'c';  // clip
+    int explicit_indent = -1;
+    for (std::size_t i = 1; i < header.size(); ++i) {
+      char c = header[i];
+      if (c == '-' || c == '+') {
+        chomp = c;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        explicit_indent = c - '0';
+      } else {
+        fail(header_index, "bad block scalar header");
+        return Node::null();
+      }
+    }
+
+    // Collect raw lines: everything blank or indented deeper than the key.
+    std::vector<std::string> body;
+    std::size_t block_indent =
+        explicit_indent >= 0
+            ? parent_indent + static_cast<std::size_t>(explicit_indent)
+            : 0;  // determined by first non-blank line
+    std::size_t scan = pos_;
+    for (; scan < lines_.size(); ++scan) {
+      const std::string& raw = lines_[scan];
+      std::string_view trimmed = util::trim(raw);
+      std::size_t ind = util::indent_width(raw);
+      if (trimmed.empty()) {
+        body.emplace_back("");
+        continue;
+      }
+      if (block_indent == 0) {
+        if (ind <= parent_indent) break;
+        block_indent = ind;
+      } else if (ind < block_indent) {
+        break;
+      }
+      body.emplace_back(raw.substr(std::min(block_indent, raw.size())));
+    }
+    pos_ = scan;
+    // Trailing blank lines participate only with keep chomping.
+    std::size_t end = body.size();
+    while (end > 0 && body[end - 1].empty()) --end;
+
+    std::string text;
+    if (!folded) {
+      for (std::size_t i = 0; i < end; ++i) {
+        text += body[i];
+        text += '\n';
+      }
+    } else {
+      bool prev_blank = true;  // suppress leading space
+      bool prev_indented = false;
+      for (std::size_t i = 0; i < end; ++i) {
+        const std::string& line = body[i];
+        bool blank = line.empty();
+        bool indented = !blank && line[0] == ' ';
+        if (blank) {
+          text += '\n';
+        } else {
+          if (!prev_blank && !prev_indented && !indented) text += ' ';
+          if ((prev_indented || indented) && !prev_blank) text += '\n';
+          text += line;
+        }
+        prev_blank = blank;
+        prev_indented = indented;
+      }
+      if (end > 0) text += '\n';
+    }
+    if (chomp == '-') {
+      while (!text.empty() && text.back() == '\n') text.pop_back();
+    } else if (chomp == '+') {
+      for (std::size_t i = end; i < body.size(); ++i) text += '\n';
+    }
+    return Node::str(std::move(text));
+  }
+
+  std::vector<std::string> lines_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  ParseError error_;
+  // Anchored nodes, visible for the rest of the stream (aliases deep-copy).
+  std::map<std::string, Node> anchors_;
+};
+
+}  // namespace
+
+ParseResult parse_stream(std::string_view text) {
+  return Parser(text).run();
+}
+
+std::optional<Node> parse_document(std::string_view text, ParseError* err) {
+  ParseResult result = parse_stream(text);
+  if (!result.ok()) {
+    if (err) *err = *result.error;
+    return std::nullopt;
+  }
+  if (result.documents.empty()) {
+    if (err) *err = ParseError{"empty stream", 1};
+    return std::nullopt;
+  }
+  return std::move(result.documents.front());
+}
+
+bool is_valid_yaml(std::string_view text) {
+  return parse_stream(text).ok();
+}
+
+}  // namespace wisdom::yaml

@@ -1,0 +1,45 @@
+// Indentation-based YAML parser for the Ansible subset.
+//
+// Supported: block mappings / sequences (including sequences at the same
+// indent as their parent key, the dominant Ansible style), compact forms
+// after "- ", flow sequences and mappings, plain / single-quoted /
+// double-quoted scalars, literal (|) and folded (>) block scalars with
+// chomping indicators, comments, directives, and multi-document streams.
+// Unsupported (reported as parse errors where they would change meaning):
+// anchors/aliases, tags, complex (non-scalar) mapping keys, tabs in
+// indentation, plain multi-line scalars.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "yaml/node.hpp"
+
+namespace wisdom::yaml {
+
+struct ParseError {
+  std::string message;
+  std::size_t line = 0;  // 1-based source line
+  std::string to_string() const;
+};
+
+struct ParseResult {
+  std::vector<Node> documents;
+  std::optional<ParseError> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+// Parses a full (possibly multi-document) stream.
+ParseResult parse_stream(std::string_view text);
+
+// Parses the first document; nullopt on error (error details via `err`).
+std::optional<Node> parse_document(std::string_view text,
+                                   ParseError* err = nullptr);
+
+// True if the text parses cleanly (the pipeline's PyYAML-style validity
+// check).
+bool is_valid_yaml(std::string_view text);
+
+}  // namespace wisdom::yaml

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "ansible/catalog.hpp"
+#include "ansible/freeform.hpp"
+#include "ansible/keywords.hpp"
+#include "ansible/model.hpp"
+#include "yaml/parse.hpp"
+
+namespace wa = wisdom::ansible;
+namespace wy = wisdom::yaml;
+
+namespace {
+const wa::ModuleCatalog& catalog() { return wa::ModuleCatalog::instance(); }
+
+wy::Node must_parse(std::string_view text) {
+  wy::ParseError err;
+  auto doc = wy::parse_document(text, &err);
+  EXPECT_TRUE(doc.has_value()) << err.to_string();
+  return doc ? *doc : wy::Node::null();
+}
+}  // namespace
+
+// --- catalog -----------------------------------------------------------------
+
+TEST(Catalog, HasCoreBuiltins) {
+  for (const char* name :
+       {"apt", "yum", "dnf", "package", "copy", "template", "file",
+        "lineinfile", "service", "systemd", "command", "shell", "user",
+        "group", "git", "get_url", "uri", "debug", "set_fact"}) {
+    EXPECT_NE(catalog().by_short_name(name), nullptr) << name;
+  }
+  EXPECT_GE(catalog().all().size(), 70u);
+}
+
+TEST(Catalog, FqcnResolution) {
+  EXPECT_EQ(catalog().to_fqcn("copy"), "ansible.builtin.copy");
+  EXPECT_EQ(catalog().to_fqcn("ansible.builtin.copy"), "ansible.builtin.copy");
+  EXPECT_EQ(catalog().to_fqcn("vyos_config"), "vyos.vyos.vyos_config");
+  EXPECT_EQ(catalog().to_fqcn("docker_container"),
+            "community.docker.docker_container");
+  // Unknown names pass through unchanged.
+  EXPECT_EQ(catalog().to_fqcn("my.custom.module"), "my.custom.module");
+}
+
+TEST(Catalog, ShortNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& m : catalog().all()) {
+    EXPECT_TRUE(names.insert(m.short_name).second)
+        << "duplicate short name " << m.short_name;
+  }
+}
+
+TEST(Catalog, SameModule) {
+  EXPECT_TRUE(catalog().same_module("copy", "ansible.builtin.copy"));
+  EXPECT_FALSE(catalog().same_module("copy", "template"));
+}
+
+TEST(Catalog, NearEquivalenceClassesFromPaper) {
+  // "command / shell, copy / template, package / apt, dnf, yum"
+  EXPECT_TRUE(catalog().near_equivalent("command", "shell"));
+  EXPECT_TRUE(catalog().near_equivalent("copy", "template"));
+  EXPECT_TRUE(catalog().near_equivalent("package", "apt"));
+  EXPECT_TRUE(catalog().near_equivalent("apt", "yum"));
+  EXPECT_TRUE(catalog().near_equivalent("dnf", "yum"));
+  EXPECT_TRUE(
+      catalog().near_equivalent("ansible.builtin.apt", "ansible.builtin.dnf"));
+  EXPECT_FALSE(catalog().near_equivalent("copy", "command"));
+  EXPECT_FALSE(catalog().near_equivalent("apt", "apt"));  // same, not "near"
+  EXPECT_FALSE(catalog().near_equivalent("apt", "no_such_module"));
+}
+
+TEST(Catalog, ParamSpecs) {
+  const wa::ModuleSpec* apt = catalog().by_short_name("apt");
+  ASSERT_NE(apt, nullptr);
+  EXPECT_TRUE(apt->has_param("name"));
+  EXPECT_TRUE(apt->has_param("state"));
+  const wa::ParamSpec* state = apt->param("state");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->type, wa::ParamType::Choice);
+  EXPECT_FALSE(state->choices.empty());
+  EXPECT_FALSE(apt->has_param("bogus"));
+}
+
+TEST(Catalog, FreeFormFlags) {
+  EXPECT_TRUE(catalog().by_short_name("command")->free_form);
+  EXPECT_TRUE(catalog().by_short_name("shell")->free_form);
+  EXPECT_TRUE(catalog().by_short_name("meta")->free_form);
+  EXPECT_FALSE(catalog().by_short_name("apt")->free_form);
+  EXPECT_TRUE(catalog().by_short_name("set_fact")->arbitrary_params);
+}
+
+// --- keywords ------------------------------------------------------------------
+
+TEST(Keywords, TaskKeywordLookup) {
+  EXPECT_NE(wa::find_task_keyword("when"), nullptr);
+  EXPECT_NE(wa::find_task_keyword("become"), nullptr);
+  EXPECT_NE(wa::find_task_keyword("register"), nullptr);
+  EXPECT_EQ(wa::find_task_keyword("hosts"), nullptr);  // play-only
+  EXPECT_EQ(wa::find_task_keyword("apt"), nullptr);    // module
+}
+
+TEST(Keywords, PlayKeywordLookup) {
+  EXPECT_NE(wa::find_play_keyword("hosts"), nullptr);
+  EXPECT_NE(wa::find_play_keyword("gather_facts"), nullptr);
+  EXPECT_NE(wa::find_play_keyword("roles"), nullptr);
+  EXPECT_EQ(wa::find_play_keyword("loop"), nullptr);  // task-only
+}
+
+TEST(Keywords, BlockKeys) {
+  EXPECT_TRUE(wa::is_block_key("block"));
+  EXPECT_TRUE(wa::is_block_key("rescue"));
+  EXPECT_TRUE(wa::is_block_key("always"));
+  EXPECT_FALSE(wa::is_block_key("tasks"));
+}
+
+// --- free-form k=v parsing -------------------------------------------------------
+
+TEST(FreeForm, SimplePairs) {
+  auto split = wa::parse_free_form("name=nginx state=present");
+  EXPECT_TRUE(split.free_text.empty());
+  ASSERT_EQ(split.params.size(), 2u);
+  EXPECT_EQ(split.params.find("name")->as_str(), "nginx");
+  EXPECT_EQ(split.params.find("state")->as_str(), "present");
+}
+
+TEST(FreeForm, QuotedValues) {
+  auto split = wa::parse_free_form("dest=/etc/motd content='hello world'");
+  EXPECT_EQ(split.params.find("content")->as_str(), "hello world");
+}
+
+TEST(FreeForm, ValueTypeResolution) {
+  auto split = wa::parse_free_form("update_cache=yes cache_valid_time=3600");
+  EXPECT_TRUE(split.params.find("update_cache")->as_bool());
+  EXPECT_EQ(split.params.find("cache_valid_time")->as_int(), 3600);
+  // Quoted values never resolve.
+  auto q = wa::parse_free_form("v='yes'");
+  EXPECT_TRUE(q.params.find("v")->is_str());
+}
+
+TEST(FreeForm, CommandTextIsNotSplit) {
+  auto split = wa::parse_free_form("echo a=b c");
+  EXPECT_EQ(split.free_text, "echo a=b c");
+  EXPECT_EQ(split.params.size(), 0u);
+}
+
+TEST(FreeForm, LeadingPairsThenFreeText) {
+  auto split = wa::parse_free_form("chdir=/tmp make all");
+  EXPECT_EQ(split.params.find("chdir")->as_str(), "/tmp");
+  EXPECT_EQ(split.free_text, "make all");
+}
+
+TEST(FreeForm, LooksLikeKvArgs) {
+  EXPECT_TRUE(wa::looks_like_kv_args("name=nginx state=present"));
+  EXPECT_FALSE(wa::looks_like_kv_args("systemctl restart nginx"));
+  EXPECT_FALSE(wa::looks_like_kv_args(""));
+}
+
+// --- task / play model --------------------------------------------------------------
+
+TEST(Model, TaskFromNodeClassifiesKeys) {
+  wy::Node node = must_parse(
+      "name: Install nginx\n"
+      "ansible.builtin.apt:\n"
+      "  name: nginx\n"
+      "  state: present\n"
+      "become: true\n"
+      "when: ansible_os_family == 'Debian'\n");
+  wa::Task task = wa::Task::from_node(node);
+  EXPECT_EQ(task.name, "Install nginx");
+  EXPECT_EQ(task.module, "ansible.builtin.apt");
+  EXPECT_TRUE(task.args.is_map());
+  ASSERT_EQ(task.keywords.size(), 2u);
+  EXPECT_EQ(task.keywords[0].first, "become");
+}
+
+TEST(Model, TaskRoundTripPreservesOrder) {
+  wy::Node node = must_parse(
+      "name: t\n"
+      "copy:\n"
+      "  src: a\n"
+      "  dest: b\n"
+      "notify: restart nginx\n");
+  wa::Task task = wa::Task::from_node(node);
+  wy::Node back = task.to_node();
+  EXPECT_EQ(back.entries()[0].first, "name");
+  EXPECT_EQ(back.entries()[1].first, "copy");
+  EXPECT_EQ(back.entries()[2].first, "notify");
+}
+
+TEST(Model, UnknownModuleStillDetected) {
+  wy::Node node = must_parse("my_org.custom.widget:\n  size: 3\n");
+  wa::Task task = wa::Task::from_node(node);
+  EXPECT_EQ(task.module, "my_org.custom.widget");
+}
+
+TEST(Model, FreeFormTaskModule) {
+  wy::Node node = must_parse(
+      "name: Run it\n"
+      "shell: systemctl restart nginx\n");
+  wa::Task task = wa::Task::from_node(node);
+  EXPECT_EQ(task.module, "shell");
+  EXPECT_TRUE(task.args.is_str());
+}
+
+TEST(Model, PlaybookFromNode) {
+  wy::Node node = must_parse(
+      "- hosts: web\n"
+      "  become: true\n"
+      "  tasks:\n"
+      "    - name: a\n"
+      "      ping:\n"
+      "    - name: b\n"
+      "      debug:\n"
+      "        msg: hi\n");
+  auto pb = wa::Playbook::from_node(node);
+  ASSERT_TRUE(pb.has_value());
+  ASSERT_EQ(pb->plays.size(), 1u);
+  EXPECT_EQ(pb->plays[0].tasks.size(), 2u);
+  EXPECT_EQ(pb->plays[0].tasks[1].name, "b");
+}
+
+TEST(Model, PlaybookRejectsNonSequence) {
+  EXPECT_FALSE(wa::Playbook::from_node(must_parse("key: value")).has_value());
+}
+
+TEST(Model, BlockDetection) {
+  wy::Node block = must_parse(
+      "name: grouped\n"
+      "block:\n"
+      "  - ping:\n");
+  EXPECT_TRUE(wa::is_block(block));
+  wy::Node task = must_parse("ping:\n");
+  EXPECT_FALSE(wa::is_block(task));
+}
+
+TEST(Model, LooksLikePlaybook) {
+  EXPECT_TRUE(wa::looks_like_playbook(must_parse(
+      "- hosts: all\n  tasks:\n    - ping:\n")));
+  // A bare task list is not a playbook.
+  EXPECT_FALSE(wa::looks_like_playbook(must_parse(
+      "- name: t\n  ping:\n")));
+  EXPECT_FALSE(wa::looks_like_playbook(must_parse("- 1\n- 2\n")));
+  EXPECT_FALSE(wa::looks_like_playbook(must_parse("k: v\n")));
+}

@@ -1,0 +1,118 @@
+// Parameterized sweep over every module in the catalog: structural
+// invariants that must hold for each entry (the generator, linter and
+// Ansible Aware metric all assume them).
+#include <gtest/gtest.h>
+
+#include "ansible/catalog.hpp"
+#include "ansible/keywords.hpp"
+#include "data/ansible_gen.hpp"
+#include "util/rng.hpp"
+#include "yaml/emit.hpp"
+
+namespace wa = wisdom::ansible;
+namespace wd = wisdom::data;
+
+namespace {
+const wa::ModuleCatalog& catalog() { return wa::ModuleCatalog::instance(); }
+}  // namespace
+
+class ModuleSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const wa::ModuleSpec& module() const {
+    return catalog().all()[GetParam()];
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModules, ModuleSweep,
+    ::testing::Range<std::size_t>(
+        0, wa::ModuleCatalog::instance().all().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string name =
+          wa::ModuleCatalog::instance().all()[info.param].short_name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(ModuleSweep, FqcnIsWellFormed) {
+  const wa::ModuleSpec& m = module();
+  // namespace.collection.module
+  int dots = 0;
+  for (char c : m.fqcn) dots += (c == '.');
+  EXPECT_EQ(dots, 2) << m.fqcn;
+  EXPECT_TRUE(m.fqcn.ends_with(m.short_name));
+}
+
+TEST_P(ModuleSweep, ResolvesBothSpellings) {
+  const wa::ModuleSpec& m = module();
+  EXPECT_EQ(catalog().by_fqcn(m.fqcn), &m);
+  EXPECT_EQ(catalog().by_short_name(m.short_name), &m);
+  EXPECT_EQ(catalog().resolve(m.fqcn), &m);
+  EXPECT_EQ(catalog().resolve(m.short_name), &m);
+  EXPECT_EQ(catalog().to_fqcn(m.short_name), m.fqcn);
+}
+
+TEST_P(ModuleSweep, ParamSpecsConsistent) {
+  const wa::ModuleSpec& m = module();
+  std::set<std::string> names;
+  for (const wa::ParamSpec& p : m.params) {
+    EXPECT_FALSE(p.name.empty()) << m.fqcn;
+    EXPECT_TRUE(names.insert(p.name).second)
+        << m.fqcn << " duplicate param " << p.name;
+    // Choices iff Choice-typed.
+    if (p.type == wa::ParamType::Choice) {
+      EXPECT_FALSE(p.choices.empty()) << m.fqcn << "." << p.name;
+    } else {
+      EXPECT_TRUE(p.choices.empty()) << m.fqcn << "." << p.name;
+    }
+  }
+}
+
+TEST_P(ModuleSweep, EquivalenceIsSymmetric) {
+  const wa::ModuleSpec& m = module();
+  if (m.equivalence_group < 0) return;
+  bool found_peer = false;
+  for (const wa::ModuleSpec& other : catalog().all()) {
+    if (&other == &m) continue;
+    if (other.equivalence_group == m.equivalence_group) {
+      found_peer = true;
+      EXPECT_TRUE(catalog().near_equivalent(m.fqcn, other.fqcn));
+      EXPECT_TRUE(catalog().near_equivalent(other.fqcn, m.fqcn));
+    }
+  }
+  EXPECT_TRUE(found_peer) << m.fqcn << " is alone in its equivalence group";
+}
+
+TEST_P(ModuleSweep, ModuleNameIsNotATaskKeyword) {
+  // The Task::from_node classifier treats any known keyword as a keyword
+  // first; a module whose short name collides could never be invoked.
+  const wa::ModuleSpec& m = module();
+  EXPECT_EQ(wa::find_task_keyword(m.short_name), nullptr) << m.short_name;
+  EXPECT_FALSE(wa::is_block_key(m.short_name));
+}
+
+TEST_P(ModuleSweep, GeneratorProducesValidArgsForRequiredParams) {
+  // Drive the generator until it picks this module (or give up — weights
+  // make rare modules rare); when it does, required params must be present.
+  wd::AnsibleGenerator gen{wisdom::util::Rng{GetParam() * 31 + 7}};
+  wd::TaskGenOptions opts;
+  opts.old_style_prob = 0.0;
+  opts.short_name_prob = 0.0;
+  opts.keyword_prob = 0.0;
+  const wa::ModuleSpec& m = module();
+  for (int i = 0; i < 400; ++i) {
+    wisdom::yaml::Node task = gen.task(opts);
+    const wisdom::yaml::Node* args = task.find(m.fqcn);
+    if (!args) continue;
+    for (const wa::ParamSpec& p : m.params) {
+      if (!p.required) continue;
+      EXPECT_TRUE(args->is_map() && args->has(p.name))
+          << m.fqcn << " missing required " << p.name << "\n"
+          << wisdom::yaml::emit(task);
+    }
+    return;  // one hit is enough
+  }
+  GTEST_SKIP() << "generator never picked " << m.fqcn << " in 400 draws";
+}

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluate.hpp"
+#include "core/pipeline.hpp"
+#include "core/postprocess.hpp"
+#include "core/trainer.hpp"
+#include "data/packing.hpp"
+#include "model/checkpoint.hpp"
+#include "model/transformer.hpp"
+#include "text/bpe.hpp"
+
+namespace wc = wisdom::core;
+namespace wd = wisdom::data;
+namespace wm = wisdom::model;
+namespace wt = wisdom::text;
+
+// --- postprocess -------------------------------------------------------------
+
+TEST(Postprocess, TrimGenerationDropsPartialLastLine) {
+  EXPECT_EQ(wc::trim_generation("  a: 1\n  b: 2\n  c"), "  a: 1\n  b: 2\n");
+  EXPECT_EQ(wc::trim_generation("no newline at all"), "");
+  EXPECT_EQ(wc::trim_generation(""), "");
+}
+
+TEST(Postprocess, TruncateStopsAtNextTask) {
+  std::string body =
+      "  ansible.builtin.apt:\n"
+      "    name: nginx\n"
+      "    state: present\n"
+      "- name: Another task\n"
+      "  ansible.builtin.ping:\n";
+  EXPECT_EQ(wc::truncate_to_first_task(body, 0),
+            "  ansible.builtin.apt:\n    name: nginx\n    state: present\n");
+}
+
+TEST(Postprocess, TruncateStopsAtDocumentMarker) {
+  std::string body = "  ansible.builtin.ping:\n---\nother: doc\n";
+  EXPECT_EQ(wc::truncate_to_first_task(body, 0),
+            "  ansible.builtin.ping:\n");
+}
+
+TEST(Postprocess, TruncateStopsAtBlankLine) {
+  std::string body = "  ansible.builtin.ping:\n\ngarbage\n";
+  EXPECT_EQ(wc::truncate_to_first_task(body, 0),
+            "  ansible.builtin.ping:\n");
+}
+
+TEST(Postprocess, TruncateRespectsPlaybookIndent) {
+  // Item indent 4 (task inside a playbook): body lines at 6+, next task at 4.
+  std::string body =
+      "      ansible.builtin.apt:\n"
+      "        name: nginx\n"
+      "    - name: Next\n"
+      "      ansible.builtin.ping:\n";
+  EXPECT_EQ(wc::truncate_to_first_task(body, 4),
+            "      ansible.builtin.apt:\n        name: nginx\n");
+}
+
+TEST(Postprocess, TruncateStopsAtDedent) {
+  std::string body =
+      "  ansible.builtin.debug:\n"
+      "    msg: hi\n"
+      "hosts: oops\n";
+  EXPECT_EQ(wc::truncate_to_first_task(body, 0),
+            "  ansible.builtin.debug:\n    msg: hi\n");
+}
+
+TEST(Postprocess, TruncateKeepsWholeSingleTask) {
+  std::string body = "  ansible.builtin.ping:\n  when: run_it\n";
+  EXPECT_EQ(wc::truncate_to_first_task(body, 0), body);
+}
+
+// --- trainer -----------------------------------------------------------------
+
+namespace {
+wm::ModelConfig tiny_config(int vocab) {
+  wm::ModelConfig cfg;
+  cfg.vocab = vocab;
+  cfg.ctx = 16;
+  cfg.d_model = 16;
+  cfg.n_head = 2;
+  cfg.n_layer = 2;
+  cfg.d_ff = 32;
+  return cfg;
+}
+}  // namespace
+
+TEST(Trainer, LossDecreasesOnRepetitiveCorpus) {
+  auto tok = wt::BpeTokenizer::train("state: present\nname: nginx\n", 280);
+  std::vector<std::string> files;
+  for (int i = 0; i < 40; ++i)
+    files.push_back("name: nginx\nstate: present\n");
+  auto set = wd::pack_files(tok, files, 16);
+  ASSERT_GT(set.count(), 4u);
+
+  wm::Transformer model(tiny_config(static_cast<int>(tok.vocab_size())), 3);
+  float first_loss = wc::evaluate_loss(model, set);
+  wc::TrainConfig tc;
+  tc.epochs = 20;
+  tc.micro_batch = 4;
+  tc.grad_accum = 1;  // tiny set: keep the optimizer step count useful
+  tc.lr = 3e-3f;
+  wc::TrainResult result = wc::train_model(model, set, nullptr, tc);
+  EXPECT_GT(result.steps, 0);
+  EXPECT_LT(result.final_train_loss, first_loss * 0.5f);
+  EXPECT_LT(wc::evaluate_loss(model, set), first_loss * 0.5f);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  auto tok = wt::BpeTokenizer::train("a b c\n", 262);
+  std::vector<std::string> files(10, "a b c\n");
+  auto set = wd::pack_files(tok, files, 8);
+  wm::Transformer model(tiny_config(static_cast<int>(tok.vocab_size())), 5);
+  wc::TrainConfig tc;
+  tc.epochs = 3;
+  int calls = 0;
+  tc.on_epoch = [&](int epoch, float loss, float) {
+    EXPECT_EQ(epoch, calls);
+    EXPECT_GT(loss, 0.0f);
+    ++calls;
+  };
+  wc::train_model(model, set, nullptr, tc);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Trainer, BestCheckpointByValidator) {
+  // A validator that prefers epoch 1 must leave the model with epoch-1
+  // weights even though training continues past it.
+  auto tok = wt::BpeTokenizer::train("x y\n", 260);
+  std::vector<std::string> files(10, "x y\n");
+  auto set = wd::pack_files(tok, files, 8);
+  wm::Transformer model(tiny_config(static_cast<int>(tok.vocab_size())), 7);
+  wc::TrainConfig tc;
+  tc.epochs = 4;
+  std::vector<float> scores = {0.1f, 0.9f, 0.2f, 0.3f};
+  int epoch_counter = 0;
+  std::string epoch1_weights;
+  tc.validator = [&](wm::Transformer& m) {
+    float score = scores[static_cast<std::size_t>(epoch_counter)];
+    if (epoch_counter == 1)
+      epoch1_weights = wm::save_checkpoint(m, "");
+    ++epoch_counter;
+    return score;
+  };
+  wc::TrainResult result = wc::train_model(model, set, nullptr, tc);
+  EXPECT_EQ(result.best_epoch, 1);
+  EXPECT_FLOAT_EQ(result.best_validation_score, 0.9f);
+  EXPECT_EQ(wm::save_checkpoint(model, ""), epoch1_weights);
+}
+
+TEST(Trainer, ValidationLossFallback) {
+  auto tok = wt::BpeTokenizer::train("p q\n", 260);
+  std::vector<std::string> files(10, "p q\n");
+  auto train_set = wd::pack_files(tok, files, 8);
+  auto valid_set = wd::pack_files(tok, files, 8);
+  wm::Transformer model(tiny_config(static_cast<int>(tok.vocab_size())), 9);
+  wc::TrainConfig tc;
+  tc.epochs = 2;
+  wc::TrainResult result = wc::train_model(model, train_set, &valid_set, tc);
+  EXPECT_GE(result.best_epoch, 0);
+}
+
+TEST(Trainer, EmptySetIsNoop) {
+  wd::TokenBatchSet empty;
+  empty.window = 8;
+  wm::Transformer model(tiny_config(260), 1);
+  wc::TrainResult result = wc::train_model(model, empty, nullptr, {});
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(wc::evaluate_loss(model, empty), 0.0f);
+}
+
+// --- pipeline (non-training pieces) -------------------------------------------
+
+TEST(Pipeline, MixLabels) {
+  EXPECT_EQ(wc::mix_label(wc::PretrainMix::CodeGenMulti), "CodeGen-Multi");
+  EXPECT_EQ(wc::mix_label(wc::PretrainMix::WisdomAnsibleMulti),
+            "Wisdom-Ansible-Multi");
+  EXPECT_EQ(wc::mix_label(wc::PretrainMix::CodexAnalog), "Codex-Davinci-002");
+  EXPECT_TRUE(wc::mix_extends_codegen_multi(wc::PretrainMix::WisdomYamlMulti));
+  EXPECT_FALSE(wc::mix_extends_codegen_multi(wc::PretrainMix::WisdomAnsible));
+}
+
+TEST(Pipeline, MixCorporaMatchTableTwo) {
+  // Table II: which datasets feed which model. Spot-check by content
+  // signature: NL corpora contain prose, code corpora contain "def ",
+  // Ansible corpora contain module FQCNs.
+  wc::PipelineConfig cfg;
+  wc::Pipeline pipe(cfg);
+
+  auto has = [](const std::vector<std::string>& files,
+                std::string_view needle) {
+    for (const auto& f : files)
+      if (f.find(needle) != std::string::npos) return true;
+    return false;
+  };
+
+  auto nl = pipe.mix_corpus(wc::PretrainMix::CodeGenNL);
+  EXPECT_FALSE(has(nl, "def "));  // no BigQuery code in CodeGen-NL
+
+  auto multi = pipe.mix_corpus(wc::PretrainMix::CodeGenMulti);
+  EXPECT_TRUE(has(multi, "def "));  // BigQuery code present
+
+  auto ansible = pipe.mix_corpus(wc::PretrainMix::WisdomAnsible);
+  EXPECT_TRUE(has(ansible, "ansible.builtin."));
+  EXPECT_FALSE(has(ansible, "apiVersion"));  // no generic YAML
+
+  auto yaml = pipe.mix_corpus(wc::PretrainMix::WisdomYaml);
+  EXPECT_TRUE(has(yaml, "ansible.builtin."));
+  EXPECT_TRUE(has(yaml, "apiVersion"));  // generic YAML included
+
+  auto codex = pipe.mix_corpus(wc::PretrainMix::CodexAnalog);
+  EXPECT_TRUE(has(codex, "def "));
+  EXPECT_TRUE(has(codex, "ansible.builtin."));
+}
+
+TEST(Pipeline, TokenizerSharedAndSized) {
+  wc::PipelineConfig cfg;
+  cfg.vocab_size = 300;
+  wc::Pipeline pipe(cfg);
+  const auto& tok = pipe.tokenizer();
+  EXPECT_LE(tok.vocab_size(), 300u);
+  EXPECT_GT(tok.merge_count(), 10u);
+  // Same object on repeated calls.
+  EXPECT_EQ(&pipe.tokenizer(), &tok);
+}
+
+TEST(Pipeline, GalaxySplitsStable) {
+  wc::PipelineConfig cfg;
+  wc::Pipeline a(cfg), b(cfg);
+  const auto& sa = a.galaxy_splits();
+  const auto& sb = b.galaxy_splits();
+  ASSERT_EQ(sa.train.size(), sb.train.size());
+  ASSERT_FALSE(sa.train.empty());
+  EXPECT_EQ(sa.train[0].target_body, sb.train[0].target_body);
+  EXPECT_EQ(sa.test.size(), sb.test.size());
+  // Roughly 80/10/10.
+  double total = static_cast<double>(sa.train.size() + sa.valid.size() +
+                                     sa.test.size());
+  EXPECT_NEAR(sa.train.size() / total, 0.8, 0.02);
+}
+
+// --- end-to-end micro pipeline --------------------------------------------------
+
+TEST(PipelineEndToEnd, TinyFinetuneBeatsUntrainedModel) {
+  // Full path at micro scale: tokenizer -> FT packing -> training -> greedy
+  // decode -> metrics. A few dozen highly repetitive samples are learnable
+  // within seconds; the trained model must beat an untrained one.
+  wc::PipelineConfig cfg;
+  cfg.vocab_size = 320;
+  wc::Pipeline pipe(cfg);
+  const auto& tok = pipe.tokenizer();
+
+  std::vector<wd::FtSample> samples;
+  const char* pkgs[] = {"nginx", "redis", "git", "curl", "vim"};
+  for (const char* pkg : pkgs) {
+    wd::FtSample s;
+    s.type = wd::GenerationType::NlToTask;
+    s.prompt = std::string("Install ") + pkg;
+    s.input_line = "- name: Install " + std::string(pkg) + "\n";
+    s.target_body = "  ansible.builtin.apt:\n    name: " + std::string(pkg) +
+                    "\n    state: present\n";
+    samples.push_back(s);
+  }
+  std::vector<std::string> texts;
+  for (int rep = 0; rep < 30; ++rep)
+    for (const auto& s : samples)
+      texts.push_back(wd::format_training_text(
+          s, wd::PromptFormat::NameCompletion));
+
+  wm::ModelConfig mc;
+  mc.vocab = static_cast<int>(tok.vocab_size());
+  mc.ctx = 64;
+  mc.d_model = 32;
+  mc.n_head = 2;
+  mc.n_layer = 2;
+  mc.d_ff = 64;
+  wm::Transformer model(mc, 11);
+  wc::EvalOptions eval;
+  auto before = wc::evaluate_model(model, tok, samples, eval);
+
+  auto set = wd::pack_samples(tok, texts, mc.ctx);
+  wc::TrainConfig tc;
+  tc.epochs = 8;
+  tc.micro_batch = 4;
+  tc.grad_accum = 1;
+  tc.lr = 3e-3f;
+  wc::train_model(model, set, nullptr, tc);
+  auto after = wc::evaluate_model(model, tok, samples, eval);
+
+  EXPECT_GT(after.bleu, before.bleu + 20.0);
+  EXPECT_GT(after.ansible_aware, before.ansible_aware);
+  EXPECT_GT(after.bleu, 60.0);
+}

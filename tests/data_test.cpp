@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ansible/catalog.hpp"
+#include "ansible/freeform.hpp"
+#include "ansible/linter.hpp"
+#include "ansible/model.hpp"
+#include "data/ansible_gen.hpp"
+#include "data/dataset.hpp"
+#include "data/dedup.hpp"
+#include "data/generic_yaml.hpp"
+#include "data/packing.hpp"
+#include "data/sources.hpp"
+#include "data/textgen.hpp"
+#include "util/rng.hpp"
+#include "yaml/parse.hpp"
+
+namespace wa = wisdom::ansible;
+namespace wd = wisdom::data;
+namespace wt = wisdom::text;
+namespace wy = wisdom::yaml;
+using wisdom::util::Rng;
+
+// --- ansible generator --------------------------------------------------------
+
+TEST(AnsibleGen, TasksAreValidYaml) {
+  wd::AnsibleGenerator gen(Rng{1});
+  for (int i = 0; i < 200; ++i) {
+    std::string text = gen.role_tasks_text(3);
+    EXPECT_TRUE(wy::is_valid_yaml(text)) << text;
+  }
+}
+
+TEST(AnsibleGen, TasksHaveNameFirst) {
+  wd::AnsibleGenerator gen(Rng{2});
+  for (int i = 0; i < 100; ++i) {
+    wy::Node task = gen.task();
+    ASSERT_TRUE(task.is_map());
+    ASSERT_GE(task.size(), 2u);
+    EXPECT_EQ(task.entries()[0].first, "name");
+    EXPECT_TRUE(task.entries()[0].second.is_str());
+    EXPECT_FALSE(task.entries()[0].second.as_str().empty());
+  }
+}
+
+TEST(AnsibleGen, CleanStyleIsSchemaCorrect) {
+  // Galaxy-profile tasks (FQCN, no legacy args) must lint clean — they are
+  // the "good quality files created and vetted by the community".
+  wd::AnsibleGenerator gen(Rng{3});
+  wd::TaskGenOptions opts;
+  opts.short_name_prob = 0.0;
+  opts.old_style_prob = 0.0;
+  int clean = 0;
+  const int total = 200;
+  for (int i = 0; i < total; ++i) {
+    std::string text = gen.role_tasks_text(2, opts);
+    if (wa::lint_text(text).ok()) ++clean;
+  }
+  EXPECT_GE(clean, total * 95 / 100);
+}
+
+TEST(AnsibleGen, OldStyleProbabilityProducesLegacyArgs) {
+  wd::AnsibleGenerator gen(Rng{4});
+  wd::TaskGenOptions opts;
+  opts.old_style_prob = 1.0;
+  opts.keyword_prob = 0.0;
+  int old_style = 0;
+  for (int i = 0; i < 100; ++i) {
+    wy::Node task = gen.task(opts);
+    wa::Task parsed = wa::Task::from_node(task);
+    if (parsed.args.is_str() &&
+        wa::looks_like_kv_args(parsed.args.as_str()))
+      ++old_style;
+  }
+  // Free-form/no-arg modules cannot be converted; most others must be.
+  EXPECT_GT(old_style, 40);
+}
+
+TEST(AnsibleGen, ModuleDistributionIsZipfian) {
+  wd::AnsibleGenerator gen(Rng{5});
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    wy::Node task = gen.task();
+    counts[wa::Task::from_node(task).module]++;
+  }
+  // Many distinct modules, but the head dominates.
+  EXPECT_GT(counts.size(), 25u);
+  int max_count = 0;
+  for (const auto& [mod, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 2000 / 25);
+}
+
+TEST(AnsibleGen, PlaybookStructure) {
+  wd::AnsibleGenerator gen(Rng{6});
+  for (int i = 0; i < 50; ++i) {
+    wy::Node doc = gen.playbook(2);
+    ASSERT_TRUE(doc.is_seq());
+    ASSERT_EQ(doc.size(), 1u);
+    const wy::Node& play = doc.items()[0];
+    EXPECT_TRUE(play.has("name"));
+    EXPECT_TRUE(play.has("hosts"));
+    ASSERT_TRUE(play.has("tasks"));
+    EXPECT_EQ(play.find("tasks")->size(), 2u);
+  }
+}
+
+TEST(AnsibleGen, NamesCorrelateWithModules) {
+  // The learnable signal: package installs mention the package name.
+  wd::AnsibleGenerator gen(Rng{7});
+  int checked = 0;
+  for (int i = 0; i < 500 && checked < 20; ++i) {
+    wy::Node task = gen.task();
+    wa::Task parsed = wa::Task::from_node(task);
+    std::string fqcn = wa::ModuleCatalog::instance().to_fqcn(parsed.module);
+    if (fqcn != "ansible.builtin.apt" || !parsed.args.is_map()) continue;
+    const wy::Node* pkg = parsed.args.find("name");
+    if (!pkg || !pkg->is_str()) continue;
+    EXPECT_NE(parsed.name.find(pkg->as_str()), std::string::npos)
+        << parsed.name << " / " << pkg->as_str();
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(AnsibleGen, Deterministic) {
+  wd::AnsibleGenerator a(Rng{42}), b(Rng{42});
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(a.role_tasks_text(3), b.role_tasks_text(3));
+}
+
+// --- generic yaml ----------------------------------------------------------------
+
+TEST(GenericYaml, AllKindsParse) {
+  wd::GenericYamlGenerator gen(Rng{8});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(wy::is_valid_yaml(gen.file_text()));
+  }
+}
+
+TEST(GenericYaml, KubernetesShape) {
+  wd::GenericYamlGenerator gen(Rng{9});
+  wy::Node doc = gen.kubernetes_manifest();
+  EXPECT_TRUE(doc.has("apiVersion"));
+  EXPECT_TRUE(doc.has("kind"));
+  EXPECT_TRUE(doc.has("metadata"));
+  EXPECT_TRUE(doc.has("spec"));
+}
+
+TEST(GenericYaml, NotAnsible) {
+  wd::GenericYamlGenerator gen(Rng{10});
+  for (int i = 0; i < 30; ++i) {
+    auto doc = wy::parse_document(gen.file_text());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(wisdom::ansible::looks_like_playbook(*doc));
+  }
+}
+
+// --- text generators -----------------------------------------------------------------
+
+TEST(TextGen, NlDocumentsLookLikeProse) {
+  wd::NlTextGenerator gen(Rng{11});
+  std::string doc = gen.document();
+  EXPECT_GT(doc.size(), 40u);
+  EXPECT_NE(doc.find(". "), std::string::npos);
+  EXPECT_EQ(doc.find(":"), std::string::npos);  // no YAML-ish content
+}
+
+TEST(TextGen, CodeDocumentsLookLikeCode) {
+  wd::CodeTextGenerator gen(Rng{12});
+  bool saw_python = false, saw_c = false;
+  for (int i = 0; i < 50; ++i) {
+    std::string doc = gen.document();
+    if (doc.find("def ") != std::string::npos) saw_python = true;
+    if (doc.find("int ") != std::string::npos) saw_c = true;
+  }
+  EXPECT_TRUE(saw_python);
+  EXPECT_TRUE(saw_c);
+}
+
+// --- sources / Table I -------------------------------------------------------------
+
+TEST(Sources, TableOneShape) {
+  auto sources = wd::table1_sources();
+  ASSERT_EQ(sources.size(), 4u);
+  // Paper counts, exact.
+  EXPECT_EQ(sources[0].paper_file_count, 112'000u);   // Galaxy
+  EXPECT_EQ(sources[1].paper_file_count, 64'000u);    // GitLab
+  EXPECT_EQ(sources[2].paper_file_count, 1'100'000u); // GH+GBQ Ansible
+  EXPECT_EQ(sources[3].paper_file_count, 2'200'000u); // GH+GBQ Generic
+  EXPECT_STREQ(sources[0].usage, "FT");
+  EXPECT_STREQ(sources[1].usage, "PT");
+  // Scaled pre-training counts preserve the ordering generic > ansible.
+  EXPECT_GT(sources[3].scaled_file_count, sources[2].scaled_file_count);
+}
+
+TEST(Sources, BuildsRequestedCounts) {
+  for (const auto& spec : wd::table1_sources()) {
+    auto files = wd::build_source(spec, 123);
+    EXPECT_EQ(files.size(), spec.scaled_file_count) << spec.label;
+    // Spot-check validity of a few files.
+    for (std::size_t i = 0; i < std::min<std::size_t>(files.size(), 10); ++i)
+      EXPECT_TRUE(wy::is_valid_yaml(files[i].text));
+  }
+}
+
+TEST(Sources, GenericSourceIsNotAnsibleTagged) {
+  auto generic = wd::build_source(wd::table1_sources()[3], 1);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(generic[i].ansible);
+  auto galaxy = wd::build_source(wd::table1_sources()[0], 1);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_TRUE(galaxy[i].ansible);
+}
+
+TEST(Sources, DeterministicBySeed) {
+  auto a = wd::build_source(wd::table1_sources()[0], 7);
+  auto b = wd::build_source(wd::table1_sources()[0], 7);
+  auto c = wd::build_source(wd::table1_sources()[0], 8);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].text, b[0].text);
+  EXPECT_NE(a[0].text, c[0].text);
+}
+
+TEST(Sources, BundlesNonEmpty) {
+  EXPECT_GT(wd::ansible_pretraining_corpus(1).total_bytes(), 50'000u);
+  EXPECT_GT(wd::generic_yaml_corpus(1).total_bytes(), 100'000u);
+  EXPECT_GT(wd::galaxy_corpus(1).total_bytes(), 50'000u);
+  EXPECT_GT(wd::nl_corpus(1).total_bytes(), 50'000u);
+  EXPECT_GT(wd::code_corpus(1).total_bytes(), 50'000u);
+}
+
+// --- dedup ------------------------------------------------------------------------
+
+TEST(Dedup, RemovesExactDuplicatesOnly) {
+  std::vector<wd::CorpusFile> files;
+  files.push_back({"a: 1\n", wd::SourceId::Galaxy, true});
+  files.push_back({"a: 1\n", wd::SourceId::GitLab, true});
+  files.push_back({"a: 2\n", wd::SourceId::Galaxy, true});
+  wd::DedupStats stats;
+  auto kept = wd::dedup_files(std::move(files), &stats);
+  EXPECT_EQ(kept.size(), 2u);
+  EXPECT_EQ(stats.removed(), 1u);
+  // First occurrence wins.
+  EXPECT_EQ(kept[0].source, wd::SourceId::Galaxy);
+}
+
+TEST(Dedup, Strings) {
+  auto kept = wd::dedup_strings({"x", "y", "x", "x"});
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+// --- fine-tuning sample extraction -----------------------------------------------------
+
+TEST(Dataset, ExtractFromRole) {
+  std::string role =
+      "---\n"
+      "- name: Install nginx\n"
+      "  ansible.builtin.apt:\n"
+      "    name: nginx\n"
+      "    state: present\n"
+      "- name: Start nginx\n"
+      "  ansible.builtin.service:\n"
+      "    name: nginx\n"
+      "    state: started\n"
+      "- name: Check health\n"
+      "  ansible.builtin.uri:\n"
+      "    url: https://example.com/health\n";
+  auto samples = wd::extract_samples(role);
+  ASSERT_EQ(samples.size(), 3u);  // 1x NL->T + 2x T+NL->T
+  EXPECT_EQ(samples[0].type, wd::GenerationType::NlToTask);
+  EXPECT_EQ(samples[0].prompt, "Install nginx");
+  EXPECT_TRUE(samples[0].context.empty());
+  EXPECT_EQ(samples[0].input_line, "- name: Install nginx\n");
+  EXPECT_NE(samples[0].target_body.find("ansible.builtin.apt"),
+            std::string::npos);
+
+  EXPECT_EQ(samples[1].type, wd::GenerationType::TNlToTask);
+  EXPECT_EQ(samples[1].prompt, "Start nginx");
+  EXPECT_NE(samples[1].context.find("Install nginx"), std::string::npos);
+
+  EXPECT_EQ(samples[2].type, wd::GenerationType::TNlToTask);
+  // Context holds both previous tasks.
+  EXPECT_NE(samples[2].context.find("Start nginx"), std::string::npos);
+}
+
+TEST(Dataset, ExtractFromSmallPlaybook) {
+  std::string playbook =
+      "---\n"
+      "- name: Setup web\n"
+      "  hosts: web\n"
+      "  tasks:\n"
+      "    - name: Install nginx\n"
+      "      ansible.builtin.apt:\n"
+      "        name: nginx\n"
+      "        state: present\n";
+  auto samples = wd::extract_samples(playbook);
+  ASSERT_EQ(samples.size(), 1u);  // NL->PB only (single task)
+  EXPECT_EQ(samples[0].type, wd::GenerationType::NlToPlaybook);
+  // Combined prompt: play name + task names.
+  EXPECT_EQ(samples[0].prompt, "Setup web. Install nginx");
+  EXPECT_NE(samples[0].target_body.find("hosts: web"), std::string::npos);
+}
+
+TEST(Dataset, ExtractFromLargePlaybook) {
+  std::string playbook =
+      "---\n"
+      "- name: Setup\n"
+      "  hosts: all\n"
+      "  tasks:\n"
+      "    - name: T1\n"
+      "      ansible.builtin.ping:\n"
+      "    - name: T2\n"
+      "      ansible.builtin.setup:\n"
+      "    - name: T3\n"
+      "      ansible.builtin.debug:\n"
+      "        msg: done\n";
+  auto samples = wd::extract_samples(playbook);
+  // 3 tasks: no NL->PB (too large), PB+NL->T for k=1,2.
+  ASSERT_EQ(samples.size(), 2u);
+  for (const auto& s : samples)
+    EXPECT_EQ(s.type, wd::GenerationType::PbNlToTask);
+  // Context of the first sample holds the header and exactly one task.
+  EXPECT_NE(samples[0].context.find("hosts: all"), std::string::npos);
+  EXPECT_NE(samples[0].context.find("T1"), std::string::npos);
+  EXPECT_EQ(samples[0].context.find("T2"), std::string::npos);
+  EXPECT_EQ(samples[0].input_line, "    - name: T2\n");
+  // Target body is indented as a playbook task.
+  EXPECT_NE(samples[0].target_body.find("      ansible.builtin.setup:"),
+            std::string::npos);
+}
+
+TEST(Dataset, TargetsParseStandalone) {
+  // full_target must be valid YAML on its own for the metrics to consume.
+  auto galaxy = wd::galaxy_corpus(3);
+  auto samples = wd::extract_corpus_samples(galaxy.files);
+  ASSERT_GT(samples.size(), 500u);
+  int checked = 0;
+  for (const auto& s : samples) {
+    if (++checked > 300) break;
+    EXPECT_TRUE(wy::is_valid_yaml(s.full_target()))
+        << wd::generation_type_label(s.type) << "\n"
+        << s.full_target();
+    if (!s.context.empty()) {
+      EXPECT_TRUE(wy::is_valid_yaml(s.context));
+    }
+  }
+}
+
+TEST(Dataset, UnparseableOrUnnamedFilesYieldNothing) {
+  EXPECT_TRUE(wd::extract_samples("key: 'broken\n").empty());
+  EXPECT_TRUE(wd::extract_samples("- ansible.builtin.ping:\n").empty());
+  EXPECT_TRUE(wd::extract_samples("scalar\n").empty());
+}
+
+TEST(Dataset, TypeDistributionMatchesPaperShape) {
+  // Table VI: T+NL->T dominates, then NL->T, then PB+NL->T, NL->PB rare.
+  auto galaxy = wd::galaxy_corpus(5);
+  auto samples = wd::extract_corpus_samples(galaxy.files);
+  std::map<wd::GenerationType, int> counts;
+  for (const auto& s : samples) counts[s.type]++;
+  EXPECT_GT(counts[wd::GenerationType::TNlToTask],
+            counts[wd::GenerationType::NlToTask]);
+  EXPECT_GT(counts[wd::GenerationType::NlToTask],
+            counts[wd::GenerationType::NlToPlaybook]);
+  EXPECT_GT(counts[wd::GenerationType::PbNlToTask], 0);
+  EXPECT_GT(counts[wd::GenerationType::NlToPlaybook], 0);
+}
+
+TEST(Dataset, SplitsAreDisjointAndSized) {
+  auto galaxy = wd::galaxy_corpus(7);
+  auto samples = wd::extract_corpus_samples(galaxy.files);
+  std::size_t total = samples.size();
+  auto splits = wd::split_dataset(std::move(samples), 99);
+  EXPECT_EQ(splits.train.size() + splits.valid.size() + splits.test.size(),
+            total);
+  EXPECT_NEAR(static_cast<double>(splits.train.size()) / total, 0.8, 0.02);
+  EXPECT_NEAR(static_cast<double>(splits.valid.size()) / total, 0.1, 0.02);
+  std::set<std::string> train_keys;
+  for (const auto& s : splits.train)
+    train_keys.insert(s.context + s.input_line + s.target_body);
+  for (const auto& s : splits.test) {
+    EXPECT_EQ(train_keys.count(s.context + s.input_line + s.target_body), 0u);
+  }
+}
+
+TEST(Dataset, PromptFormats) {
+  wd::FtSample sample;
+  sample.type = wd::GenerationType::TNlToTask;
+  sample.context = "- name: Prev\n  ansible.builtin.ping:\n";
+  sample.prompt = "Install nginx";
+  sample.input_line = "- name: Install nginx\n";
+  sample.target_body = "  ansible.builtin.apt:\n    name: nginx\n";
+
+  std::string name_style =
+      wd::format_input(sample, wd::PromptFormat::NameCompletion);
+  EXPECT_EQ(name_style, sample.context + sample.input_line);
+
+  std::string prefix_style =
+      wd::format_input(sample, wd::PromptFormat::Prefix);
+  EXPECT_NE(prefix_style.find("### context code"), std::string::npos);
+  EXPECT_NE(prefix_style.find("### prompt"), std::string::npos);
+  // Both end with the name line so decoding starts at the body.
+  EXPECT_TRUE(prefix_style.ends_with(sample.input_line));
+
+  EXPECT_EQ(wd::format_training_text(sample, wd::PromptFormat::NameCompletion),
+            name_style + sample.target_body);
+}
+
+// --- packing -----------------------------------------------------------------------
+
+TEST(Packing, WindowsCoverStream) {
+  auto tok = wt::BpeTokenizer::train("abc def ghi jkl\n", 270);
+  std::vector<std::string> files = {"abc def\n", "ghi jkl\n"};
+  auto set = wd::pack_files(tok, files, 8);
+  ASSERT_GT(set.count(), 0u);
+  for (std::size_t i = 0; i < set.count(); ++i) {
+    EXPECT_EQ(set.input(i).size(), 8u);
+    EXPECT_EQ(set.target(i).size(), 8u);
+  }
+}
+
+TEST(Packing, TargetsAreShiftedInputs) {
+  auto tok = wt::BpeTokenizer::train("x y z w\n", 265);
+  std::vector<std::string> files = {"x y z w\n"};
+  auto set = wd::pack_files(tok, files, 4);
+  ASSERT_GE(set.count(), 1u);
+  auto in0 = set.input(0);
+  auto tg0 = set.target(0);
+  // target[j] == input[j+1] within the stream.
+  EXPECT_EQ(tg0[0], in0[1]);
+  EXPECT_EQ(tg0[1], in0[2]);
+}
+
+TEST(Packing, SeparatorBetweenFiles) {
+  auto tok = wt::BpeTokenizer::train("aa bb\n", 262);
+  std::vector<std::string> files = {"aa\n", "bb\n"};
+  auto set = wd::pack_files(tok, files, 16);
+  int separators = 0;
+  for (auto id : set.inputs)
+    if (id == wt::BpeTokenizer::kEndOfText) ++separators;
+  EXPECT_GE(separators, 1);  // separator between (and after) files
+}
+
+TEST(Packing, PaddingIsMasked) {
+  auto tok = wt::BpeTokenizer::train("q r s\n", 261);
+  std::vector<std::string> files = {"q\n"};
+  auto set = wd::pack_files(tok, files, 16);
+  ASSERT_EQ(set.count(), 1u);
+  auto in0 = set.input(0);
+  auto tg0 = set.target(0);
+  bool saw_pad = false;
+  for (std::size_t j = 0; j < 16; ++j) {
+    if (in0[j] == wt::BpeTokenizer::kPad) {
+      saw_pad = true;
+      EXPECT_EQ(tg0[j], -1);
+    }
+  }
+  EXPECT_TRUE(saw_pad);
+}
+
+TEST(Packing, OversizedSampleLeftTruncated) {
+  auto tok = wt::BpeTokenizer::train("m n o p\n", 265);
+  std::string big;
+  for (int i = 0; i < 50; ++i) big += "m n o p\n";
+  big += "FINAL";
+  std::vector<std::string> samples = {big};
+  auto set = wd::pack_samples(tok, samples, 16);
+  // The kept suffix must contain the end of the sample.
+  std::string decoded;
+  for (std::size_t i = 0; i < set.count(); ++i) {
+    auto in = set.input(i);
+    decoded += tok.decode({in.data(), in.size()});
+  }
+  EXPECT_NE(decoded.find("FINAL"), std::string::npos);
+  EXPECT_LE(set.count(), 2u);
+}
+
+TEST(Packing, EmptyInput) {
+  auto tok = wt::BpeTokenizer::train("a\n", 259);
+  std::vector<std::string> none;
+  auto set = wd::pack_files(tok, none, 8);
+  EXPECT_EQ(set.count(), 0u);
+}

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "core/trainer.hpp"
+#include "data/ansible_gen.hpp"
+#include "data/packing.hpp"
+#include "model/transformer.hpp"
+#include "text/bpe.hpp"
+#include "util/rng.hpp"
+
+namespace wc = wisdom::core;
+namespace wd = wisdom::data;
+namespace wm = wisdom::model;
+namespace wt = wisdom::text;
+using wisdom::util::Rng;
+
+namespace {
+
+// Shared micro-fixture: a model trained on generated role tasks.
+struct Fixture {
+  wt::BpeTokenizer tokenizer;
+  wm::Transformer model;
+
+  Fixture()
+      : tokenizer(wt::BpeTokenizer::train(corpus(), 360)),
+        model(config(), 3) {
+    wd::AnsibleGenerator gen{Rng{8}};
+    std::vector<std::string> texts;
+    for (int i = 0; i < 80; ++i) texts.push_back(gen.role_tasks_text(2));
+    auto set = wd::pack_samples(tokenizer, texts, 72);
+    wc::TrainConfig tc;
+    tc.epochs = 3;
+    tc.micro_batch = 4;
+    tc.grad_accum = 1;
+    tc.lr = 3e-3f;
+    wc::train_model(model, set, nullptr, tc);
+  }
+
+  static std::string corpus() {
+    wd::AnsibleGenerator gen{Rng{6}};
+    std::string out;
+    for (int i = 0; i < 40; ++i) out += gen.role_tasks_text(3);
+    return out;
+  }
+  wm::ModelConfig config() const {
+    wm::ModelConfig cfg;
+    cfg.vocab = static_cast<int>(tokenizer.vocab_size());
+    cfg.ctx = 72;
+    cfg.d_model = 24;
+    cfg.n_head = 2;
+    cfg.n_layer = 2;
+    cfg.d_ff = 48;
+    return cfg;
+  }
+
+  wd::FtSample task_sample() const {
+    wd::FtSample s;
+    s.type = wd::GenerationType::NlToTask;
+    s.prompt = "Install nginx";
+    s.input_line = "- name: Install nginx\n";
+    s.target_body =
+        "  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+    return s;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+}  // namespace
+
+TEST(Evaluate, PredictionStartsWithInputLine) {
+  auto& f = fixture();
+  wc::EvalOptions eval;
+  std::string pred =
+      wc::predict_snippet(f.model, f.tokenizer, f.task_sample(), eval);
+  EXPECT_TRUE(pred.starts_with("- name: Install nginx\n")) << pred;
+}
+
+TEST(Evaluate, PredictionIsSingleTaskForTaskTypes) {
+  auto& f = fixture();
+  wc::EvalOptions eval;
+  eval.max_new_tokens = 72;  // enough budget for the model to overrun
+  std::string pred =
+      wc::predict_snippet(f.model, f.tokenizer, f.task_sample(), eval);
+  // Truncation to the first task: no second "- name:" item at indent 0.
+  std::size_t second = pred.find("\n- ", 1);
+  EXPECT_EQ(second, std::string::npos) << pred;
+}
+
+TEST(Evaluate, DeterministicPredictions) {
+  auto& f = fixture();
+  wc::EvalOptions eval;
+  auto a = wc::predict_snippet(f.model, f.tokenizer, f.task_sample(), eval);
+  auto b = wc::predict_snippet(f.model, f.tokenizer, f.task_sample(), eval);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Evaluate, EmptySampleSpanYieldsEmptyReport) {
+  auto& f = fixture();
+  wc::EvalOptions eval;
+  auto report = wc::evaluate_model(f.model, f.tokenizer, {}, eval);
+  EXPECT_EQ(report.count, 0u);
+}
+
+TEST(Evaluate, MaxSamplesLimits) {
+  auto& f = fixture();
+  std::vector<wd::FtSample> samples(5, f.task_sample());
+  wc::EvalOptions eval;
+  eval.max_samples = 2;
+  auto report = wc::evaluate_model(f.model, f.tokenizer, samples, eval);
+  EXPECT_EQ(report.count, 2u);
+}
+
+TEST(Evaluate, ByTypePartitionsCounts) {
+  auto& f = fixture();
+  std::vector<wd::FtSample> samples;
+  for (int i = 0; i < 3; ++i) samples.push_back(f.task_sample());
+  wd::FtSample ctx = f.task_sample();
+  ctx.type = wd::GenerationType::TNlToTask;
+  ctx.context = "- name: Prev\n  ansible.builtin.ping:\n";
+  samples.push_back(ctx);
+  wc::EvalOptions eval;
+  auto by_type = wc::evaluate_by_type(f.model, f.tokenizer, samples, eval);
+  ASSERT_EQ(by_type.size(), 2u);
+  EXPECT_EQ(by_type[wd::GenerationType::NlToTask].count, 3u);
+  EXPECT_EQ(by_type[wd::GenerationType::TNlToTask].count, 1u);
+}
+
+TEST(Evaluate, AnsiblePrefixOnlyForContextFreeSamples) {
+  // With a context present the prefix must not be prepended; with no
+  // context it must. Verified indirectly through input-length effects on
+  // the first decode: we simply check both paths produce valid predictions
+  // and the option round-trips without crashing.
+  auto& f = fixture();
+  wc::EvalOptions with_prefix;
+  with_prefix.ansible_prefix = true;
+  auto no_ctx =
+      wc::predict_snippet(f.model, f.tokenizer, f.task_sample(), with_prefix);
+  EXPECT_TRUE(no_ctx.starts_with("- name: "));
+
+  wd::FtSample ctx = f.task_sample();
+  ctx.type = wd::GenerationType::TNlToTask;
+  ctx.context = "- name: Prev\n  ansible.builtin.ping:\n";
+  auto with_ctx =
+      wc::predict_snippet(f.model, f.tokenizer, ctx, with_prefix);
+  EXPECT_TRUE(with_ctx.starts_with("- name: "));
+}
+
+TEST(Evaluate, PrefixFormatUsesLabelledSections) {
+  auto& f = fixture();
+  wd::FtSample s = f.task_sample();
+  s.context = "- name: Prev\n  ansible.builtin.ping:\n";
+  s.type = wd::GenerationType::TNlToTask;
+  std::string input = wd::format_input(s, wd::PromptFormat::Prefix);
+  EXPECT_NE(input.find("### context code"), std::string::npos);
+  wc::EvalOptions eval;
+  eval.format = wd::PromptFormat::Prefix;
+  std::string pred = wc::predict_snippet(f.model, f.tokenizer, s, eval);
+  // Output is still the comparable snippet (name line + body).
+  EXPECT_TRUE(pred.starts_with(s.input_line));
+}
+
+TEST(Evaluate, PlaybookSamplesSkipTruncation) {
+  auto& f = fixture();
+  wd::FtSample pb;
+  pb.type = wd::GenerationType::NlToPlaybook;
+  pb.prompt = "Provision web servers. Install nginx";
+  pb.input_line = "- name: Provision web servers. Install nginx\n";
+  pb.target_body =
+      "  hosts: webservers\n"
+      "  tasks:\n"
+      "    - name: Install nginx\n"
+      "      ansible.builtin.apt:\n"
+      "        name: nginx\n"
+      "        state: present\n";
+  wc::EvalOptions eval;
+  std::string pred = wc::predict_snippet(f.model, f.tokenizer, pb, eval);
+  EXPECT_TRUE(pred.starts_with(pb.input_line));
+}

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "ansible/model.hpp"
+#include "data/ansible_gen.hpp"
+#include "exec/equivalence.hpp"
+#include "exec/executor.hpp"
+#include "util/rng.hpp"
+#include "yaml/emit.hpp"
+#include "yaml/parse.hpp"
+
+namespace wa = wisdom::ansible;
+namespace wd = wisdom::data;
+namespace we = wisdom::exec;
+namespace wy = wisdom::yaml;
+using wisdom::util::Rng;
+
+namespace {
+we::TaskResult run(std::string_view task_yaml, we::HostState& host) {
+  auto doc = wy::parse_document(task_yaml);
+  EXPECT_TRUE(doc.has_value()) << task_yaml;
+  return we::execute_task(wa::Task::from_node(*doc), host);
+}
+}  // namespace
+
+// --- package modules -----------------------------------------------------------
+
+TEST(Executor, InstallPackage) {
+  we::HostState host;
+  auto result = run("ansible.builtin.apt:\n  name: nginx\n  state: present\n",
+                    host);
+  EXPECT_EQ(result.status, we::TaskStatus::Changed);
+  EXPECT_TRUE(host.packages.count("nginx"));
+  // Idempotent re-run.
+  auto again = run("ansible.builtin.apt:\n  name: nginx\n  state: present\n",
+                   host);
+  EXPECT_EQ(again.status, we::TaskStatus::Ok);
+}
+
+TEST(Executor, RemovePackage) {
+  we::HostState host;
+  host.packages.insert("nginx");
+  auto result = run("ansible.builtin.yum:\n  name: nginx\n  state: absent\n",
+                    host);
+  EXPECT_EQ(result.status, we::TaskStatus::Changed);
+  EXPECT_FALSE(host.packages.count("nginx"));
+}
+
+TEST(Executor, PackageListAndLanguageManagers) {
+  we::HostState host;
+  run("ansible.builtin.apt:\n  name:\n    - nginx\n    - redis\n", host);
+  EXPECT_TRUE(host.packages.count("nginx"));
+  EXPECT_TRUE(host.packages.count("redis"));
+  run("community.general.npm:\n  name: pm2\n", host);
+  EXPECT_TRUE(host.packages.count("npm:pm2"));
+}
+
+TEST(Executor, EquivalentModulesProduceSameState) {
+  // The Ansible Aware near-equivalence classes are real: apt and dnf act
+  // identically on the simulated host.
+  we::HostState a, b;
+  run("ansible.builtin.apt:\n  name: nginx\n  state: present\n", a);
+  run("ansible.builtin.dnf:\n  name: nginx\n  state: present\n", b);
+  EXPECT_EQ(a, b);
+}
+
+// --- services ---------------------------------------------------------------------
+
+TEST(Executor, ServiceLifecycle) {
+  we::HostState host;
+  run("ansible.builtin.service:\n  name: nginx\n  state: started\n"
+      "  enabled: true\n",
+      host);
+  EXPECT_TRUE(host.services["nginx"].running);
+  EXPECT_TRUE(host.services["nginx"].enabled);
+  run("ansible.builtin.systemd:\n  name: nginx\n  state: restarted\n", host);
+  EXPECT_EQ(host.services["nginx"].restarts, 1);
+  run("ansible.builtin.service:\n  name: nginx\n  state: stopped\n", host);
+  EXPECT_FALSE(host.services["nginx"].running);
+}
+
+// --- files -----------------------------------------------------------------------
+
+TEST(Executor, CopyAndTemplate) {
+  we::HostState host;
+  run("ansible.builtin.copy:\n  content: hello\n  dest: /etc/motd\n"
+      "  mode: '0644'\n",
+      host);
+  EXPECT_EQ(host.files["/etc/motd"].content, "hello");
+  EXPECT_EQ(host.files["/etc/motd"].mode, "0644");
+  auto changed = run(
+      "ansible.builtin.template:\n  src: motd.j2\n  dest: /etc/motd\n", host);
+  EXPECT_EQ(changed.status, we::TaskStatus::Changed);
+  EXPECT_EQ(host.files["/etc/motd"].content, "template:motd.j2");
+}
+
+TEST(Executor, FileDirectoryAndAbsent) {
+  we::HostState host;
+  run("ansible.builtin.file:\n  path: /opt/app\n  state: directory\n", host);
+  EXPECT_TRUE(host.files["/opt/app"].is_directory);
+  run("ansible.builtin.file:\n  path: /opt/app\n  state: absent\n", host);
+  EXPECT_FALSE(host.files.count("/opt/app"));
+  // state: file on a missing path fails (asserts existence).
+  auto missing =
+      run("ansible.builtin.file:\n  path: /nope\n  state: file\n", host);
+  EXPECT_EQ(missing.status, we::TaskStatus::Failed);
+}
+
+TEST(Executor, LineinfileIdempotent) {
+  we::HostState host;
+  const char* task =
+      "ansible.builtin.lineinfile:\n"
+      "  path: /etc/ssh/sshd_config\n"
+      "  line: PermitRootLogin no\n";
+  EXPECT_EQ(run(task, host).status, we::TaskStatus::Changed);
+  EXPECT_EQ(run(task, host).status, we::TaskStatus::Ok);
+  EXPECT_NE(host.files["/etc/ssh/sshd_config"].content.find(
+                "PermitRootLogin no"),
+            std::string::npos);
+}
+
+TEST(Executor, ReplaceLiteral) {
+  we::HostState host;
+  host.files["/etc/nginx/nginx.conf"].content = "listen 80;\n";
+  run("ansible.builtin.replace:\n"
+      "  path: /etc/nginx/nginx.conf\n"
+      "  regexp: listen 80\n"
+      "  replace: listen 8080\n",
+      host);
+  EXPECT_EQ(host.files["/etc/nginx/nginx.conf"].content, "listen 8080;\n");
+}
+
+// --- commands ----------------------------------------------------------------------
+
+TEST(Executor, CommandJournalAndCreatesGuard) {
+  we::HostState host;
+  run("ansible.builtin.shell: systemctl daemon-reload\n", host);
+  ASSERT_EQ(host.command_journal.size(), 1u);
+  EXPECT_EQ(host.command_journal[0], "systemctl daemon-reload");
+  // creates: skips when the artifact exists.
+  const char* guarded =
+      "ansible.builtin.command:\n  cmd: make install\n"
+      "  creates: /usr/local/bin/app\n";
+  EXPECT_EQ(run(guarded, host).status, we::TaskStatus::Changed);
+  EXPECT_EQ(run(guarded, host).status, we::TaskStatus::Ok);
+  EXPECT_EQ(host.command_journal.size(), 2u);
+}
+
+TEST(Executor, LegacyKvArgsExecuteToo) {
+  we::HostState host;
+  auto result = run("apt: name=nginx state=present\n", host);
+  EXPECT_EQ(result.status, we::TaskStatus::Changed);
+  EXPECT_TRUE(host.packages.count("nginx"));
+}
+
+// --- misc modules ----------------------------------------------------------------
+
+TEST(Executor, UsersGroupsFirewallFacts) {
+  we::HostState host;
+  run("ansible.builtin.user:\n  name: deploy\n", host);
+  EXPECT_TRUE(host.users.count("deploy"));
+  run("ansible.builtin.group:\n  name: web\n", host);
+  EXPECT_TRUE(host.groups.count("web"));
+  run("community.general.ufw:\n  rule: allow\n  port: '443'\n", host);
+  EXPECT_TRUE(host.open_ports.count("443"));
+  run("ansible.builtin.set_fact:\n  deploy_color: blue\n", host);
+  EXPECT_EQ(host.facts["deploy_color"], "blue");
+  run("ansible.builtin.hostname:\n  name: web-01\n", host);
+  EXPECT_EQ(host.hostname, "web-01");
+}
+
+TEST(Executor, ReadOnlyModulesDoNotChangeState) {
+  we::HostState host = we::baseline_host();
+  we::HostState before = host;
+  run("ansible.builtin.debug:\n  msg: hi\n", host);
+  run("ansible.builtin.ping:\n", host);
+  run("ansible.builtin.stat:\n  path: /etc/motd\n", host);
+  EXPECT_EQ(host, before);
+}
+
+TEST(Executor, FailAndUnsupported) {
+  we::HostState host;
+  EXPECT_EQ(run("ansible.builtin.fail:\n  msg: nope\n", host).status,
+            we::TaskStatus::Failed);
+  EXPECT_EQ(run("kubernetes.core.k8s:\n  state: present\n", host).status,
+            we::TaskStatus::Unsupported);
+  EXPECT_EQ(run("name: no module here\n", host).status,
+            we::TaskStatus::Failed);
+}
+
+// --- execute_text over lists and playbooks ---------------------------------------------
+
+TEST(Executor, TaskListExecutesInOrder) {
+  we::HostState host;
+  auto result = we::execute_text(
+      "- name: Install nginx\n"
+      "  ansible.builtin.apt:\n    name: nginx\n    state: present\n"
+      "- name: Start nginx\n"
+      "  ansible.builtin.service:\n    name: nginx\n    state: started\n",
+      host);
+  EXPECT_EQ(result.status, we::TaskStatus::Changed);
+  EXPECT_TRUE(host.packages.count("nginx"));
+  EXPECT_TRUE(host.services["nginx"].running);
+}
+
+TEST(Executor, PlaybookExecutes) {
+  we::HostState host;
+  auto result = we::execute_text(
+      "- hosts: web\n"
+      "  tasks:\n"
+      "    - name: Create dir\n"
+      "      ansible.builtin.file:\n"
+      "        path: /srv/data\n"
+      "        state: directory\n",
+      host);
+  EXPECT_EQ(result.status, we::TaskStatus::Changed);
+  EXPECT_TRUE(host.files["/srv/data"].is_directory);
+}
+
+TEST(Executor, FailureStopsThePlay) {
+  we::HostState host;
+  auto result = we::execute_text(
+      "- ansible.builtin.fail:\n    msg: stop\n"
+      "- ansible.builtin.apt:\n    name: nginx\n",
+      host);
+  EXPECT_EQ(result.status, we::TaskStatus::Failed);
+  EXPECT_FALSE(host.packages.count("nginx"));
+}
+
+TEST(Executor, ParseErrorFails) {
+  we::HostState host;
+  EXPECT_EQ(we::execute_text("key: 'broken\n", host).status,
+            we::TaskStatus::Failed);
+}
+
+// --- execution equivalence --------------------------------------------------------------
+
+TEST(Equivalence, IdenticalTasksAreEquivalent) {
+  std::string task =
+      "- name: Install nginx\n"
+      "  ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+  EXPECT_EQ(we::execution_equivalence(task, task),
+            we::Equivalence::Equivalent);
+}
+
+TEST(Equivalence, NearEquivalentModulesAreExecutionEquivalent) {
+  // apt vs dnf: different text, identical effect — execution equivalence
+  // captures what Ansible Aware only partially credits.
+  EXPECT_EQ(we::execution_equivalence(
+                "- ansible.builtin.dnf:\n    name: nginx\n    state: present\n",
+                "- ansible.builtin.apt:\n    name: nginx\n    state: present\n"),
+            we::Equivalence::Equivalent);
+}
+
+TEST(Equivalence, DifferentValuesDiffer) {
+  EXPECT_EQ(we::execution_equivalence(
+                "- ansible.builtin.apt:\n    name: redis\n",
+                "- ansible.builtin.apt:\n    name: nginx\n"),
+            we::Equivalence::Different);
+}
+
+TEST(Equivalence, BrokenPredictionFails) {
+  EXPECT_EQ(we::execution_equivalence(
+                "key: 'broken\n",
+                "- ansible.builtin.apt:\n    name: nginx\n"),
+            we::Equivalence::PredFailed);
+}
+
+TEST(Equivalence, UnsimulatedGoldIsUnscorable) {
+  EXPECT_EQ(we::execution_equivalence(
+                "- ansible.builtin.apt:\n    name: nginx\n",
+                "- kubernetes.core.k8s:\n    state: present\n"),
+            we::Equivalence::Unscorable);
+}
+
+TEST(Equivalence, StatsAggregate) {
+  we::EquivalenceStats stats;
+  stats.add(we::Equivalence::Equivalent);
+  stats.add(we::Equivalence::Equivalent);
+  stats.add(we::Equivalence::Different);
+  stats.add(we::Equivalence::PredFailed);
+  stats.add(we::Equivalence::Unscorable);
+  EXPECT_EQ(stats.scorable(), 4u);
+  EXPECT_NEAR(stats.rate(), 0.5, 1e-9);
+}
+
+TEST(Equivalence, GeneratedTasksAreSelfEquivalentWhenSimulated) {
+  wd::AnsibleGenerator gen{Rng{55}};
+  wd::TaskGenOptions opts;
+  opts.keyword_prob = 0.0;
+  int scorable = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::string text = wy::emit(gen.role_tasks(1, opts));
+    auto eq = we::execution_equivalence(text, text);
+    if (eq == we::Equivalence::Unscorable) continue;
+    EXPECT_EQ(eq, we::Equivalence::Equivalent) << text;
+    ++scorable;
+  }
+  // A healthy share of the generator's output must be simulatable.
+  EXPECT_GT(scorable, 20);
+}
+
+TEST(Equivalence, BaselineHostIsRealistic) {
+  we::HostState host = we::baseline_host();
+  EXPECT_FALSE(host.packages.empty());
+  EXPECT_FALSE(host.files.empty());
+  EXPECT_TRUE(host.services.count("sshd"));
+  // Removal is observable against the baseline.
+  EXPECT_EQ(we::execution_equivalence(
+                "- ansible.builtin.apt:\n    name: curl\n    state: absent\n",
+                "- ansible.builtin.apt:\n    name: curl\n    state: absent\n"),
+            we::Equivalence::Equivalent);
+  we::HostState after = we::baseline_host();
+  we::execute_text("- ansible.builtin.apt:\n    name: curl\n    state: absent\n",
+                   after);
+  EXPECT_NE(after, host);
+}

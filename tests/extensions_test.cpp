@@ -1,0 +1,288 @@
+// Tests for the paper's flagged extensions: sampling decoding ("we would
+// expect some improvement by using random sampling or beam search") and
+// Ansible blocks ("something we hope to expand to in the future").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ansible/linter.hpp"
+#include "ansible/model.hpp"
+#include "core/trainer.hpp"
+#include "data/ansible_gen.hpp"
+#include "data/packing.hpp"
+#include "metrics/ansible_aware.hpp"
+#include "model/transformer.hpp"
+#include "text/bpe.hpp"
+#include "util/rng.hpp"
+#include "yaml/emit.hpp"
+#include "yaml/parse.hpp"
+
+namespace wa = wisdom::ansible;
+namespace wc = wisdom::core;
+namespace wd = wisdom::data;
+namespace wm = wisdom::model;
+namespace wmet = wisdom::metrics;
+namespace wt = wisdom::text;
+namespace wy = wisdom::yaml;
+using wisdom::util::Rng;
+
+// --- sampling decoding --------------------------------------------------------
+
+namespace {
+
+struct TrainedModel {
+  wt::BpeTokenizer tokenizer;
+  wm::Transformer model;
+
+  TrainedModel()
+      : tokenizer(wt::BpeTokenizer::train(corpus(), 320)),
+        model(config(), 33) {
+    wd::AnsibleGenerator gen{Rng{5}};
+    std::vector<std::string> texts;
+    for (int i = 0; i < 60; ++i) texts.push_back(gen.role_tasks_text(2));
+    auto set = wd::pack_samples(tokenizer, texts, 64);
+    wc::TrainConfig tc;
+    tc.epochs = 4;
+    tc.micro_batch = 4;
+    tc.grad_accum = 1;
+    tc.lr = 3e-3f;
+    wc::train_model(model, set, nullptr, tc);
+  }
+
+  static std::string corpus() {
+    wd::AnsibleGenerator gen{Rng{4}};
+    std::string out;
+    for (int i = 0; i < 30; ++i) out += gen.role_tasks_text(3);
+    return out;
+  }
+  wm::ModelConfig config() const {
+    wm::ModelConfig cfg;
+    cfg.vocab = static_cast<int>(tokenizer.vocab_size());
+    cfg.ctx = 64;
+    cfg.d_model = 24;
+    cfg.n_head = 2;
+    cfg.n_layer = 2;
+    cfg.d_ff = 48;
+    return cfg;
+  }
+};
+
+TrainedModel& trained() {
+  static TrainedModel t;
+  return t;
+}
+
+}  // namespace
+
+TEST(Sampling, GreedyIsDeterministic) {
+  auto& t = trained();
+  auto prompt = t.tokenizer.encode("- name: Install nginx\n");
+  wm::Transformer::GenerateOptions gen;
+  gen.max_new_tokens = 20;
+  EXPECT_EQ(t.model.generate(prompt, gen), t.model.generate(prompt, gen));
+}
+
+TEST(Sampling, SeededSamplingIsReproducible) {
+  auto& t = trained();
+  auto prompt = t.tokenizer.encode("- name: Install nginx\n");
+  wm::Transformer::GenerateOptions gen;
+  gen.max_new_tokens = 20;
+  gen.temperature = 0.8f;
+  gen.top_k = 8;
+  gen.sample_seed = 123;
+  EXPECT_EQ(t.model.generate(prompt, gen), t.model.generate(prompt, gen));
+  gen.sample_seed = 456;
+  // Different seeds usually diverge; assert at least the API accepts it.
+  auto other = t.model.generate(prompt, gen);
+  EXPECT_FALSE(other.empty());
+}
+
+TEST(Sampling, HighTemperatureProducesDiversity) {
+  auto& t = trained();
+  auto prompt = t.tokenizer.encode("- name: Install nginx\n");
+  wm::Transformer::GenerateOptions gen;
+  gen.max_new_tokens = 16;
+  gen.temperature = 1.5f;
+  std::set<std::vector<std::int32_t>> outputs;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    gen.sample_seed = seed;
+    outputs.insert(t.model.generate(prompt, gen));
+  }
+  EXPECT_GT(outputs.size(), 1u);
+}
+
+TEST(Sampling, TopKOneEqualsGreedy) {
+  auto& t = trained();
+  auto prompt = t.tokenizer.encode("- name: Start nginx\n");
+  wm::Transformer::GenerateOptions greedy;
+  greedy.max_new_tokens = 16;
+  wm::Transformer::GenerateOptions topk1 = greedy;
+  topk1.temperature = 0.7f;
+  topk1.top_k = 1;
+  EXPECT_EQ(t.model.generate(prompt, greedy),
+            t.model.generate(prompt, topk1));
+}
+
+TEST(Sampling, ColdSampleTokenPicksClearArgmax) {
+  auto& t = trained();
+  // Direct unit test of the sampler: with a clear logit margin, near-zero
+  // temperature always picks the argmax.
+  std::vector<float> logits(t.model.config().vocab, 0.0f);
+  logits[7] = 6.0f;
+  logits[3] = 1.0f;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(t.model.sample_token(logits, 0.05f, 0, rng), 7);
+  }
+  EXPECT_EQ(t.model.argmax_token(logits), 7);
+}
+
+TEST(Sampling, HotSampleTokenSpreadsOverTopK) {
+  auto& t = trained();
+  std::vector<float> logits(t.model.config().vocab, -10.0f);
+  logits[2] = 1.0f;
+  logits[5] = 0.8f;
+  logits[9] = 0.6f;
+  Rng rng(13);
+  std::set<std::int32_t> seen;
+  for (int i = 0; i < 200; ++i)
+    seen.insert(t.model.sample_token(logits, 1.0f, 3, rng));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(2) && seen.count(5) && seen.count(9));
+}
+
+// --- beam search -----------------------------------------------------------------
+
+TEST(BeamSearch, WidthOneMatchesGreedyWithoutPenalty) {
+  auto& t = trained();
+  auto prompt = t.tokenizer.encode("- name: Install nginx\n");
+  wm::Transformer::GenerateOptions greedy;
+  greedy.max_new_tokens = 16;
+  wm::Transformer::BeamOptions beam;
+  beam.beam_width = 1;
+  beam.max_new_tokens = 16;
+  beam.length_penalty = 0.0f;
+  EXPECT_EQ(t.model.generate(prompt, greedy),
+            t.model.generate_beam(prompt, beam));
+}
+
+TEST(BeamSearch, Deterministic) {
+  auto& t = trained();
+  auto prompt = t.tokenizer.encode("- name: Start nginx\n");
+  wm::Transformer::BeamOptions beam;
+  beam.beam_width = 4;
+  beam.max_new_tokens = 20;
+  EXPECT_EQ(t.model.generate_beam(prompt, beam),
+            t.model.generate_beam(prompt, beam));
+}
+
+TEST(BeamSearch, ScoreAtLeastGreedy) {
+  // The beam result's summed log-probability must be >= the greedy path's
+  // (beam explores a superset); verified by rescoring both continuations.
+  auto& t = trained();
+  auto prompt = t.tokenizer.encode("- name: Install nginx\n");
+  wm::Transformer::GenerateOptions gopts;
+  gopts.max_new_tokens = 12;
+  auto greedy = t.model.generate(prompt, gopts);
+  wm::Transformer::BeamOptions bopts;
+  bopts.beam_width = 4;
+  bopts.max_new_tokens = 12;
+  bopts.length_penalty = 0.0f;
+  auto beam = t.model.generate_beam(prompt, bopts);
+
+  auto rescore = [&](const std::vector<std::int32_t>& continuation) {
+    wm::Transformer::KvCache cache = t.model.make_cache();
+    std::span<const float> logits;
+    for (auto tok_id : prompt) logits = t.model.decode_step(cache, tok_id);
+    double total = 0.0;
+    for (auto tok_id : continuation) {
+      // log softmax of the chosen token
+      float mx = logits[0];
+      for (float v : logits) mx = std::max(mx, v);
+      double z = 0.0;
+      for (float v : logits) z += std::exp(static_cast<double>(v - mx));
+      total += logits[static_cast<std::size_t>(tok_id)] - mx - std::log(z);
+      logits = t.model.decode_step(cache, tok_id);
+    }
+    return total;
+  };
+  // Compare over the shorter common horizon.
+  std::size_t n = std::min(greedy.size(), beam.size());
+  if (n == 0) GTEST_SKIP() << "model stopped immediately";
+  greedy.resize(n);
+  beam.resize(n);
+  EXPECT_GE(rescore(beam), rescore(greedy) - 1e-4);
+}
+
+TEST(BeamSearch, RespectsContextWindow) {
+  auto& t = trained();
+  std::vector<std::int32_t> prompt(200, 300 % t.model.config().vocab);
+  wm::Transformer::BeamOptions beam;
+  beam.beam_width = 3;
+  beam.max_new_tokens = 100;
+  auto out = t.model.generate_beam(prompt, beam);
+  EXPECT_LE(static_cast<int>(out.size()), t.model.config().ctx);
+}
+
+TEST(BeamSearch, EmptyPromptReturnsEmpty) {
+  auto& t = trained();
+  wm::Transformer::BeamOptions beam;
+  EXPECT_TRUE(t.model.generate_beam({}, beam).empty());
+}
+
+// --- blocks ---------------------------------------------------------------------
+
+TEST(Blocks, GeneratedBlocksAreValidAndLintClean) {
+  wd::AnsibleGenerator gen{Rng{17}};
+  wd::TaskGenOptions opts;
+  opts.block_prob = 1.0;
+  opts.short_name_prob = 0.0;
+  opts.old_style_prob = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    wy::Node tasks = gen.role_tasks(2, opts);
+    std::string text = wy::emit(tasks);
+    ASSERT_TRUE(wy::is_valid_yaml(text)) << text;
+    auto result = wa::lint_text(text);
+    EXPECT_TRUE(result.ok()) << text << result.to_string();
+  }
+}
+
+TEST(Blocks, BlockDetectedAndClassified) {
+  wd::AnsibleGenerator gen{Rng{19}};
+  wd::TaskGenOptions opts;
+  opts.block_prob = 1.0;
+  wy::Node b = gen.block(opts);
+  EXPECT_TRUE(wa::is_block(b));
+  ASSERT_TRUE(b.has("block"));
+  EXPECT_TRUE(b.find("block")->is_seq());
+}
+
+TEST(Blocks, AwareScoresBlocksRecursively) {
+  wd::AnsibleGenerator gen{Rng{23}};
+  wd::TaskGenOptions opts;
+  opts.block_prob = 1.0;
+  opts.keyword_prob = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    wy::Node b = gen.block(opts);
+    std::string text = wy::emit(wy::Node::seq({b}));
+    EXPECT_NEAR(wmet::ansible_aware_text(text, text), 1.0, 1e-9) << text;
+    // Emptying the inner block tasks must drop the score.
+    wy::Node crippled = b;
+    crippled.set("block",
+                 wy::Node::seq({wy::Node::map({{"ansible.builtin.ping",
+                                                wy::Node::null()}})}));
+    std::string bad = wy::emit(wy::Node::seq({crippled}));
+    EXPECT_LT(wmet::ansible_aware_text(bad, text), 1.0) << text;
+  }
+}
+
+TEST(Blocks, DefaultCorpusHasNoBlocks) {
+  // The paper's models are not trained on blocks; the default generator
+  // profile must reproduce that.
+  wd::AnsibleGenerator gen{Rng{29}};
+  for (int i = 0; i < 50; ++i) {
+    wy::Node tasks = gen.role_tasks(3);
+    for (const auto& task : tasks.items()) EXPECT_FALSE(wa::is_block(task));
+  }
+}

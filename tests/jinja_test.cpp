@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "ansible/jinja.hpp"
+#include "yaml/parse.hpp"
+
+namespace wa = wisdom::ansible;
+
+namespace {
+bool expr_ok(std::string_view e) { return wa::validate_jinja_expression(e); }
+bool tmpl_ok(std::string_view t) { return wa::validate_template_string(t); }
+}  // namespace
+
+// --- bare expressions (when: / until: values) -----------------------------------
+
+TEST(JinjaExpr, SimpleComparisons) {
+  EXPECT_TRUE(expr_ok("ansible_os_family == 'Debian'"));
+  EXPECT_TRUE(expr_ok("result.rc != 0"));
+  EXPECT_TRUE(expr_ok("ansible_memtotal_mb >= 1024"));
+  EXPECT_TRUE(expr_ok("retries < max_retries"));
+}
+
+TEST(JinjaExpr, BooleanLogic) {
+  EXPECT_TRUE(expr_ok("a and b or not c"));
+  EXPECT_TRUE(expr_ok("not (x == 1 and y == 2)"));
+  EXPECT_TRUE(
+      expr_ok("ansible_os_family == 'Debian' or ansible_os_family == "
+              "'RedHat'"));
+}
+
+TEST(JinjaExpr, MembershipAndTests) {
+  EXPECT_TRUE(expr_ok("'web' in group_names"));
+  EXPECT_TRUE(expr_ok("item not in excluded_items"));
+  EXPECT_TRUE(expr_ok("result is defined"));
+  EXPECT_TRUE(expr_ok("value is not none"));
+  EXPECT_TRUE(expr_ok("name is match('^web-')"));
+}
+
+TEST(JinjaExpr, FiltersAndCalls) {
+  EXPECT_TRUE(expr_ok("run_it | bool"));
+  EXPECT_TRUE(expr_ok("items | length > 0"));
+  EXPECT_TRUE(expr_ok("lookup('file', 'files/id_rsa.pub')"));
+  EXPECT_TRUE(expr_ok("packages | default([]) | unique"));
+  EXPECT_TRUE(expr_ok("value | round(2)"));
+  EXPECT_TRUE(expr_ok("hostvars[inventory_hostname].ip"));
+}
+
+TEST(JinjaExpr, ArithmeticAndLiterals) {
+  EXPECT_TRUE(expr_ok("port + 1"));
+  EXPECT_TRUE(expr_ok("size * 2 - overhead"));
+  EXPECT_TRUE(expr_ok("'prefix-' ~ name"));
+  EXPECT_TRUE(expr_ok("[1, 2, 3]"));
+  EXPECT_TRUE(expr_ok("{'k': 1, 'j': 2}"));
+  EXPECT_TRUE(expr_ok("true"));
+  EXPECT_TRUE(expr_ok("-3.5"));
+}
+
+TEST(JinjaExpr, RejectsMalformed) {
+  EXPECT_FALSE(expr_ok(""));
+  EXPECT_FALSE(expr_ok("a =="));
+  EXPECT_FALSE(expr_ok("== b"));
+  EXPECT_FALSE(expr_ok("a ('unterminated"));
+  EXPECT_FALSE(expr_ok("x | "));
+  EXPECT_FALSE(expr_ok("f(a,"));
+  EXPECT_FALSE(expr_ok("(a"));
+  EXPECT_FALSE(expr_ok("a.b."));
+  EXPECT_FALSE(expr_ok("items['key'"));
+  EXPECT_FALSE(expr_ok("a b"));  // two values with no operator
+  EXPECT_FALSE(expr_ok("x is"));
+  EXPECT_FALSE(expr_ok("@@@"));
+}
+
+TEST(JinjaExpr, ErrorCarriesPosition) {
+  wa::JinjaError error;
+  EXPECT_FALSE(wa::validate_jinja_expression("abc ==", &error));
+  EXPECT_FALSE(error.message.empty());
+}
+
+// --- template strings ---------------------------------------------------------------
+
+TEST(JinjaTemplate, PlainStringsAlwaysValid) {
+  EXPECT_TRUE(tmpl_ok("no templating at all"));
+  EXPECT_TRUE(tmpl_ok(""));
+  EXPECT_TRUE(tmpl_ok("/etc/nginx/nginx.conf"));
+}
+
+TEST(JinjaTemplate, ValidInterpolations) {
+  EXPECT_TRUE(tmpl_ok("{{ base_dir }}/conf"));
+  EXPECT_TRUE(tmpl_ok("port {{ app_port }} on {{ inventory_hostname }}"));
+  EXPECT_TRUE(tmpl_ok("{{ lookup('env', 'HOME') }}/bin"));
+  EXPECT_TRUE(tmpl_ok("{{ packages | join(',') }}"));
+}
+
+TEST(JinjaTemplate, StatementBlocksAcceptedWhenBalanced) {
+  EXPECT_TRUE(tmpl_ok("{% if debug %}verbose{% endif %}"));
+  EXPECT_FALSE(tmpl_ok("{% if debug"));
+}
+
+TEST(JinjaTemplate, RejectsUnbalanced) {
+  EXPECT_FALSE(tmpl_ok("{{ unclosed"));
+  EXPECT_FALSE(tmpl_ok("closed }} without open"));
+  EXPECT_FALSE(tmpl_ok("{{ }}"));        // empty expression
+  EXPECT_FALSE(tmpl_ok("{{ a == }}"));   // bad inner expression
+}
+
+// --- deep lint over tasks -------------------------------------------------------------
+
+namespace {
+wa::LintResult lint_jinja(std::string_view yaml_text) {
+  auto doc = wisdom::yaml::parse_document(yaml_text);
+  EXPECT_TRUE(doc.has_value());
+  return wa::lint_task_jinja(*doc);
+}
+}  // namespace
+
+TEST(JinjaLint, CleanTaskPasses) {
+  auto result = lint_jinja(
+      "name: Render config\n"
+      "ansible.builtin.template:\n"
+      "  src: templates/nginx.conf.j2\n"
+      "  dest: '{{ conf_dir }}/nginx.conf'\n"
+      "when: ansible_os_family == 'Debian'\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(JinjaLint, BadWhenExpression) {
+  auto result = lint_jinja(
+      "ansible.builtin.ping:\n"
+      "when: ansible_os_family ==\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.violations[0].rule, "jinja-syntax");
+}
+
+TEST(JinjaLint, WhenListChecksEveryItem) {
+  auto result = lint_jinja(
+      "ansible.builtin.ping:\n"
+      "when:\n"
+      "  - a == 1\n"
+      "  - b ==\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(JinjaLint, BadInterpolationInsideParams) {
+  auto result = lint_jinja(
+      "ansible.builtin.copy:\n"
+      "  src: files/app.conf\n"
+      "  dest: '{{ broken'\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(JinjaLint, BooleanWhenIsFine) {
+  auto result = lint_jinja(
+      "ansible.builtin.ping:\n"
+      "when: true\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "ansible/linter.hpp"
+#include "yaml/parse.hpp"
+
+namespace wa = wisdom::ansible;
+namespace wy = wisdom::yaml;
+
+namespace {
+wa::LintResult lint_task_text(std::string_view text) {
+  auto doc = wy::parse_document(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return wa::lint_task(doc ? *doc : wy::Node::null());
+}
+
+bool has_rule(const wa::LintResult& result, std::string_view rule) {
+  for (const auto& v : result.violations)
+    if (v.rule == rule) return true;
+  return false;
+}
+}  // namespace
+
+TEST(LintTask, ValidFqcnTask) {
+  auto result = lint_task_text(
+      "name: Install SSH server\n"
+      "ansible.builtin.apt:\n"
+      "  name: openssh-server\n"
+      "  state: present\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintTask, ShortModuleNameIsWarningOnly) {
+  auto result = lint_task_text("apt:\n  name: nginx\n  state: present\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(has_rule(result, "fqcn"));
+}
+
+TEST(LintTask, UnknownModule) {
+  auto result = lint_task_text("frobnicate:\n  level: 9\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "unknown-module"));
+}
+
+TEST(LintTask, UnknownParam) {
+  auto result = lint_task_text(
+      "ansible.builtin.apt:\n  name: nginx\n  statee: present\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "unknown-param"));
+}
+
+TEST(LintTask, BadChoiceValue) {
+  auto result = lint_task_text(
+      "ansible.builtin.service:\n  name: nginx\n  state: galloping\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "param-value"));
+}
+
+TEST(LintTask, TemplatedValueSatisfiesAnyShape) {
+  auto result = lint_task_text(
+      "ansible.builtin.service:\n"
+      "  name: '{{ svc_name }}'\n"
+      "  state: '{{ desired_state }}'\n"
+      "  enabled: '{{ enable_it }}'\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(LintTask, MissingRequiredParam) {
+  auto result = lint_task_text("ansible.builtin.copy:\n  src: /src/file\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "missing-required-param"));
+}
+
+TEST(LintTask, RequiredParamViaArgsKeyword) {
+  auto result = lint_task_text(
+      "ansible.builtin.copy:\n"
+      "  src: /src/file\n"
+      "args:\n"
+      "  dest: /dst/file\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(LintTask, NullArgsOkWhenNothingRequired) {
+  EXPECT_TRUE(lint_task_text("ansible.builtin.ping:\n").ok());
+  EXPECT_TRUE(lint_task_text("ansible.builtin.setup:\n").ok());
+}
+
+TEST(LintTask, NullArgsFailsWhenRequired) {
+  auto result = lint_task_text("ansible.builtin.copy:\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "missing-required-param"));
+}
+
+TEST(LintTask, FreeFormString) {
+  EXPECT_TRUE(
+      lint_task_text("ansible.builtin.shell: systemctl restart nginx\n").ok());
+  EXPECT_TRUE(lint_task_text("ansible.builtin.meta: flush_handlers\n").ok());
+  EXPECT_TRUE(
+      lint_task_text("ansible.builtin.include_tasks: setup.yml\n").ok());
+}
+
+TEST(LintTask, OldStyleKvArgsRejectedByStrictSchema) {
+  // Valid Ansible, but the strict linter schema rejects it — the exact
+  // "historical form" mismatch the paper describes for Schema Correct.
+  auto result =
+      lint_task_text("ansible.builtin.apt: name=nginx state=present\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "old-style-args"));
+}
+
+TEST(LintTask, StringArgsOnNonFreeFormModule) {
+  auto result = lint_task_text("ansible.builtin.apt: install nginx please\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "args-shape"));
+}
+
+TEST(LintTask, KeywordShapes) {
+  EXPECT_TRUE(lint_task_text(
+                  "ansible.builtin.ping:\n"
+                  "become: true\n"
+                  "retries: 3\n"
+                  "tags:\n"
+                  "  - web\n"
+                  "  - setup\n")
+                  .ok());
+  auto bad_bool = lint_task_text(
+      "ansible.builtin.ping:\nbecome:\n  nested: map\n");
+  EXPECT_FALSE(bad_bool.ok());
+  EXPECT_TRUE(has_rule(bad_bool, "keyword-type"));
+  auto bad_int = lint_task_text(
+      "ansible.builtin.ping:\nretries: soon\n");
+  EXPECT_FALSE(bad_int.ok());
+}
+
+TEST(LintTask, MultipleModules) {
+  auto result = lint_task_text(
+      "ansible.builtin.ping:\n"
+      "ansible.builtin.debug:\n  msg: hi\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "multiple-modules"));
+}
+
+TEST(LintTask, NoModule) {
+  auto result = lint_task_text("name: does nothing\nbecome: true\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "module-missing"));
+}
+
+TEST(LintTask, SetFactArbitraryKeys) {
+  EXPECT_TRUE(lint_task_text(
+                  "ansible.builtin.set_fact:\n"
+                  "  deployment_color: blue\n"
+                  "  app_port: 8080\n")
+                  .ok());
+}
+
+TEST(LintTask, BlockWithNestedTasks) {
+  auto result = lint_task_text(
+      "name: grouped\n"
+      "block:\n"
+      "  - name: inner\n"
+      "    ansible.builtin.ping:\n"
+      "rescue:\n"
+      "  - name: report\n"
+      "    ansible.builtin.debug:\n"
+      "      msg: failed\n"
+      "when: run_it | bool\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(LintTask, BlockCatchesInnerErrors) {
+  auto result = lint_task_text(
+      "block:\n"
+      "  - bogus_module:\n      x: 1\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "unknown-module"));
+}
+
+TEST(LintTask, NotAMapping) {
+  wa::LintResult result = wa::lint_task(wy::Node::str("just text"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "task-shape"));
+}
+
+// --- playbooks -----------------------------------------------------------------
+
+TEST(LintPlaybook, ValidPlaybook) {
+  auto doc = wy::parse_document(
+      "- name: Site setup\n"
+      "  hosts: web\n"
+      "  become: true\n"
+      "  tasks:\n"
+      "    - name: Install nginx\n"
+      "      ansible.builtin.apt:\n"
+      "        name: nginx\n"
+      "        state: present\n");
+  ASSERT_TRUE(doc.has_value());
+  auto result = wa::lint_playbook(*doc);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(LintPlaybook, MissingHosts) {
+  auto doc = wy::parse_document(
+      "- tasks:\n"
+      "    - ansible.builtin.ping:\n");
+  auto result = wa::lint_playbook(*doc);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "hosts-missing"));
+}
+
+TEST(LintPlaybook, EmptyPlay) {
+  auto doc = wy::parse_document("- hosts: all\n  become: true\n");
+  auto result = wa::lint_playbook(*doc);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "play-empty"));
+}
+
+TEST(LintPlaybook, UnknownPlayKeyword) {
+  auto doc = wy::parse_document(
+      "- hosts: all\n  hostss: oops\n  tasks:\n    - ansible.builtin.ping:\n");
+  auto result = wa::lint_playbook(*doc);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "unknown-play-keyword"));
+}
+
+TEST(LintPlaybook, TaskErrorsPropagate) {
+  auto doc = wy::parse_document(
+      "- hosts: all\n"
+      "  tasks:\n"
+      "    - made_up_module:\n        a: 1\n");
+  auto result = wa::lint_playbook(*doc);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LintPlaybook, NotASequence) {
+  auto result = wa::lint_playbook(wy::Node::map());
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "playbook-shape"));
+}
+
+// --- lint_text dispatch -----------------------------------------------------------
+
+TEST(LintText, DispatchesOnShape) {
+  EXPECT_TRUE(wa::lint_text("- hosts: all\n  tasks:\n    - ansible.builtin.ping:\n").ok());
+  EXPECT_TRUE(wa::lint_text("- name: t\n  ansible.builtin.ping:\n").ok());
+  EXPECT_TRUE(wa::lint_text("name: t\nansible.builtin.ping:\n").ok());
+}
+
+TEST(LintText, YamlSyntaxError) {
+  auto result = wa::lint_text("key: 'broken\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_rule(result, "yaml-syntax"));
+}
+
+TEST(LintText, PaperFig1PlaybookIsSchemaCorrect) {
+  auto result = wa::lint_text(
+      "---\n"
+      "- hosts: servers\n"
+      "  tasks:\n"
+      "    - name: Install SSH server\n"
+      "      ansible.builtin.apt:\n"
+      "        name: openssh-server\n"
+      "        state: present\n"
+      "    - name: Start SSH server\n"
+      "      ansible.builtin.service:\n"
+      "        name: ssh\n"
+      "        state: started\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(LintText, PaperFig2TaskSnippets) {
+  auto result = wa::lint_text(
+      "- name: Ensure apache is at the latest version\n"
+      "  ansible.builtin.yum:\n"
+      "    name: httpd\n"
+      "    state: latest\n"
+      "- name: Write the apache config file\n"
+      "  ansible.builtin.template:\n"
+      "    src: /srv/httpd.j2\n"
+      "    dest: /etc/httpd.conf\n");
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}

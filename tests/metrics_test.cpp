@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include "metrics/aggregate.hpp"
+#include "metrics/ansible_aware.hpp"
+#include "metrics/bleu.hpp"
+#include "metrics/exact_match.hpp"
+#include "metrics/schema_correct.hpp"
+#include "yaml/parse.hpp"
+
+namespace wm = wisdom::metrics;
+namespace wy = wisdom::yaml;
+
+// --- BLEU ------------------------------------------------------------------
+
+TEST(Bleu, IdenticalIsOne) {
+  std::string text = "- name: x\n  ansible.builtin.apt:\n    name: nginx\n";
+  EXPECT_NEAR(wm::sentence_bleu(text, text), 1.0, 1e-9);
+}
+
+TEST(Bleu, DisjointIsZero) {
+  EXPECT_EQ(wm::sentence_bleu("alpha beta gamma delta", "uno dos tres cuatro"),
+            0.0);
+}
+
+TEST(Bleu, PartialOverlapBetween) {
+  double score = wm::sentence_bleu(
+      "ansible.builtin.apt:\n  name: nginx\n  state: latest\n",
+      "ansible.builtin.apt:\n  name: nginx\n  state: present\n");
+  EXPECT_GT(score, 0.3);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(Bleu, OrderMatters) {
+  double in_order = wm::sentence_bleu("a b c d e f", "a b c d e f");
+  double shuffled = wm::sentence_bleu("f e d c b a", "a b c d e f");
+  EXPECT_GT(in_order, shuffled);
+}
+
+TEST(Bleu, BrevityPenaltyAppliesToShortCandidates) {
+  // Unigram-perfect but half-length candidate must be penalized.
+  double truncated = wm::sentence_bleu("a b c", "a b c d e f");
+  double full = wm::sentence_bleu("a b c d e f", "a b c d e f");
+  EXPECT_LT(truncated, full);
+}
+
+TEST(Bleu, EmptyCandidate) {
+  EXPECT_EQ(wm::sentence_bleu("", "a b c"), 0.0);
+  EXPECT_EQ(wm::sentence_bleu("a b c", ""), 0.0);
+  EXPECT_EQ(wm::sentence_bleu("", ""), 1.0);
+}
+
+TEST(Bleu, CorpusAccumulatorPoolsCounts) {
+  wm::BleuAccumulator acc;
+  acc.add("a b c d", "a b c d");
+  acc.add("x y z w", "x y z w");
+  EXPECT_NEAR(acc.score(), 1.0, 1e-9);
+  EXPECT_EQ(acc.sample_count(), 2u);
+
+  wm::BleuAccumulator mixed;
+  mixed.add("a b c d", "a b c d");
+  mixed.add("p q r s", "totally different tokens here");
+  EXPECT_GT(mixed.score(), 0.0);
+  EXPECT_LT(mixed.score(), 1.0);
+}
+
+TEST(Bleu, EmptyAccumulator) {
+  wm::BleuAccumulator acc;
+  EXPECT_EQ(acc.score(), 0.0);
+}
+
+// --- Exact Match -----------------------------------------------------------
+
+TEST(ExactMatch, FormattingInsensitive) {
+  EXPECT_TRUE(wm::exact_match(
+      "name: x\napt: {name: nginx, state: present}\n",
+      "name: x\napt:\n  name: nginx\n  state: present\n"));
+  EXPECT_TRUE(wm::exact_match("a: 'yes'\n", "a: \"yes\"\n"));
+}
+
+TEST(ExactMatch, ValueDifferenceBreaksMatch) {
+  EXPECT_FALSE(wm::exact_match("a: 1\n", "a: 2\n"));
+  EXPECT_FALSE(wm::exact_match("a: 'yes'\n", "a: yes\n"));  // str vs bool
+}
+
+TEST(ExactMatch, UnparseableFallsBackToLiteral) {
+  EXPECT_TRUE(wm::exact_match("key: 'broken\n", "key: 'broken"));
+  EXPECT_FALSE(wm::exact_match("key: 'broken\n", "key: fine\n"));
+}
+
+// --- Schema Correct ----------------------------------------------------------
+
+TEST(SchemaCorrect, ValidTask) {
+  EXPECT_TRUE(wm::schema_correct(
+      "- name: Install nginx\n"
+      "  ansible.builtin.apt:\n"
+      "    name: nginx\n"
+      "    state: present\n"));
+}
+
+TEST(SchemaCorrect, InvalidYaml) {
+  EXPECT_FALSE(wm::schema_correct("key: 'broken\n"));
+}
+
+TEST(SchemaCorrect, HistoricalFormRejected) {
+  // The paper: "a sample with a perfect Exact Match score may have a Schema
+  // Correct score of 0" — old-style args are valid Ansible, strict-schema
+  // incorrect.
+  std::string old_style = "- ansible.builtin.apt: name=nginx state=present\n";
+  EXPECT_TRUE(wm::exact_match(old_style, old_style));
+  EXPECT_FALSE(wm::schema_correct(old_style));
+}
+
+// --- Ansible Aware --------------------------------------------------------------
+
+namespace {
+double aware(std::string_view pred, std::string_view target) {
+  return wm::ansible_aware_text(pred, target);
+}
+
+const std::string kTargetTask =
+    "name: Install nginx\n"
+    "ansible.builtin.apt:\n"
+    "  name: nginx\n"
+    "  state: present\n";
+}  // namespace
+
+TEST(AnsibleAware, PerfectMatch) {
+  EXPECT_NEAR(aware(kTargetTask, kTargetTask), 1.0, 1e-9);
+}
+
+TEST(AnsibleAware, NameIsIgnored) {
+  std::string renamed =
+      "name: a totally different description\n"
+      "ansible.builtin.apt:\n"
+      "  name: nginx\n"
+      "  state: present\n";
+  EXPECT_NEAR(aware(renamed, kTargetTask), 1.0, 1e-9);
+  // Missing name entirely also scores 1.
+  std::string unnamed =
+      "ansible.builtin.apt:\n  name: nginx\n  state: present\n";
+  EXPECT_NEAR(aware(unnamed, kTargetTask), 1.0, 1e-9);
+}
+
+TEST(AnsibleAware, FqcnNormalization) {
+  // Short name vs FQCN is not a difference: "copy is changed to
+  // ansible.builtin.copy".
+  std::string short_name = "apt:\n  name: nginx\n  state: present\n";
+  EXPECT_NEAR(aware(short_name, kTargetTask), 1.0, 1e-9);
+}
+
+TEST(AnsibleAware, MissingParamScoresZeroForThatEntry) {
+  std::string missing = "ansible.builtin.apt:\n  name: nginx\n";
+  // Module pair: key 1.0; args: target has 2 entries, one matched fully
+  // (avg(1,1)=1), one missing (0) -> args 0.5; pair avg(1, 0.5) = 0.75.
+  EXPECT_NEAR(aware(missing, kTargetTask), 0.75, 1e-9);
+}
+
+TEST(AnsibleAware, InsertedParamsIgnored) {
+  std::string inserted =
+      "ansible.builtin.apt:\n"
+      "  name: nginx\n"
+      "  state: present\n"
+      "  update_cache: true\n"
+      "register: result\n";
+  EXPECT_NEAR(aware(inserted, kTargetTask), 1.0, 1e-9);
+}
+
+TEST(AnsibleAware, WrongValuePartialCredit) {
+  std::string wrong_state =
+      "ansible.builtin.apt:\n  name: nginx\n  state: latest\n";
+  // args: name entry avg(1,1)=1, state entry avg(1,0)=0.5 -> 0.75;
+  // module pair avg(1, 0.75) = 0.875.
+  EXPECT_NEAR(aware(wrong_state, kTargetTask), 0.875, 1e-9);
+}
+
+TEST(AnsibleAware, NearEquivalentModulePartialKeyScore) {
+  std::string dnf = "ansible.builtin.dnf:\n  name: nginx\n  state: present\n";
+  // key 0.5, args 1.0 -> pair 0.75.
+  EXPECT_NEAR(aware(dnf, kTargetTask), 0.75, 1e-9);
+  std::string shell_for_command = "shell: systemctl restart nginx\n";
+  std::string command_target = "command: systemctl restart nginx\n";
+  EXPECT_NEAR(aware(shell_for_command, command_target), 0.75, 1e-9);
+}
+
+TEST(AnsibleAware, UnrelatedModuleScoresZero) {
+  std::string wrong = "ansible.builtin.service:\n  name: nginx\n";
+  EXPECT_NEAR(aware(wrong, kTargetTask), 0.0, 1e-9);
+}
+
+TEST(AnsibleAware, OldStyleArgsNormalizedToDict) {
+  // "convert the old k1=v1 k2=v2 syntax for module parameters into a dict"
+  std::string old_style = "apt: name=nginx state=present\n";
+  EXPECT_NEAR(aware(old_style, kTargetTask), 1.0, 1e-9);
+  EXPECT_NEAR(aware(kTargetTask, old_style), 1.0, 1e-9);
+}
+
+TEST(AnsibleAware, KeywordsScored) {
+  std::string target =
+      "ansible.builtin.service:\n"
+      "  name: nginx\n"
+      "  state: started\n"
+      "become: true\n";
+  std::string missing_become =
+      "ansible.builtin.service:\n  name: nginx\n  state: started\n";
+  // Pairs: module (1.0) + become (0) -> 0.5.
+  EXPECT_NEAR(aware(missing_become, target), 0.5, 1e-9);
+  std::string wrong_become =
+      "ansible.builtin.service:\n"
+      "  name: nginx\n"
+      "  state: started\n"
+      "become: false\n";
+  // become pair: key 1, value 0 -> 0.5; overall (1.0 + 0.5)/2 = 0.75.
+  EXPECT_NEAR(aware(wrong_become, target), 0.75, 1e-9);
+}
+
+TEST(AnsibleAware, ListValuesMatchedByIndex) {
+  std::string target =
+      "vyos.vyos.vyos_config:\n"
+      "  lines:\n"
+      "    - set system host-name vyos\n"
+      "    - set service ssh port 22\n";
+  std::string half =
+      "vyos.vyos.vyos_config:\n"
+      "  lines:\n"
+      "    - set system host-name vyos\n";
+  // lines: item0 = 1, item1 missing = 0 -> 0.5; args = avg(1, 0.5)=0.75;
+  // module pair avg(1, 0.75) = 0.875.
+  EXPECT_NEAR(aware(half, target), 0.875, 1e-9);
+}
+
+TEST(AnsibleAware, ScalarQuotingDifferencesAreEqual) {
+  EXPECT_NEAR(aware("file:\n  path: /tmp/x\n  mode: '0644'\n",
+                    "file:\n  path: /tmp/x\n  mode: 0644\n"),
+              1.0, 1e-9);
+}
+
+TEST(AnsibleAware, TaskListAveraged) {
+  std::string target =
+      "- name: a\n  ansible.builtin.ping:\n"
+      "- name: b\n  ansible.builtin.debug:\n    msg: hi\n";
+  std::string first_only = "- name: a\n  ansible.builtin.ping:\n";
+  EXPECT_NEAR(aware(first_only, target), 0.5, 1e-9);
+  EXPECT_NEAR(aware(target, target), 1.0, 1e-9);
+}
+
+TEST(AnsibleAware, PlaybookScoring) {
+  std::string target =
+      "- hosts: web\n"
+      "  become: true\n"
+      "  tasks:\n"
+      "    - name: Install nginx\n"
+      "      ansible.builtin.apt:\n"
+      "        name: nginx\n"
+      "        state: present\n";
+  EXPECT_NEAR(aware(target, target), 1.0, 1e-9);
+  std::string wrong_hosts =
+      "- hosts: db\n"
+      "  become: true\n"
+      "  tasks:\n"
+      "    - name: Install nginx\n"
+      "      ansible.builtin.apt:\n"
+      "        name: nginx\n"
+      "        state: present\n";
+  // hosts pair avg(1,0)=0.5; become 1; tasks 1 -> (0.5+1+1)/3.
+  EXPECT_NEAR(aware(wrong_hosts, target), (0.5 + 1.0 + 1.0) / 3.0, 1e-9);
+}
+
+TEST(AnsibleAware, UnparseablePredictionZero) {
+  EXPECT_EQ(aware("key: 'broken\n", kTargetTask), 0.0);
+}
+
+TEST(AnsibleAware, PredictionWrappedInListUnwrapped) {
+  std::string wrapped =
+      "- ansible.builtin.apt:\n    name: nginx\n    state: present\n";
+  EXPECT_NEAR(aware(wrapped, kTargetTask), 1.0, 1e-9);
+}
+
+TEST(AnsibleAware, ScoreIsBoundedZeroOne) {
+  const char* preds[] = {
+      "ansible.builtin.apt:\n  name: nginx\n",
+      "shell: ls\n",
+      "x: 1\n",
+      "- a\n- b\n",
+      "[]",
+  };
+  for (const char* p : preds) {
+    double s = aware(p, kTargetTask);
+    EXPECT_GE(s, 0.0) << p;
+    EXPECT_LE(s, 1.0) << p;
+  }
+}
+
+// --- accumulator -------------------------------------------------------------
+
+TEST(Aggregate, PerfectPredictions) {
+  wm::MetricsAccumulator acc;
+  acc.add(kTargetTask, kTargetTask);
+  acc.add("- name: t\n  ansible.builtin.ping:\n",
+          "- name: t\n  ansible.builtin.ping:\n");
+  auto report = acc.report();
+  EXPECT_EQ(report.count, 2u);
+  EXPECT_NEAR(report.exact_match, 100.0, 1e-9);
+  EXPECT_NEAR(report.bleu, 100.0, 1e-9);
+  EXPECT_NEAR(report.ansible_aware, 100.0, 1e-9);
+  EXPECT_NEAR(report.schema_correct, 100.0, 1e-9);
+}
+
+TEST(Aggregate, MixedPredictions) {
+  wm::MetricsAccumulator acc;
+  acc.add(kTargetTask, kTargetTask);
+  acc.add("totally wrong ???", kTargetTask);
+  auto report = acc.report();
+  EXPECT_NEAR(report.exact_match, 50.0, 1e-9);
+  EXPECT_NEAR(report.schema_correct, 50.0, 1e-9);
+  EXPECT_LT(report.bleu, 100.0);
+  EXPECT_NEAR(report.ansible_aware, 50.0, 1e-9);
+}
+
+TEST(Aggregate, EmptyReport) {
+  wm::MetricsAccumulator acc;
+  auto report = acc.report();
+  EXPECT_EQ(report.count, 0u);
+  EXPECT_EQ(report.bleu, 0.0);
+}
+
+TEST(Aggregate, ReportToString) {
+  wm::MetricsAccumulator acc;
+  acc.add(kTargetTask, kTargetTask);
+  std::string s = acc.report().to_string();
+  EXPECT_NE(s.find("bleu=100.00"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}

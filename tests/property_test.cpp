@@ -1,0 +1,238 @@
+// Property-based suites: invariants that must hold across randomized
+// inputs, parameterized over seeds (TEST_P).
+#include <gtest/gtest.h>
+
+#include "ansible/catalog.hpp"
+#include "ansible/linter.hpp"
+#include "ansible/model.hpp"
+#include "data/ansible_gen.hpp"
+#include "data/dataset.hpp"
+#include "data/generic_yaml.hpp"
+#include "metrics/ansible_aware.hpp"
+#include "metrics/bleu.hpp"
+#include "metrics/exact_match.hpp"
+#include "text/bpe.hpp"
+#include "util/rng.hpp"
+#include "yaml/emit.hpp"
+#include "yaml/parse.hpp"
+
+namespace wa = wisdom::ansible;
+namespace wd = wisdom::data;
+namespace wm = wisdom::metrics;
+namespace wt = wisdom::text;
+namespace wy = wisdom::yaml;
+using wisdom::util::Rng;
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 7, 42, 99, 1234, 777777));
+
+// --- YAML round trip over generated documents ---------------------------------
+
+TEST_P(SeededProperty, AnsibleYamlRoundTripsExactly) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 25; ++i) {
+    wy::Node doc = i % 2 ? gen.playbook(2) : gen.role_tasks(3);
+    std::string text = wy::emit(doc);
+    wy::ParseError err;
+    auto back = wy::parse_document(text, &err);
+    ASSERT_TRUE(back.has_value()) << err.to_string() << "\n" << text;
+    EXPECT_TRUE(*back == doc) << text;
+  }
+}
+
+TEST_P(SeededProperty, GenericYamlRoundTripsExactly) {
+  wd::GenericYamlGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 25; ++i) {
+    wy::Node doc;
+    switch (i % 3) {
+      case 0: doc = gen.kubernetes_manifest(); break;
+      case 1: doc = gen.ci_pipeline(); break;
+      default: doc = gen.compose_file(); break;
+    }
+    std::string text = wy::emit(doc);
+    auto back = wy::parse_document(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_TRUE(*back == doc) << text;
+  }
+}
+
+TEST_P(SeededProperty, NormalizeIsIdempotentOnGeneratedFiles) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 10; ++i) {
+    std::string text = gen.playbook_text(3);
+    auto once = wy::normalize(text);
+    ASSERT_TRUE(once.has_value());
+    auto twice = wy::normalize(*once);
+    ASSERT_TRUE(twice.has_value());
+    EXPECT_EQ(*once, *twice);
+  }
+}
+
+// --- Ansible Aware invariants ----------------------------------------------------
+
+TEST_P(SeededProperty, AwareSelfScoreIsOne) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 25; ++i) {
+    std::string text = wy::emit(gen.role_tasks(2));
+    EXPECT_NEAR(wm::ansible_aware_text(text, text), 1.0, 1e-9) << text;
+  }
+}
+
+TEST_P(SeededProperty, AwareIsBoundedForArbitraryPairs) {
+  wd::AnsibleGenerator a{Rng{GetParam()}};
+  wd::AnsibleGenerator b{Rng{GetParam() ^ 0xBEEF}};
+  for (int i = 0; i < 25; ++i) {
+    std::string pred = wy::emit(a.role_tasks(2));
+    std::string target = wy::emit(b.role_tasks(2));
+    double s = wm::ansible_aware_text(pred, target);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(SeededProperty, AwareInvariantUnderFqcnSpelling) {
+  // Rewriting a module key between short and fully-qualified spelling must
+  // not change the score ("they are first replaced by their FQCN").
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  const auto& catalog = wa::ModuleCatalog::instance();
+  for (int i = 0; i < 30; ++i) {
+    wy::Node task = gen.task();
+    wa::Task parsed = wa::Task::from_node(task);
+    const wa::ModuleSpec* spec = catalog.resolve(parsed.module);
+    if (!spec) continue;
+    wy::Node renamed = wy::Node::map();
+    for (const auto& [key, value] : task.entries()) {
+      if (key == parsed.module) {
+        // Flip spelling.
+        std::string other =
+            key == spec->fqcn ? spec->short_name : spec->fqcn;
+        renamed.set(other, value);
+      } else {
+        renamed.set(key, value);
+      }
+    }
+    std::string target = wy::emit(wy::Node::seq({task}));
+    std::string flipped = wy::emit(wy::Node::seq({renamed}));
+    EXPECT_NEAR(wm::ansible_aware_text(flipped, target), 1.0, 1e-9)
+        << target << "\nvs\n" << flipped;
+  }
+}
+
+TEST_P(SeededProperty, AwareDropsWhenDeletingModuleArgs) {
+  // Deleting a module parameter from the prediction must never raise the
+  // score, and must strictly lower it when the target has that parameter.
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 30; ++i) {
+    wy::Node task = gen.task();
+    wa::Task parsed = wa::Task::from_node(task);
+    if (!parsed.args.is_map() || parsed.args.size() == 0) continue;
+    wy::Node pruned_task = wy::Node::map();
+    for (const auto& [key, value] : task.entries()) {
+      if (key == parsed.module) {
+        wy::Node args = value;
+        args.entries().pop_back();
+        pruned_task.set(key, args);
+      } else {
+        pruned_task.set(key, value);
+      }
+    }
+    std::string target = wy::emit(wy::Node::seq({task}));
+    std::string pruned = wy::emit(wy::Node::seq({pruned_task}));
+    double self_score = wm::ansible_aware_text(target, target);
+    double pruned_score = wm::ansible_aware_text(pruned, target);
+    EXPECT_LT(pruned_score, self_score);
+  }
+}
+
+TEST_P(SeededProperty, AwareIgnoresInsertedKeywords) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  wd::TaskGenOptions opts;
+  opts.keyword_prob = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    wy::Node task = gen.task(opts);
+    wy::Node augmented = task;
+    augmented.set("register", wy::Node::str("result"));
+    augmented.set("become", wy::Node::boolean(true));
+    std::string target = wy::emit(wy::Node::seq({task}));
+    std::string pred = wy::emit(wy::Node::seq({augmented}));
+    EXPECT_NEAR(wm::ansible_aware_text(pred, target), 1.0, 1e-9);
+  }
+}
+
+// --- exact match / BLEU invariants ---------------------------------------------
+
+TEST_P(SeededProperty, ExactMatchReflexiveOnGeneratedFiles) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 20; ++i) {
+    std::string text = gen.playbook_text(2);
+    EXPECT_TRUE(wm::exact_match(text, text));
+    EXPECT_NEAR(wm::sentence_bleu(text, text), 1.0, 1e-9);
+  }
+}
+
+TEST_P(SeededProperty, BleuBoundedAndCorruptionLowersIt) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  Rng rng{GetParam() ^ 0x5555};
+  for (int i = 0; i < 15; ++i) {
+    std::string target = gen.role_tasks_text(3);
+    // Corrupt: drop the last quarter of the text.
+    std::string corrupted = target.substr(0, target.size() * 3 / 4);
+    double full = wm::sentence_bleu(target, target);
+    double cut = wm::sentence_bleu(corrupted, target);
+    EXPECT_GE(cut, 0.0);
+    EXPECT_LE(cut, 1.0);
+    EXPECT_LT(cut, full);
+  }
+}
+
+// --- tokenizer round trip ----------------------------------------------------------
+
+TEST_P(SeededProperty, BpeRoundTripsGeneratedYaml) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  std::string corpus;
+  for (int i = 0; i < 10; ++i) corpus += gen.role_tasks_text(3);
+  auto tok = wt::BpeTokenizer::train(corpus, 400);
+  wd::AnsibleGenerator unseen{Rng{GetParam() ^ 0xD00D}};
+  for (int i = 0; i < 10; ++i) {
+    std::string text = unseen.playbook_text(2);
+    EXPECT_EQ(tok.decode(tok.encode(text)), text);
+  }
+}
+
+// --- linter invariants ----------------------------------------------------------------
+
+TEST_P(SeededProperty, CleanGeneratedFilesAlwaysLint) {
+  // With FQCN spelling and no legacy args, the generator must emit files
+  // the strict schema accepts — this pins generator and linter together.
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  wd::TaskGenOptions opts;
+  opts.short_name_prob = 0.0;
+  opts.old_style_prob = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    std::string text =
+        i % 2 ? gen.playbook_text(2, opts) : gen.role_tasks_text(3, opts);
+    auto result = wa::lint_text(text);
+    EXPECT_TRUE(result.ok()) << text << result.to_string();
+  }
+}
+
+TEST_P(SeededProperty, FtSamplesAreInternallyConsistent) {
+  // Reconstructing context + input + body must parse, and the target task
+  // must score 1.0 against itself through the whole extraction path.
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 10; ++i) {
+    std::string file = i % 2 ? gen.playbook_text(3) : gen.role_tasks_text(4);
+    for (const auto& sample : wd::extract_samples(file)) {
+      EXPECT_TRUE(wy::is_valid_yaml(sample.full_target()))
+          << sample.full_target();
+      std::string full = sample.context + sample.input_line +
+                         sample.target_body;
+      EXPECT_TRUE(wy::is_valid_yaml(full)) << full;
+      EXPECT_NEAR(wm::ansible_aware_text(sample.full_target(),
+                                         sample.full_target()),
+                  1.0, 1e-9);
+    }
+  }
+}

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "data/packing.hpp"
+#include "serve/service.hpp"
+#include "text/bpe.hpp"
+
+namespace wc = wisdom::core;
+namespace wd = wisdom::data;
+namespace wm = wisdom::model;
+namespace ws = wisdom::serve;
+namespace wt = wisdom::text;
+
+namespace {
+
+// One trained micro-model shared by the suite (training takes ~2s).
+struct Fixture {
+  wt::BpeTokenizer tokenizer;
+  wm::Transformer model;
+
+  Fixture()
+      : tokenizer(wt::BpeTokenizer::train(corpus(), 300)),
+        model(config(), 21) {
+    // Varied samples (different packages, lengths) so windows do not align
+    // and the model cannot overfit absolute positions.
+    std::vector<std::string> texts;
+    const char* pkgs[] = {"nginx", "redis", "git", "curl", "vim",
+                          "htop", "jq", "wget"};
+    for (int rep = 0; rep < 12; ++rep) {
+      for (const char* pkg : pkgs) {
+        texts.push_back(std::string("- name: Install ") + pkg +
+                        "\n  ansible.builtin.apt:\n    name: " + pkg +
+                        "\n    state: present\n");
+      }
+    }
+    auto set = wd::pack_samples(tokenizer, texts, 48);
+    wc::TrainConfig tc;
+    tc.epochs = 30;
+    tc.micro_batch = 4;
+    tc.grad_accum = 1;  // small set: more optimizer steps per epoch
+    tc.lr = 3e-3f;
+    wc::train_model(model, set, nullptr, tc);
+  }
+
+  static std::string corpus() {
+    return "- name: Install nginx\n"
+           "  ansible.builtin.apt:\n"
+           "    name: nginx\n"
+           "    state: present\n";
+  }
+  wm::ModelConfig config() const {
+    wm::ModelConfig cfg;
+    cfg.vocab = static_cast<int>(tokenizer.vocab_size());
+    cfg.ctx = 48;
+    cfg.d_model = 24;
+    cfg.n_head = 2;
+    cfg.n_layer = 2;
+    cfg.d_ff = 48;
+    return cfg;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+}  // namespace
+
+TEST(Service, SuggestsTrainedCompletion) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  request.indent = 0;
+  auto response = service.suggest(request);
+  ASSERT_TRUE(response.ok);
+  EXPECT_NE(response.snippet.find("- name: Install nginx"),
+            std::string::npos);
+  EXPECT_NE(response.snippet.find("ansible.builtin.apt"), std::string::npos);
+  EXPECT_TRUE(response.schema_correct) << response.snippet;
+  EXPECT_GT(response.latency_ms, 0.0);
+  EXPECT_GT(response.generated_tokens, 0);
+}
+
+TEST(Service, EmptyPromptRejected) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  ws::SuggestionRequest request;
+  request.prompt = "";
+  auto response = service.suggest(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(service.stats().requests, 1u);
+}
+
+TEST(Service, NegativeIndentRejected) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  request.indent = -1;
+  EXPECT_FALSE(service.suggest(request).ok);
+}
+
+TEST(Service, IndentedSuggestionForPlaybookContext) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  ws::SuggestionRequest request;
+  request.context =
+      "- hosts: web\n"
+      "  tasks:\n";
+  request.prompt = "Install nginx";
+  request.indent = 4;
+  auto response = service.suggest(request);
+  EXPECT_NE(response.snippet.find("    - name: Install nginx"),
+            std::string::npos);
+}
+
+TEST(Service, StatsAccumulate) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  service.suggest(request);
+  service.suggest(request);
+  service.record_accept();
+  service.record_reject();
+  service.record_accept();
+  const auto& stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_NEAR(stats.acceptance_rate(), 2.0 / 3.0, 1e-9);
+  EXPECT_GT(stats.mean_latency_ms(), 0.0);
+}
+
+TEST(Service, EmptyStats) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  EXPECT_EQ(service.stats().acceptance_rate(), 0.0);
+  EXPECT_EQ(service.stats().mean_latency_ms(), 0.0);
+}

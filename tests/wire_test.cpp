@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "serve/wire.hpp"
+#include "util/rng.hpp"
+
+namespace ws = wisdom::serve;
+
+TEST(Wire, RequestRoundTrip) {
+  ws::SuggestionRequest request;
+  request.context = "- hosts: web\n  tasks:\n";
+  request.prompt = "Install nginx";
+  request.indent = 4;
+  auto back = ws::request_from_json(ws::to_json(request));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->context, request.context);
+  EXPECT_EQ(back->prompt, request.prompt);
+  EXPECT_EQ(back->indent, request.indent);
+}
+
+TEST(Wire, ResponseRoundTrip) {
+  ws::SuggestionResponse response;
+  response.ok = true;
+  response.snippet = "- name: X\n  ansible.builtin.apt:\n    name: nginx\n";
+  response.schema_correct = true;
+  response.latency_ms = 12.5;
+  response.generated_tokens = 40;
+  auto back = ws::response_from_json(ws::to_json(response));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ok, response.ok);
+  EXPECT_EQ(back->snippet, response.snippet);
+  EXPECT_TRUE(back->schema_correct);
+  EXPECT_NEAR(back->latency_ms, 12.5, 1e-6);
+  EXPECT_EQ(back->generated_tokens, 40);
+}
+
+TEST(Wire, EscapingSpecialCharacters) {
+  EXPECT_EQ(ws::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(ws::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(ws::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(ws::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(ws::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Wire, RoundTripWithControlCharacters) {
+  ws::SuggestionRequest request;
+  request.prompt = "with \"quotes\" and\nnewlines\tand tabs \\ slashes";
+  auto back = ws::request_from_json(ws::to_json(request));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->prompt, request.prompt);
+}
+
+TEST(Wire, ParsesHandWrittenJson) {
+  auto request = ws::request_from_json(
+      R"({"prompt": "Start nginx", "indent": 2, "context": ""})");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->prompt, "Start nginx");
+  EXPECT_EQ(request->indent, 2);
+}
+
+TEST(Wire, OptionalFieldsDefault) {
+  auto request = ws::request_from_json(R"({"prompt": "x"})");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->context, "");
+  EXPECT_EQ(request->indent, 0);
+}
+
+TEST(Wire, RejectsMalformedJson) {
+  EXPECT_FALSE(ws::request_from_json("").has_value());
+  EXPECT_FALSE(ws::request_from_json("not json").has_value());
+  EXPECT_FALSE(ws::request_from_json("{\"prompt\": }").has_value());
+  EXPECT_FALSE(ws::request_from_json("{\"prompt\": \"x\"").has_value());
+  EXPECT_FALSE(ws::request_from_json("{\"prompt\": \"x\"} extra").has_value());
+  EXPECT_FALSE(ws::request_from_json("{\"prompt\": 42}").has_value());
+  EXPECT_FALSE(ws::request_from_json("{}").has_value());  // prompt required
+  EXPECT_FALSE(
+      ws::request_from_json("{\"prompt\": \"x\", \"indent\": \"four\"}")
+          .has_value());
+}
+
+TEST(Wire, RejectsMalformedResponse) {
+  EXPECT_FALSE(ws::response_from_json("{\"ok\": \"yes\"}").has_value());
+  EXPECT_FALSE(ws::response_from_json("{\"snippet\": \"x\"}").has_value());
+}
+
+TEST(Wire, FuzzNoiseNeverCrashes) {
+  wisdom::util::Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    std::string noise;
+    std::size_t len = rng.uniform(60);
+    for (std::size_t j = 0; j < len; ++j) {
+      // Bias toward JSON punctuation to reach deeper parser states.
+      const char* pool = "{}[]\",:0123456789.eE+-truefalsn \\\"\n";
+      noise += pool[rng.uniform(34)];
+    }
+    ws::request_from_json(noise);   // must not crash
+    ws::response_from_json(noise);  // must not crash
+  }
+  SUCCEED();
+}

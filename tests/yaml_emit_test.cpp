@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "yaml/emit.hpp"
+#include "yaml/parse.hpp"
+
+namespace wy = wisdom::yaml;
+
+namespace {
+wy::Node must_parse(std::string_view text) {
+  wy::ParseError err;
+  auto doc = wy::parse_document(text, &err);
+  EXPECT_TRUE(doc.has_value()) << err.to_string();
+  return doc ? *doc : wy::Node::null();
+}
+}  // namespace
+
+TEST(YamlEmit, ScalarDocument) {
+  EXPECT_EQ(wy::emit(wy::Node::integer(42)), "42\n");
+  EXPECT_EQ(wy::emit(wy::Node::boolean(true)), "true\n");
+  EXPECT_EQ(wy::emit(wy::Node::null()), "null\n");
+}
+
+TEST(YamlEmit, DocumentStartMarker) {
+  wy::EmitOptions opts;
+  opts.document_start = true;
+  EXPECT_EQ(wy::emit(wy::Node::str("x"), opts), "---\nx\n");
+}
+
+TEST(YamlEmit, SimpleMapping) {
+  wy::Node n = wy::Node::map();
+  n.set("name", wy::Node::str("Install nginx"));
+  n.set("state", wy::Node::str("present"));
+  EXPECT_EQ(wy::emit(n), "name: Install nginx\nstate: present\n");
+}
+
+TEST(YamlEmit, CompactSequenceOfMappings) {
+  wy::Node task = wy::Node::map();
+  task.set("name", wy::Node::str("Install nginx"));
+  wy::Node mod = wy::Node::map();
+  mod.set("name", wy::Node::str("nginx"));
+  mod.set("state", wy::Node::str("present"));
+  task.set("ansible.builtin.apt", mod);
+  wy::Node doc = wy::Node::seq();
+  doc.push_back(task);
+
+  EXPECT_EQ(wy::emit(doc),
+            "- name: Install nginx\n"
+            "  ansible.builtin.apt:\n"
+            "    name: nginx\n"
+            "    state: present\n");
+}
+
+TEST(YamlEmit, QuotingPolicy) {
+  EXPECT_TRUE(wy::scalar_needs_quotes(""));
+  EXPECT_TRUE(wy::scalar_needs_quotes("yes"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("42"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("3.5"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("null"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("{{ var }}"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("key: value"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("trailing colon:"));
+  EXPECT_TRUE(wy::scalar_needs_quotes(" leading space"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("- dash item"));
+  EXPECT_TRUE(wy::scalar_needs_quotes("#comment"));
+  EXPECT_FALSE(wy::scalar_needs_quotes("plain text"));
+  EXPECT_FALSE(wy::scalar_needs_quotes("openssh-server"));
+  EXPECT_FALSE(wy::scalar_needs_quotes("/etc/httpd.conf"));
+  EXPECT_FALSE(wy::scalar_needs_quotes("set system host-name vyos"));
+}
+
+TEST(YamlEmit, QuoteScalarEscapes) {
+  EXPECT_EQ(wy::quote_scalar("it's"), "'it''s'");
+  EXPECT_EQ(wy::quote_scalar("a\nb"), "\"a\\nb\"");
+}
+
+TEST(YamlEmit, MultilineStringBecomesLiteralBlock) {
+  wy::Node n = wy::Node::map();
+  n.set("script", wy::Node::str("echo one\necho two\n"));
+  EXPECT_EQ(wy::emit(n), "script: |\n  echo one\n  echo two\n");
+  wy::Node n2 = wy::Node::map();
+  n2.set("script", wy::Node::str("echo one\necho two"));
+  EXPECT_EQ(wy::emit(n2), "script: |-\n  echo one\n  echo two\n");
+}
+
+TEST(YamlEmit, EmptyCollections) {
+  wy::Node n = wy::Node::map();
+  n.set("vars", wy::Node::map());
+  n.set("items", wy::Node::seq());
+  EXPECT_EQ(wy::emit(n), "vars: {}\nitems: []\n");
+}
+
+TEST(YamlEmit, JinjaExpressionsQuoted) {
+  wy::Node n = wy::Node::map();
+  n.set("path", wy::Node::str("{{ base_dir }}/conf"));
+  EXPECT_EQ(wy::emit(n), "path: '{{ base_dir }}/conf'\n");
+}
+
+// --- round-trip properties ---------------------------------------------------
+
+namespace {
+// parse(emit(node)) == node must hold for every node the library builds.
+void expect_round_trip(const wy::Node& node) {
+  std::string text = wy::emit(node);
+  wy::ParseError err;
+  auto back = wy::parse_document(text, &err);
+  ASSERT_TRUE(back.has_value()) << err.to_string() << "\nemitted:\n" << text;
+  EXPECT_TRUE(*back == node) << "emitted:\n" << text;
+}
+}  // namespace
+
+TEST(YamlRoundTrip, PaperPlaybook) {
+  wy::Node doc = must_parse(
+      "- hosts: servers\n"
+      "  tasks:\n"
+      "    - name: Install SSH server\n"
+      "      ansible.builtin.apt:\n"
+      "        name: openssh-server\n"
+      "        state: present\n"
+      "    - name: Start SSH server\n"
+      "      ansible.builtin.service:\n"
+      "        name: ssh\n"
+      "        state: started\n");
+  expect_round_trip(doc);
+}
+
+TEST(YamlRoundTrip, TrickyScalars) {
+  wy::Node n = wy::Node::map();
+  n.set("a", wy::Node::str("yes"));
+  n.set("b", wy::Node::str("123"));
+  n.set("c", wy::Node::str("0644"));
+  n.set("d", wy::Node::str("http://h:80/p#frag"));
+  n.set("e", wy::Node::str("key: value"));
+  n.set("f", wy::Node::str("it's got 'quotes'"));
+  n.set("g", wy::Node::str("multi\nline\ntext"));
+  n.set("h", wy::Node::boolean(false));
+  n.set("i", wy::Node::integer(-3));
+  n.set("j", wy::Node::floating(2.25));
+  n.set("k", wy::Node::null());
+  expect_round_trip(n);
+}
+
+TEST(YamlRoundTrip, DeepNesting) {
+  wy::Node inner = wy::Node::map();
+  inner.set("list", wy::Node::seq({wy::Node::integer(1),
+                                   wy::Node::str("two"),
+                                   wy::Node::seq({wy::Node::str("x")})}));
+  wy::Node mid = wy::Node::map();
+  mid.set("inner", inner);
+  mid.set("empty_map", wy::Node::map());
+  wy::Node outer = wy::Node::seq();
+  outer.push_back(mid);
+  outer.push_back(wy::Node::str("tail"));
+  expect_round_trip(outer);
+}
+
+TEST(YamlRoundTrip, NormalizeIsIdempotent) {
+  std::string messy =
+      "---\n"
+      "- name:    Install   thing\n"
+      "  apt: {name: nginx, state: present}\n"
+      "  when: ansible_os_family == 'Debian'\n";
+  auto once = wy::normalize(messy);
+  ASSERT_TRUE(once.has_value());
+  auto twice = wy::normalize(*once);
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(*once, *twice);
+}
+
+TEST(YamlRoundTrip, NormalizeRejectsInvalid) {
+  EXPECT_FALSE(wy::normalize("key: 'broken\n").has_value());
+}

@@ -1,0 +1,461 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "yaml/parse.hpp"
+
+namespace wy = wisdom::yaml;
+
+namespace {
+wy::Node must_parse(std::string_view text) {
+  wy::ParseError err;
+  auto doc = wy::parse_document(text, &err);
+  EXPECT_TRUE(doc.has_value()) << err.to_string() << "\nsource:\n" << text;
+  return doc ? *doc : wy::Node::null();
+}
+}  // namespace
+
+TEST(YamlScalars, PlainResolution) {
+  EXPECT_TRUE(must_parse("42").is_int());
+  EXPECT_EQ(must_parse("42").as_int(), 42);
+  EXPECT_EQ(must_parse("-7").as_int(), -7);
+  EXPECT_TRUE(must_parse("3.5").is_float());
+  EXPECT_DOUBLE_EQ(must_parse("1e3").as_float(), 1000.0);
+  EXPECT_TRUE(must_parse("true").is_bool());
+  EXPECT_TRUE(must_parse("yes").as_bool());
+  EXPECT_FALSE(must_parse("no").as_bool());
+  EXPECT_TRUE(must_parse("null").is_null());
+  EXPECT_TRUE(must_parse("~").is_null());
+  EXPECT_TRUE(must_parse("hello world").is_str());
+}
+
+TEST(YamlScalars, LeadingZeroIntegerStaysString) {
+  // File modes like 0644 must not be numerically mangled.
+  wy::Node n = must_parse("mode: 0644");
+  const wy::Node* v = n.find("mode");
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->is_str());
+  EXPECT_EQ(v->as_str(), "0644");
+}
+
+TEST(YamlScalars, QuotedNeverResolves) {
+  wy::Node n = must_parse("a: 'yes'\nb: \"42\"");
+  EXPECT_TRUE(n.find("a")->is_str());
+  EXPECT_EQ(n.find("a")->as_str(), "yes");
+  EXPECT_TRUE(n.find("b")->is_str());
+}
+
+TEST(YamlScalars, DoubleQuoteEscapes) {
+  wy::Node n = must_parse(R"(msg: "line1\nline2\t\"quoted\"")");
+  EXPECT_EQ(n.find("msg")->as_str(), "line1\nline2\t\"quoted\"");
+}
+
+TEST(YamlScalars, SingleQuoteEscape) {
+  wy::Node n = must_parse("msg: 'it''s fine'");
+  EXPECT_EQ(n.find("msg")->as_str(), "it's fine");
+}
+
+TEST(YamlMapping, SimpleAndNested) {
+  wy::Node n = must_parse(
+      "name: Install SSH server\n"
+      "ansible.builtin.apt:\n"
+      "  name: openssh-server\n"
+      "  state: present\n");
+  ASSERT_TRUE(n.is_map());
+  EXPECT_EQ(n.find("name")->as_str(), "Install SSH server");
+  const wy::Node* apt = n.find("ansible.builtin.apt");
+  ASSERT_NE(apt, nullptr);
+  ASSERT_TRUE(apt->is_map());
+  EXPECT_EQ(apt->find("state")->as_str(), "present");
+}
+
+TEST(YamlMapping, PreservesInsertionOrder) {
+  wy::Node n = must_parse("b: 1\na: 2\nc: 3");
+  ASSERT_EQ(n.entries().size(), 3u);
+  EXPECT_EQ(n.entries()[0].first, "b");
+  EXPECT_EQ(n.entries()[1].first, "a");
+  EXPECT_EQ(n.entries()[2].first, "c");
+}
+
+TEST(YamlMapping, ValueWithColonInside) {
+  wy::Node n = must_parse("url: http://example.com:8080/path");
+  EXPECT_EQ(n.find("url")->as_str(), "http://example.com:8080/path");
+}
+
+TEST(YamlMapping, EmptyValueIsNull) {
+  wy::Node n = must_parse("key:\nother: 1");
+  EXPECT_TRUE(n.find("key")->is_null());
+}
+
+TEST(YamlMapping, QuotedKey) {
+  wy::Node n = must_parse("\"key: with colon\": v");
+  EXPECT_EQ(n.entries()[0].first, "key: with colon");
+}
+
+TEST(YamlSequence, TopLevel) {
+  wy::Node n = must_parse("- a\n- b\n- c\n");
+  ASSERT_TRUE(n.is_seq());
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n.items()[1].as_str(), "b");
+}
+
+TEST(YamlSequence, SequenceAtSameIndentAsKey) {
+  // The dominant Ansible style: list items not extra-indented.
+  wy::Node n = must_parse(
+      "tasks:\n"
+      "- name: first\n"
+      "- name: second\n");
+  const wy::Node* tasks = n.find("tasks");
+  ASSERT_NE(tasks, nullptr);
+  ASSERT_TRUE(tasks->is_seq());
+  EXPECT_EQ(tasks->size(), 2u);
+}
+
+TEST(YamlSequence, SequenceIndentedUnderKey) {
+  wy::Node n = must_parse(
+      "packages:\n"
+      "  - nginx\n"
+      "  - postgresql\n");
+  const wy::Node* pkgs = n.find("packages");
+  ASSERT_TRUE(pkgs->is_seq());
+  EXPECT_EQ(pkgs->items()[0].as_str(), "nginx");
+}
+
+TEST(YamlSequence, CompactMappingItems) {
+  wy::Node n = must_parse(
+      "- name: Install SSH server\n"
+      "  ansible.builtin.apt:\n"
+      "    name: openssh-server\n"
+      "    state: present\n"
+      "- name: Start SSH server\n"
+      "  ansible.builtin.service:\n"
+      "    name: ssh\n"
+      "    state: started\n");
+  ASSERT_TRUE(n.is_seq());
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.items()[0].find("name")->as_str(), "Install SSH server");
+  EXPECT_EQ(n.items()[1]
+                .find("ansible.builtin.service")
+                ->find("state")
+                ->as_str(),
+            "started");
+}
+
+TEST(YamlSequence, NestedSequences) {
+  wy::Node n = must_parse(
+      "matrix:\n"
+      "  - - 1\n"
+      "    - 2\n"
+      "  - - 3\n"
+      "    - 4\n");
+  const wy::Node* m = n.find("matrix");
+  ASSERT_TRUE(m->is_seq());
+  ASSERT_EQ(m->size(), 2u);
+  EXPECT_EQ(m->items()[0].items()[1].as_int(), 2);
+  EXPECT_EQ(m->items()[1].items()[0].as_int(), 3);
+}
+
+TEST(YamlSequence, DashAloneWithNestedBlock) {
+  wy::Node n = must_parse(
+      "-\n"
+      "  name: item\n"
+      "- plain\n");
+  ASSERT_TRUE(n.is_seq());
+  EXPECT_EQ(n.items()[0].find("name")->as_str(), "item");
+  EXPECT_EQ(n.items()[1].as_str(), "plain");
+}
+
+TEST(YamlFlow, SequencesAndMappings) {
+  wy::Node n = must_parse("list: [1, two, 'three', {k: v}]");
+  const wy::Node* list = n.find("list");
+  ASSERT_TRUE(list->is_seq());
+  ASSERT_EQ(list->size(), 4u);
+  EXPECT_EQ(list->items()[0].as_int(), 1);
+  EXPECT_EQ(list->items()[1].as_str(), "two");
+  EXPECT_EQ(list->items()[2].as_str(), "three");
+  EXPECT_EQ(list->items()[3].find("k")->as_str(), "v");
+}
+
+TEST(YamlFlow, EmptyCollections) {
+  wy::Node n = must_parse("a: []\nb: {}");
+  EXPECT_TRUE(n.find("a")->is_seq());
+  EXPECT_EQ(n.find("a")->size(), 0u);
+  EXPECT_TRUE(n.find("b")->is_map());
+  EXPECT_EQ(n.find("b")->size(), 0u);
+}
+
+TEST(YamlFlow, NestedFlow) {
+  wy::Node n = must_parse("m: {outer: {inner: [a, b]}, x: 1}");
+  const wy::Node* m = n.find("m");
+  EXPECT_EQ(m->find("outer")->find("inner")->items()[1].as_str(), "b");
+  EXPECT_EQ(m->find("x")->as_int(), 1);
+}
+
+TEST(YamlComments, StrippedOutsideQuotes) {
+  wy::Node n = must_parse(
+      "# full line comment\n"
+      "key: value  # trailing comment\n"
+      "url: 'http://x#y'  # the fragment stays\n");
+  EXPECT_EQ(n.find("key")->as_str(), "value");
+  EXPECT_EQ(n.find("url")->as_str(), "http://x#y");
+}
+
+TEST(YamlComments, HashInsidePlainScalarKept) {
+  // '#' not preceded by whitespace is not a comment.
+  wy::Node n = must_parse("tag: value#suffix");
+  EXPECT_EQ(n.find("tag")->as_str(), "value#suffix");
+}
+
+TEST(YamlBlockScalar, Literal) {
+  wy::Node n = must_parse(
+      "script: |\n"
+      "  line one\n"
+      "  line two\n"
+      "after: 1\n");
+  EXPECT_EQ(n.find("script")->as_str(), "line one\nline two\n");
+  EXPECT_EQ(n.find("after")->as_int(), 1);
+}
+
+TEST(YamlBlockScalar, LiteralStrip) {
+  wy::Node n = must_parse("s: |-\n  no trailing newline\n");
+  EXPECT_EQ(n.find("s")->as_str(), "no trailing newline");
+}
+
+TEST(YamlBlockScalar, LiteralKeepsInnerBlankLines) {
+  wy::Node n = must_parse(
+      "s: |\n"
+      "  a\n"
+      "\n"
+      "  b\n");
+  EXPECT_EQ(n.find("s")->as_str(), "a\n\nb\n");
+}
+
+TEST(YamlBlockScalar, LiteralPreservesDeeperIndent) {
+  wy::Node n = must_parse(
+      "s: |\n"
+      "  def f():\n"
+      "      return 1\n");
+  EXPECT_EQ(n.find("s")->as_str(), "def f():\n    return 1\n");
+}
+
+TEST(YamlBlockScalar, Folded) {
+  wy::Node n = must_parse(
+      "s: >\n"
+      "  folded into\n"
+      "  one line\n");
+  EXPECT_EQ(n.find("s")->as_str(), "folded into one line\n");
+}
+
+TEST(YamlBlockScalar, FoldedBlankLineMakesNewline) {
+  wy::Node n = must_parse(
+      "s: >\n"
+      "  para one\n"
+      "\n"
+      "  para two\n");
+  EXPECT_EQ(n.find("s")->as_str(), "para one\npara two\n");
+}
+
+TEST(YamlDocuments, MultiDocStream) {
+  auto result = wy::parse_stream(
+      "---\n"
+      "doc: 1\n"
+      "---\n"
+      "doc: 2\n"
+      "...\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.documents.size(), 2u);
+  EXPECT_EQ(result.documents[1].find("doc")->as_int(), 2);
+}
+
+TEST(YamlDocuments, LeadingMarkerAndDirective) {
+  auto result = wy::parse_stream("%YAML 1.2\n---\nkey: v\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.documents.size(), 1u);
+}
+
+TEST(YamlDocuments, AnsiblePlaybookFromPaperFig1) {
+  // The exact playbook from Fig. 1 of the paper.
+  wy::Node doc = must_parse(
+      "---\n"
+      "- hosts: servers\n"
+      "  tasks:\n"
+      "    - name: Install SSH server\n"
+      "      ansible.builtin.apt:\n"
+      "        name: openssh-server\n"
+      "        state: present\n"
+      "    - name: Start SSH server\n"
+      "      ansible.builtin.service:\n"
+      "        name: ssh\n"
+      "        state: started\n");
+  ASSERT_TRUE(doc.is_seq());
+  const wy::Node& play = doc.items()[0];
+  EXPECT_EQ(play.find("hosts")->as_str(), "servers");
+  ASSERT_EQ(play.find("tasks")->size(), 2u);
+}
+
+TEST(YamlDocuments, VyosPlaybookFromPaperFig2) {
+  wy::Node doc = must_parse(
+      "- name: Network Setup Playbook\n"
+      "  connection: ansible.netcommon.network_cli\n"
+      "  gather_facts: false\n"
+      "  hosts: all\n"
+      "  tasks:\n"
+      "    - name: Get config for VyOS devices\n"
+      "      vyos.vyos.vyos_facts:\n"
+      "        gather_subset: all\n"
+      "    - name: Update the hostname\n"
+      "      vyos.vyos.vyos_config:\n"
+      "        backup: yes\n"
+      "        lines:\n"
+      "          - set system host-name vyos-changed\n");
+  const wy::Node& play = doc.items()[0];
+  EXPECT_FALSE(play.find("gather_facts")->as_bool());
+  const wy::Node& config_task = play.find("tasks")->items()[1];
+  EXPECT_TRUE(config_task.find("vyos.vyos.vyos_config")
+                  ->find("backup")
+                  ->as_bool());
+  EXPECT_EQ(config_task.find("vyos.vyos.vyos_config")
+                ->find("lines")
+                ->items()[0]
+                .as_str(),
+            "set system host-name vyos-changed");
+}
+
+// --- error cases ------------------------------------------------------------
+
+TEST(YamlErrors, TabInIndentation) {
+  auto result = wy::parse_stream("key:\n\tvalue: 1\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error->message.find("tab"), std::string::npos);
+}
+
+TEST(YamlErrors, UnterminatedQuote) {
+  EXPECT_FALSE(wy::is_valid_yaml("key: 'unterminated\n"));
+  EXPECT_FALSE(wy::is_valid_yaml("key: \"unterminated\n"));
+}
+
+TEST(YamlErrors, BadFlow) {
+  EXPECT_FALSE(wy::is_valid_yaml("k: [1, 2\n"));
+  EXPECT_FALSE(wy::is_valid_yaml("k: {a: 1\n"));
+  EXPECT_FALSE(wy::is_valid_yaml("k: [1] trailing\n"));
+}
+
+TEST(YamlAnchors, ScalarAnchorAndAlias) {
+  wy::Node n = must_parse(
+      "defaults: &state present\n"
+      "installed: *state\n");
+  EXPECT_EQ(n.find("defaults")->as_str(), "present");
+  EXPECT_EQ(n.find("installed")->as_str(), "present");
+}
+
+TEST(YamlAnchors, MappingAnchorDeepCopies) {
+  wy::Node n = must_parse(
+      "base: &base\n"
+      "  owner: root\n"
+      "  mode: '0644'\n"
+      "copy: *base\n");
+  const wy::Node* copy = n.find("copy");
+  ASSERT_TRUE(copy->is_map());
+  EXPECT_EQ(copy->find("owner")->as_str(), "root");
+  EXPECT_TRUE(*copy == *n.find("base"));
+}
+
+TEST(YamlAnchors, SequenceItemAnchor) {
+  wy::Node n = must_parse(
+      "- &first\n"
+      "  name: one\n"
+      "- *first\n");
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_TRUE(n.items()[0] == n.items()[1]);
+}
+
+TEST(YamlAnchors, AnchoredInlineValueInSequence) {
+  wy::Node n = must_parse(
+      "- &x 42\n"
+      "- *x\n");
+  EXPECT_EQ(n.items()[1].as_int(), 42);
+}
+
+TEST(YamlAnchors, MergeKey) {
+  wy::Node n = must_parse(
+      "defaults: &defaults\n"
+      "  owner: root\n"
+      "  mode: '0644'\n"
+      "file:\n"
+      "  <<: *defaults\n"
+      "  mode: '0600'\n"
+      "  path: /etc/motd\n");
+  const wy::Node* file = n.find("file");
+  ASSERT_TRUE(file->is_map());
+  EXPECT_EQ(file->find("owner")->as_str(), "root");
+  // Explicit keys override merged ones regardless of order.
+  EXPECT_EQ(file->find("mode")->as_str(), "0600");
+  EXPECT_EQ(file->find("path")->as_str(), "/etc/motd");
+}
+
+TEST(YamlAnchors, AliasInFlowSequence) {
+  wy::Node n = must_parse(
+      "a: &v nginx\n"
+      "list: [*v, other]\n");
+  EXPECT_EQ(n.find("list")->items()[0].as_str(), "nginx");
+}
+
+TEST(YamlAnchors, UnknownAliasIsError) {
+  auto result = wy::parse_stream("a: *nope\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error->message.find("alias"), std::string::npos);
+}
+
+TEST(YamlAnchors, DanglingAnchorIsHandled) {
+  // An anchor with no value anchors a null.
+  wy::Node n = must_parse("a: &empty\nb: *empty\n");
+  EXPECT_TRUE(n.find("a")->is_null());
+  EXPECT_TRUE(n.find("b")->is_null());
+}
+
+TEST(YamlErrors, BadIndentationInMapping) {
+  EXPECT_FALSE(wy::is_valid_yaml("a: 1\n   b: 2\n"));
+}
+
+TEST(YamlErrors, ErrorCarriesLineNumber) {
+  auto result = wy::parse_stream("ok: 1\nbad: 'x\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->line, 2u);
+}
+
+TEST(YamlErrors, FuzzNoiseNeverCrashes) {
+  // Random structured-ish noise: the parser must fail gracefully (or
+  // accept), never crash or hang.
+  wisdom::util::Rng rng(31337);
+  const char* pool = "-:#&*!|>'\"[]{},%\n  abcXYZ0123._~\t\\";
+  const std::size_t pool_len = 33;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string noise;
+    std::size_t len = rng.uniform(120);
+    for (std::size_t i = 0; i < len; ++i)
+      noise += pool[rng.uniform(pool_len)];
+    auto result = wy::parse_stream(noise);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error->message.empty());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(YamlErrors, FuzzRawBytesNeverCrash) {
+  wisdom::util::Rng rng(2718);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string noise;
+    std::size_t len = rng.uniform(200);
+    for (std::size_t i = 0; i < len; ++i)
+      noise += static_cast<char>(rng.uniform(256));
+    wy::parse_stream(noise);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST(YamlErrors, EmptyStreamHasNoDocuments) {
+  auto result = wy::parse_stream("");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.documents.empty());
+  EXPECT_FALSE(wy::parse_document("").has_value());
+}
