@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_model_matrix.cpp" "bench/CMakeFiles/bench_table2_model_matrix.dir/bench_table2_model_matrix.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_model_matrix.dir/bench_table2_model_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wisdom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/wisdom_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/wisdom_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wisdom_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/wisdom_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/wisdom_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wisdom_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wisdom_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ansible/CMakeFiles/wisdom_ansible.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/wisdom_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_finetune.dir/bench_table4_finetune.cpp.o"
+  "CMakeFiles/bench_table4_finetune.dir/bench_table4_finetune.cpp.o.d"
+  "bench_table4_finetune"
+  "bench_table4_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gentypes.dir/bench_table5_gentypes.cpp.o"
+  "CMakeFiles/bench_table5_gentypes.dir/bench_table5_gentypes.cpp.o.d"
+  "bench_table5_gentypes"
+  "bench_table5_gentypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gentypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assistant.dir/assistant.cpp.o"
+  "CMakeFiles/assistant.dir/assistant.cpp.o.d"
+  "assistant"
+  "assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

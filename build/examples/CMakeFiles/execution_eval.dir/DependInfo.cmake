@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/execution_eval.cpp" "examples/CMakeFiles/execution_eval.dir/execution_eval.cpp.o" "gcc" "examples/CMakeFiles/execution_eval.dir/execution_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/wisdom_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ansible/CMakeFiles/wisdom_ansible.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/wisdom_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

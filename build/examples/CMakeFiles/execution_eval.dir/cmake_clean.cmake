@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_eval.dir/execution_eval.cpp.o"
+  "CMakeFiles/execution_eval.dir/execution_eval.cpp.o.d"
+  "execution_eval"
+  "execution_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

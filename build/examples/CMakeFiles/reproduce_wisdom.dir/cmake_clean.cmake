@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_wisdom.dir/reproduce_wisdom.cpp.o"
+  "CMakeFiles/reproduce_wisdom.dir/reproduce_wisdom.cpp.o.d"
+  "reproduce_wisdom"
+  "reproduce_wisdom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_wisdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ansible/catalog.cpp" "src/ansible/CMakeFiles/wisdom_ansible.dir/catalog.cpp.o" "gcc" "src/ansible/CMakeFiles/wisdom_ansible.dir/catalog.cpp.o.d"
+  "/root/repo/src/ansible/freeform.cpp" "src/ansible/CMakeFiles/wisdom_ansible.dir/freeform.cpp.o" "gcc" "src/ansible/CMakeFiles/wisdom_ansible.dir/freeform.cpp.o.d"
+  "/root/repo/src/ansible/jinja.cpp" "src/ansible/CMakeFiles/wisdom_ansible.dir/jinja.cpp.o" "gcc" "src/ansible/CMakeFiles/wisdom_ansible.dir/jinja.cpp.o.d"
+  "/root/repo/src/ansible/keywords.cpp" "src/ansible/CMakeFiles/wisdom_ansible.dir/keywords.cpp.o" "gcc" "src/ansible/CMakeFiles/wisdom_ansible.dir/keywords.cpp.o.d"
+  "/root/repo/src/ansible/linter.cpp" "src/ansible/CMakeFiles/wisdom_ansible.dir/linter.cpp.o" "gcc" "src/ansible/CMakeFiles/wisdom_ansible.dir/linter.cpp.o.d"
+  "/root/repo/src/ansible/model.cpp" "src/ansible/CMakeFiles/wisdom_ansible.dir/model.cpp.o" "gcc" "src/ansible/CMakeFiles/wisdom_ansible.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/yaml/CMakeFiles/wisdom_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

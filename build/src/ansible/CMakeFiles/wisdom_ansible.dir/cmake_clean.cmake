@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_ansible.dir/catalog.cpp.o"
+  "CMakeFiles/wisdom_ansible.dir/catalog.cpp.o.d"
+  "CMakeFiles/wisdom_ansible.dir/freeform.cpp.o"
+  "CMakeFiles/wisdom_ansible.dir/freeform.cpp.o.d"
+  "CMakeFiles/wisdom_ansible.dir/jinja.cpp.o"
+  "CMakeFiles/wisdom_ansible.dir/jinja.cpp.o.d"
+  "CMakeFiles/wisdom_ansible.dir/keywords.cpp.o"
+  "CMakeFiles/wisdom_ansible.dir/keywords.cpp.o.d"
+  "CMakeFiles/wisdom_ansible.dir/linter.cpp.o"
+  "CMakeFiles/wisdom_ansible.dir/linter.cpp.o.d"
+  "CMakeFiles/wisdom_ansible.dir/model.cpp.o"
+  "CMakeFiles/wisdom_ansible.dir/model.cpp.o.d"
+  "libwisdom_ansible.a"
+  "libwisdom_ansible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_ansible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_core.dir/evaluate.cpp.o"
+  "CMakeFiles/wisdom_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/wisdom_core.dir/pipeline.cpp.o"
+  "CMakeFiles/wisdom_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/wisdom_core.dir/postprocess.cpp.o"
+  "CMakeFiles/wisdom_core.dir/postprocess.cpp.o.d"
+  "CMakeFiles/wisdom_core.dir/trainer.cpp.o"
+  "CMakeFiles/wisdom_core.dir/trainer.cpp.o.d"
+  "libwisdom_core.a"
+  "libwisdom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/ansible_gen.cpp" "src/data/CMakeFiles/wisdom_data.dir/ansible_gen.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/ansible_gen.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/wisdom_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/dedup.cpp" "src/data/CMakeFiles/wisdom_data.dir/dedup.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/dedup.cpp.o.d"
+  "/root/repo/src/data/generic_yaml.cpp" "src/data/CMakeFiles/wisdom_data.dir/generic_yaml.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/generic_yaml.cpp.o.d"
+  "/root/repo/src/data/packing.cpp" "src/data/CMakeFiles/wisdom_data.dir/packing.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/packing.cpp.o.d"
+  "/root/repo/src/data/sources.cpp" "src/data/CMakeFiles/wisdom_data.dir/sources.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/sources.cpp.o.d"
+  "/root/repo/src/data/textgen.cpp" "src/data/CMakeFiles/wisdom_data.dir/textgen.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/textgen.cpp.o.d"
+  "/root/repo/src/data/values.cpp" "src/data/CMakeFiles/wisdom_data.dir/values.cpp.o" "gcc" "src/data/CMakeFiles/wisdom_data.dir/values.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ansible/CMakeFiles/wisdom_ansible.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/wisdom_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wisdom_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_data.dir/ansible_gen.cpp.o"
+  "CMakeFiles/wisdom_data.dir/ansible_gen.cpp.o.d"
+  "CMakeFiles/wisdom_data.dir/dataset.cpp.o"
+  "CMakeFiles/wisdom_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/wisdom_data.dir/dedup.cpp.o"
+  "CMakeFiles/wisdom_data.dir/dedup.cpp.o.d"
+  "CMakeFiles/wisdom_data.dir/generic_yaml.cpp.o"
+  "CMakeFiles/wisdom_data.dir/generic_yaml.cpp.o.d"
+  "CMakeFiles/wisdom_data.dir/packing.cpp.o"
+  "CMakeFiles/wisdom_data.dir/packing.cpp.o.d"
+  "CMakeFiles/wisdom_data.dir/sources.cpp.o"
+  "CMakeFiles/wisdom_data.dir/sources.cpp.o.d"
+  "CMakeFiles/wisdom_data.dir/textgen.cpp.o"
+  "CMakeFiles/wisdom_data.dir/textgen.cpp.o.d"
+  "CMakeFiles/wisdom_data.dir/values.cpp.o"
+  "CMakeFiles/wisdom_data.dir/values.cpp.o.d"
+  "libwisdom_data.a"
+  "libwisdom_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

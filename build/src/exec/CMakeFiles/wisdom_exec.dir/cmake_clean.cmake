@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_exec.dir/equivalence.cpp.o"
+  "CMakeFiles/wisdom_exec.dir/equivalence.cpp.o.d"
+  "CMakeFiles/wisdom_exec.dir/executor.cpp.o"
+  "CMakeFiles/wisdom_exec.dir/executor.cpp.o.d"
+  "CMakeFiles/wisdom_exec.dir/host_state.cpp.o"
+  "CMakeFiles/wisdom_exec.dir/host_state.cpp.o.d"
+  "libwisdom_exec.a"
+  "libwisdom_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

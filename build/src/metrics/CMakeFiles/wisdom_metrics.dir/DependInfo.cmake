@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/aggregate.cpp" "src/metrics/CMakeFiles/wisdom_metrics.dir/aggregate.cpp.o" "gcc" "src/metrics/CMakeFiles/wisdom_metrics.dir/aggregate.cpp.o.d"
+  "/root/repo/src/metrics/ansible_aware.cpp" "src/metrics/CMakeFiles/wisdom_metrics.dir/ansible_aware.cpp.o" "gcc" "src/metrics/CMakeFiles/wisdom_metrics.dir/ansible_aware.cpp.o.d"
+  "/root/repo/src/metrics/bleu.cpp" "src/metrics/CMakeFiles/wisdom_metrics.dir/bleu.cpp.o" "gcc" "src/metrics/CMakeFiles/wisdom_metrics.dir/bleu.cpp.o.d"
+  "/root/repo/src/metrics/exact_match.cpp" "src/metrics/CMakeFiles/wisdom_metrics.dir/exact_match.cpp.o" "gcc" "src/metrics/CMakeFiles/wisdom_metrics.dir/exact_match.cpp.o.d"
+  "/root/repo/src/metrics/schema_correct.cpp" "src/metrics/CMakeFiles/wisdom_metrics.dir/schema_correct.cpp.o" "gcc" "src/metrics/CMakeFiles/wisdom_metrics.dir/schema_correct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/wisdom_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ansible/CMakeFiles/wisdom_ansible.dir/DependInfo.cmake"
+  "/root/repo/build/src/yaml/CMakeFiles/wisdom_yaml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

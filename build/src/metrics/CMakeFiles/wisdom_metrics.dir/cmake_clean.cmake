@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_metrics.dir/aggregate.cpp.o"
+  "CMakeFiles/wisdom_metrics.dir/aggregate.cpp.o.d"
+  "CMakeFiles/wisdom_metrics.dir/ansible_aware.cpp.o"
+  "CMakeFiles/wisdom_metrics.dir/ansible_aware.cpp.o.d"
+  "CMakeFiles/wisdom_metrics.dir/bleu.cpp.o"
+  "CMakeFiles/wisdom_metrics.dir/bleu.cpp.o.d"
+  "CMakeFiles/wisdom_metrics.dir/exact_match.cpp.o"
+  "CMakeFiles/wisdom_metrics.dir/exact_match.cpp.o.d"
+  "CMakeFiles/wisdom_metrics.dir/schema_correct.cpp.o"
+  "CMakeFiles/wisdom_metrics.dir/schema_correct.cpp.o.d"
+  "libwisdom_metrics.a"
+  "libwisdom_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/checkpoint.cpp" "src/model/CMakeFiles/wisdom_model.dir/checkpoint.cpp.o" "gcc" "src/model/CMakeFiles/wisdom_model.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/model/config.cpp" "src/model/CMakeFiles/wisdom_model.dir/config.cpp.o" "gcc" "src/model/CMakeFiles/wisdom_model.dir/config.cpp.o.d"
+  "/root/repo/src/model/transformer.cpp" "src/model/CMakeFiles/wisdom_model.dir/transformer.cpp.o" "gcc" "src/model/CMakeFiles/wisdom_model.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/wisdom_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_model.dir/checkpoint.cpp.o"
+  "CMakeFiles/wisdom_model.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/wisdom_model.dir/config.cpp.o"
+  "CMakeFiles/wisdom_model.dir/config.cpp.o.d"
+  "CMakeFiles/wisdom_model.dir/transformer.cpp.o"
+  "CMakeFiles/wisdom_model.dir/transformer.cpp.o.d"
+  "libwisdom_model.a"
+  "libwisdom_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adamw.cpp" "src/nn/CMakeFiles/wisdom_nn.dir/adamw.cpp.o" "gcc" "src/nn/CMakeFiles/wisdom_nn.dir/adamw.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/wisdom_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/wisdom_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/nn/CMakeFiles/wisdom_nn.dir/schedule.cpp.o" "gcc" "src/nn/CMakeFiles/wisdom_nn.dir/schedule.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/wisdom_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/wisdom_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_nn.dir/adamw.cpp.o"
+  "CMakeFiles/wisdom_nn.dir/adamw.cpp.o.d"
+  "CMakeFiles/wisdom_nn.dir/ops.cpp.o"
+  "CMakeFiles/wisdom_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/wisdom_nn.dir/schedule.cpp.o"
+  "CMakeFiles/wisdom_nn.dir/schedule.cpp.o.d"
+  "CMakeFiles/wisdom_nn.dir/tensor.cpp.o"
+  "CMakeFiles/wisdom_nn.dir/tensor.cpp.o.d"
+  "libwisdom_nn.a"
+  "libwisdom_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

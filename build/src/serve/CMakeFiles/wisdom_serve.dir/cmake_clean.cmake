@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_serve.dir/service.cpp.o"
+  "CMakeFiles/wisdom_serve.dir/service.cpp.o.d"
+  "CMakeFiles/wisdom_serve.dir/wire.cpp.o"
+  "CMakeFiles/wisdom_serve.dir/wire.cpp.o.d"
+  "libwisdom_serve.a"
+  "libwisdom_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bpe.cpp" "src/text/CMakeFiles/wisdom_text.dir/bpe.cpp.o" "gcc" "src/text/CMakeFiles/wisdom_text.dir/bpe.cpp.o.d"
+  "/root/repo/src/text/ngram.cpp" "src/text/CMakeFiles/wisdom_text.dir/ngram.cpp.o" "gcc" "src/text/CMakeFiles/wisdom_text.dir/ngram.cpp.o.d"
+  "/root/repo/src/text/tokenize.cpp" "src/text/CMakeFiles/wisdom_text.dir/tokenize.cpp.o" "gcc" "src/text/CMakeFiles/wisdom_text.dir/tokenize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

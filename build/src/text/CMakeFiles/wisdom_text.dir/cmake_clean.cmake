@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_text.dir/bpe.cpp.o"
+  "CMakeFiles/wisdom_text.dir/bpe.cpp.o.d"
+  "CMakeFiles/wisdom_text.dir/ngram.cpp.o"
+  "CMakeFiles/wisdom_text.dir/ngram.cpp.o.d"
+  "CMakeFiles/wisdom_text.dir/tokenize.cpp.o"
+  "CMakeFiles/wisdom_text.dir/tokenize.cpp.o.d"
+  "libwisdom_text.a"
+  "libwisdom_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

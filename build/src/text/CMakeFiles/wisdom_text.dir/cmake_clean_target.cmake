@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwisdom_text.a"
+)

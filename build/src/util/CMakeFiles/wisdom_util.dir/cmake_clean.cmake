@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_util.dir/hashing.cpp.o"
+  "CMakeFiles/wisdom_util.dir/hashing.cpp.o.d"
+  "CMakeFiles/wisdom_util.dir/io.cpp.o"
+  "CMakeFiles/wisdom_util.dir/io.cpp.o.d"
+  "CMakeFiles/wisdom_util.dir/log.cpp.o"
+  "CMakeFiles/wisdom_util.dir/log.cpp.o.d"
+  "CMakeFiles/wisdom_util.dir/rng.cpp.o"
+  "CMakeFiles/wisdom_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wisdom_util.dir/strings.cpp.o"
+  "CMakeFiles/wisdom_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wisdom_util.dir/table.cpp.o"
+  "CMakeFiles/wisdom_util.dir/table.cpp.o.d"
+  "libwisdom_util.a"
+  "libwisdom_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yaml/emit.cpp" "src/yaml/CMakeFiles/wisdom_yaml.dir/emit.cpp.o" "gcc" "src/yaml/CMakeFiles/wisdom_yaml.dir/emit.cpp.o.d"
+  "/root/repo/src/yaml/node.cpp" "src/yaml/CMakeFiles/wisdom_yaml.dir/node.cpp.o" "gcc" "src/yaml/CMakeFiles/wisdom_yaml.dir/node.cpp.o.d"
+  "/root/repo/src/yaml/parse.cpp" "src/yaml/CMakeFiles/wisdom_yaml.dir/parse.cpp.o" "gcc" "src/yaml/CMakeFiles/wisdom_yaml.dir/parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wisdom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_yaml.dir/emit.cpp.o"
+  "CMakeFiles/wisdom_yaml.dir/emit.cpp.o.d"
+  "CMakeFiles/wisdom_yaml.dir/node.cpp.o"
+  "CMakeFiles/wisdom_yaml.dir/node.cpp.o.d"
+  "CMakeFiles/wisdom_yaml.dir/parse.cpp.o"
+  "CMakeFiles/wisdom_yaml.dir/parse.cpp.o.d"
+  "libwisdom_yaml.a"
+  "libwisdom_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

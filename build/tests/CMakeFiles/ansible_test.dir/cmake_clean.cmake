@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansible_test.dir/ansible_test.cpp.o"
+  "CMakeFiles/ansible_test.dir/ansible_test.cpp.o.d"
+  "ansible_test"
+  "ansible_test.pdb"
+  "ansible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

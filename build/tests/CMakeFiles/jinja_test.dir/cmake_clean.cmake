@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinja_test.dir/jinja_test.cpp.o"
+  "CMakeFiles/jinja_test.dir/jinja_test.cpp.o.d"
+  "jinja_test"
+  "jinja_test.pdb"
+  "jinja_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinja_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linter_test.dir/linter_test.cpp.o"
+  "CMakeFiles/linter_test.dir/linter_test.cpp.o.d"
+  "linter_test"
+  "linter_test.pdb"
+  "linter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

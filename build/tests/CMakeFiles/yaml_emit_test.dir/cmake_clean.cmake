@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaml_emit_test.dir/yaml_emit_test.cpp.o"
+  "CMakeFiles/yaml_emit_test.dir/yaml_emit_test.cpp.o.d"
+  "yaml_emit_test"
+  "yaml_emit_test.pdb"
+  "yaml_emit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaml_emit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

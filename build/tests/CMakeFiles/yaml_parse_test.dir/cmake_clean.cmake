@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaml_parse_test.dir/yaml_parse_test.cpp.o"
+  "CMakeFiles/yaml_parse_test.dir/yaml_parse_test.cpp.o.d"
+  "yaml_parse_test"
+  "yaml_parse_test.pdb"
+  "yaml_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaml_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/yaml_parse_test[1]_include.cmake")
+include("/root/repo/build/tests/yaml_emit_test[1]_include.cmake")
+include("/root/repo/build/tests/ansible_test[1]_include.cmake")
+include("/root/repo/build/tests/linter_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/serve_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/jinja_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluate_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
