@@ -1,16 +1,26 @@
 // Reproduces the paper's deployment-latency argument: "we benchmarked the
 // generation throughput on single GPU for both models and found that the
 // 350M model was ~1.9x faster than the 2.7B" — the reason Wisdom ships the
-// small model. Here: single-core greedy-decode throughput across the whole
-// scaled size family, plus the training-step throughput that bounds the
-// pre-training stage.
+// small model. Here: greedy-decode and training-step throughput across the
+// scaled size family, swept over 1/2/4/8 pool threads so the model-size /
+// latency table can be reproduced at each parallelism level, plus batched
+// serving throughput through the InferenceService.
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "model/config.hpp"
 #include "model/transformer.hpp"
+#include "serve/service.hpp"
+#include "text/bpe.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace model = wisdom::model;
+namespace serve = wisdom::serve;
+namespace text = wisdom::text;
 
 namespace {
 
@@ -26,8 +36,14 @@ model::SizeClass size_from_index(int index) {
   }
 }
 
+std::string label_with_threads(model::SizeClass size, int threads) {
+  return model::size_label(size) + "/t" + std::to_string(threads);
+}
+
 void BM_GreedyDecode(benchmark::State& state) {
   model::SizeClass size = size_from_index(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  wisdom::util::ThreadPool::set_global_threads(threads);
   model::ModelConfig cfg = model::config_for(size, kVocab, kCtx);
   model::Transformer m(cfg, 7);
   wisdom::util::Rng rng(1);
@@ -46,12 +62,49 @@ void BM_GreedyDecode(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(tokens),
                          benchmark::Counter::kIsRate);
   state.counters["params"] = static_cast<double>(m.param_count());
-  state.SetLabel(model::size_label(size));
+  state.SetLabel(label_with_threads(size, threads));
 }
-BENCHMARK(BM_GreedyDecode)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GreedyDecode)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 4, 8}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The acceptance metric for the thread pool: the 350M-config forward pass
+// (batch x ctx rows through every layer) at 1/2/4/8 threads. Output is
+// bit-identical across thread counts; only wall time changes.
+void BM_ForwardPass(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  wisdom::util::ThreadPool::set_global_threads(threads);
+  model::ModelConfig cfg =
+      model::config_for(model::SizeClass::S350M, kVocab, kCtx);
+  model::Transformer m(cfg, 7);
+  wisdom::util::Rng rng(3);
+  const int batch = 8;
+  std::vector<std::int32_t> x(static_cast<std::size_t>(batch) * kCtx);
+  std::vector<std::int32_t> y(x.size());
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform(kVocab));
+  for (auto& v : y) v = static_cast<std::int32_t>(rng.uniform(kVocab));
+
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    float loss = m.evaluate(x, y, batch, kCtx);
+    benchmark::DoNotOptimize(loss);
+    tokens += batch * kCtx;
+  }
+  state.counters["tokens/s"] =
+      benchmark::Counter(static_cast<double>(tokens),
+                         benchmark::Counter::kIsRate);
+  state.SetLabel(label_with_threads(model::SizeClass::S350M, threads));
+}
+BENCHMARK(BM_ForwardPass)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TrainingStep(benchmark::State& state) {
   model::SizeClass size = size_from_index(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  wisdom::util::ThreadPool::set_global_threads(threads);
   model::ModelConfig cfg = model::config_for(size, kVocab, kCtx);
   model::Transformer m(cfg, 7);
   wisdom::util::Rng rng(2);
@@ -73,9 +126,53 @@ void BM_TrainingStep(benchmark::State& state) {
   state.counters["tokens/s"] =
       benchmark::Counter(static_cast<double>(tokens),
                          benchmark::Counter::kIsRate);
-  state.SetLabel(model::size_label(size));
+  state.SetLabel(label_with_threads(size, threads));
 }
-BENCHMARK(BM_TrainingStep)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainingStep)
+    ->ArgsProduct({{0, 1}, {1, 2, 4, 8}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Batched serving through the InferenceService: N editor requests answered
+// concurrently on the pool against one shared (untrained) model.
+void BM_BatchedSuggest(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  wisdom::util::ThreadPool::set_global_threads(threads);
+  static const text::BpeTokenizer* tokenizer = [] {
+    return new text::BpeTokenizer(text::BpeTokenizer::train(
+        "- name: Install nginx\n  ansible.builtin.apt:\n"
+        "    name: nginx\n    state: present\n",
+        300));
+  }();
+  model::ModelConfig cfg;
+  cfg.vocab = static_cast<std::int32_t>(tokenizer->vocab_size());
+  cfg.ctx = 64;
+  cfg.d_model = 32;
+  cfg.n_head = 4;
+  cfg.n_layer = 2;
+  cfg.d_ff = 128;
+  model::Transformer m(cfg, 11);
+  serve::InferenceService service(m, *tokenizer, /*max_new_tokens=*/24);
+
+  std::vector<serve::SuggestionRequest> requests(
+      static_cast<std::size_t>(batch));
+  for (auto& r : requests) r.prompt = "Install nginx";
+
+  for (auto _ : state) {
+    auto responses = service.suggest_batch(requests);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  const serve::ServiceStats stats = service.stats_snapshot();
+  state.counters["tokens/s"] = stats.tokens_per_sec();
+  state.counters["p95_ms"] = stats.p95_latency_ms();
+  state.SetLabel("b" + std::to_string(batch) + "/t" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_BatchedSuggest)
+    ->ArgsProduct({{1, 4, 8}, {1, 4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <limits>
 
 #include "nn/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wisdom::model {
 
@@ -27,6 +29,27 @@ void accumulate_dk(const float* dscores, const float* q, float* dk, int t,
       for (int c = 0; c < hd; ++c) dk_row[c] += s * q_row[c];
     }
   }
+}
+
+// Runs body(s0, s1) over the flattened (batch, head) index space, on the
+// global pool when the per-call attention work clears the nn parallel
+// threshold. Each (b, head) slot touches disjoint slices of the activation
+// buffers, and every slot is computed exactly as in the sequential loop, so
+// results are bit-identical at any thread count.
+void for_each_head(int batch, int h, std::size_t madds,
+                   const std::function<void(int, int)>& body) {
+  const int slots = batch * h;
+  if (slots > 1 && madds >= nn::parallel_threshold() &&
+      !util::ThreadPool::in_worker()) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.size() > 1) {
+      pool.parallel_for(0, slots, [&](std::int64_t s0, std::int64_t s1) {
+        body(static_cast<int>(s0), static_cast<int>(s1));
+      });
+      return;
+    }
+  }
+  body(0, slots);
 }
 
 }  // namespace
@@ -162,9 +185,9 @@ float Transformer::run(std::span<const std::int32_t> x,
   Vec residual(rd);
   nn::embedding(wte_.w.data(), x.data(), residual.data(), rows, d);
 
-  Vec qh(static_cast<std::size_t>(t) * hd), kh(qh.size()), vh(qh.size()),
-      oh(qh.size());
-  Vec scores(static_cast<std::size_t>(t) * t);
+  // Attention work per (batch, head) slot: q·k^T plus probs·v.
+  const std::size_t att_madds = 2 * static_cast<std::size_t>(batch) * h * t *
+                                t * static_cast<std::size_t>(hd);
 
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     Layer& L = layers_[li];
@@ -185,8 +208,13 @@ float Transformer::run(std::span<const std::int32_t> x,
         static_cast<std::size_t>(batch) * h * t * t, 0.0f);
     A.att_mix.assign(rd, 0.0f);
 
-    for (int b = 0; b < batch; ++b) {
-      for (int head = 0; head < h; ++head) {
+    for_each_head(batch, h, att_madds, [&](int s0, int s1) {
+      Vec qh(static_cast<std::size_t>(t) * hd), kh(qh.size()),
+          vh(qh.size()), oh(qh.size());
+      Vec scores(static_cast<std::size_t>(t) * t);
+      for (int s = s0; s < s1; ++s) {
+        const int b = s / h;
+        const int head = s % h;
         // Gather contiguous per-head q/k/v.
         for (int i = 0; i < t; ++i) {
           const float* row =
@@ -230,7 +258,7 @@ float Transformer::run(std::span<const std::int32_t> x,
                       hd * sizeof(float));
         }
       }
-    }
+    });
 
     // Attention output projection + residual.
     Vec att_out(rd);
@@ -284,9 +312,6 @@ float Transformer::run(std::span<const std::int32_t> x,
                          dfinal_out.data(), dres.data(), lnf_g_.g.data(),
                          lnf_b_.g.data(), rows, d);
 
-  Vec dqh(qh.size()), dkh(kh.size()), dvh(vh.size()), doh(oh.size());
-  Vec dprobs(scores.size()), dscores(scores.size());
-
   for (std::size_t li = layers_.size(); li-- > 0;) {
     Layer& L = layers_[li];
     LayerActs& A = acts_[li];
@@ -316,8 +341,13 @@ float Transformer::run(std::span<const std::int32_t> x,
     nn::add_bias_backward(dmid.data(), L.bo.g.data(), rows, d);
 
     Vec dqkv(static_cast<std::size_t>(rows) * 3 * d, 0.0f);
-    for (int b = 0; b < batch; ++b) {
-      for (int head = 0; head < h; ++head) {
+    for_each_head(batch, h, att_madds, [&](int s0, int s1) {
+      Vec qh(static_cast<std::size_t>(t) * hd), kh(qh.size()), vh(qh.size());
+      Vec dqh(qh.size()), dkh(qh.size()), dvh(qh.size()), doh(qh.size());
+      Vec dprobs(static_cast<std::size_t>(t) * t), dscores(dprobs.size());
+      for (int s = s0; s < s1; ++s) {
+        const int b = s / h;
+        const int head = s % h;
         for (int i = 0; i < t; ++i) {
           const float* row =
               A.qkv.data() + (static_cast<std::size_t>(b) * t + i) * 3 * d;
@@ -367,7 +397,7 @@ float Transformer::run(std::span<const std::int32_t> x,
                       hd * sizeof(float));
         }
       }
-    }
+    });
 
     Vec dln1(rd, 0.0f);
     nn::matmul_backward(A.ln1_out.data(), L.wqkv.w.data(), dqkv.data(),
@@ -395,7 +425,7 @@ Transformer::KvCache Transformer::make_cache() const {
 }
 
 std::span<const float> Transformer::decode_step(KvCache& cache,
-                                                std::int32_t token) {
+                                                std::int32_t token) const {
   assert(cache.length < config_.ctx);
   assert(token >= 0 && token < config_.vocab);
   const int d = config_.d_model;
@@ -414,7 +444,7 @@ std::span<const float> Transformer::decode_step(KvCache& cache,
   Vec att(static_cast<std::size_t>(pos) + 1);
 
   for (std::size_t li = 0; li < layers_.size(); ++li) {
-    Layer& L = layers_[li];
+    const Layer& L = layers_[li];
     nn::layernorm(x.data(), L.ln1_g.w.data(), L.ln1_b.w.data(), a1.data(),
                   mean.data(), rstd.data(), 1, d);
     nn::matmul(a1.data(), L.wqkv.w.data(), qkv.data(), 1, d, 3 * d);
@@ -466,14 +496,15 @@ std::span<const float> Transformer::decode_step(KvCache& cache,
   }
   nn::layernorm(x.data(), lnf_g_.w.data(), lnf_b_.w.data(), a1.data(),
                 mean.data(), rstd.data(), 1, d);
-  decode_logits_.resize(static_cast<std::size_t>(v));
-  nn::matmul(a1.data(), head_.w.data(), decode_logits_.data(), 1, d, v);
+  cache.logits.resize(static_cast<std::size_t>(v));
+  nn::matmul(a1.data(), head_.w.data(), cache.logits.data(), 1, d, v);
   cache.length = pos + 1;
-  return decode_logits_;
+  return cache.logits;
 }
 
 std::vector<std::int32_t> Transformer::generate(
-    std::span<const std::int32_t> prompt, const GenerateOptions& options) {
+    std::span<const std::int32_t> prompt,
+    const GenerateOptions& options) const {
   // Left-truncate the prompt so prompt + generation fits the window, but
   // never reserve more than half the window for generation — a prompt
   // crushed to a few tokens would leave nothing to condition on.
@@ -519,7 +550,7 @@ void log_softmax(std::span<const float> logits, std::vector<float>& out) {
 }  // namespace
 
 std::vector<std::int32_t> Transformer::generate_beam(
-    std::span<const std::int32_t> prompt, const BeamOptions& options) {
+    std::span<const std::int32_t> prompt, const BeamOptions& options) const {
   const int width = std::max(1, options.beam_width);
   int reserve = std::min(options.max_new_tokens, config_.ctx / 2);
   int budget = std::max(1, config_.ctx - reserve);

@@ -54,13 +54,17 @@ class Transformer {
     // Per layer: rotated keys and values, [ctx x d_model] each.
     std::vector<nn::Vec> keys;
     std::vector<nn::Vec> values;
+    // Next-token logits of the last decode_step. Living in the cache (not
+    // the model) keeps decoding re-entrant: batched serving runs many
+    // caches against one shared model concurrently.
+    nn::Vec logits;
     int length = 0;
   };
   KvCache make_cache() const;
   // Appends `token` at the cache's current position and returns the logits
-  // for the next position (valid until the next call). Cache length must be
-  // < ctx.
-  std::span<const float> decode_step(KvCache& cache, std::int32_t token);
+  // for the next position (valid until the next call on the same cache).
+  // Cache length must be < ctx. Thread-safe across distinct caches.
+  std::span<const float> decode_step(KvCache& cache, std::int32_t token) const;
 
   struct GenerateOptions {
     int max_new_tokens = 64;
@@ -76,7 +80,7 @@ class Transformer {
   // window with room for at least one generated token — the paper: "when
   // the input is larger than the context window, it is left-truncated".
   std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
-                                     const GenerateOptions& options);
+                                     const GenerateOptions& options) const;
 
   // Beam-search decoding (the paper's other suggested improvement over
   // greedy). Returns the highest-scoring finished hypothesis; scores are
@@ -89,7 +93,7 @@ class Transformer {
     float length_penalty = 0.6f;
   };
   std::vector<std::int32_t> generate_beam(std::span<const std::int32_t> prompt,
-                                          const BeamOptions& options);
+                                          const BeamOptions& options) const;
 
   // All learnable parameters, in a stable order (checkpoint format).
   std::vector<nn::Param*> parameters();
@@ -134,7 +138,6 @@ class Transformer {
   std::vector<LayerActs> acts_;
   nn::Vec final_in_, final_out_, final_mean_, final_rstd_;
   nn::Vec logits_, dlogits_;
-  nn::Vec decode_logits_;
 };
 
 }  // namespace wisdom::model

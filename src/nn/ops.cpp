@@ -3,13 +3,31 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/thread_pool.hpp"
+
 namespace wisdom::nn {
 
-void matmul(const float* a, const float* b, float* c, int m, int k, int n) {
-  std::memset(c, 0, static_cast<std::size_t>(m) * n * sizeof(float));
-  for (int i = 0; i < m; ++i) {
+namespace {
+
+// Ops below this many multiply-adds stay sequential: pool dispatch costs a
+// few microseconds, which swamps small kernels (layernorm-sized matmuls,
+// single decode rows on tiny models).
+std::size_t g_parallel_threshold = 32 * 1024;
+
+bool pool_worthwhile(std::size_t madds) {
+  return madds >= g_parallel_threshold && !util::ThreadPool::in_worker();
+}
+
+// Each shard kernel below computes a contiguous slice of the output exactly
+// as the full sequential loop would (same per-element accumulation order),
+// so the sharded result is bit-identical to the sequential one.
+
+void matmul_rows(const float* a, const float* b, float* c, int i0, int i1,
+                 int k, int n) {
+  for (int i = i0; i < i1; ++i) {
     const float* arow = a + static_cast<std::size_t>(i) * k;
     float* crow = c + static_cast<std::size_t>(i) * n;
+    std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
     for (int p = 0; p < k; ++p) {
       const float av = arow[p];
       if (av == 0.0f) continue;
@@ -19,8 +37,25 @@ void matmul(const float* a, const float* b, float* c, int m, int k, int n) {
   }
 }
 
-void matmul_bt(const float* a, const float* b, float* c, int m, int k, int n) {
+void matmul_cols(const float* a, const float* b, float* c, int m, int k,
+                 int j0, int j1, int n) {
   for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    std::memset(crow + j0, 0,
+                static_cast<std::size_t>(j1 - j0) * sizeof(float));
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_bt_rows(const float* a, const float* b, float* c, int i0, int i1,
+                    int k, int n) {
+  for (int i = i0; i < i1; ++i) {
     const float* arow = a + static_cast<std::size_t>(i) * k;
     float* crow = c + static_cast<std::size_t>(i) * n;
     for (int j = 0; j < n; ++j) {
@@ -32,33 +67,160 @@ void matmul_bt(const float* a, const float* b, float* c, int m, int k, int n) {
   }
 }
 
+void matmul_bt_cols(const float* a, const float* b, float* c, int m, int k,
+                    int j0, int j1, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = j0; j < j1; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+// dA[i][p] += dot(dC row i, B row p): every (i, p) cell is an independent
+// dot product, so both row (i) and column (p) sharding are exact.
+void matmul_da_rows(const float* b, const float* dc, float* da, int i0,
+                    int i1, int k, int n) {
+  for (int i = i0; i < i1; ++i) {
+    const float* dcrow = dc + static_cast<std::size_t>(i) * n;
+    float* darow = da + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      darow[p] += acc;
+    }
+  }
+}
+
+void matmul_da_cols(const float* b, const float* dc, float* da, int m, int k,
+                    int p0, int p1, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* dcrow = dc + static_cast<std::size_t>(i) * n;
+    float* darow = da + static_cast<std::size_t>(i) * k;
+    for (int p = p0; p < p1; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      darow[p] += acc;
+    }
+  }
+}
+
+// dB[p][j] += sum_i A[i][p] * dC[i][j], sharded over dB rows (p). The i
+// loop stays innermost and ascending, so each dB cell accumulates in the
+// same order as the sequential kernel — bit-identical, no atomics.
+void matmul_db_rows(const float* a, const float* dc, float* db, int p0,
+                    int p1, int m, int k, int n) {
+  for (int p = p0; p < p1; ++p) {
+    float* dbrow = db + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      const float* dcrow = dc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t parallel_threshold() { return g_parallel_threshold; }
+void set_parallel_threshold(std::size_t madds) {
+  g_parallel_threshold = madds;
+}
+
+void matmul(const float* a, const float* b, float* c, int m, int k, int n) {
+  const std::size_t madds =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(k) * n;
+  if (pool_worthwhile(madds)) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.size() > 1) {
+      if (m > 1) {
+        pool.parallel_for(0, m, [&](std::int64_t i0, std::int64_t i1) {
+          matmul_rows(a, b, c, static_cast<int>(i0), static_cast<int>(i1), k,
+                      n);
+        });
+      } else {
+        pool.parallel_for(0, n, [&](std::int64_t j0, std::int64_t j1) {
+          matmul_cols(a, b, c, m, k, static_cast<int>(j0),
+                      static_cast<int>(j1), n);
+        });
+      }
+      return;
+    }
+  }
+  matmul_rows(a, b, c, 0, m, k, n);
+}
+
+void matmul_bt(const float* a, const float* b, float* c, int m, int k, int n) {
+  const std::size_t madds =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(k) * n;
+  if (pool_worthwhile(madds)) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    if (pool.size() > 1) {
+      if (m > 1) {
+        pool.parallel_for(0, m, [&](std::int64_t i0, std::int64_t i1) {
+          matmul_bt_rows(a, b, c, static_cast<int>(i0), static_cast<int>(i1),
+                         k, n);
+        });
+      } else {
+        pool.parallel_for(0, n, [&](std::int64_t j0, std::int64_t j1) {
+          matmul_bt_cols(a, b, c, m, k, static_cast<int>(j0),
+                         static_cast<int>(j1), n);
+        });
+      }
+      return;
+    }
+  }
+  matmul_bt_rows(a, b, c, 0, m, k, n);
+}
+
 void matmul_backward(const float* a, const float* b, const float* dc,
                      float* da, float* db, int m, int k, int n) {
+  const std::size_t madds =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(k) * n;
+  const bool parallel = pool_worthwhile(madds);
   // dA += dC * B^T
   if (da) {
-    for (int i = 0; i < m; ++i) {
-      const float* dcrow = dc + static_cast<std::size_t>(i) * n;
-      float* darow = da + static_cast<std::size_t>(i) * k;
-      for (int p = 0; p < k; ++p) {
-        const float* brow = b + static_cast<std::size_t>(p) * n;
-        float acc = 0.0f;
-        for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
-        darow[p] += acc;
+    bool done = false;
+    if (parallel) {
+      util::ThreadPool& pool = util::ThreadPool::global();
+      if (pool.size() > 1) {
+        if (m > 1) {
+          pool.parallel_for(0, m, [&](std::int64_t i0, std::int64_t i1) {
+            matmul_da_rows(b, dc, da, static_cast<int>(i0),
+                           static_cast<int>(i1), k, n);
+          });
+        } else {
+          pool.parallel_for(0, k, [&](std::int64_t p0, std::int64_t p1) {
+            matmul_da_cols(b, dc, da, m, k, static_cast<int>(p0),
+                           static_cast<int>(p1), n);
+          });
+        }
+        done = true;
       }
     }
+    if (!done) matmul_da_rows(b, dc, da, 0, m, k, n);
   }
   // dB += A^T * dC
   if (db) {
-    for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<std::size_t>(i) * k;
-      const float* dcrow = dc + static_cast<std::size_t>(i) * n;
-      for (int p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        float* dbrow = db + static_cast<std::size_t>(p) * n;
-        for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    bool done = false;
+    if (parallel) {
+      util::ThreadPool& pool = util::ThreadPool::global();
+      if (pool.size() > 1) {
+        pool.parallel_for(0, k, [&](std::int64_t p0, std::int64_t p1) {
+          matmul_db_rows(a, dc, db, static_cast<int>(p0),
+                         static_cast<int>(p1), m, k, n);
+        });
+        done = true;
       }
     }
+    if (!done) matmul_db_rows(a, dc, db, 0, k, m, k, n);
   }
 }
 

@@ -19,6 +19,14 @@
 
 namespace wisdom::nn {
 
+// The matmul kernels below run on util::ThreadPool::global() when the op's
+// multiply-add count reaches this threshold (and the pool has more than one
+// lane); smaller ops run sequentially to avoid dispatch overhead. Sharding
+// is deterministic, so parallel results are bit-identical to sequential
+// ones at any thread count.
+std::size_t parallel_threshold();
+void set_parallel_threshold(std::size_t madds);
+
 // C[m x n] = A[m x k] * B[k x n]
 void matmul(const float* a, const float* b, float* c, int m, int k, int n);
 // C[m x n] = A[m x k] * B^T  where B is [n x k]

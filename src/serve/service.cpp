@@ -1,25 +1,39 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "core/postprocess.hpp"
 #include "metrics/schema_correct.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wisdom::serve {
 
-InferenceService::InferenceService(model::Transformer& model,
+double ServiceStats::percentile_latency_ms(double p) const {
+  if (latencies_ms.empty()) return 0.0;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least p% of samples at or
+  // below it.
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+InferenceService::InferenceService(const model::Transformer& model,
                                    const text::BpeTokenizer& tokenizer,
                                    int max_new_tokens)
     : model_(model), tokenizer_(tokenizer), max_new_tokens_(max_new_tokens) {}
 
-SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
+SuggestionResponse InferenceService::run_one(
+    const SuggestionRequest& request) const {
   auto start = std::chrono::steady_clock::now();
   SuggestionResponse response;
-  if (request.prompt.empty() || request.indent < 0) {
-    ++stats_.requests;
-    return response;
-  }
+  if (request.prompt.empty() || request.indent < 0) return response;
 
   std::string pad(static_cast<std::size_t>(request.indent), ' ');
   std::string name_line = pad + "- name: " + request.prompt + "\n";
@@ -43,13 +57,59 @@ SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
   auto end = std::chrono::steady_clock::now();
   response.latency_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
-
-  ++stats_.requests;
-  stats_.total_latency_ms += response.latency_ms;
   return response;
 }
 
-void InferenceService::record_accept() { ++stats_.accepted; }
-void InferenceService::record_reject() { ++stats_.rejected; }
+void InferenceService::record_locked(const SuggestionResponse& response) {
+  ++stats_.requests;
+  stats_.total_latency_ms += response.latency_ms;
+  stats_.latencies_ms.push_back(response.latency_ms);
+  stats_.generated_tokens +=
+      static_cast<std::uint64_t>(response.generated_tokens);
+}
+
+SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
+  SuggestionResponse response = run_one(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  record_locked(response);
+  stats_.total_wall_ms += response.latency_ms;
+  return response;
+}
+
+std::vector<SuggestionResponse> InferenceService::suggest_batch(
+    const std::vector<SuggestionRequest>& requests) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<SuggestionResponse> responses(requests.size());
+  util::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(requests.size()),
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i)
+          responses[static_cast<std::size_t>(i)] =
+              run_one(requests[static_cast<std::size_t>(i)]);
+      });
+  auto end = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SuggestionResponse& response : responses)
+    record_locked(response);
+  stats_.total_wall_ms +=
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return responses;
+}
+
+void InferenceService::record_accept() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.accepted;
+}
+
+void InferenceService::record_reject() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.rejected;
+}
+
+ServiceStats InferenceService::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
 
 }  // namespace wisdom::serve

@@ -5,9 +5,14 @@
 // (escape). Latency statistics back the paper's model-size argument (a
 // coding assistant must respond interactively, which is why Wisdom ships
 // the 350M model rather than the 2.7B one).
+//
+// suggest_batch() fans N requests out across util::ThreadPool::global(),
+// sharing one read-only model; with greedy decoding the batched responses
+// are identical to N sequential suggest() calls.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,9 +45,27 @@ struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t generated_tokens = 0;
+  // Sum of per-request latencies; with batching this exceeds wall time.
   double total_latency_ms = 0.0;
+  // Service-side wall time: a batch contributes its elapsed time once,
+  // which is what makes tokens_per_sec() reflect batching throughput.
+  double total_wall_ms = 0.0;
+  // Per-request latencies, in arrival order, for the percentile report.
+  std::vector<double> latencies_ms;
+
   double mean_latency_ms() const {
     return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);
+  }
+  // Nearest-rank percentile of per-request latency, p in (0, 100].
+  double percentile_latency_ms(double p) const;
+  double p50_latency_ms() const { return percentile_latency_ms(50.0); }
+  double p95_latency_ms() const { return percentile_latency_ms(95.0); }
+  double p99_latency_ms() const { return percentile_latency_ms(99.0); }
+  double tokens_per_sec() const {
+    return total_wall_ms <= 0.0
+               ? 0.0
+               : static_cast<double>(generated_tokens) / (total_wall_ms / 1e3);
   }
   double acceptance_rate() const {
     std::uint64_t decided = accepted + rejected;
@@ -55,22 +78,36 @@ struct ServiceStats {
 class InferenceService {
  public:
   // Borrows the model and tokenizer; both must outlive the service.
-  InferenceService(model::Transformer& model,
+  InferenceService(const model::Transformer& model,
                    const text::BpeTokenizer& tokenizer,
                    int max_new_tokens = 56);
 
   SuggestionResponse suggest(const SuggestionRequest& request);
 
+  // Serves a batch concurrently on the global thread pool. Responses align
+  // with requests by index and match sequential suggest() calls exactly
+  // (greedy decoding, shared read-only model). Stats count each request
+  // individually but the batch's wall time once.
+  std::vector<SuggestionResponse> suggest_batch(
+      const std::vector<SuggestionRequest>& requests);
+
   // The plugin's accept/reject feedback ("hit tab ... or escape").
   void record_accept();
   void record_reject();
 
+  // Single-threaded view; use stats_snapshot() when other threads may be
+  // calling into the service.
   const ServiceStats& stats() const { return stats_; }
+  ServiceStats stats_snapshot() const;
 
  private:
-  model::Transformer& model_;
+  SuggestionResponse run_one(const SuggestionRequest& request) const;
+  void record_locked(const SuggestionResponse& response);
+
+  const model::Transformer& model_;
   const text::BpeTokenizer& tokenizer_;
   int max_new_tokens_;
+  mutable std::mutex mu_;
   ServiceStats stats_;
 };
 

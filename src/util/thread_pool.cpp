@@ -1,0 +1,145 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace wisdom::util {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+std::mutex& global_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+int ThreadPool::env_threads() {
+  if (const char* env = std::getenv("WISDOM_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_mu());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(env_threads());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(global_mu());
+  auto& slot = global_slot();
+  slot.reset();  // join the old workers before starting new ones
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = env_threads();
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (size() <= 1 || n == 1 || t_in_worker) {
+    body(begin, end);
+    return;
+  }
+
+  const std::int64_t chunks = std::min<std::int64_t>(size(), n);
+  const std::int64_t base = n / chunks;
+  const std::int64_t rem = n % chunks;
+  auto chunk_begin = [&](std::int64_t c) {
+    return begin + c * base + std::min(c, rem);
+  };
+
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::int64_t remaining;
+    std::exception_ptr error;
+  } sync;
+  sync.remaining = chunks - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t c = 1; c < chunks; ++c) {
+      const std::int64_t b = chunk_begin(c);
+      const std::int64_t e = chunk_begin(c + 1);
+      queue_.emplace_back([&sync, &body, b, e] {
+        std::exception_ptr err;
+        try {
+          body(b, e);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> task_lock(sync.mu);
+        if (err && !sync.error) sync.error = err;
+        if (--sync.remaining == 0) sync.cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller runs the first chunk; its exception still waits for the
+  // workers (they reference stack state) before propagating.
+  std::exception_ptr local;
+  try {
+    body(chunk_begin(0), chunk_begin(1));
+  } catch (...) {
+    local = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(sync.mu);
+    sync.cv.wait(lock, [&sync] { return sync.remaining == 0; });
+  }
+  if (sync.error) std::rethrow_exception(sync.error);
+  if (local) std::rethrow_exception(local);
+}
+
+}  // namespace wisdom::util
