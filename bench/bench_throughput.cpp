@@ -174,6 +174,58 @@ BENCHMARK(BM_BatchedSuggest)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Overload sweep: offered load at 1x/2x/4x the admission-queue capacity.
+// Above 1x the bounded queue sheds the excess (reject-newest) instead of
+// letting latency grow without bound, so the interesting numbers are the
+// shed rate, the degraded rate, and the p99 of the requests actually
+// served while saturated.
+void BM_OverloadSweep(benchmark::State& state) {
+  const int multiplier = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  constexpr int kCapacity = 4;
+  wisdom::util::ThreadPool::set_global_threads(threads);
+  static const text::BpeTokenizer* tokenizer = [] {
+    return new text::BpeTokenizer(text::BpeTokenizer::train(
+        "- name: Install nginx\n  ansible.builtin.apt:\n"
+        "    name: nginx\n    state: present\n",
+        300));
+  }();
+  model::ModelConfig cfg;
+  cfg.vocab = static_cast<std::int32_t>(tokenizer->vocab_size());
+  cfg.ctx = 64;
+  cfg.d_model = 32;
+  cfg.n_head = 4;
+  cfg.n_layer = 2;
+  cfg.d_ff = 128;
+  model::Transformer m(cfg, 11);
+  serve::ServiceOptions options;
+  options.max_new_tokens = 24;
+  options.queue_capacity = kCapacity;
+  options.shed_policy = serve::ShedPolicy::RejectNewest;
+  serve::InferenceService service(m, *tokenizer, options);
+
+  std::vector<serve::SuggestionRequest> requests(
+      static_cast<std::size_t>(kCapacity * multiplier));
+  for (auto& r : requests) r.prompt = "Install nginx";
+
+  for (auto _ : state) {
+    auto responses = service.suggest_batch(requests);
+    benchmark::DoNotOptimize(responses.data());
+  }
+  const serve::ServiceStats stats = service.stats_snapshot();
+  state.counters["shed_rate"] = stats.shed_rate();
+  state.counters["degraded_rate"] = stats.degraded_rate();
+  state.counters["p99_ms"] = stats.p99_latency_ms();
+  state.counters["tokens/s"] = stats.tokens_per_sec();
+  state.SetLabel("offered=" + std::to_string(kCapacity * multiplier) +
+                 "/cap=" + std::to_string(kCapacity) + "/t" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_OverloadSweep)
+    ->ArgsProduct({{1, 2, 4}, {4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -10,9 +10,12 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
+#include <string>
+
 #include "core/evaluate.hpp"
 #include "core/pipeline.hpp"
 #include "core/trainer.hpp"
+#include "model/checkpoint.hpp"
 #include "data/dataset.hpp"
 #include "data/packing.hpp"
 #include "metrics/aggregate.hpp"
@@ -58,6 +61,21 @@ int main() {
     std::printf("  epoch %d  train loss %.3f\n", epoch, loss);
   };
   core::train_model(model, train_set, nullptr, tc);
+
+  // 2b. Persist the trained model and verify the reload: checkpoints are
+  //     versioned and checksummed, so a bad file reports a typed reason
+  //     instead of silently materializing a garbage model.
+  const std::string ckpt_path = "quickstart_model.ckpt";
+  model::save_checkpoint_file(ckpt_path, model, tokenizer.serialize());
+  model::LoadResult loaded = model::load_checkpoint_file_ex(ckpt_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "checkpoint reload failed [%s]: %s\n",
+                 model::load_status_name(loaded.status),
+                 loaded.message.c_str());
+    return 1;
+  }
+  std::printf("checkpoint: saved and reloaded %s (format v%u)\n",
+              ckpt_path.c_str(), model::kCheckpointVersion);
 
   // 3. Generate from a natural-language prompt and evaluate.
   data::FtSample demo;

@@ -171,7 +171,15 @@ std::optional<model::Transformer> Pipeline::load_cached(
     const std::string& key) {
   std::string path = cache_path(key);
   if (path.empty()) return std::nullopt;
-  return model::load_checkpoint_file(path, nullptr);
+  model::LoadResult result = model::load_checkpoint_file_ex(path);
+  if (!result.ok() && result.status != model::LoadStatus::FileNotFound) {
+    // A present-but-unloadable cache entry (stale format, corruption) is
+    // retrained from scratch, never served.
+    util::log_warn("checkpoint cache '" + path + "' rejected (" +
+                   std::string(model::load_status_name(result.status)) +
+                   "): " + result.message + "; retraining");
+  }
+  return std::move(result.model);
 }
 
 void Pipeline::store_cached(const std::string& key,

@@ -514,21 +514,39 @@ std::vector<std::int32_t> Transformer::generate(
   if (static_cast<int>(kept.size()) > budget)
     kept = kept.subspan(kept.size() - static_cast<std::size_t>(budget));
 
+  GenerateStatus local_status;
+  GenerateStatus& status = options.status ? *options.status : local_status;
+  status = GenerateStatus{};
+
   KvCache cache = make_cache();
   std::span<const float> logits;
-  for (std::int32_t token : kept) logits = decode_step(cache, token);
   std::vector<std::int32_t> out;
+  for (std::int32_t token : kept) {
+    if (options.deadline.expired()) {
+      status.deadline_expired = true;
+      return out;  // nothing decoded yet: empty partial result
+    }
+    logits = decode_step(cache, token);
+    ++status.steps_taken;
+  }
   if (kept.empty()) return out;
   util::Rng rng(options.sample_seed);
   for (int i = 0; i < options.max_new_tokens && cache.length < config_.ctx;
        ++i) {
+    if (options.deadline.expired()) {
+      status.deadline_expired = true;
+      break;
+    }
     std::int32_t next =
         options.temperature > 0.0f
             ? sample_token(logits, options.temperature, options.top_k, rng)
             : argmax_token(logits);
     if (next == options.stop_token) break;
     out.push_back(next);
-    if (cache.length < config_.ctx) logits = decode_step(cache, next);
+    if (cache.length < config_.ctx) {
+      logits = decode_step(cache, next);
+      ++status.steps_taken;
+    }
   }
   return out;
 }
@@ -571,11 +589,22 @@ std::vector<std::int32_t> Transformer::generate_beam(
                             options.length_penalty);
   };
 
+  GenerateStatus local_status;
+  GenerateStatus& status = options.status ? *options.status : local_status;
+  status = GenerateStatus{};
+
   // Seed beam: the prompt fed once.
   Beam seed;
   seed.cache = make_cache();
   std::span<const float> logits;
-  for (std::int32_t token : kept) logits = decode_step(seed.cache, token);
+  for (std::int32_t token : kept) {
+    if (options.deadline.expired()) {
+      status.deadline_expired = true;
+      return {};  // prefill never finished: no hypothesis exists yet
+    }
+    logits = decode_step(seed.cache, token);
+    ++status.steps_taken;
+  }
   log_softmax(logits, seed.logprobs);
 
   std::vector<Beam> beams;
@@ -585,6 +614,11 @@ std::vector<std::int32_t> Transformer::generate_beam(
 
   for (int step = 0; step < options.max_new_tokens && !beams.empty();
        ++step) {
+    if (options.deadline.expired()) {
+      status.deadline_expired = true;
+      break;  // fall through to best-finished / best-live selection
+    }
+    ++status.steps_taken;
     // Gather candidate expansions from every live beam.
     struct Candidate {
       std::size_t beam;

@@ -16,6 +16,7 @@
 #include "model/config.hpp"
 #include "nn/adamw.hpp"
 #include "nn/tensor.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 
 namespace wisdom::model {
@@ -66,6 +67,15 @@ class Transformer {
   // Cache length must be < ctx. Thread-safe across distinct caches.
   std::span<const float> decode_step(KvCache& cache, std::int32_t token) const;
 
+  // Filled by generate()/generate_beam() when a caller passes a status
+  // pointer: whether decoding ran to completion or was cut short by its
+  // deadline (the returned tokens are then the partial result).
+  struct GenerateStatus {
+    bool deadline_expired = false;
+    // Tokens actually decoded (prompt prefill + generation) before the cut.
+    int steps_taken = 0;
+  };
+
   struct GenerateOptions {
     int max_new_tokens = 64;
     std::int32_t stop_token = -1;  // stop when emitted (not included)
@@ -75,6 +85,11 @@ class Transformer {
     float temperature = 0.0f;  // 0 = greedy
     int top_k = 0;             // 0 = full distribution
     std::uint64_t sample_seed = 1;
+    // Cooperative cancellation: checked once per decode step (prompt
+    // ingestion included). On expiry, generation stops and the tokens
+    // decoded so far are returned.
+    util::Deadline deadline;
+    GenerateStatus* status = nullptr;  // optional out-param
   };
   // Greedy generation. The prompt is left-truncated to fit the context
   // window with room for at least one generated token — the paper: "when
@@ -91,6 +106,10 @@ class Transformer {
     int max_new_tokens = 64;
     std::int32_t stop_token = -1;
     float length_penalty = 0.6f;
+    // Checked once per prefill token and once per beam step; on expiry the
+    // best hypothesis found so far is returned.
+    util::Deadline deadline;
+    GenerateStatus* status = nullptr;  // optional out-param
   };
   std::vector<std::int32_t> generate_beam(std::span<const std::int32_t> prompt,
                                           const BeamOptions& options) const;

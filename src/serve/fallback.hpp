@@ -1,0 +1,42 @@
+// Deterministic model-free fallback suggester: graceful degradation for
+// the serving path.
+//
+// When a request's deadline expires mid-decode (or the model fails
+// outright), the editor still needs *something* useful back — the paper's
+// plugin contract is "the user hits tab or escape", and an empty completion
+// is strictly worse than a plain template. This suggester answers in
+// microseconds from the module catalog: the prompt's unigrams are matched
+// (via text::count_ngrams / clipped_matches) against per-template keyword
+// sets, the best template is instantiated with an object noun lifted from
+// the prompt, and the result is a schema-correct task body. No model, no
+// randomness, no allocation beyond the output string.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "text/ngram.hpp"
+
+namespace wisdom::serve {
+
+class FallbackSuggester {
+ public:
+  FallbackSuggester();
+
+  // Task body lines (module key + params) for an item whose "- name:" line
+  // sits at column `indent`; always non-empty, always schema-correct when
+  // appended to that name line.
+  std::string suggest_body(const std::string& prompt, int indent) const;
+
+ private:
+  enum class Kind { Package, Service, Copy, Directory, Debug };
+
+  struct Template {
+    Kind kind;
+    text::NgramCounts keywords;  // unigram keyword multiset
+  };
+
+  std::vector<Template> templates_;
+};
+
+}  // namespace wisdom::serve

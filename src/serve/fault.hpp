@@ -1,0 +1,82 @@
+// Deterministic fault injection for the serving path.
+//
+// Robustness behavior (deadline fallback, load shedding, retry) is
+// miserable to test with real timing: a "slow decode" produced by sleeping
+// is flaky and slow, and a genuinely full queue needs racing threads. The
+// FaultInjector instead forces each degraded path to trigger on demand:
+//
+//   * slow_decode_after_tokens: requests decode under a check-count
+//     deadline that expires after N cooperative checks — the decode "takes
+//     too long" after exactly N tokens, on any machine, with no sleeps,
+//   * fail_generate: the next N requests behave as if the model errored,
+//   * force_queue_full: admission behaves as if the queue were at capacity.
+//
+// All knobs are atomics so tests can flip them while worker threads serve;
+// a default-constructed injector injects nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/deadline.hpp"
+
+namespace wisdom::serve {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  // --- forced slow decode --------------------------------------------------
+  // n >= 0: every subsequent request decodes under Deadline::after_checks(n)
+  // (n counts prefill and generated tokens together). n < 0 disables.
+  void set_slow_decode_after_tokens(std::int64_t n) {
+    slow_decode_tokens_.store(n, std::memory_order_relaxed);
+  }
+  bool slow_decode_active() const {
+    return slow_decode_tokens_.load(std::memory_order_relaxed) >= 0;
+  }
+  // The per-request deadline to decode under; call once per request.
+  util::Deadline slow_decode_deadline() const {
+    return util::Deadline::after_checks(
+        slow_decode_tokens_.load(std::memory_order_relaxed));
+  }
+
+  // --- forced generate failure --------------------------------------------
+  // n > 0: the next n requests fail generation. n < 0: every request fails
+  // until reset. 0 disables.
+  void set_fail_generate(std::int64_t n) {
+    fail_generate_.store(n, std::memory_order_relaxed);
+  }
+  // Consumes one failure credit; true when this request must fail.
+  bool take_generate_failure() {
+    std::int64_t n = fail_generate_.load(std::memory_order_relaxed);
+    while (true) {
+      if (n < 0) return true;
+      if (n == 0) return false;
+      if (fail_generate_.compare_exchange_weak(n, n - 1,
+                                               std::memory_order_relaxed))
+        return true;
+    }
+  }
+
+  // --- forced queue-full ---------------------------------------------------
+  void set_force_queue_full(bool full) {
+    force_queue_full_.store(full, std::memory_order_relaxed);
+  }
+  bool queue_full_forced() const {
+    return force_queue_full_.load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    set_slow_decode_after_tokens(-1);
+    set_fail_generate(0);
+    set_force_queue_full(false);
+  }
+
+ private:
+  std::atomic<std::int64_t> slow_decode_tokens_{-1};
+  std::atomic<std::int64_t> fail_generate_{0};
+  std::atomic<bool> force_queue_full_{false};
+};
+
+}  // namespace wisdom::serve

@@ -1,0 +1,56 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace wisdom::serve {
+
+Backoff::Backoff(const RetryPolicy& policy)
+    : policy_(policy), rng_(policy.seed) {}
+
+double Backoff::next_delay_ms() {
+  // base * multiplier^attempt, capped, then equal-jittered.
+  double backoff = policy_.base_delay_ms;
+  for (int i = 0; i < attempt_; ++i) backoff *= policy_.multiplier;
+  backoff = std::min(backoff, policy_.max_delay_ms);
+  ++attempt_;
+  const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+  return backoff * (1.0 - j + j * rng_.uniform_real());
+}
+
+RetryingClient::RetryingClient(InferenceService& service, RetryPolicy policy,
+                               SleepFn sleep)
+    : service_(service), policy_(policy), sleep_(std::move(sleep)) {
+  if (!sleep_) {
+    sleep_ = [](double ms) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    };
+  }
+}
+
+RetryingClient::Outcome RetryingClient::suggest_with_trace(
+    const SuggestionRequest& request) {
+  Outcome outcome;
+  Backoff backoff(policy_);
+  const int attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    outcome.response = service_.suggest(request);
+    ++outcome.attempts;
+    if (!is_transient(outcome.response.error)) break;
+    // A degraded-shed response already carries a usable snippet; retrying
+    // it would trade a good-enough answer for more load on a hot service.
+    if (outcome.response.ok) break;
+    if (attempt + 1 >= attempts) break;
+    double delay = backoff.next_delay_ms();
+    outcome.delays_ms.push_back(delay);
+    sleep_(delay);
+  }
+  return outcome;
+}
+
+SuggestionResponse RetryingClient::suggest(const SuggestionRequest& request) {
+  return suggest_with_trace(request).response;
+}
+
+}  // namespace wisdom::serve

@@ -1,0 +1,77 @@
+// Retry-with-exponential-backoff client wrapper for transient serving
+// errors (load shedding). Overload is expected under the ROADMAP's
+// "heavy traffic" regime; the recovery contract is: the service sheds
+// fast with ServiceError::Overloaded, and well-behaved clients retry with
+// exponentially growing, jittered delays so the retry wave does not
+// re-synchronize into the same thundering herd that caused the shed.
+//
+// The backoff schedule is a pure function of the policy (seeded RNG for
+// jitter), and sleeping is injectable, so tests assert the exact schedule
+// with zero wall-clock sleeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace wisdom::serve {
+
+struct RetryPolicy {
+  // Total tries including the first (4 = one call + three retries).
+  int max_attempts = 4;
+  double base_delay_ms = 25.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 1000.0;
+  // Equal-jitter fraction: delay = backoff * (1 - jitter + jitter * u),
+  // u ~ U[0,1). 0 = deterministic full backoff, 1 = full jitter.
+  double jitter = 0.5;
+  // Seeds the jitter stream; the schedule is reproducible per seed.
+  std::uint64_t seed = 1;
+};
+
+// The delay sequence alone; deterministic given the policy.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy);
+
+  // Delay before retry number attempt()+1; advances the schedule.
+  double next_delay_ms();
+  int attempt() const { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  util::Rng rng_;
+  int attempt_ = 0;
+};
+
+class RetryingClient {
+ public:
+  using SleepFn = std::function<void(double /*ms*/)>;
+
+  // `sleep` is called with each backoff delay; the default performs a real
+  // std::this_thread::sleep_for. Tests inject a recorder instead.
+  explicit RetryingClient(InferenceService& service, RetryPolicy policy = {},
+                          SleepFn sleep = {});
+
+  // Result of the final attempt plus the retry trace.
+  struct Outcome {
+    SuggestionResponse response;
+    int attempts = 0;
+    std::vector<double> delays_ms;  // one entry per retry actually taken
+  };
+
+  // Calls suggest(), retrying transient errors per the policy. Terminal
+  // errors and successes return immediately.
+  SuggestionResponse suggest(const SuggestionRequest& request);
+  Outcome suggest_with_trace(const SuggestionRequest& request);
+
+ private:
+  InferenceService& service_;
+  RetryPolicy policy_;
+  SleepFn sleep_;
+};
+
+}  // namespace wisdom::serve

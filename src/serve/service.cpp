@@ -11,6 +11,44 @@
 
 namespace wisdom::serve {
 
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string_view service_error_name(ServiceError error) {
+  switch (error) {
+    case ServiceError::None: return "none";
+    case ServiceError::InvalidRequest: return "invalid-request";
+    case ServiceError::Overloaded: return "overloaded";
+    case ServiceError::DeadlineExceeded: return "deadline-exceeded";
+    case ServiceError::GenerateFailed: return "generate-failed";
+  }
+  return "none";
+}
+
+bool service_error_from_name(std::string_view name, ServiceError* out) {
+  for (ServiceError e :
+       {ServiceError::None, ServiceError::InvalidRequest,
+        ServiceError::Overloaded, ServiceError::DeadlineExceeded,
+        ServiceError::GenerateFailed}) {
+    if (service_error_name(e) == name) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_transient(ServiceError error) {
+  return error == ServiceError::Overloaded;
+}
+
 double ServiceStats::percentile_latency_ms(double p) const {
   if (latencies_ms.empty()) return 0.0;
   std::vector<double> sorted = latencies_ms;
@@ -27,36 +65,119 @@ double ServiceStats::percentile_latency_ms(double p) const {
 InferenceService::InferenceService(const model::Transformer& model,
                                    const text::BpeTokenizer& tokenizer,
                                    int max_new_tokens)
-    : model_(model), tokenizer_(tokenizer), max_new_tokens_(max_new_tokens) {}
+    : InferenceService(model, tokenizer, [&] {
+        ServiceOptions options;
+        options.max_new_tokens = max_new_tokens;
+        return options;
+      }()) {}
+
+InferenceService::InferenceService(const model::Transformer& model,
+                                   const text::BpeTokenizer& tokenizer,
+                                   const ServiceOptions& options)
+    : model_(model),
+      tokenizer_(tokenizer),
+      options_(options),
+      queue_(options.queue_capacity) {}
+
+bool InferenceService::try_admit() {
+  if (options_.faults && options_.faults->queue_full_forced()) return false;
+  return queue_.try_acquire();
+}
+
+util::Deadline InferenceService::request_deadline(
+    const SuggestionRequest& request) const {
+  util::Deadline deadline;
+  if (options_.faults && options_.faults->slow_decode_active()) {
+    deadline = options_.faults->slow_decode_deadline();
+  } else {
+    double ms =
+        request.deadline_ms > 0.0 ? request.deadline_ms : options_.deadline_ms;
+    if (ms > 0.0) deadline = util::Deadline::after_ms(ms);
+  }
+  deadline.set_token(request.cancel);
+  return deadline;
+}
+
+void InferenceService::apply_fallback(const SuggestionRequest& request,
+                                      SuggestionResponse* response) const {
+  std::string pad(static_cast<std::size_t>(request.indent), ' ');
+  std::string name_line = pad + "- name: " + request.prompt + "\n";
+  response->snippet =
+      name_line + fallback_.suggest_body(request.prompt, request.indent);
+  response->ok = true;
+  response->degraded = true;
+  response->schema_correct = metrics::schema_correct(response->snippet);
+}
 
 SuggestionResponse InferenceService::run_one(
     const SuggestionRequest& request) const {
   auto start = std::chrono::steady_clock::now();
   SuggestionResponse response;
-  if (request.prompt.empty() || request.indent < 0) return response;
+  if (request.prompt.empty() || request.indent < 0) {
+    response.error = ServiceError::InvalidRequest;
+    response.latency_ms = elapsed_ms(start);
+    return response;
+  }
 
   std::string pad(static_cast<std::size_t>(request.indent), ' ');
   std::string name_line = pad + "- name: " + request.prompt + "\n";
-  std::string input_text = request.context + name_line;
 
+  if (options_.faults && options_.faults->take_generate_failure()) {
+    response.error = ServiceError::GenerateFailed;
+    if (options_.fallback_enabled) apply_fallback(request, &response);
+    response.latency_ms = elapsed_ms(start);
+    return response;
+  }
+
+  std::string input_text = request.context + name_line;
   std::vector<std::int32_t> ids = tokenizer_.encode(input_text);
   model::Transformer::GenerateOptions gen;
-  gen.max_new_tokens = max_new_tokens_;
+  gen.max_new_tokens = options_.max_new_tokens;
   gen.stop_token = text::BpeTokenizer::kEndOfText;
+  gen.deadline = request_deadline(request);
+  model::Transformer::GenerateStatus status;
+  gen.status = &status;
   std::vector<std::int32_t> out = model_.generate(ids, gen);
 
   std::string body = core::trim_generation(tokenizer_.decode(out));
   body = core::truncate_to_first_task(
       body, static_cast<std::size_t>(request.indent));
-
-  response.ok = !body.empty();
-  response.snippet = name_line + body;
-  response.schema_correct =
-      response.ok && metrics::schema_correct(response.snippet);
   response.generated_tokens = static_cast<int>(out.size());
-  auto end = std::chrono::steady_clock::now();
-  response.latency_ms =
-      std::chrono::duration<double, std::milli>(end - start).count();
+
+  if (status.deadline_expired) {
+    response.error = ServiceError::DeadlineExceeded;
+    // Salvage the partial decode when it already forms a valid task;
+    // otherwise answer from the deterministic fallback. Either way the
+    // editor gets a schema-checked snippet within the budget.
+    std::string partial = name_line + body;
+    if (!body.empty() && metrics::schema_correct(partial)) {
+      response.ok = true;
+      response.degraded = true;
+      response.snippet = std::move(partial);
+      response.schema_correct = true;
+    } else if (options_.fallback_enabled) {
+      apply_fallback(request, &response);
+    }
+  } else {
+    response.ok = !body.empty();
+    response.snippet = name_line + body;
+    response.schema_correct =
+        response.ok && metrics::schema_correct(response.snippet);
+  }
+  response.latency_ms = elapsed_ms(start);
+  return response;
+}
+
+SuggestionResponse InferenceService::run_shed(
+    const SuggestionRequest& request) const {
+  auto start = std::chrono::steady_clock::now();
+  SuggestionResponse response;
+  response.error = ServiceError::Overloaded;
+  if (options_.shed_policy == ShedPolicy::DegradeNewest &&
+      !request.prompt.empty() && request.indent >= 0) {
+    apply_fallback(request, &response);
+  }
+  response.latency_ms = elapsed_ms(start);
   return response;
 }
 
@@ -66,11 +187,25 @@ void InferenceService::record_locked(const SuggestionResponse& response) {
   stats_.latencies_ms.push_back(response.latency_ms);
   stats_.generated_tokens +=
       static_cast<std::uint64_t>(response.generated_tokens);
+  if (response.degraded) ++stats_.degraded;
+  if (response.error == ServiceError::DeadlineExceeded)
+    ++stats_.deadline_expired;
 }
 
 SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
-  SuggestionResponse response = run_one(request);
+  const bool admitted = try_admit();
+  SuggestionResponse response =
+      admitted ? run_one(request) : run_shed(request);
+  if (admitted) queue_.release();
+
   std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.offered;
+  if (!admitted) {
+    ++stats_.shed;
+    // A rejected request never entered the pipeline: it contributes no
+    // latency sample. A degraded-shed response is a served request.
+    if (options_.shed_policy == ShedPolicy::RejectNewest) return response;
+  }
   record_locked(response);
   stats_.total_wall_ms += response.latency_ms;
   return response;
@@ -79,21 +214,37 @@ SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
 std::vector<SuggestionResponse> InferenceService::suggest_batch(
     const std::vector<SuggestionRequest>& requests) {
   auto start = std::chrono::steady_clock::now();
-  std::vector<SuggestionResponse> responses(requests.size());
+  const std::size_t n = requests.size();
+  // Admission in arrival order, before the fan-out: with capacity C on an
+  // otherwise idle service exactly the first C requests are admitted —
+  // deterministic reject-newest.
+  std::vector<char> admitted(n, 0);
+  for (std::size_t i = 0; i < n; ++i) admitted[i] = try_admit() ? 1 : 0;
+
+  std::vector<SuggestionResponse> responses(n);
   util::ThreadPool::global().parallel_for(
-      0, static_cast<std::int64_t>(requests.size()),
+      0, static_cast<std::int64_t>(n),
       [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i)
-          responses[static_cast<std::size_t>(i)] =
-              run_one(requests[static_cast<std::size_t>(i)]);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          std::size_t j = static_cast<std::size_t>(i);
+          responses[j] =
+              admitted[j] ? run_one(requests[j]) : run_shed(requests[j]);
+        }
       });
-  auto end = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i)
+    if (admitted[i]) queue_.release();
+  double wall = elapsed_ms(start);
 
   std::lock_guard<std::mutex> lock(mu_);
-  for (const SuggestionResponse& response : responses)
-    record_locked(response);
-  stats_.total_wall_ms +=
-      std::chrono::duration<double, std::milli>(end - start).count();
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_.offered;
+    if (!admitted[i]) {
+      ++stats_.shed;
+      if (options_.shed_policy == ShedPolicy::RejectNewest) continue;
+    }
+    record_locked(responses[i]);
+  }
+  stats_.total_wall_ms += wall;
   return responses;
 }
 

@@ -9,17 +9,51 @@
 // suggest_batch() fans N requests out across util::ThreadPool::global(),
 // sharing one read-only model; with greedy decoding the batched responses
 // are identical to N sequential suggest() calls.
+//
+// The serving path is deadline-aware and failure-tolerant end to end:
+//   * every request decodes under a deadline (per-request override or the
+//     service default); on expiry the model's partial result is salvaged
+//     when schema-correct, otherwise the deterministic FallbackSuggester
+//     answers — either way the response is tagged `degraded`,
+//   * a bounded AdmissionQueue in front of the pool sheds excess load
+//     (ServiceError::Overloaded) instead of letting latency grow without
+//     bound; ShedPolicy::DegradeNewest serves shed requests from the
+//     fallback instead of refusing them,
+//   * a FaultInjector (tests/benchmarks) forces each degraded path
+//     deterministically.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/transformer.hpp"
+#include "serve/fallback.hpp"
+#include "serve/fault.hpp"
+#include "serve/queue.hpp"
 #include "text/bpe.hpp"
+#include "util/deadline.hpp"
 
 namespace wisdom::serve {
+
+// Why a request was not served normally. Overloaded is the only transient
+// error (retrying after backoff can succeed); the rest are terminal for
+// the request that produced them.
+enum class ServiceError : std::uint8_t {
+  None = 0,
+  InvalidRequest,    // empty prompt, negative indent
+  Overloaded,        // shed by the admission queue
+  DeadlineExceeded,  // decode cut off by the request deadline
+  GenerateFailed,    // model failure (fault-injected or real)
+};
+
+std::string_view service_error_name(ServiceError error);
+// Parses a name produced by service_error_name; false on unknown names.
+bool service_error_from_name(std::string_view name, ServiceError* out);
+// True for errors a client should retry with backoff.
+bool is_transient(ServiceError error);
 
 struct SuggestionRequest {
   // YAML already in the editor above the cursor (may be empty).
@@ -28,6 +62,11 @@ struct SuggestionRequest {
   std::string prompt;
   // Indentation column of the task item ("- name:") being completed.
   int indent = 0;
+  // Per-request decode budget in milliseconds; <= 0 uses the service
+  // default (ServiceOptions::deadline_ms).
+  double deadline_ms = 0.0;
+  // Optional cooperative cancellation (the user kept typing).
+  util::CancelToken cancel;
 };
 
 struct SuggestionResponse {
@@ -39,10 +78,40 @@ struct SuggestionResponse {
   bool schema_correct = false;
   double latency_ms = 0.0;
   int generated_tokens = 0;
+  // True when the snippet came from the fallback path (deadline expiry,
+  // model failure, or DegradeNewest shedding) rather than a full decode.
+  bool degraded = false;
+  // Why the request degraded or failed; None for a normal response.
+  ServiceError error = ServiceError::None;
+};
+
+struct ServiceOptions {
+  int max_new_tokens = 56;
+  // Default per-request decode budget in ms; <= 0 disables the deadline.
+  double deadline_ms = 0.0;
+  // Admission queue capacity; <= 0 means unbounded (never sheds).
+  int queue_capacity = 0;
+  ShedPolicy shed_policy = ShedPolicy::RejectNewest;
+  // Serve the fallback on deadline expiry / model failure. When false such
+  // requests return ok=false with the error set instead.
+  bool fallback_enabled = true;
+  // Borrowed fault injector; nullptr injects nothing. Must outlive the
+  // service.
+  FaultInjector* faults = nullptr;
 };
 
 struct ServiceStats {
+  // Every arrival, admitted or shed.
+  std::uint64_t offered = 0;
+  // Responses produced (admitted + degraded-shed); latencies below cover
+  // exactly these.
   std::uint64_t requests = 0;
+  // Arrivals refused admission by the bounded queue (both shed policies).
+  std::uint64_t shed = 0;
+  // Responses served by the fallback path.
+  std::uint64_t degraded = 0;
+  // Requests whose decode hit its deadline.
+  std::uint64_t deadline_expired = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t generated_tokens = 0;
@@ -67,6 +136,16 @@ struct ServiceStats {
                ? 0.0
                : static_cast<double>(generated_tokens) / (total_wall_ms / 1e3);
   }
+  double shed_rate() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(shed) /
+                              static_cast<double>(offered);
+  }
+  double degraded_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(degraded) /
+                               static_cast<double>(requests);
+  }
   double acceptance_rate() const {
     std::uint64_t decided = accepted + rejected;
     return decided == 0 ? 0.0
@@ -81,13 +160,21 @@ class InferenceService {
   InferenceService(const model::Transformer& model,
                    const text::BpeTokenizer& tokenizer,
                    int max_new_tokens = 56);
+  InferenceService(const model::Transformer& model,
+                   const text::BpeTokenizer& tokenizer,
+                   const ServiceOptions& options);
+
+  const ServiceOptions& options() const { return options_; }
 
   SuggestionResponse suggest(const SuggestionRequest& request);
 
   // Serves a batch concurrently on the global thread pool. Responses align
   // with requests by index and match sequential suggest() calls exactly
-  // (greedy decoding, shared read-only model). Stats count each request
-  // individually but the batch's wall time once.
+  // (greedy decoding, shared read-only model). Admission is decided in
+  // arrival order before the fan-out (reject-newest: with capacity C and
+  // an otherwise idle service, the first C requests are admitted and the
+  // rest shed — deterministically). Stats count each request individually
+  // but the batch's wall time once.
   std::vector<SuggestionResponse> suggest_batch(
       const std::vector<SuggestionRequest>& requests);
 
@@ -101,12 +188,22 @@ class InferenceService {
   ServiceStats stats_snapshot() const;
 
  private:
+  bool try_admit();
+  util::Deadline request_deadline(const SuggestionRequest& request) const;
   SuggestionResponse run_one(const SuggestionRequest& request) const;
+  // Response for a request refused admission: an Overloaded rejection or,
+  // under DegradeNewest, a fallback suggestion.
+  SuggestionResponse run_shed(const SuggestionRequest& request) const;
+  // Fills `response` from the fallback suggester (degraded path).
+  void apply_fallback(const SuggestionRequest& request,
+                      SuggestionResponse* response) const;
   void record_locked(const SuggestionResponse& response);
 
   const model::Transformer& model_;
   const text::BpeTokenizer& tokenizer_;
-  int max_new_tokens_;
+  ServiceOptions options_;
+  FallbackSuggester fallback_;
+  AdmissionQueue queue_;
   mutable std::mutex mu_;
   ServiceStats stats_;
 };

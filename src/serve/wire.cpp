@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <map>
 #include <variant>
 
@@ -134,6 +135,9 @@ class JsonParser {
                                      text_.data() + pos_, number);
     if (ec != std::errc() || ptr != text_.data() + pos_ || pos_ == start)
       return std::nullopt;
+    // from_chars accepts "inf"/"nan" spellings and huge exponents can
+    // overflow to infinity; neither is a valid wire value.
+    if (!std::isfinite(number)) return std::nullopt;
     out.value = number;
     return out;
   }
@@ -186,6 +190,16 @@ const JsonValue* find(const JsonObject& obj, const std::string& key) {
   return it == obj.end() ? nullptr : &it->second;
 }
 
+// A number that is a whole value in [0, max]; rejects 4.5, -1, 1e12.
+bool as_bounded_int(const JsonValue& value, int max, int* out) {
+  if (!value.is_number()) return false;
+  double d = std::get<double>(value.value);
+  if (!(d >= 0.0) || d > static_cast<double>(max)) return false;
+  if (d != std::floor(d)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
 }  // namespace
 
 std::string to_json(const SuggestionRequest& request) {
@@ -193,11 +207,17 @@ std::string to_json(const SuggestionRequest& request) {
   out += "\"context\": \"" + json_escape(request.context) + "\", ";
   out += "\"prompt\": \"" + json_escape(request.prompt) + "\", ";
   out += "\"indent\": " + std::to_string(request.indent);
+  if (request.deadline_ms > 0.0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", request.deadline_ms);
+    out += std::string(", \"deadline_ms\": ") + buf;
+  }
   out += "}";
   return out;
 }
 
 std::optional<SuggestionRequest> request_from_json(std::string_view json) {
+  if (json.size() > kMaxWireBytes) return std::nullopt;
   auto obj = JsonParser(json).parse_object();
   if (!obj) return std::nullopt;
   SuggestionRequest request;
@@ -209,8 +229,14 @@ std::optional<SuggestionRequest> request_from_json(std::string_view json) {
     request.context = std::get<std::string>(context->value);
   }
   if (const JsonValue* indent = find(*obj, "indent")) {
-    if (!indent->is_number()) return std::nullopt;
-    request.indent = static_cast<int>(std::get<double>(indent->value));
+    if (!as_bounded_int(*indent, kMaxWireIndent, &request.indent))
+      return std::nullopt;
+  }
+  if (const JsonValue* deadline = find(*obj, "deadline_ms")) {
+    if (!deadline->is_number()) return std::nullopt;
+    double ms = std::get<double>(deadline->value);
+    if (ms < 0.0) return std::nullopt;
+    request.deadline_ms = ms;
   }
   return request;
 }
@@ -224,12 +250,18 @@ std::string to_json(const SuggestionResponse& response) {
   char latency[48];
   std::snprintf(latency, sizeof(latency), "%.3f", response.latency_ms);
   out += std::string("\"latency_ms\": ") + latency + ", ";
-  out += "\"generated_tokens\": " + std::to_string(response.generated_tokens);
+  out += "\"generated_tokens\": " + std::to_string(response.generated_tokens) +
+         ", ";
+  out += std::string("\"degraded\": ") +
+         (response.degraded ? "true" : "false") + ", ";
+  out += "\"error\": \"" + std::string(service_error_name(response.error)) +
+         "\"";
   out += "}";
   return out;
 }
 
 std::optional<SuggestionResponse> response_from_json(std::string_view json) {
+  if (json.size() > kMaxWireBytes) return std::nullopt;
   auto obj = JsonParser(json).parse_object();
   if (!obj) return std::nullopt;
   SuggestionResponse response;
@@ -245,12 +277,23 @@ std::optional<SuggestionResponse> response_from_json(std::string_view json) {
   }
   if (const JsonValue* lat = find(*obj, "latency_ms")) {
     if (!lat->is_number()) return std::nullopt;
-    response.latency_ms = std::get<double>(lat->value);
+    double ms = std::get<double>(lat->value);
+    if (ms < 0.0) return std::nullopt;
+    response.latency_ms = ms;
   }
   if (const JsonValue* toks = find(*obj, "generated_tokens")) {
-    if (!toks->is_number()) return std::nullopt;
-    response.generated_tokens =
-        static_cast<int>(std::get<double>(toks->value));
+    if (!as_bounded_int(*toks, 1 << 24, &response.generated_tokens))
+      return std::nullopt;
+  }
+  if (const JsonValue* degraded = find(*obj, "degraded")) {
+    if (!degraded->is_bool()) return std::nullopt;
+    response.degraded = std::get<bool>(degraded->value);
+  }
+  if (const JsonValue* error = find(*obj, "error")) {
+    if (!error->is_string() ||
+        !service_error_from_name(std::get<std::string>(error->value),
+                                 &response.error))
+      return std::nullopt;
   }
   return response;
 }

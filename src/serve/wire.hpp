@@ -3,8 +3,15 @@
 // predictions so that inference can be called out using GRPC and REST
 // clients"). A deliberately small JSON subset — objects, strings, numbers,
 // booleans — is all the two message types need; no third-party dependency.
+//
+// The parsers are hardened against hostile input: payloads above
+// kMaxWireBytes are refused before parsing, numbers must be finite (no
+// NaN/inf smuggling into latency or indent fields), indent must be a
+// non-negative integer, counts must be non-negative, and truncated escape
+// sequences fail cleanly rather than reading out of bounds.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -13,12 +20,22 @@
 
 namespace wisdom::serve {
 
-// {"context": "...", "prompt": "...", "indent": 4}
+// Upper bound on an accepted JSON payload (request or response). Editor
+// buffers are capped far below this; anything larger is hostile or a bug.
+inline constexpr std::size_t kMaxWireBytes = 1 << 20;  // 1 MiB
+
+// Largest accepted "indent" value; deeper nesting than this is not a
+// plausible editor state.
+inline constexpr int kMaxWireIndent = 4096;
+
+// {"context": "...", "prompt": "...", "indent": 4, "deadline_ms": 50.0}
+// (deadline_ms optional, 0 = service default)
 std::string to_json(const SuggestionRequest& request);
 std::optional<SuggestionRequest> request_from_json(std::string_view json);
 
 // {"ok": true, "snippet": "...", "schema_correct": true,
-//  "latency_ms": 12.5, "generated_tokens": 40}
+//  "latency_ms": 12.5, "generated_tokens": 40,
+//  "degraded": false, "error": "none"}
 std::string to_json(const SuggestionResponse& response);
 std::optional<SuggestionResponse> response_from_json(std::string_view json);
 
