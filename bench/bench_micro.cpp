@@ -4,13 +4,17 @@
 // 3.3M files) and the per-request overhead of the serving path.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "ansible/linter.hpp"
 #include "data/ansible_gen.hpp"
 #include "metrics/ansible_aware.hpp"
 #include "metrics/bleu.hpp"
 #include "metrics/schema_correct.hpp"
+#include "obs/metrics.hpp"
 #include "text/bpe.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "yaml/emit.hpp"
 #include "yaml/parse.hpp"
 
@@ -117,4 +121,18 @@ BENCHMARK(BM_Linter);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the run ends with a metrics dump: the CI smoke job (and
+// anyone profiling locally) reads the built-in instrumentation families
+// off stdout instead of wiring up a scrape endpoint.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Touch the pool so its metric families are registered even under a
+  // --benchmark_filter that skips every parallel workload.
+  wisdom::util::ThreadPool::global();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n--- metrics exposition (global registry) ---\n%s",
+              wisdom::obs::MetricsRegistry::global().expose_prometheus().c_str());
+  return 0;
+}

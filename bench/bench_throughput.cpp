@@ -7,12 +7,14 @@
 // serving throughput through the InferenceService.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "model/config.hpp"
 #include "model/transformer.hpp"
+#include "obs/metrics.hpp"
 #include "serve/service.hpp"
 #include "text/bpe.hpp"
 #include "util/rng.hpp"
@@ -23,6 +25,11 @@ namespace serve = wisdom::serve;
 namespace text = wisdom::text;
 
 namespace {
+
+// Per-service registries die with their benchmark-local service; the last
+// serving benchmark stashes its exposition here so main() can print it
+// next to the global (pool/model) families.
+std::string g_last_service_exposition;
 
 constexpr std::int32_t kVocab = 512;
 constexpr std::int32_t kCtx = 96;
@@ -153,7 +160,9 @@ void BM_BatchedSuggest(benchmark::State& state) {
   cfg.n_layer = 2;
   cfg.d_ff = 128;
   model::Transformer m(cfg, 11);
-  serve::InferenceService service(m, *tokenizer, /*max_new_tokens=*/24);
+  serve::ServiceOptions service_options;
+  service_options.max_new_tokens = 24;
+  serve::InferenceService service(m, *tokenizer, service_options);
 
   std::vector<serve::SuggestionRequest> requests(
       static_cast<std::size_t>(batch));
@@ -168,6 +177,7 @@ void BM_BatchedSuggest(benchmark::State& state) {
   state.counters["p95_ms"] = stats.p95_latency_ms();
   state.SetLabel("b" + std::to_string(batch) + "/t" +
                  std::to_string(threads));
+  g_last_service_exposition = service.metrics().expose_prometheus();
 }
 BENCHMARK(BM_BatchedSuggest)
     ->ArgsProduct({{1, 4, 8}, {1, 4}})
@@ -220,6 +230,7 @@ void BM_OverloadSweep(benchmark::State& state) {
   state.SetLabel("offered=" + std::to_string(kCapacity * multiplier) +
                  "/cap=" + std::to_string(kCapacity) + "/t" +
                  std::to_string(threads));
+  g_last_service_exposition = service.metrics().expose_prometheus();
 }
 BENCHMARK(BM_OverloadSweep)
     ->ArgsProduct({{1, 2, 4}, {4}})
@@ -228,4 +239,19 @@ BENCHMARK(BM_OverloadSweep)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: after the benchmarks, dump the global registry (pool +
+// model decode families) and the last serving benchmark's per-service
+// registry so the CI smoke job can grep the expected metric families.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n--- metrics exposition (global registry) ---\n%s",
+              wisdom::obs::MetricsRegistry::global().expose_prometheus().c_str());
+  if (!g_last_service_exposition.empty()) {
+    std::printf("\n--- metrics exposition (last service registry) ---\n%s",
+                g_last_service_exposition.c_str());
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "core/pipeline.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/log.hpp"
 
@@ -51,11 +52,14 @@ int main(int argc, char** argv) {
       "  tasks:\n";
   std::printf("--- editor ---\n%s", buffer.c_str());
 
+  obs::Trace last_trace;
   for (const std::string& prompt : prompts) {
     serve::SuggestionRequest request;
     request.context = buffer;
     request.prompt = prompt;
     request.indent = 4;
+    last_trace = obs::Trace{};
+    request.trace = &last_trace;
     serve::SuggestionResponse response = service.suggest(request);
     std::printf("\nuser types:   - name: %s\n", prompt.c_str());
     if (!response.ok) {
@@ -85,5 +89,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.rejected),
       100.0 * stats.acceptance_rate(), stats.mean_latency_ms());
+  if (!last_trace.empty()) {
+    std::printf("\n--- last request trace (%s) ---\n%s",
+                obs::trace_id_hex(last_trace.id).c_str(),
+                last_trace.timeline().c_str());
+  }
+  std::printf("\n--- service metrics ---\n%s",
+              service.metrics().expose_prometheus().c_str());
   return 0;
 }

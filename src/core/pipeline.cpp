@@ -7,6 +7,8 @@
 #include "data/dedup.hpp"
 #include "metrics/bleu.hpp"
 #include "model/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/hashing.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
@@ -17,6 +19,23 @@ namespace wisdom::core {
 namespace data = wisdom::data;
 namespace model = wisdom::model;
 namespace util = wisdom::util;
+
+namespace {
+
+// Checkpoint/tokenizer cache effectiveness; a high miss rate on a warmed
+// deployment means the cache directory is being invalidated.
+obs::Counter& cache_counter(bool hit) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& hits = registry.counter(
+      "wisdom_pipeline_cache_hits_total",
+      "Model/tokenizer cache entries loaded instead of retrained.");
+  static obs::Counter& misses = registry.counter(
+      "wisdom_pipeline_cache_misses_total",
+      "Cache lookups that fell through to training (absent or rejected).");
+  return hit ? hits : misses;
+}
+
+}  // namespace
 
 std::string mix_label(PretrainMix mix) {
   switch (mix) {
@@ -126,10 +145,12 @@ const text::BpeTokenizer& Pipeline::tokenizer() {
   if (!cache.empty()) {
     if (auto blob = util::read_file(cache)) {
       if (auto tok = text::BpeTokenizer::deserialize(*blob)) {
+        if (obs::enabled()) cache_counter(true).inc();
         tokenizer_ = std::move(*tok);
         return *tokenizer_;
       }
     }
+    if (obs::enabled()) cache_counter(false).inc();
   }
   // One shared vocabulary across every model, trained on a union sample of
   // all corpus kinds (NL, code, generic YAML, Ansible).
@@ -179,6 +200,7 @@ std::optional<model::Transformer> Pipeline::load_cached(
                    std::string(model::load_status_name(result.status)) +
                    "): " + result.message + "; retraining");
   }
+  if (obs::enabled()) cache_counter(result.model.has_value()).inc();
   return std::move(result.model);
 }
 

@@ -1,6 +1,7 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -8,12 +9,45 @@
 
 #include "model/checkpoint.hpp"
 #include "nn/adamw.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace wisdom::core {
 
 namespace {
+
+// Training metrics in the global registry: per-optimizer-step wall time,
+// cumulative token throughput, and the most recent epoch loss — the
+// numbers an operator watches during a fine-tune run.
+struct TrainMetrics {
+  obs::Counter* steps;
+  obs::Counter* tokens;
+  obs::Histogram* step_ms;
+  obs::Gauge* loss;
+  obs::Gauge* tokens_per_sec;
+};
+
+TrainMetrics& train_metrics() {
+  static TrainMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::global();
+    return TrainMetrics{
+        &registry.counter("wisdom_train_steps_total",
+                          "Optimizer steps applied."),
+        &registry.counter("wisdom_train_tokens_total",
+                          "Training tokens consumed (micro-batch rows x "
+                          "window)."),
+        &registry.histogram("wisdom_train_step_ms", {},
+                            "Per-optimizer-step wall time (forward + "
+                            "backward + update)."),
+        &registry.gauge("wisdom_train_loss", "Most recent epoch mean loss."),
+        &registry.gauge("wisdom_train_tokens_per_sec",
+                        "Throughput of the most recent optimizer step."),
+    };
+  }();
+  return metrics;
+}
 
 // Assembles a micro-batch from window indices.
 void gather(const data::TokenBatchSet& set,
@@ -94,6 +128,10 @@ TrainResult train_model(model::Transformer& model,
     std::size_t loss_count = 0;
     std::size_t cursor = 0;
     while (cursor < windows) {
+      const bool observe = obs::enabled();
+      auto step_start = observe ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+      std::size_t step_tokens = 0;
       model.zero_grad();
       int micros = 0;
       for (int g = 0; g < config.grad_accum && cursor < windows; ++g) {
@@ -107,11 +145,24 @@ TrainResult train_model(model::Transformer& model,
         ++loss_count;
         ++micros;
         cursor += take;
+        step_tokens += take * static_cast<std::size_t>(train_set.window);
       }
       model.optim_step(opt, schedule.at(step),
                        1.0f / static_cast<float>(std::max(1, micros)),
                        config.clip_norm);
       ++step;
+      if (observe) {
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - step_start)
+                        .count();
+        TrainMetrics& tm = train_metrics();
+        tm.steps->inc();
+        tm.tokens->inc(static_cast<std::uint64_t>(step_tokens));
+        tm.step_ms->observe(ms);
+        if (ms > 0.0)
+          tm.tokens_per_sec->set(static_cast<double>(step_tokens) /
+                                 (ms / 1e3));
+      }
     }
     epoch_loss = loss_count == 0
                      ? 0.0f
@@ -129,6 +180,7 @@ TrainResult train_model(model::Transformer& model,
       best_weights = model::save_checkpoint(model, "");
       result.best_epoch = epoch;
     }
+    if (obs::enabled()) train_metrics().loss->set(epoch_loss);
     if (config.on_epoch) config.on_epoch(epoch, epoch_loss, score);
     util::log_info("epoch " + std::to_string(epoch) + " train_loss=" +
                    util::fmt_fixed(epoch_loss, 4) + " val_score=" +

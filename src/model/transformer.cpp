@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
 
 #include "nn/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wisdom::model {
@@ -15,6 +18,39 @@ namespace wisdom::model {
 using nn::Vec;
 
 namespace {
+
+// Decode-path metrics, aggregated across every model instance in the
+// process. Registered lazily on the first instrumented generate() call;
+// updates are gated on obs::enabled().
+struct DecodeMetrics {
+  obs::Counter* generate_calls;
+  obs::Counter* decoded_tokens;
+  obs::Histogram* prefill_ms;
+  obs::Histogram* token_ms;
+};
+
+DecodeMetrics& decode_metrics() {
+  static DecodeMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::global();
+    return DecodeMetrics{
+        &registry.counter("wisdom_model_generate_total",
+                          "generate()/generate_beam() invocations."),
+        &registry.counter("wisdom_model_decoded_tokens_total",
+                          "Decode steps taken (prefill + generation)."),
+        &registry.histogram("wisdom_model_prefill_ms", {},
+                            "Prompt-ingestion latency per generate call."),
+        &registry.histogram("wisdom_model_decode_token_ms", {},
+                            "Per-token decode-step latency."),
+    };
+  }();
+  return metrics;
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 // dB[t x hd] += dC^T-style product for attention: dk[j] += sum_i ds[i][j]*q[i].
 void accumulate_dk(const float* dscores, const float* q, float* dk, int t,
@@ -518,16 +554,32 @@ std::vector<std::int32_t> Transformer::generate(
   GenerateStatus& status = options.status ? *options.status : local_status;
   status = GenerateStatus{};
 
+  obs::TraceContext inert_trace;
+  obs::TraceContext& trace =
+      options.trace ? *options.trace : inert_trace;
+  const bool observe = obs::enabled();
+  if (observe) decode_metrics().generate_calls->inc();
+
   KvCache cache = make_cache();
   std::span<const float> logits;
   std::vector<std::int32_t> out;
-  for (std::int32_t token : kept) {
-    if (options.deadline.expired()) {
-      status.deadline_expired = true;
-      return out;  // nothing decoded yet: empty partial result
+  {
+    auto prefill_span = trace.span("prefill");
+    auto prefill_start = observe ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+    for (std::int32_t token : kept) {
+      if (options.deadline.expired()) {
+        status.deadline_expired = true;
+        return out;  // nothing decoded yet: empty partial result
+      }
+      logits = decode_step(cache, token);
+      ++status.steps_taken;
     }
-    logits = decode_step(cache, token);
-    ++status.steps_taken;
+    if (observe) {
+      decode_metrics().prefill_ms->observe(elapsed_ms_since(prefill_start));
+      decode_metrics().decoded_tokens->inc(
+          static_cast<std::uint64_t>(status.steps_taken));
+    }
   }
   if (kept.empty()) return out;
   util::Rng rng(options.sample_seed);
@@ -537,6 +589,7 @@ std::vector<std::int32_t> Transformer::generate(
       status.deadline_expired = true;
       break;
     }
+    auto decode_span = trace.span("decode");
     std::int32_t next =
         options.temperature > 0.0f
             ? sample_token(logits, options.temperature, options.top_k, rng)
@@ -544,8 +597,14 @@ std::vector<std::int32_t> Transformer::generate(
     if (next == options.stop_token) break;
     out.push_back(next);
     if (cache.length < config_.ctx) {
+      auto token_start = observe ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
       logits = decode_step(cache, next);
       ++status.steps_taken;
+      if (observe) {
+        decode_metrics().token_ms->observe(elapsed_ms_since(token_start));
+        decode_metrics().decoded_tokens->inc();
+      }
     }
   }
   return out;
@@ -593,17 +652,33 @@ std::vector<std::int32_t> Transformer::generate_beam(
   GenerateStatus& status = options.status ? *options.status : local_status;
   status = GenerateStatus{};
 
+  obs::TraceContext inert_trace;
+  obs::TraceContext& trace =
+      options.trace ? *options.trace : inert_trace;
+  const bool observe = obs::enabled();
+  if (observe) decode_metrics().generate_calls->inc();
+
   // Seed beam: the prompt fed once.
   Beam seed;
   seed.cache = make_cache();
   std::span<const float> logits;
-  for (std::int32_t token : kept) {
-    if (options.deadline.expired()) {
-      status.deadline_expired = true;
-      return {};  // prefill never finished: no hypothesis exists yet
+  {
+    auto prefill_span = trace.span("prefill");
+    auto prefill_start = observe ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+    for (std::int32_t token : kept) {
+      if (options.deadline.expired()) {
+        status.deadline_expired = true;
+        return {};  // prefill never finished: no hypothesis exists yet
+      }
+      logits = decode_step(seed.cache, token);
+      ++status.steps_taken;
     }
-    logits = decode_step(seed.cache, token);
-    ++status.steps_taken;
+    if (observe) {
+      decode_metrics().prefill_ms->observe(elapsed_ms_since(prefill_start));
+      decode_metrics().decoded_tokens->inc(
+          static_cast<std::uint64_t>(status.steps_taken));
+    }
   }
   log_softmax(logits, seed.logprobs);
 
@@ -619,6 +694,7 @@ std::vector<std::int32_t> Transformer::generate_beam(
       break;  // fall through to best-finished / best-live selection
     }
     ++status.steps_taken;
+    auto step_span = trace.span("beam_step");
     // Gather candidate expansions from every live beam.
     struct Candidate {
       std::size_t beam;

@@ -16,6 +16,7 @@
 #include "model/config.hpp"
 #include "nn/adamw.hpp"
 #include "nn/tensor.hpp"
+#include "obs/trace.hpp"
 #include "util/deadline.hpp"
 #include "util/rng.hpp"
 
@@ -90,6 +91,10 @@ class Transformer {
     // decoded so far are returned.
     util::Deadline deadline;
     GenerateStatus* status = nullptr;  // optional out-param
+    // Optional request trace: records a "prefill" span covering prompt
+    // ingestion and one "decode" span per generated token. Inert when
+    // null (or when the context itself is inactive).
+    obs::TraceContext* trace = nullptr;
   };
   // Greedy generation. The prompt is left-truncated to fit the context
   // window with room for at least one generated token — the paper: "when
@@ -110,6 +115,9 @@ class Transformer {
     // best hypothesis found so far is returned.
     util::Deadline deadline;
     GenerateStatus* status = nullptr;  // optional out-param
+    // Optional request trace: "prefill" plus one "beam_step" span per
+    // expansion round.
+    obs::TraceContext* trace = nullptr;
   };
   std::vector<std::int32_t> generate_beam(std::span<const std::int32_t> prompt,
                                           const BeamOptions& options) const;

@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wisdom::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_buckets_ms();
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1]))
+      throw std::logic_error("histogram bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound is >= v ("le" semantics); past the last
+  // finite bound the sample lands in the +Inf overflow bucket.
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += bucket_value(i);
+    if (cumulative >= rank) return bounds_[i];
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();  // rank in +Inf overflow
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_buckets_ms() {
+  static const std::vector<double> kBuckets = {
+      0.005, 0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,    5.0,
+      10.0,  25.0, 50.0,  100., 250., 500., 1000., 2500.0, 5000.0, 10000.0};
+  return kBuckets;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::Counter;
+    entry.help = std::string(help);
+    entry.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != Kind::Counter)
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' registered with a different kind");
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::Gauge;
+    entry.help = std::string(help);
+    entry.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != Kind::Gauge)
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' registered with a different kind");
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::Histogram;
+    entry.help = std::string(help);
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  if (it->second.kind != Kind::Histogram)
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' registered with a different kind");
+  return *it->second.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::Counter)
+    return nullptr;
+  return it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::Gauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::Histogram)
+    return nullptr;
+  return it->second.histogram.get();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::Counter: entry.counter->reset(); break;
+      case Kind::Gauge: entry.gauge->reset(); break;
+      case Kind::Histogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never torn down
+  return *registry;
+}
+
+}  // namespace wisdom::obs

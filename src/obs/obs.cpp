@@ -1,0 +1,32 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wisdom::obs {
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+int init_enabled_from_env() {
+  int on = 1;
+  if (const char* env = std::getenv("WISDOM_OBS")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "false") == 0)
+      on = 0;
+  }
+  // Another thread may have raced init; either wrote the same env-derived
+  // value or an explicit set_enabled(), which wins.
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace wisdom::obs

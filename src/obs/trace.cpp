@@ -1,0 +1,90 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/obs.hpp"
+
+namespace wisdom::obs {
+
+double Trace::stage_ms(std::string_view name) const {
+  double total = 0.0;
+  for (const Span& span : spans)
+    if (span.name == name) total += span.duration_ms;
+  return total;
+}
+
+std::map<std::string, double> Trace::stage_totals() const {
+  std::map<std::string, double> totals;
+  for (const Span& span : spans) totals[span.name] += span.duration_ms;
+  return totals;
+}
+
+std::string Trace::timeline() const {
+  std::string out = "trace " + trace_id_hex(id) + "\n";
+  for (const Span& span : spans) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%8.3f ms  %8.3f ms  ", span.start_ms,
+                  span.duration_ms);
+    out += buf;
+    out += std::string(static_cast<std::size_t>(span.depth) * 2, ' ');
+    out += span.name + "\n";
+  }
+  return out;
+}
+
+std::uint64_t trace_id(std::uint64_t seq, std::string_view payload) {
+  // FNV-1a over the sequence number's bytes then the payload.
+  std::uint64_t h = 14695981039346656037ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (seq >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  for (unsigned char c : payload) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+TraceContext::TraceContext(Trace* sink, std::uint64_t id) {
+  if (!sink || !enabled()) return;
+  sink_ = sink;
+  sink_->id = id;
+  sink_->spans.clear();
+  origin_ = std::chrono::steady_clock::now();
+}
+
+double TraceContext::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+TraceContext::Scope TraceContext::span(std::string_view name) {
+  if (!sink_) return Scope();
+  Span span;
+  span.name = std::string(name);
+  span.depth = depth_;
+  span.start_ms = elapsed_ms();
+  std::size_t index = sink_->spans.size();
+  sink_->spans.push_back(std::move(span));
+  ++depth_;
+  return Scope(this, index);
+}
+
+void TraceContext::Scope::end() {
+  if (!ctx_) return;
+  Span& span = ctx_->sink_->spans[index_];
+  span.duration_ms = ctx_->elapsed_ms() - span.start_ms;
+  --ctx_->depth_;
+  ctx_ = nullptr;
+}
+
+}  // namespace wisdom::obs

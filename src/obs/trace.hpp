@@ -1,0 +1,108 @@
+// Request tracing: a TraceContext carried through the serving path records
+// named, nested spans (tokenize, admission, prefill, per-token decode,
+// postprocess, fallback) into a per-request Trace.
+//
+// Contract:
+//   * One trace belongs to one request on one thread; no locking. Batched
+//     serving gives every request its own Trace.
+//   * A default-constructed (or obs-disabled) TraceContext is inert: span()
+//     returns a scope whose open/close do nothing and read no clock, so
+//     instrumentation points cost a null check when tracing is off.
+//   * Spans are recorded in open order (pre-order), each with its nesting
+//     depth and its start offset from the trace origin — the dump is a
+//     deterministic timeline, and per-name stage totals feed the
+//     Server-Timing wire field and per-stage histograms.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wisdom::obs {
+
+struct Span {
+  std::string name;
+  int depth = 0;        // 0 = root
+  double start_ms = 0;  // offset from the trace origin
+  double duration_ms = 0;
+};
+
+struct Trace {
+  std::uint64_t id = 0;
+  std::vector<Span> spans;  // open order (pre-order)
+
+  bool empty() const { return spans.empty(); }
+  // Duration of the root span; 0 for an empty trace.
+  double total_ms() const { return spans.empty() ? 0.0 : spans[0].duration_ms; }
+  // Summed duration of every span with this name (e.g. all "decode"
+  // steps).
+  double stage_ms(std::string_view name) const;
+  // name -> summed duration, every span name. Sorted (std::map), so wire
+  // serialization and dumps are deterministic.
+  std::map<std::string, double> stage_totals() const;
+  // Human-readable indented timeline, one line per span.
+  std::string timeline() const;
+};
+
+// Deterministic 64-bit trace id: FNV-1a over a sequence number and a
+// payload (the request prompt). Stable across runs for the same inputs.
+std::uint64_t trace_id(std::uint64_t seq, std::string_view payload);
+// Lower-case 16-hex-digit rendering used on the wire.
+std::string trace_id_hex(std::uint64_t id);
+
+class TraceContext {
+ public:
+  TraceContext() = default;  // inert
+
+  // Activates recording into `sink` (no-op context when sink is null or
+  // observability is disabled at the obs::enabled() switch).
+  TraceContext(Trace* sink, std::uint64_t id);
+
+  bool active() const { return sink_ != nullptr; }
+
+  // RAII span: opened by TraceContext::span(), closed at scope exit (or
+  // an explicit end()).
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(Scope&& other) noexcept : ctx_(other.ctx_), index_(other.index_) {
+      other.ctx_ = nullptr;
+    }
+    Scope& operator=(Scope&& other) noexcept {
+      if (this != &other) {
+        end();
+        ctx_ = other.ctx_;
+        index_ = other.index_;
+        other.ctx_ = nullptr;
+      }
+      return *this;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { end(); }
+
+    void end();  // idempotent
+
+   private:
+    friend class TraceContext;
+    Scope(TraceContext* ctx, std::size_t index) : ctx_(ctx), index_(index) {}
+    TraceContext* ctx_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  // Opens a nested span; close it by letting the Scope die (or end()).
+  Scope span(std::string_view name);
+
+ private:
+  friend class Scope;
+  double elapsed_ms() const;
+
+  Trace* sink_ = nullptr;
+  std::chrono::steady_clock::time_point origin_{};
+  int depth_ = 0;
+};
+
+}  // namespace wisdom::obs

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
 namespace wisdom::serve {
 
 Backoff::Backoff(const RetryPolicy& policy)
@@ -31,6 +34,15 @@ RetryingClient::RetryingClient(InferenceService& service, RetryPolicy policy,
 
 RetryingClient::Outcome RetryingClient::suggest_with_trace(
     const SuggestionRequest& request) {
+  // Retry counters live in the service's registry next to the shed/offered
+  // counters they explain; registration is idempotent and off the per-call
+  // hot path (one map lookup per client call, not per token).
+  obs::Counter& retries = service_.metrics().counter(
+      "wisdom_serve_retries_total",
+      "Backoff retries taken by retrying clients.");
+  obs::Counter& exhausted = service_.metrics().counter(
+      "wisdom_serve_retry_exhausted_total",
+      "Client calls that used every attempt and still failed.");
   Outcome outcome;
   Backoff backoff(policy_);
   const int attempts = std::max(1, policy_.max_attempts);
@@ -41,9 +53,13 @@ RetryingClient::Outcome RetryingClient::suggest_with_trace(
     // A degraded-shed response already carries a usable snippet; retrying
     // it would trade a good-enough answer for more load on a hot service.
     if (outcome.response.ok) break;
-    if (attempt + 1 >= attempts) break;
+    if (attempt + 1 >= attempts) {
+      exhausted.inc();
+      break;
+    }
     double delay = backoff.next_delay_ms();
     outcome.delays_ms.push_back(delay);
+    retries.inc();
     sleep_(delay);
   }
   return outcome;

@@ -6,6 +6,7 @@
 
 #include "core/postprocess.hpp"
 #include "metrics/schema_correct.hpp"
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -64,20 +65,57 @@ double ServiceStats::percentile_latency_ms(double p) const {
 
 InferenceService::InferenceService(const model::Transformer& model,
                                    const text::BpeTokenizer& tokenizer,
-                                   int max_new_tokens)
-    : InferenceService(model, tokenizer, [&] {
-        ServiceOptions options;
-        options.max_new_tokens = max_new_tokens;
-        return options;
-      }()) {}
-
-InferenceService::InferenceService(const model::Transformer& model,
-                                   const text::BpeTokenizer& tokenizer,
-                                   const ServiceOptions& options)
+                                   ServiceOptions options)
     : model_(model),
       tokenizer_(tokenizer),
       options_(options),
-      queue_(options.queue_capacity) {}
+      queue_(options.queue_capacity) {
+  h_.offered = &registry_.counter("wisdom_serve_offered_total",
+                                  "Every arrival, admitted or shed.");
+  h_.requests = &registry_.counter(
+      "wisdom_serve_requests_total",
+      "Responses produced (admitted + degraded-shed).");
+  h_.shed = &registry_.counter(
+      "wisdom_serve_shed_total",
+      "Arrivals refused admission by the bounded queue.");
+  h_.degraded = &registry_.counter("wisdom_serve_degraded_total",
+                                   "Responses served by the fallback path.");
+  h_.deadline_expired =
+      &registry_.counter("wisdom_serve_deadline_expired_total",
+                         "Requests whose decode hit its deadline.");
+  h_.accepted = &registry_.counter("wisdom_serve_accepted_total",
+                                   "Suggestions the user accepted (tab).");
+  h_.rejected = &registry_.counter("wisdom_serve_rejected_total",
+                                   "Suggestions the user rejected (escape).");
+  h_.generated_tokens = &registry_.counter(
+      "wisdom_serve_generated_tokens_total", "Tokens decoded for responses.");
+  h_.fallback_served = &registry_.counter(
+      "wisdom_serve_fallback_total",
+      "Responses filled in by the deterministic fallback suggester.");
+  h_.wall_ms = &registry_.gauge(
+      "wisdom_serve_wall_ms",
+      "Service-side wall time; a batch contributes its elapsed time once.");
+  h_.inflight = &registry_.gauge("wisdom_serve_inflight",
+                                 "Admitted requests currently in flight.");
+  h_.request_ms = &registry_.histogram("wisdom_serve_request_ms", {},
+                                       "End-to-end per-request latency.");
+  h_.stage_admission = &registry_.histogram(
+      "wisdom_serve_stage_admission_ms", {}, "Admission-gate stage time.");
+  h_.stage_tokenize = &registry_.histogram("wisdom_serve_stage_tokenize_ms",
+                                           {}, "Prompt encoding stage time.");
+  h_.stage_generate = &registry_.histogram(
+      "wisdom_serve_stage_generate_ms", {},
+      "Model generate() stage time (prefill + decode).");
+  h_.stage_prefill = &registry_.histogram("wisdom_serve_stage_prefill_ms",
+                                          {}, "Prompt-ingestion stage time.");
+  h_.stage_decode = &registry_.histogram("wisdom_serve_stage_decode_ms", {},
+                                         "Per-token decode span time.");
+  h_.stage_postprocess = &registry_.histogram(
+      "wisdom_serve_stage_postprocess_ms", {},
+      "Detokenize/trim/truncate stage time.");
+  h_.stage_fallback = &registry_.histogram(
+      "wisdom_serve_stage_fallback_ms", {}, "Fallback-suggester stage time.");
+}
 
 bool InferenceService::try_admit() {
   if (options_.faults && options_.faults->queue_full_forced()) return false;
@@ -99,7 +137,10 @@ util::Deadline InferenceService::request_deadline(
 }
 
 void InferenceService::apply_fallback(const SuggestionRequest& request,
+                                      obs::TraceContext& trace,
                                       SuggestionResponse* response) const {
+  auto fallback_span = trace.span("fallback");
+  h_.fallback_served->inc();
   std::string pad(static_cast<std::size_t>(request.indent), ' ');
   std::string name_line = pad + "- name: " + request.prompt + "\n";
   response->snippet =
@@ -110,7 +151,7 @@ void InferenceService::apply_fallback(const SuggestionRequest& request,
 }
 
 SuggestionResponse InferenceService::run_one(
-    const SuggestionRequest& request) const {
+    const SuggestionRequest& request, obs::TraceContext& trace) const {
   auto start = std::chrono::steady_clock::now();
   SuggestionResponse response;
   if (request.prompt.empty() || request.indent < 0) {
@@ -124,24 +165,38 @@ SuggestionResponse InferenceService::run_one(
 
   if (options_.faults && options_.faults->take_generate_failure()) {
     response.error = ServiceError::GenerateFailed;
-    if (options_.fallback_enabled) apply_fallback(request, &response);
+    if (options_.fallback_enabled)
+      apply_fallback(request, trace, &response);
     response.latency_ms = elapsed_ms(start);
     return response;
   }
 
-  std::string input_text = request.context + name_line;
-  std::vector<std::int32_t> ids = tokenizer_.encode(input_text);
+  std::vector<std::int32_t> ids;
+  {
+    auto tokenize_span = trace.span("tokenize");
+    std::string input_text = request.context + name_line;
+    ids = tokenizer_.encode(input_text);
+  }
   model::Transformer::GenerateOptions gen;
   gen.max_new_tokens = options_.max_new_tokens;
   gen.stop_token = text::BpeTokenizer::kEndOfText;
   gen.deadline = request_deadline(request);
+  gen.trace = &trace;
   model::Transformer::GenerateStatus status;
   gen.status = &status;
-  std::vector<std::int32_t> out = model_.generate(ids, gen);
+  std::vector<std::int32_t> out;
+  {
+    auto generate_span = trace.span("generate");
+    out = model_.generate(ids, gen);
+  }
 
-  std::string body = core::trim_generation(tokenizer_.decode(out));
-  body = core::truncate_to_first_task(
-      body, static_cast<std::size_t>(request.indent));
+  std::string body;
+  {
+    auto postprocess_span = trace.span("postprocess");
+    body = core::trim_generation(tokenizer_.decode(out));
+    body = core::truncate_to_first_task(
+        body, static_cast<std::size_t>(request.indent));
+  }
   response.generated_tokens = static_cast<int>(out.size());
 
   if (status.deadline_expired) {
@@ -156,7 +211,7 @@ SuggestionResponse InferenceService::run_one(
       response.snippet = std::move(partial);
       response.schema_correct = true;
     } else if (options_.fallback_enabled) {
-      apply_fallback(request, &response);
+      apply_fallback(request, trace, &response);
     }
   } else {
     response.ok = !body.empty();
@@ -169,45 +224,94 @@ SuggestionResponse InferenceService::run_one(
 }
 
 SuggestionResponse InferenceService::run_shed(
-    const SuggestionRequest& request) const {
+    const SuggestionRequest& request, obs::TraceContext& trace) const {
   auto start = std::chrono::steady_clock::now();
   SuggestionResponse response;
   response.error = ServiceError::Overloaded;
   if (options_.shed_policy == ShedPolicy::DegradeNewest &&
       !request.prompt.empty() && request.indent >= 0) {
-    apply_fallback(request, &response);
+    apply_fallback(request, trace, &response);
   }
   response.latency_ms = elapsed_ms(start);
   return response;
 }
 
-void InferenceService::record_locked(const SuggestionResponse& response) {
-  ++stats_.requests;
-  stats_.total_latency_ms += response.latency_ms;
-  stats_.latencies_ms.push_back(response.latency_ms);
-  stats_.generated_tokens +=
-      static_cast<std::uint64_t>(response.generated_tokens);
-  if (response.degraded) ++stats_.degraded;
+void InferenceService::observe_stages(const obs::Trace& trace) const {
+  for (const obs::Span& span : trace.spans) {
+    obs::Histogram* histogram = nullptr;
+    if (span.name == "admission") histogram = h_.stage_admission;
+    else if (span.name == "tokenize") histogram = h_.stage_tokenize;
+    else if (span.name == "generate") histogram = h_.stage_generate;
+    else if (span.name == "prefill") histogram = h_.stage_prefill;
+    else if (span.name == "decode") histogram = h_.stage_decode;
+    else if (span.name == "postprocess") histogram = h_.stage_postprocess;
+    else if (span.name == "fallback") histogram = h_.stage_fallback;
+    if (histogram) histogram->observe(span.duration_ms);
+  }
+}
+
+SuggestionResponse InferenceService::serve_traced(
+    const SuggestionRequest& request, bool admitted,
+    std::uint64_t seq) const {
+  // Every request is traced when observability is enabled; the caller's
+  // sink (if any) keeps the timeline, otherwise a local one feeds the
+  // per-stage histograms and Server-Timing map and is dropped.
+  obs::Trace local_trace;
+  obs::Trace* sink = request.trace ? request.trace : &local_trace;
+  const std::uint64_t id = obs::trace_id(seq, request.prompt);
+  obs::TraceContext trace(sink, id);
+  SuggestionResponse response;
+  {
+    auto root = trace.span("request");
+    {
+      // The admission decision itself ran just before the trace opened
+      // (batches decide all admissions in arrival order first); the span
+      // documents the stage at its true sub-microsecond cost.
+      auto admission_span = trace.span("admission");
+    }
+    response = admitted ? run_one(request, trace) : run_shed(request, trace);
+  }
+  if (trace.active()) {
+    response.trace_id =
+        request.trace_id.empty() ? obs::trace_id_hex(id) : request.trace_id;
+    response.server_timing_ms = sink->stage_totals();
+    observe_stages(*sink);
+  }
+  return response;
+}
+
+void InferenceService::record_response(const SuggestionResponse& response) {
+  h_.requests->inc();
+  h_.request_ms->observe(response.latency_ms);
+  h_.generated_tokens->inc(
+      static_cast<std::uint64_t>(response.generated_tokens));
+  if (response.degraded) h_.degraded->inc();
   if (response.error == ServiceError::DeadlineExceeded)
-    ++stats_.deadline_expired;
+    h_.deadline_expired->inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_ms_.push_back(response.latency_ms);
 }
 
 SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
   const bool admitted = try_admit();
-  SuggestionResponse response =
-      admitted ? run_one(request) : run_shed(request);
+  const std::uint64_t seq =
+      trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled())
+    h_.inflight->set(static_cast<double>(queue_.in_flight()));
+  SuggestionResponse response = serve_traced(request, admitted, seq);
   if (admitted) queue_.release();
+  if (obs::enabled())
+    h_.inflight->set(static_cast<double>(queue_.in_flight()));
 
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.offered;
+  h_.offered->inc();
   if (!admitted) {
-    ++stats_.shed;
+    h_.shed->inc();
     // A rejected request never entered the pipeline: it contributes no
     // latency sample. A degraded-shed response is a served request.
     if (options_.shed_policy == ShedPolicy::RejectNewest) return response;
   }
-  record_locked(response);
-  stats_.total_wall_ms += response.latency_ms;
+  record_response(response);
+  h_.wall_ms->add(response.latency_ms);
   return response;
 }
 
@@ -217,9 +321,13 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch(
   const std::size_t n = requests.size();
   // Admission in arrival order, before the fan-out: with capacity C on an
   // otherwise idle service exactly the first C requests are admitted —
-  // deterministic reject-newest.
+  // deterministic reject-newest. Trace ids are sequenced the same way.
   std::vector<char> admitted(n, 0);
   for (std::size_t i = 0; i < n; ++i) admitted[i] = try_admit() ? 1 : 0;
+  const std::uint64_t base_seq = trace_seq_.fetch_add(
+      static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+  if (obs::enabled())
+    h_.inflight->set(static_cast<double>(queue_.in_flight()));
 
   std::vector<SuggestionResponse> responses(n);
   util::ThreadPool::global().parallel_for(
@@ -227,39 +335,55 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch(
       [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i) {
           std::size_t j = static_cast<std::size_t>(i);
-          responses[j] =
-              admitted[j] ? run_one(requests[j]) : run_shed(requests[j]);
+          responses[j] = serve_traced(requests[j], admitted[j] != 0,
+                                      base_seq + static_cast<std::uint64_t>(j));
         }
       });
   for (std::size_t i = 0; i < n; ++i)
     if (admitted[i]) queue_.release();
+  if (obs::enabled())
+    h_.inflight->set(static_cast<double>(queue_.in_flight()));
   double wall = elapsed_ms(start);
 
-  std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t i = 0; i < n; ++i) {
-    ++stats_.offered;
+    h_.offered->inc();
     if (!admitted[i]) {
-      ++stats_.shed;
+      h_.shed->inc();
       if (options_.shed_policy == ShedPolicy::RejectNewest) continue;
     }
-    record_locked(responses[i]);
+    record_response(responses[i]);
   }
-  stats_.total_wall_ms += wall;
+  h_.wall_ms->add(wall);
   return responses;
 }
 
-void InferenceService::record_accept() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.accepted;
+void InferenceService::record_accept() { h_.accepted->inc(); }
+
+void InferenceService::record_reject() { h_.rejected->inc(); }
+
+void InferenceService::refresh_stats_locked() const {
+  stats_.offered = h_.offered->value();
+  stats_.requests = h_.requests->value();
+  stats_.shed = h_.shed->value();
+  stats_.degraded = h_.degraded->value();
+  stats_.deadline_expired = h_.deadline_expired->value();
+  stats_.accepted = h_.accepted->value();
+  stats_.rejected = h_.rejected->value();
+  stats_.generated_tokens = h_.generated_tokens->value();
+  stats_.total_latency_ms = h_.request_ms->sum();
+  stats_.total_wall_ms = h_.wall_ms->value();
+  stats_.latencies_ms = latencies_ms_;
 }
 
-void InferenceService::record_reject() {
+const ServiceStats& InferenceService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.rejected;
+  refresh_stats_locked();
+  return stats_;
 }
 
 ServiceStats InferenceService::stats_snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  refresh_stats_locked();
   return stats_;
 }
 

@@ -21,15 +21,28 @@
 //     fallback instead of refusing them,
 //   * a FaultInjector (tests/benchmarks) forces each degraded path
 //     deterministically.
+//
+// Observability: the service owns an obs::MetricsRegistry (counters,
+// request-latency and per-stage histograms — exportable as Prometheus
+// text or JSON via metrics()), and every request is traced: admission →
+// tokenize → generate (prefill + per-token decode) → postprocess →
+// fallback spans land in the request's obs::Trace (attach a sink via
+// SuggestionRequest::trace to keep it) and the per-stage totals come back
+// in SuggestionResponse::server_timing_ms. ServiceStats is a snapshot
+// view derived from the registry; the accessors are unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "model/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/fallback.hpp"
 #include "serve/fault.hpp"
 #include "serve/queue.hpp"
@@ -65,8 +78,14 @@ struct SuggestionRequest {
   // Per-request decode budget in milliseconds; <= 0 uses the service
   // default (ServiceOptions::deadline_ms).
   double deadline_ms = 0.0;
+  // Client-supplied trace id echoed in the response; empty lets the
+  // service derive a deterministic one (sequence number + prompt hash).
+  std::string trace_id;
   // Optional cooperative cancellation (the user kept typing).
   util::CancelToken cancel;
+  // Optional trace sink: when set (and observability is enabled) the
+  // request's span timeline is written here. Borrowed; not serialized.
+  obs::Trace* trace = nullptr;
 };
 
 struct SuggestionResponse {
@@ -83,6 +102,13 @@ struct SuggestionResponse {
   bool degraded = false;
   // Why the request degraded or failed; None for a normal response.
   ServiceError error = ServiceError::None;
+  // Trace id of this request (client-supplied or service-derived); empty
+  // when tracing is disabled.
+  std::string trace_id;
+  // Per-stage wall time of this request ("admission", "tokenize",
+  // "prefill", "decode", "postprocess", "fallback", plus the "request"
+  // root). Empty when tracing is disabled.
+  std::map<std::string, double> server_timing_ms;
 };
 
 struct ServiceOptions {
@@ -100,6 +126,9 @@ struct ServiceOptions {
   FaultInjector* faults = nullptr;
 };
 
+// Snapshot of the service's counters, derived from its metrics registry.
+// The derived quantities (percentiles, rates, throughput) keep their
+// pre-registry signatures, so existing callers compile unchanged.
 struct ServiceStats {
   // Every arrival, admitted or shed.
   std::uint64_t offered = 0;
@@ -157,12 +186,12 @@ struct ServiceStats {
 class InferenceService {
  public:
   // Borrows the model and tokenizer; both must outlive the service.
+  // Default-constructed options give an unbounded, deadline-free service
+  // (the old max_new_tokens-only constructor is covered by setting just
+  // that field).
   InferenceService(const model::Transformer& model,
                    const text::BpeTokenizer& tokenizer,
-                   int max_new_tokens = 56);
-  InferenceService(const model::Transformer& model,
-                   const text::BpeTokenizer& tokenizer,
-                   const ServiceOptions& options);
+                   ServiceOptions options = {});
 
   const ServiceOptions& options() const { return options_; }
 
@@ -182,30 +211,79 @@ class InferenceService {
   void record_accept();
   void record_reject();
 
-  // Single-threaded view; use stats_snapshot() when other threads may be
-  // calling into the service.
-  const ServiceStats& stats() const { return stats_; }
+  // The service's metrics registry: counters/gauges backing ServiceStats
+  // plus per-stage latency histograms; export with expose_prometheus() /
+  // expose_json().
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  // Single-threaded view (refreshed from the registry on each call); use
+  // stats_snapshot() when other threads may be calling into the service.
+  const ServiceStats& stats() const;
   ServiceStats stats_snapshot() const;
 
  private:
+  // Per-service metric handles, registered once at construction; the hot
+  // path updates through these pointers without touching the registry map.
+  struct Handles {
+    obs::Counter* offered = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* deadline_expired = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* generated_tokens = nullptr;
+    obs::Counter* fallback_served = nullptr;
+    obs::Gauge* wall_ms = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Histogram* request_ms = nullptr;
+    obs::Histogram* stage_admission = nullptr;
+    obs::Histogram* stage_tokenize = nullptr;
+    obs::Histogram* stage_generate = nullptr;
+    obs::Histogram* stage_prefill = nullptr;
+    obs::Histogram* stage_decode = nullptr;
+    obs::Histogram* stage_postprocess = nullptr;
+    obs::Histogram* stage_fallback = nullptr;
+  };
+
   bool try_admit();
   util::Deadline request_deadline(const SuggestionRequest& request) const;
-  SuggestionResponse run_one(const SuggestionRequest& request) const;
+  // Serves one request (admitted or shed path), recording spans into
+  // `trace` and finalizing trace_id/server_timing_ms on the response.
+  SuggestionResponse serve_traced(const SuggestionRequest& request,
+                                  bool admitted, std::uint64_t seq) const;
+  SuggestionResponse run_one(const SuggestionRequest& request,
+                             obs::TraceContext& trace) const;
   // Response for a request refused admission: an Overloaded rejection or,
   // under DegradeNewest, a fallback suggestion.
-  SuggestionResponse run_shed(const SuggestionRequest& request) const;
+  SuggestionResponse run_shed(const SuggestionRequest& request,
+                              obs::TraceContext& trace) const;
   // Fills `response` from the fallback suggester (degraded path).
   void apply_fallback(const SuggestionRequest& request,
+                      obs::TraceContext& trace,
                       SuggestionResponse* response) const;
-  void record_locked(const SuggestionResponse& response);
+  // Feeds the completed trace's stage totals into the per-stage
+  // histograms.
+  void observe_stages(const obs::Trace& trace) const;
+  // Counter/histogram updates for one produced response; appends the
+  // exact latency sample under mu_.
+  void record_response(const SuggestionResponse& response);
+  void refresh_stats_locked() const;
 
   const model::Transformer& model_;
   const text::BpeTokenizer& tokenizer_;
   ServiceOptions options_;
   FallbackSuggester fallback_;
   AdmissionQueue queue_;
+  obs::MetricsRegistry registry_;
+  Handles h_;
+  std::atomic<std::uint64_t> trace_seq_{0};
   mutable std::mutex mu_;
-  ServiceStats stats_;
+  // Exact per-request latency samples (arrival order) for the legacy
+  // nearest-rank percentiles; everything else lives in the registry.
+  std::vector<double> latencies_ms_;
+  mutable ServiceStats stats_;
 };
 
 }  // namespace wisdom::serve

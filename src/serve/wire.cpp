@@ -4,7 +4,10 @@
 #include <charconv>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <utility>
 #include <variant>
+#include <vector>
 
 namespace wisdom::serve {
 
@@ -33,19 +36,33 @@ std::string json_escape(std::string_view text) {
 
 namespace {
 
-// A tiny JSON value model: only what the two messages need.
+// A tiny JSON value model: only what the two messages need. Nested
+// objects (server_timing_ms, tolerated unknown fields) are stored as a
+// member list behind a shared_ptr — std::vector accepts the incomplete
+// JsonValue element type, and the pointer keeps the variant copyable.
+struct JsonValue;
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
 struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string> value =
-      nullptr;
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonMembers>>
+      value = nullptr;
 
   bool is_bool() const { return std::holds_alternative<bool>(value); }
   bool is_number() const { return std::holds_alternative<double>(value); }
   bool is_string() const {
     return std::holds_alternative<std::string>(value);
   }
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonMembers>>(value);
+  }
 };
 
 using JsonObject = std::map<std::string, JsonValue>;
+
+// Deeper nesting than this in either message is hostile input, not a
+// plausible client; keeps the recursive-descent stack bounded.
+constexpr int kMaxJsonDepth = 8;
 
 class JsonParser {
  public:
@@ -53,31 +70,38 @@ class JsonParser {
 
   std::optional<JsonObject> parse_object() {
     skip_ws();
-    if (!eat('{')) return std::nullopt;
-    JsonObject obj;
+    auto members = parse_members(/*depth=*/1);
+    if (!members) return std::nullopt;
     skip_ws();
-    if (eat('}')) return finish(obj);
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    JsonObject obj;
+    for (auto& [key, value] : *members) obj[key] = std::move(value);
+    return obj;
+  }
+
+ private:
+  // Parses one {...} object (the opening brace not yet consumed) into its
+  // member list, recursing through parse_value for nested objects.
+  std::optional<JsonMembers> parse_members(int depth) {
+    if (depth > kMaxJsonDepth) return std::nullopt;
+    if (!eat('{')) return std::nullopt;
+    JsonMembers members;
+    skip_ws();
+    if (eat('}')) return members;
     for (;;) {
       skip_ws();
       auto key = parse_string();
       if (!key) return std::nullopt;
       skip_ws();
       if (!eat(':')) return std::nullopt;
-      auto value = parse_value();
+      auto value = parse_value(depth);
       if (!value) return std::nullopt;
-      obj[*key] = *value;
+      members.emplace_back(std::move(*key), std::move(*value));
       skip_ws();
       if (eat(',')) continue;
-      if (eat('}')) return finish(obj);
+      if (eat('}')) return members;
       return std::nullopt;
     }
-  }
-
- private:
-  std::optional<JsonObject> finish(JsonObject obj) {
-    skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
-    return obj;
   }
 
   void skip_ws() {
@@ -102,11 +126,17 @@ class JsonParser {
     return false;
   }
 
-  std::optional<JsonValue> parse_value() {
+  std::optional<JsonValue> parse_value(int depth) {
     skip_ws();
     if (pos_ >= text_.size()) return std::nullopt;
     char c = text_[pos_];
     JsonValue out;
+    if (c == '{') {
+      auto members = parse_members(depth + 1);
+      if (!members) return std::nullopt;
+      out.value = std::make_shared<JsonMembers>(std::move(*members));
+      return out;
+    }
     if (c == '"') {
       auto s = parse_string();
       if (!s) return std::nullopt;
@@ -212,6 +242,9 @@ std::string to_json(const SuggestionRequest& request) {
     std::snprintf(buf, sizeof(buf), "%.3f", request.deadline_ms);
     out += std::string(", \"deadline_ms\": ") + buf;
   }
+  if (!request.trace_id.empty()) {
+    out += ", \"trace_id\": \"" + json_escape(request.trace_id) + "\"";
+  }
   out += "}";
   return out;
 }
@@ -238,6 +271,10 @@ std::optional<SuggestionRequest> request_from_json(std::string_view json) {
     if (ms < 0.0) return std::nullopt;
     request.deadline_ms = ms;
   }
+  if (const JsonValue* trace_id = find(*obj, "trace_id")) {
+    if (!trace_id->is_string()) return std::nullopt;
+    request.trace_id = std::get<std::string>(trace_id->value);
+  }
   return request;
 }
 
@@ -256,6 +293,22 @@ std::string to_json(const SuggestionResponse& response) {
          (response.degraded ? "true" : "false") + ", ";
   out += "\"error\": \"" + std::string(service_error_name(response.error)) +
          "\"";
+  if (!response.trace_id.empty()) {
+    out += ", \"trace_id\": \"" + json_escape(response.trace_id) + "\"";
+  }
+  if (!response.server_timing_ms.empty()) {
+    // std::map iterates sorted by stage name: deterministic output.
+    out += ", \"server_timing_ms\": {";
+    bool first = true;
+    for (const auto& [stage, ms] : response.server_timing_ms) {
+      if (!first) out += ", ";
+      first = false;
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.3f", ms);
+      out += "\"" + json_escape(stage) + "\": " + buf;
+    }
+    out += "}";
+  }
   out += "}";
   return out;
 }
@@ -294,6 +347,22 @@ std::optional<SuggestionResponse> response_from_json(std::string_view json) {
         !service_error_from_name(std::get<std::string>(error->value),
                                  &response.error))
       return std::nullopt;
+  }
+  if (const JsonValue* trace_id = find(*obj, "trace_id")) {
+    if (!trace_id->is_string()) return std::nullopt;
+    response.trace_id = std::get<std::string>(trace_id->value);
+  }
+  if (const JsonValue* timing = find(*obj, "server_timing_ms")) {
+    if (!timing->is_object()) return std::nullopt;
+    // Stage names are open-ended (new stages must not break old clients),
+    // but every value must be a non-negative duration.
+    for (const auto& [stage, value] :
+         *std::get<std::shared_ptr<JsonMembers>>(timing->value)) {
+      if (!value.is_number()) return std::nullopt;
+      double ms = std::get<double>(value.value);
+      if (ms < 0.0) return std::nullopt;
+      response.server_timing_ms[stage] = ms;
+    }
   }
   return response;
 }

@@ -1,8 +1,9 @@
 // JSON wire format for the inference service, mirroring the paper's
 // REST interface ("we expose a GRPC and REST API based interface to model
 // predictions so that inference can be called out using GRPC and REST
-// clients"). A deliberately small JSON subset — objects, strings, numbers,
-// booleans — is all the two message types need; no third-party dependency.
+// clients"). A deliberately small JSON subset — objects (nested to a small
+// fixed depth), strings, numbers, booleans — is all the two message types
+// need; no third-party dependency.
 //
 // The parsers are hardened against hostile input: payloads above
 // kMaxWireBytes are refused before parsing, numbers must be finite (no
@@ -28,14 +29,19 @@ inline constexpr std::size_t kMaxWireBytes = 1 << 20;  // 1 MiB
 // plausible editor state.
 inline constexpr int kMaxWireIndent = 4096;
 
-// {"context": "...", "prompt": "...", "indent": 4, "deadline_ms": 50.0}
-// (deadline_ms optional, 0 = service default)
+// {"context": "...", "prompt": "...", "indent": 4, "deadline_ms": 50.0,
+//  "trace_id": "f00d..."}
+// (deadline_ms optional, 0 = service default; trace_id optional, empty =
+// the service derives a deterministic one)
 std::string to_json(const SuggestionRequest& request);
 std::optional<SuggestionRequest> request_from_json(std::string_view json);
 
 // {"ok": true, "snippet": "...", "schema_correct": true,
 //  "latency_ms": 12.5, "generated_tokens": 40,
-//  "degraded": false, "error": "none"}
+//  "degraded": false, "error": "none", "trace_id": "f00d...",
+//  "server_timing_ms": {"decode": 9.1, "tokenize": 0.2, ...}}
+// (trace_id and server_timing_ms are optional and omitted when empty —
+// i.e. when observability is disabled server-side)
 std::string to_json(const SuggestionResponse& response);
 std::optional<SuggestionResponse> response_from_json(std::string_view json);
 

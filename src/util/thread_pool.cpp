@@ -1,15 +1,52 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace wisdom::util {
 
 namespace {
 
 thread_local bool t_in_worker = false;
+
+// Pool metrics live in the global registry. Registered eagerly at pool
+// construction so the families appear in every exposition dump; updates
+// are gated on obs::enabled() (the queue-depth gauge and the per-chunk
+// latency histogram read a clock / take atomics on the kernel hot path).
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_ms;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::global();
+    return PoolMetrics{
+        &registry.counter("wisdom_pool_tasks_total",
+                          "Chunks executed by parallel_for (worker lanes "
+                          "and the calling thread)."),
+        &registry.gauge("wisdom_pool_queue_depth",
+                        "Queued chunks awaiting a worker, sampled at "
+                        "enqueue time."),
+        &registry.histogram("wisdom_pool_task_ms", {},
+                            "Per-chunk execution latency."),
+    };
+  }();
+  return metrics;
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 std::mutex& global_mu() {
   static std::mutex mu;
@@ -51,6 +88,7 @@ void ThreadPool::set_global_threads(int threads) {
 }
 
 ThreadPool::ThreadPool(int threads) {
+  if constexpr (obs::kCompiledIn) pool_metrics();  // register the families
   if (threads <= 0) threads = env_threads();
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i)
@@ -106,34 +144,46 @@ void ThreadPool::parallel_for(
   } sync;
   sync.remaining = chunks - 1;
 
+  const bool observe = obs::enabled();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::int64_t c = 1; c < chunks; ++c) {
       const std::int64_t b = chunk_begin(c);
       const std::int64_t e = chunk_begin(c + 1);
-      queue_.emplace_back([&sync, &body, b, e] {
+      queue_.emplace_back([&sync, &body, b, e, observe] {
         std::exception_ptr err;
+        auto task_start = observe ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
         try {
           body(b, e);
         } catch (...) {
           err = std::current_exception();
         }
+        if (observe)
+          pool_metrics().task_ms->observe(elapsed_ms_since(task_start));
         std::lock_guard<std::mutex> task_lock(sync.mu);
         if (err && !sync.error) sync.error = err;
         if (--sync.remaining == 0) sync.cv.notify_one();
       });
     }
+    if (observe)
+      pool_metrics().queue_depth->set(static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
+  if (observe) pool_metrics().tasks->inc(static_cast<std::uint64_t>(chunks));
 
   // The caller runs the first chunk; its exception still waits for the
   // workers (they reference stack state) before propagating.
   std::exception_ptr local;
+  auto caller_start = observe ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
   try {
     body(chunk_begin(0), chunk_begin(1));
   } catch (...) {
     local = std::current_exception();
   }
+  if (observe)
+    pool_metrics().task_ms->observe(elapsed_ms_since(caller_start));
   {
     std::unique_lock<std::mutex> lock(sync.mu);
     sync.cv.wait(lock, [&sync] { return sync.remaining == 0; });

@@ -97,3 +97,83 @@ TEST(Wire, FuzzNoiseNeverCrashes) {
   }
   SUCCEED();
 }
+
+TEST(Wire, TraceIdRoundTrips) {
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  request.trace_id = "editor-4217";
+  auto parsed = ws::request_from_json(ws::to_json(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, "editor-4217");
+
+  // Empty trace_id is omitted from the wire entirely.
+  request.trace_id.clear();
+  EXPECT_EQ(ws::to_json(request).find("trace_id"), std::string::npos);
+}
+
+TEST(Wire, ServerTimingRoundTripsSortedAndExact) {
+  ws::SuggestionResponse response;
+  response.ok = true;
+  response.snippet = "- name: x\n";
+  response.trace_id = "00ff00ff00ff00ff";
+  response.server_timing_ms = {
+      {"decode", 9.125}, {"prefill", 1.5}, {"tokenize", 0.25}};
+  std::string json = ws::to_json(response);
+  // std::map ordering makes the nested object deterministic.
+  EXPECT_NE(json.find("\"server_timing_ms\": {\"decode\": 9.125, "
+                      "\"prefill\": 1.500, \"tokenize\": 0.250}"),
+            std::string::npos)
+      << json;
+  auto parsed = ws::response_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, "00ff00ff00ff00ff");
+  ASSERT_EQ(parsed->server_timing_ms.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->server_timing_ms.at("decode"), 9.125);
+  EXPECT_DOUBLE_EQ(parsed->server_timing_ms.at("prefill"), 1.5);
+  EXPECT_DOUBLE_EQ(parsed->server_timing_ms.at("tokenize"), 0.25);
+
+  // Empty map: field omitted.
+  response.server_timing_ms.clear();
+  EXPECT_EQ(ws::to_json(response).find("server_timing_ms"),
+            std::string::npos);
+}
+
+TEST(Wire, UnknownNestedObjectFieldsAreTolerated) {
+  // Forward compatibility: a newer server may attach object-valued fields
+  // this client does not know; they parse and are ignored.
+  auto request = ws::request_from_json(
+      R"({"prompt": "x", "future": {"a": 1, "b": {"c": "deep"}}})");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->prompt, "x");
+
+  auto response = ws::response_from_json(
+      R"({"ok": true, "snippet": "s", "ext": {"nested": {"k": true}}})");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+}
+
+TEST(Wire, RejectsHostileNesting) {
+  // Unknown stage names are fine but values must be non-negative numbers.
+  EXPECT_FALSE(ws::response_from_json(
+                   R"({"ok": true, "snippet": "s",)"
+                   R"( "server_timing_ms": {"decode": "fast"}})")
+                   .has_value());
+  EXPECT_FALSE(ws::response_from_json(
+                   R"({"ok": true, "snippet": "s",)"
+                   R"( "server_timing_ms": {"decode": -1}})")
+                   .has_value());
+  EXPECT_FALSE(ws::response_from_json(
+                   R"({"ok": true, "snippet": "s", "server_timing_ms": 3})")
+                   .has_value());
+  // Nesting depth is bounded: 16 open braces overflows the cap of 8.
+  std::string deep = R"({"prompt": "x", "a": )";
+  for (int i = 0; i < 15; ++i) deep += "{\"a\": ";
+  deep += "1";
+  for (int i = 0; i < 15; ++i) deep += "}";
+  deep += "}";
+  EXPECT_FALSE(ws::request_from_json(deep).has_value());
+  // ...while depth within the cap parses.
+  EXPECT_TRUE(
+      ws::request_from_json(R"({"prompt": "x", "a": {"b": {"c": 1}}})")
+          .has_value());
+}
