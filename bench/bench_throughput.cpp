@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -162,15 +163,35 @@ void BM_BatchedSuggest(benchmark::State& state) {
   model::Transformer m(cfg, 11);
   serve::ServiceOptions service_options;
   service_options.max_new_tokens = 24;
+  // When CI asks for a predictions dump, serve through the strictest lint
+  // policy: every dumped snippet is either repaired to schema-correct or
+  // replaced by the fallback, so the dump must pass `wisdom_lint` with
+  // zero errors — that is the CI lint gate.
+  const char* dump_path = std::getenv("WISDOM_PREDICTIONS_DUMP");
+  if (dump_path) service_options.lint_policy = serve::LintPolicy::RejectDegraded;
   serve::InferenceService service(m, *tokenizer, service_options);
 
   std::vector<serve::SuggestionRequest> requests(
       static_cast<std::size_t>(batch));
   for (auto& r : requests) r.prompt = "Install nginx";
 
+  std::vector<serve::SuggestionResponse> responses;
   for (auto _ : state) {
-    auto responses = service.suggest_batch(requests);
+    responses = service.suggest_batch(requests);
     benchmark::DoNotOptimize(responses.data());
+  }
+  if (dump_path) {
+    // Concatenated served snippets form one task-list document (each
+    // snippet is a top-level "- name:" task).
+    if (std::FILE* dump = std::fopen(dump_path, "w")) {
+      for (const auto& response : responses) {
+        if (!response.ok) continue;
+        std::fputs(response.snippet.c_str(), dump);
+        if (!response.snippet.empty() && response.snippet.back() != '\n')
+          std::fputc('\n', dump);
+      }
+      std::fclose(dump);
+    }
   }
   const serve::ServiceStats stats = service.stats_snapshot();
   state.counters["tokens/s"] = stats.tokens_per_sec();

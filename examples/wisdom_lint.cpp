@@ -1,0 +1,188 @@
+// wisdom_lint: the diagnostics engine as a command-line linter.
+//
+//   wisdom_lint playbook.yml tasks.yml     lint files (caret diagnostics)
+//   wisdom_lint < playbook.yml             lint stdin
+//   wisdom_lint --json file.yml            machine-readable output
+//   wisdom_lint --fix file.yml             apply auto-fixes in place
+//   wisdom_lint --list-rules               print the rule registry
+//
+// Exit codes: 0 = no errors (warnings allowed), 1 = at least one
+// error-severity diagnostic, 2 = usage or I/O failure. CI runs this over
+// the fixture playbooks and the bench predictions dump as a lint gate.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "analysis/format.hpp"
+#include "analysis/rules.hpp"
+
+namespace analysis = wisdom::analysis;
+
+namespace {
+
+struct CliOptions {
+  bool json = false;
+  bool fix = false;
+  bool list_rules = false;
+  analysis::RuleConfig config;
+  std::vector<std::string> files;  // empty or "-" = stdin
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: wisdom_lint [options] [file ...]\n"
+               "Lints Ansible YAML (playbook, task list, or single task);\n"
+               "reads stdin when no file is given.\n"
+               "  --json            machine-readable output (one JSON object "
+               "per input)\n"
+               "  --fix             apply auto-fixes (in place for files, to "
+               "stdout for stdin)\n"
+               "  --list-rules      print the rule registry and exit\n"
+               "  --disable=a,b     disable rules by id\n"
+               "  --severity=r=LVL  override a rule's severity (error|warning)"
+               "\n"
+               "exit: 0 clean, 1 errors found, 2 usage/read failure\n");
+}
+
+bool parse_args(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      options->json = true;
+    } else if (arg == "--fix") {
+      options->fix = true;
+    } else if (arg == "--list-rules") {
+      options->list_rules = true;
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      std::string_view ids = arg.substr(10);
+      while (!ids.empty()) {
+        std::size_t comma = ids.find(',');
+        std::string_view id = ids.substr(0, comma);
+        if (!id.empty()) options->config.disabled.emplace_back(id);
+        if (comma == std::string_view::npos) break;
+        ids.remove_prefix(comma + 1);
+      }
+    } else if (arg.rfind("--severity=", 0) == 0) {
+      std::string_view spec = arg.substr(11);
+      std::size_t eq = spec.find('=');
+      if (eq == std::string_view::npos) return false;
+      std::string_view level = spec.substr(eq + 1);
+      analysis::Severity severity;
+      if (level == "error") severity = analysis::Severity::Error;
+      else if (level == "warning") severity = analysis::Severity::Warning;
+      else return false;
+      options->config.severity_overrides.emplace_back(
+          std::string(spec.substr(0, eq)), severity);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      std::exit(0);
+    } else if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
+      return false;
+    } else {
+      options->files.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+void list_rules() {
+  std::printf("%-24s %-8s %-5s %s\n", "id", "severity", "fix", "summary");
+  for (const analysis::RuleInfo& rule : analysis::all_rules()) {
+    std::printf("%-24.*s %-8s %-5s %.*s\n",
+                static_cast<int>(rule.id.size()), rule.id.data(),
+                rule.default_severity == analysis::Severity::Error
+                    ? "error"
+                    : "warning",
+                rule.fixable ? "yes" : "no",
+                static_cast<int>(rule.summary.size()), rule.summary.data());
+  }
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Lints (and under --fix repairs) one input; returns the analysis used
+// for reporting. `final_text` receives the post-fix text.
+analysis::AnalysisResult process(const std::string& text,
+                                 const CliOptions& options,
+                                 std::string* final_text) {
+  if (!options.fix) {
+    *final_text = text;
+    return analysis::analyze(text, options.config);
+  }
+  analysis::RepairResult repaired = analysis::repair(text, options.config);
+  *final_text = repaired.text;
+  return std::move(repaired.final_result);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, &options)) {
+    print_usage(stderr);
+    return 2;
+  }
+  if (options.list_rules) {
+    list_rules();
+    return 0;
+  }
+  for (const std::string& id : options.config.unknown_ids()) {
+    std::fprintf(stderr, "wisdom_lint: unknown rule id '%s'\n", id.c_str());
+    return 2;
+  }
+
+  bool any_errors = false;
+  bool io_failure = false;
+  std::vector<std::string> files = options.files;
+  if (files.empty()) files.emplace_back("-");
+  for (const std::string& path : files) {
+    const bool is_stdin = path == "-";
+    std::string text;
+    if (is_stdin) {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      text = buffer.str();
+    } else if (!read_file(path, &text)) {
+      std::fprintf(stderr, "wisdom_lint: cannot read %s\n", path.c_str());
+      io_failure = true;
+      continue;
+    }
+
+    std::string final_text;
+    analysis::AnalysisResult result = process(text, options, &final_text);
+    if (result.error_count() > 0) any_errors = true;
+
+    const std::string label = is_stdin ? "stdin" : path;
+    if (options.json) {
+      std::printf("%s\n", analysis::format_json(result).c_str());
+    } else {
+      std::fputs(analysis::format_text(final_text, result, label).c_str(),
+                 stdout);
+    }
+    if (options.fix && final_text != text) {
+      if (is_stdin) {
+        std::fputs(final_text.c_str(), stdout);
+      } else {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out || !(out << final_text)) {
+          std::fprintf(stderr, "wisdom_lint: cannot write %s\n", path.c_str());
+          io_failure = true;
+        }
+      }
+    }
+  }
+  if (io_failure) return 2;
+  return any_errors ? 1 : 0;
+}

@@ -1,0 +1,38 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace wisdom::analysis {
+
+std::size_t AnalysisResult::error_count() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::Error) ++n;
+  return n;
+}
+
+std::size_t AnalysisResult::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+std::size_t AnalysisResult::fixable_count() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.fixable()) ++n;
+  return n;
+}
+
+std::vector<const Diagnostic*> AnalysisResult::sorted() const {
+  std::vector<const Diagnostic*> out;
+  out.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) out.push_back(&d);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return std::tie(a->span.line, a->span.column, a->rule) <
+                            std::tie(b->span.line, b->span.column, b->rule);
+                   });
+  return out;
+}
+
+}  // namespace wisdom::analysis

@@ -1,0 +1,57 @@
+// Core types of the diagnostics engine.
+//
+// A Diagnostic is a lint violation upgraded to a real static-analysis
+// finding: a stable rule id, a severity, a human-readable message, a source
+// span pointing at the offending key/value, and — when the rule is
+// mechanically repairable — the span-anchored text edits that fix it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ansible/linter.hpp"
+#include "yaml/node.hpp"
+
+namespace wisdom::analysis {
+
+using Severity = wisdom::ansible::Severity;
+
+// A replacement of the half-open byte range [begin, end) of the analyzed
+// text with `replacement`. Insertions have begin == end.
+struct TextEdit {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string replacement;
+};
+
+struct Diagnostic {
+  std::string rule;     // stable rule id, e.g. "boolean-literal"
+  std::string message;  // human-readable detail
+  Severity severity = Severity::Error;
+  yaml::Span span;      // where in the analyzed text; invalid = unlocated
+  // Non-empty when this diagnostic is auto-fixable: applying the edits to
+  // the analyzed text resolves it.
+  std::vector<TextEdit> edits;
+
+  bool fixable() const { return !edits.empty(); }
+};
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  // True when the document parsed to a YAML node (rules beyond yaml-syntax
+  // had a chance to run).
+  bool parsed = false;
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  std::size_t fixable_count() const;
+  // Schema-correct means no *errors*; warnings are advisory.
+  bool ok() const { return error_count() == 0; }
+
+  // Diagnostics ordered by (line, column, rule) for deterministic output;
+  // unlocated diagnostics sort first.
+  std::vector<const Diagnostic*> sorted() const;
+};
+
+}  // namespace wisdom::analysis

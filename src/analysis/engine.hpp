@@ -1,0 +1,54 @@
+// The diagnostics engine: analyze -> (optionally) fix -> re-analyze.
+//
+// `analyze` wraps the strict schema linter (every violation becomes a
+// located diagnostic) and adds the deeper rules the schema alone cannot
+// express: deprecated modules, duplicate keys, Jinja syntax, undefined
+// loop/register variables, literal normalization, missing task names. For
+// the mechanically repairable rules it also computes span-anchored edits.
+//
+// `apply_fixes` applies every fixable diagnostic's edits in one pass (edits
+// sorted by position, overlapping edits dropped deterministically), and
+// `repair` iterates analyze+apply until no fixable diagnostic remains, so
+// callers can prove convergence rather than assume it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/rules.hpp"
+
+namespace wisdom::analysis {
+
+// Lints `text` (playbook / task list / single task, dispatched on shape)
+// and returns located diagnostics with fix edits attached.
+AnalysisResult analyze(std::string_view text, const RuleConfig& config = {});
+
+struct FixOutcome {
+  std::string text;          // input with all applicable edits applied
+  std::size_t applied = 0;   // diagnostics whose edits were applied
+  std::size_t dropped = 0;   // fixable diagnostics dropped due to overlap
+  bool changed() const { return applied > 0; }
+};
+
+// Applies the edits of every fixable diagnostic in `result` to `text`.
+// Edits are applied back-to-front so positions stay valid; when two
+// diagnostics' edits overlap, the later one (by byte position) is dropped.
+FixOutcome apply_fixes(std::string_view text, const AnalysisResult& result);
+
+struct RepairResult {
+  std::string text;            // repaired document (== input when no fixes)
+  std::size_t iterations = 0;  // analyze+fix passes that changed the text
+  bool changed = false;
+  // True when the final text has no fixable diagnostics left (the fix
+  // loop reached a fixed point rather than the iteration cap).
+  bool converged = false;
+  AnalysisResult final_result;  // analysis of `text`
+};
+
+// Iterates analyze + apply_fixes until convergence or `max_iterations`.
+RepairResult repair(std::string_view text, const RuleConfig& config = {},
+                    std::size_t max_iterations = 4);
+
+}  // namespace wisdom::analysis

@@ -1,0 +1,34 @@
+// Rendering of analysis results for humans (caret diagnostics in the style
+// of compiler output) and machines (JSON, consumed by the serve wire format
+// and the lint CLI's --json mode).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/diagnostic.hpp"
+
+namespace wisdom::analysis {
+
+// Compiler-style text rendering against the analyzed source:
+//
+//   stdin:3:5: error [unknown-param]: module '...' has no parameter 'stat'
+//       stat: present
+//       ^~~~
+//
+// Diagnostics print in (line, column, rule) order. `source` must be the
+// exact text the result was produced from; `file_label` prefixes each
+// location ("stdin" above).
+std::string format_text(std::string_view source, const AnalysisResult& result,
+                        std::string_view file_label = "input");
+
+// Machine rendering: {"ok":bool,"errors":N,"warnings":N,"diagnostics":[...]}
+// with one object per diagnostic (rule, severity, message, line, column,
+// begin, end, fixable). Deterministic field and diagnostic order.
+std::string format_json(const AnalysisResult& result);
+
+// Renders one diagnostic's location+message line (no source excerpt).
+std::string format_one_line(const Diagnostic& diagnostic,
+                            std::string_view file_label = "input");
+
+}  // namespace wisdom::analysis

@@ -1,0 +1,90 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace wisdom::analysis {
+
+namespace {
+
+constexpr Severity kErr = Severity::Error;
+constexpr Severity kWarn = Severity::Warning;
+
+// Sorted by id (asserted by the registry test).
+constexpr std::array<RuleInfo, 29> kRules{{
+    {"args-shape", kErr, false,
+     "module arguments must be a mapping (or free-form string)"},
+    {"block-shape", kErr, false, "block/rescue/always must hold task lists"},
+    {"boolean-literal", kWarn, true,
+     "non-canonical boolean spelling (yes/on/True) - use true/false"},
+    {"deprecated-module", kWarn, false,
+     "module is deprecated; its replacement is named in the catalog"},
+    {"duplicate-key", kErr, false, "mapping repeats a key"},
+    {"empty-document", kWarn, false, "document has no content"},
+    {"fqcn", kWarn, true,
+     "short module name - use the fully qualified collection name"},
+    {"hosts-missing", kErr, false, "play does not declare 'hosts'"},
+    {"jinja-syntax", kWarn, false,
+     "malformed Jinja expression or template interpolation"},
+    {"keyword-type", kErr, false, "keyword value has the wrong shape"},
+    {"missing-required-param", kErr, false,
+     "module is missing a required parameter"},
+    {"module-missing", kErr, false, "task does not invoke a module"},
+    {"multiple-modules", kErr, false, "task has more than one module key"},
+    {"name-missing", kWarn, false, "task has no 'name:'"},
+    {"name-shape", kErr, false, "name must be a scalar"},
+    {"octal-mode", kWarn, true,
+     "numeric file mode loses its leading zero - quote it"},
+    {"old-style-args", kErr, true,
+     "legacy k=v argument string on a non-free-form module"},
+    {"param-value", kErr, false, "module parameter has an invalid value"},
+    {"play-empty", kErr, false, "play has no tasks, roles or handlers"},
+    {"play-shape", kErr, false, "play must be a mapping"},
+    {"playbook-shape", kErr, false,
+     "playbook must be a non-empty sequence of plays"},
+    {"task-shape", kErr, false, "task must be a non-empty mapping"},
+    {"tasks-shape", kErr, false, "task file must be a sequence of tasks"},
+    {"undefined-variable", kWarn, false,
+     "loop/register variable referenced where it is not defined"},
+    {"unknown-keyword", kErr, false, "unknown block keyword"},
+    {"unknown-module", kErr, false, "unknown module or keyword"},
+    {"unknown-param", kErr, false, "module has no such parameter"},
+    {"unknown-play-keyword", kErr, false, "unknown play keyword"},
+    {"yaml-syntax", kErr, false, "document is not parseable YAML"},
+}};
+
+}  // namespace
+
+std::span<const RuleInfo> all_rules() { return kRules; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& rule : kRules) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+bool RuleConfig::is_enabled(std::string_view id) const {
+  return std::find(disabled.begin(), disabled.end(), id) == disabled.end();
+}
+
+std::optional<Severity> RuleConfig::override_for(std::string_view id) const {
+  for (const auto& [rule, severity] : severity_overrides) {
+    if (rule == id) return severity;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> RuleConfig::unknown_ids() const {
+  std::vector<std::string> unknown;
+  for (const std::string& id : disabled) {
+    if (!find_rule(id)) unknown.push_back(id);
+  }
+  for (const auto& [id, severity] : severity_overrides) {
+    (void)severity;
+    if (!find_rule(id)) unknown.push_back(id);
+  }
+  return unknown;
+}
+
+}  // namespace wisdom::analysis

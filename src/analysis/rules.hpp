@@ -1,0 +1,46 @@
+// Rule registry: every diagnostic the engine can produce, with its stable
+// id, default severity, fixability and a one-line summary. The registry is
+// what makes per-rule configuration (disable sets, severity overrides)
+// checkable — configuring an unknown rule id is detectable, and the CLI /
+// README rule table is generated from it.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+
+namespace wisdom::analysis {
+
+struct RuleInfo {
+  std::string_view id;
+  Severity default_severity = Severity::Error;
+  bool fixable = false;
+  std::string_view summary;
+};
+
+// All known rules, sorted by id.
+std::span<const RuleInfo> all_rules();
+// Lookup by id; nullptr when unknown.
+const RuleInfo* find_rule(std::string_view id);
+
+// Per-analysis rule configuration. Default-constructed config runs every
+// rule at its default severity.
+struct RuleConfig {
+  // Rule ids to skip entirely.
+  std::vector<std::string> disabled;
+  // Rule id -> severity replacing the default.
+  std::vector<std::pair<std::string, Severity>> severity_overrides;
+
+  bool is_enabled(std::string_view id) const;
+  std::optional<Severity> override_for(std::string_view id) const;
+  // Ids in `disabled` / `severity_overrides` that are not in the registry
+  // (typos in user configuration).
+  std::vector<std::string> unknown_ids() const;
+};
+
+}  // namespace wisdom::analysis

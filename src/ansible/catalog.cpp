@@ -76,7 +76,8 @@ std::vector<ModuleSpec> build_catalog() {
          p("enablerepo", PT::List), p("disablerepo", PT::List),
          p("update_cache", PT::Bool), p("security", PT::Bool),
          p("exclude", PT::List)},
-        kPackage);
+        kPackage)
+      .deprecated_by = "ansible.builtin.dnf";
   b.add("ansible.builtin.dnf", "packaging",
         {p("name", PT::List, true),
          state({"present", "absent", "latest", "installed", "removed"}),

@@ -44,6 +44,9 @@ struct ModuleSpec {
   bool free_form = false;
   // set_fact / add_host accept arbitrary user-chosen keys.
   bool arbitrary_params = false;
+  // Non-empty when the module is deprecated: the FQCN of its replacement
+  // (e.g. yum -> ansible.builtin.dnf on EL9+).
+  std::string deprecated_by;
   std::vector<ParamSpec> params;
 
   const ParamSpec* param(std::string_view name) const;

@@ -1,5 +1,8 @@
 #include "ansible/linter.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "ansible/catalog.hpp"
 #include "ansible/freeform.hpp"
 #include "ansible/keywords.hpp"
@@ -21,17 +24,30 @@ std::size_t LintResult::error_count() const {
 }
 
 std::string LintResult::to_string() const {
+  std::vector<const Violation*> sorted;
+  sorted.reserve(violations.size());
+  for (const Violation& v : violations) sorted.push_back(&v);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Violation* a, const Violation* b) {
+                     return std::tie(a->span.line, a->span.column, a->rule) <
+                            std::tie(b->span.line, b->span.column, b->rule);
+                   });
   std::string out;
-  for (const Violation& v : violations) {
-    out += v.severity == Severity::Error ? "error" : "warning";
-    out += " [" + v.rule + "]: " + v.message + "\n";
+  for (const Violation* v : sorted) {
+    out += v->severity == Severity::Error ? "error" : "warning";
+    out += " [" + v->rule + "]: " + v->message + "\n";
   }
   return out;
 }
 
 void LintResult::add(Severity severity, std::string rule,
                      std::string message) {
-  violations.push_back({std::move(rule), std::move(message), severity});
+  violations.push_back({std::move(rule), std::move(message), severity, {}});
+}
+
+void LintResult::add(Severity severity, std::string rule, std::string message,
+                     const yaml::Span& span) {
+  violations.push_back({std::move(rule), std::move(message), severity, span});
 }
 
 void LintResult::merge(const LintResult& other) {
@@ -97,7 +113,8 @@ void check_keyword_value(const KeywordSpec& spec, const yaml::Node& value,
   if (!ok) {
     result.add(Severity::Error, "keyword-type",
                "keyword '" + std::string(spec.name) +
-                   "' has an invalid value shape");
+                   "' has an invalid value shape",
+               value.anchor_span());
   }
 }
 
@@ -135,7 +152,8 @@ void check_param_value(const ModuleSpec& module, const ParamSpec& param,
   if (!ok) {
     result.add(Severity::Error, "param-value",
                "module '" + module.fqcn + "' parameter '" + param.name +
-                   "' has an invalid value");
+                   "' has an invalid value",
+               value.anchor_span());
   }
 }
 
@@ -153,12 +171,14 @@ void check_module_args(const ModuleSpec& module, const yaml::Node& args,
       // exactly the mismatch the paper calls out for Schema Correct.
       result.add(Severity::Error, "old-style-args",
                  "module '" + module.fqcn +
-                     "' uses the legacy k=v argument string");
+                     "' uses the legacy k=v argument string",
+                 args.span());
       return;
     }
     result.add(Severity::Error, "args-shape",
                "module '" + module.fqcn +
-                   "' does not accept a free-form string");
+                   "' does not accept a free-form string",
+               args.span());
     return;
   }
   if (args.is_null()) {
@@ -167,14 +187,16 @@ void check_module_args(const ModuleSpec& module, const yaml::Node& args,
       if (p.required && !(extra && extra->is_map() && extra->has(p.name))) {
         result.add(Severity::Error, "missing-required-param",
                    "module '" + module.fqcn + "' requires parameter '" +
-                       p.name + "'");
+                       p.name + "'",
+                   args.anchor_span());
       }
     }
     return;
   }
   if (!args.is_map()) {
     result.add(Severity::Error, "args-shape",
-               "module '" + module.fqcn + "' arguments must be a mapping");
+               "module '" + module.fqcn + "' arguments must be a mapping",
+               args.anchor_span());
     return;
   }
 
@@ -186,7 +208,8 @@ void check_module_args(const ModuleSpec& module, const yaml::Node& args,
         continue;
       result.add(Severity::Error, "unknown-param",
                  "module '" + module.fqcn + "' has no parameter '" + key +
-                     "'");
+                     "'",
+                 value.anchor_span());
       continue;
     }
     check_param_value(module, *param, value, result);
@@ -198,7 +221,8 @@ void check_module_args(const ModuleSpec& module, const yaml::Node& args,
     if (!present) {
       result.add(Severity::Error, "missing-required-param",
                  "module '" + module.fqcn + "' requires parameter '" +
-                     p.name + "'");
+                     p.name + "'",
+                 args.anchor_span());
     }
   }
 }
@@ -209,11 +233,13 @@ void lint_block(const yaml::Node& task, bool handler_context,
 void lint_one_task(const yaml::Node& task, bool handler_context,
                    LintResult& result) {
   if (!task.is_map()) {
-    result.add(Severity::Error, "task-shape", "task must be a mapping");
+    result.add(Severity::Error, "task-shape", "task must be a mapping",
+               task.anchor_span());
     return;
   }
   if (task.size() == 0) {
-    result.add(Severity::Error, "task-shape", "task mapping is empty");
+    result.add(Severity::Error, "task-shape", "task mapping is empty",
+               task.anchor_span());
     return;
   }
   if (is_block(task)) {
@@ -227,7 +253,7 @@ void lint_one_task(const yaml::Node& task, bool handler_context,
     if (key == "name") {
       if (!value.is_scalar()) {
         result.add(Severity::Error, "name-shape",
-                   "task name must be a scalar");
+                   "task name must be a scalar", value.anchor_span());
       }
       continue;
     }
@@ -239,27 +265,30 @@ void lint_one_task(const yaml::Node& task, bool handler_context,
     if (!module_key.empty()) {
       result.add(Severity::Error, "multiple-modules",
                  "task has more than one module key ('" + module_key +
-                     "' and '" + key + "')");
+                     "' and '" + key + "')",
+                 value.anchor_span());
       continue;
     }
     module_key = key;
     const ModuleSpec* module = catalog.resolve(key);
     if (!module) {
       result.add(Severity::Error, "unknown-module",
-                 "unknown module or keyword '" + key + "'");
+                 "unknown module or keyword '" + key + "'",
+                 value.anchor_span());
       continue;
     }
     if (key.find('.') == std::string::npos) {
       // Short module names lint as warnings (fqcn rule of ansible-lint).
       result.add(Severity::Warning, "fqcn",
                  "module '" + key + "' should use its FQCN '" +
-                     module->fqcn + "'");
+                     module->fqcn + "'",
+                 value.anchor_span());
     }
     check_module_args(*module, value, task, result);
   }
   if (module_key.empty()) {
     result.add(Severity::Error, "module-missing",
-               "task does not invoke a module");
+               "task does not invoke a module", task.anchor_span());
   }
 }
 
@@ -269,7 +298,8 @@ void lint_block(const yaml::Node& task, bool handler_context,
     if (is_block_key(key)) {
       if (!value.is_seq() || value.size() == 0) {
         result.add(Severity::Error, "block-shape",
-                   "'" + key + "' must be a non-empty task list");
+                   "'" + key + "' must be a non-empty task list",
+                   value.anchor_span());
         continue;
       }
       for (const yaml::Node& child : value.items())
@@ -280,7 +310,8 @@ void lint_block(const yaml::Node& task, bool handler_context,
     const KeywordSpec* keyword = find_task_keyword(key);
     if (!keyword) {
       result.add(Severity::Error, "unknown-keyword",
-                 "unknown block keyword '" + key + "'");
+                 "unknown block keyword '" + key + "'",
+                 value.anchor_span());
       continue;
     }
     check_keyword_value(*keyword, value, result);
@@ -299,7 +330,7 @@ LintResult lint_task_list(const yaml::Node& tasks) {
   LintResult result;
   if (!tasks.is_seq()) {
     result.add(Severity::Error, "tasks-shape",
-               "task file must be a sequence of tasks");
+               "task file must be a sequence of tasks", tasks.anchor_span());
     return result;
   }
   for (const yaml::Node& task : tasks.items())
@@ -311,12 +342,14 @@ LintResult lint_playbook(const yaml::Node& playbook) {
   LintResult result;
   if (!playbook.is_seq() || playbook.size() == 0) {
     result.add(Severity::Error, "playbook-shape",
-               "playbook must be a non-empty sequence of plays");
+               "playbook must be a non-empty sequence of plays",
+               playbook.anchor_span());
     return result;
   }
   for (const yaml::Node& play : playbook.items()) {
     if (!play.is_map()) {
-      result.add(Severity::Error, "play-shape", "play must be a mapping");
+      result.add(Severity::Error, "play-shape", "play must be a mapping",
+                 play.anchor_span());
       continue;
     }
     bool has_hosts = false;
@@ -325,13 +358,14 @@ LintResult lint_playbook(const yaml::Node& playbook) {
       if (key == "name") {
         if (!value.is_scalar())
           result.add(Severity::Error, "name-shape",
-                     "play name must be a scalar");
+                     "play name must be a scalar", value.anchor_span());
         continue;
       }
       const KeywordSpec* keyword = find_play_keyword(key);
       if (!keyword) {
         result.add(Severity::Error, "unknown-play-keyword",
-                   "unknown play keyword '" + key + "'");
+                   "unknown play keyword '" + key + "'",
+                   value.anchor_span());
         continue;
       }
       check_keyword_value(*keyword, value, result);
@@ -347,11 +381,11 @@ LintResult lint_playbook(const yaml::Node& playbook) {
     }
     if (!has_hosts) {
       result.add(Severity::Error, "hosts-missing",
-                 "play does not declare 'hosts'");
+                 "play does not declare 'hosts'", play.anchor_span());
     }
     if (!has_body) {
       result.add(Severity::Error, "play-empty",
-                 "play has no tasks, roles or handlers");
+                 "play has no tasks, roles or handlers", play.anchor_span());
     }
   }
   return result;
@@ -359,10 +393,28 @@ LintResult lint_playbook(const yaml::Node& playbook) {
 
 LintResult lint_text(std::string_view text) {
   LintResult result;
+  if (util::trim(text).empty()) {
+    // ansible-lint treats an empty file as advisory, not a schema error.
+    result.add(Severity::Warning, "empty-document",
+               "document is empty", yaml::Span{0, 0, 1, 1});
+    return result;
+  }
   yaml::ParseError err;
   auto doc = yaml::parse_document(text, &err);
   if (!doc) {
-    result.add(Severity::Error, "yaml-syntax", err.to_string());
+    yaml::Span span;
+    span.line = err.line;
+    span.column = 1;
+    result.add(Severity::Error, "yaml-syntax", err.to_string(), span);
+    return result;
+  }
+  if (doc->is_null()) {
+    // "---" with no body parses to a null document: empty, not a playbook
+    // shape error.
+    result.add(Severity::Warning, "empty-document",
+               "document is empty", doc->anchor_span().valid()
+                                        ? doc->anchor_span()
+                                        : yaml::Span{0, 0, 1, 1});
     return result;
   }
   if (doc->is_map()) return lint_task(*doc);

@@ -20,6 +20,9 @@ struct Violation {
   std::string rule;     // stable rule id, e.g. "unknown-module"
   std::string message;  // human-readable detail
   Severity severity = Severity::Error;
+  // Source location of the offending key/value in the linted text; invalid
+  // (line 0) when the node was built programmatically rather than parsed.
+  yaml::Span span;
 };
 
 struct LintResult {
@@ -28,9 +31,13 @@ struct LintResult {
   // Schema-correct means no *errors*; warnings are advisory.
   bool ok() const;
   std::size_t error_count() const;
+  // Renders violations sorted by (line, column, rule) so merged results
+  // print deterministically; unlocated violations sort first.
   std::string to_string() const;
 
   void add(Severity severity, std::string rule, std::string message);
+  void add(Severity severity, std::string rule, std::string message,
+           const yaml::Span& span);
   void merge(const LintResult& other);
 };
 

@@ -1,5 +1,8 @@
 #include "metrics/aggregate.hpp"
 
+#include <algorithm>
+
+#include "analysis/engine.hpp"
 #include "metrics/ansible_aware.hpp"
 #include "metrics/exact_match.hpp"
 #include "metrics/schema_correct.hpp"
@@ -17,10 +20,28 @@ std::string MetricsReport::to_string() const {
          " n=" + std::to_string(count);
 }
 
+std::string MetricsReport::violations_to_string() const {
+  std::string out;
+  for (const auto& [rule, count] : rule_violations) {
+    out += rule + ": " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
 void MetricsAccumulator::add(std::string_view prediction,
                              std::string_view target) {
   bleu_.add(prediction, target);
-  if (schema_correct(prediction)) ++schema_ok_;
+  analysis::AnalysisResult analyzed = analysis::analyze(prediction);
+  if (schema_correct(analyzed)) ++schema_ok_;
+  for (const auto& d : analyzed.diagnostics) {
+    auto it = std::find_if(rule_counts_.begin(), rule_counts_.end(),
+                           [&](const auto& e) { return e.first == d.rule; });
+    if (it == rule_counts_.end()) {
+      rule_counts_.emplace_back(d.rule, 1);
+    } else {
+      ++it->second;
+    }
+  }
   if (exact_match(prediction, target)) ++exact_;
   aware_sum_ += ansible_aware_text(prediction, target);
   ++count_;
@@ -29,6 +50,12 @@ void MetricsAccumulator::add(std::string_view prediction,
 MetricsReport MetricsAccumulator::report() const {
   MetricsReport report;
   report.count = count_;
+  report.rule_violations = rule_counts_;
+  std::sort(report.rule_violations.begin(), report.rule_violations.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
   if (count_ == 0) return report;
   double n = static_cast<double>(count_);
   report.schema_correct = 100.0 * static_cast<double>(schema_ok_) / n;

@@ -1,11 +1,15 @@
 // Aggregation of the four paper metrics over a test set, producing the
 // row format of Tables IV-VI: Schema Correct / EM / BLEU / Ansible Aware,
-// all scaled to [0, 100].
+// all scaled to [0, 100]. The accumulator also keeps the diagnostics
+// engine's per-rule violation counts over all predictions, so a metrics run
+// reports not just *how many* predictions are schema-incorrect but *why*.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "metrics/bleu.hpp"
 
@@ -17,13 +21,19 @@ struct MetricsReport {
   double bleu = 0.0;
   double ansible_aware = 0.0;
   std::size_t count = 0;
+  // Diagnostics-engine rule id -> total occurrences across all predictions,
+  // sorted by count descending then id (deterministic).
+  std::vector<std::pair<std::string, std::size_t>> rule_violations;
 
   std::string to_string() const;
+  // One "rule: count" line per entry of rule_violations ("" when clean).
+  std::string violations_to_string() const;
 };
 
 class MetricsAccumulator {
  public:
-  // Adds one (prediction, target) pair; computes all four metrics.
+  // Adds one (prediction, target) pair; computes all four metrics and the
+  // per-rule diagnostic counts in a single analysis pass.
   void add(std::string_view prediction, std::string_view target);
 
   MetricsReport report() const;
@@ -35,6 +45,7 @@ class MetricsAccumulator {
   std::size_t exact_ = 0;
   double aware_sum_ = 0.0;
   std::size_t count_ = 0;
+  std::vector<std::pair<std::string, std::size_t>> rule_counts_;
 };
 
 }  // namespace wisdom::metrics

@@ -1,11 +1,18 @@
 #include "metrics/schema_correct.hpp"
 
-#include "ansible/linter.hpp"
+#include "analysis/engine.hpp"
 
 namespace wisdom::metrics {
 
+bool schema_correct(const wisdom::analysis::AnalysisResult& analysis) {
+  if (!analysis.ok()) return false;
+  for (const auto& d : analysis.diagnostics)
+    if (d.rule == "empty-document") return false;
+  return true;
+}
+
 bool schema_correct(std::string_view prediction) {
-  return wisdom::ansible::lint_text(prediction).ok();
+  return schema_correct(wisdom::analysis::analyze(prediction));
 }
 
 }  // namespace wisdom::metrics

@@ -1,16 +1,24 @@
 // Schema Correct: "designed to measure the correctness of the result, i.e.
 // whether or not it satisfies the Ansible schema. It does not reflect the
 // accuracy of the model, as it applies just to the predictions." A
-// prediction is schema-correct when it parses as YAML and the strict linter
-// reports no errors. The strictness mismatch the paper describes (a perfect
-// Exact Match sample can score 0 here) falls out of the linter's rejection
-// of historical forms such as k=v argument strings.
+// prediction is schema-correct when it parses as YAML and the diagnostics
+// engine reports no errors. The strictness mismatch the paper describes (a
+// perfect Exact Match sample can score 0 here) falls out of the engine's
+// rejection of historical forms such as k=v argument strings.
 #pragma once
 
 #include <string_view>
 
+#include "analysis/diagnostic.hpp"
+
 namespace wisdom::metrics {
 
 bool schema_correct(std::string_view prediction);
+
+// The same predicate over an analysis the caller already ran (so scoring
+// pipelines that want the per-rule breakdown analyze only once). An empty
+// document is only an advisory warning to the engine but is never a
+// schema-correct *answer*.
+bool schema_correct(const wisdom::analysis::AnalysisResult& analysis);
 
 }  // namespace wisdom::metrics

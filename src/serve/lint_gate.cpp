@@ -1,0 +1,55 @@
+#include "serve/lint_gate.hpp"
+
+#include <utility>
+
+#include "analysis/engine.hpp"
+#include "metrics/schema_correct.hpp"
+
+namespace wisdom::serve {
+
+std::string_view lint_policy_name(LintPolicy policy) {
+  switch (policy) {
+    case LintPolicy::Off: return "off";
+    case LintPolicy::Annotate: return "annotate";
+    case LintPolicy::Repair: return "repair";
+    case LintPolicy::RejectDegraded: return "reject-degraded";
+  }
+  return "off";
+}
+
+bool lint_policy_from_name(std::string_view name, LintPolicy* out) {
+  for (LintPolicy p : {LintPolicy::Off, LintPolicy::Annotate,
+                       LintPolicy::Repair, LintPolicy::RejectDegraded}) {
+    if (lint_policy_name(p) == name) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+LintOutcome lint_gate(std::string_view snippet, LintPolicy policy) {
+  LintOutcome out;
+  out.snippet = std::string(snippet);
+  if (policy == LintPolicy::Off) {
+    out.schema_correct = metrics::schema_correct(snippet);
+    return out;
+  }
+  out.analyzed = true;
+  if (policy == LintPolicy::Annotate) {
+    analysis::AnalysisResult result = analysis::analyze(snippet);
+    out.schema_correct = metrics::schema_correct(result);
+    out.diagnostics = std::move(result.diagnostics);
+    return out;
+  }
+  analysis::RepairResult repaired = analysis::repair(snippet);
+  out.snippet = std::move(repaired.text);
+  out.repaired = repaired.changed;
+  out.schema_correct = metrics::schema_correct(repaired.final_result);
+  out.diagnostics = std::move(repaired.final_result.diagnostics);
+  if (policy == LintPolicy::RejectDegraded && !out.schema_correct)
+    out.rejected = true;
+  return out;
+}
+
+}  // namespace wisdom::serve

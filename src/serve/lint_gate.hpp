@@ -1,0 +1,57 @@
+// The lint gate: what the service does with the diagnostics engine's
+// findings on each generated snippet before returning it to the editor.
+//
+// The gate is a pure function of (snippet, policy) — no service state —
+// so the policy matrix is unit-testable without a model. The service
+// wires the outcome into SuggestionResponse (diagnostics, repaired flag,
+// schema_correct) and its per-rule observability counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+
+namespace wisdom::serve {
+
+enum class LintPolicy : std::uint8_t {
+  // No analysis beyond the schema-correct bit (seed behaviour).
+  Off = 0,
+  // Attach diagnostics to the response; never change the snippet.
+  Annotate,
+  // Apply the engine's auto-fixes and return the repaired snippet;
+  // remaining diagnostics are attached.
+  Repair,
+  // Repair, then refuse snippets still carrying errors: the caller serves
+  // the degraded/fallback path instead of a known-broken suggestion.
+  RejectDegraded,
+};
+
+std::string_view lint_policy_name(LintPolicy policy);
+// Parses a name produced by lint_policy_name; false on unknown names.
+bool lint_policy_from_name(std::string_view name, LintPolicy* out);
+
+// Result of pushing one snippet through the gate.
+struct LintOutcome {
+  // Post-gate text: repaired under Repair/RejectDegraded, otherwise the
+  // input unchanged.
+  std::string snippet;
+  // False under Off (no diagnostics were computed).
+  bool analyzed = false;
+  // True when the auto-fix engine changed the snippet.
+  bool repaired = false;
+  // RejectDegraded only: errors survived repair, the snippet must not be
+  // served as-is.
+  bool rejected = false;
+  // Schema-correct verdict of the post-gate snippet.
+  bool schema_correct = false;
+  // Diagnostics of the post-gate snippet (i.e. post-repair when the
+  // policy repairs); empty under Off.
+  std::vector<analysis::Diagnostic> diagnostics;
+};
+
+LintOutcome lint_gate(std::string_view snippet, LintPolicy policy);
+
+}  // namespace wisdom::serve

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "analysis/rules.hpp"
 #include "core/postprocess.hpp"
 #include "metrics/schema_correct.hpp"
 #include "obs/obs.hpp"
@@ -29,6 +30,7 @@ std::string_view service_error_name(ServiceError error) {
     case ServiceError::Overloaded: return "overloaded";
     case ServiceError::DeadlineExceeded: return "deadline-exceeded";
     case ServiceError::GenerateFailed: return "generate-failed";
+    case ServiceError::LintRejected: return "lint-rejected";
   }
   return "none";
 }
@@ -37,7 +39,7 @@ bool service_error_from_name(std::string_view name, ServiceError* out) {
   for (ServiceError e :
        {ServiceError::None, ServiceError::InvalidRequest,
         ServiceError::Overloaded, ServiceError::DeadlineExceeded,
-        ServiceError::GenerateFailed}) {
+        ServiceError::GenerateFailed, ServiceError::LintRejected}) {
     if (service_error_name(e) == name) {
       *out = e;
       return true;
@@ -115,6 +117,32 @@ InferenceService::InferenceService(const model::Transformer& model,
       "Detokenize/trim/truncate stage time.");
   h_.stage_fallback = &registry_.histogram(
       "wisdom_serve_stage_fallback_ms", {}, "Fallback-suggester stage time.");
+  h_.stage_lint = &registry_.histogram(
+      "wisdom_serve_stage_lint_ms", {}, "Lint-gate (analyze/repair) stage time.");
+  h_.lint_diagnostics = &registry_.counter(
+      "wisdom_lint_diagnostics_total",
+      "Diagnostics the lint gate attached to served snippets.");
+  h_.lint_errors = &registry_.counter(
+      "wisdom_lint_errors_total", "Error-severity lint diagnostics served.");
+  h_.lint_warnings = &registry_.counter(
+      "wisdom_lint_warnings_total",
+      "Warning-severity lint diagnostics served.");
+  h_.lint_repaired = &registry_.counter(
+      "wisdom_lint_repaired_total",
+      "Snippets the lint gate's auto-fix engine changed.");
+  h_.lint_rejected = &registry_.counter(
+      "wisdom_lint_rejected_total",
+      "Snippets refused under the reject-degraded lint policy.");
+  // One counter per registry rule so the full family is visible (at 0)
+  // from the first scrape.
+  for (const analysis::RuleInfo& rule : analysis::all_rules()) {
+    std::string name = "wisdom_lint_rule_";
+    for (char c : rule.id) name += c == '-' ? '_' : c;
+    name += "_total";
+    h_.lint_rules.emplace(
+        std::string(rule.id),
+        &registry_.counter(name, "Lint diagnostics for one rule."));
+  }
 }
 
 bool InferenceService::try_admit() {
@@ -148,6 +176,33 @@ void InferenceService::apply_fallback(const SuggestionRequest& request,
   response->ok = true;
   response->degraded = true;
   response->schema_correct = metrics::schema_correct(response->snippet);
+}
+
+void InferenceService::record_lint(const LintOutcome& outcome) const {
+  if (!outcome.analyzed) return;
+  h_.lint_diagnostics->inc(outcome.diagnostics.size());
+  for (const analysis::Diagnostic& d : outcome.diagnostics) {
+    (d.severity == analysis::Severity::Error ? h_.lint_errors
+                                             : h_.lint_warnings)
+        ->inc();
+    auto it = h_.lint_rules.find(d.rule);
+    if (it != h_.lint_rules.end()) it->second->inc();
+  }
+  if (outcome.repaired) h_.lint_repaired->inc();
+  if (outcome.rejected) h_.lint_rejected->inc();
+}
+
+LintOutcome InferenceService::run_lint_gate(std::string_view snippet,
+                                            obs::TraceContext& trace) const {
+  if (options_.lint_policy == LintPolicy::Off)
+    return lint_gate(snippet, LintPolicy::Off);
+  LintOutcome outcome;
+  {
+    auto lint_span = trace.span("lint");
+    outcome = lint_gate(snippet, options_.lint_policy);
+  }
+  record_lint(outcome);
+  return outcome;
 }
 
 SuggestionResponse InferenceService::run_one(
@@ -201,23 +256,56 @@ SuggestionResponse InferenceService::run_one(
 
   if (status.deadline_expired) {
     response.error = ServiceError::DeadlineExceeded;
-    // Salvage the partial decode when it already forms a valid task;
-    // otherwise answer from the deterministic fallback. Either way the
-    // editor gets a schema-checked snippet within the budget.
-    std::string partial = name_line + body;
-    if (!body.empty() && metrics::schema_correct(partial)) {
+    // Salvage the partial decode when it forms a valid task — the lint
+    // gate gets first crack, so under a repairing policy a partial that is
+    // one auto-fix away from valid is repaired and salvaged rather than
+    // thrown away. Otherwise answer from the deterministic fallback.
+    // Either way the editor gets a schema-checked snippet in budget.
+    LintOutcome gate;
+    bool salvaged = false;
+    if (!body.empty()) {
+      gate = run_lint_gate(name_line + body, trace);
+      salvaged = gate.schema_correct && !gate.rejected;
+    }
+    if (salvaged) {
       response.ok = true;
       response.degraded = true;
-      response.snippet = std::move(partial);
+      response.snippet = std::move(gate.snippet);
       response.schema_correct = true;
+      response.repaired = gate.repaired;
+      response.diagnostics = std::move(gate.diagnostics);
     } else if (options_.fallback_enabled) {
       apply_fallback(request, trace, &response);
     }
   } else {
     response.ok = !body.empty();
     response.snippet = name_line + body;
-    response.schema_correct =
-        response.ok && metrics::schema_correct(response.snippet);
+    if (!response.ok && options_.lint_policy == LintPolicy::RejectDegraded) {
+      // An empty generation cannot pass the gate either: reject it the
+      // same way, so every response under this policy is a schema-correct
+      // snippet (or an explicit refusal when the fallback is off).
+      response.error = ServiceError::LintRejected;
+      response.snippet.clear();
+      h_.lint_rejected->inc();
+      if (options_.fallback_enabled) apply_fallback(request, trace, &response);
+    } else if (response.ok) {
+      LintOutcome gate = run_lint_gate(response.snippet, trace);
+      response.schema_correct = gate.schema_correct;
+      if (gate.rejected) {
+        // RejectDegraded: never serve a snippet still carrying errors.
+        // The rejected snippet's diagnostics stay on the response so the
+        // client can see why its model suggestion was refused.
+        response.error = ServiceError::LintRejected;
+        response.diagnostics = std::move(gate.diagnostics);
+        response.ok = false;
+        response.snippet.clear();
+        if (options_.fallback_enabled) apply_fallback(request, trace, &response);
+      } else {
+        response.snippet = std::move(gate.snippet);
+        response.repaired = gate.repaired;
+        response.diagnostics = std::move(gate.diagnostics);
+      }
+    }
   }
   response.latency_ms = elapsed_ms(start);
   return response;

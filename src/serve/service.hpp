@@ -45,6 +45,7 @@
 #include "obs/trace.hpp"
 #include "serve/fallback.hpp"
 #include "serve/fault.hpp"
+#include "serve/lint_gate.hpp"
 #include "serve/queue.hpp"
 #include "text/bpe.hpp"
 #include "util/deadline.hpp"
@@ -60,6 +61,7 @@ enum class ServiceError : std::uint8_t {
   Overloaded,        // shed by the admission queue
   DeadlineExceeded,  // decode cut off by the request deadline
   GenerateFailed,    // model failure (fault-injected or real)
+  LintRejected,      // RejectDegraded policy: errors survived repair
 };
 
 std::string_view service_error_name(ServiceError error);
@@ -102,12 +104,21 @@ struct SuggestionResponse {
   bool degraded = false;
   // Why the request degraded or failed; None for a normal response.
   ServiceError error = ServiceError::None;
+  // Diagnostics the lint gate attached to the served snippet (post-repair
+  // when the policy repairs). Empty when lint_policy is Off, when the
+  // snippet is clean, or for fallback-served snippets (the fallback is
+  // catalog-backed and schema-correct by construction) — except under
+  // RejectDegraded, where the rejected snippet's diagnostics are kept so
+  // the client can see why its model suggestion was refused.
+  std::vector<wisdom::analysis::Diagnostic> diagnostics;
+  // True when the lint gate's auto-fix engine changed the snippet.
+  bool repaired = false;
   // Trace id of this request (client-supplied or service-derived); empty
   // when tracing is disabled.
   std::string trace_id;
   // Per-stage wall time of this request ("admission", "tokenize",
-  // "prefill", "decode", "postprocess", "fallback", plus the "request"
-  // root). Empty when tracing is disabled.
+  // "prefill", "decode", "postprocess", "lint", "fallback", plus the
+  // "request" root). Empty when tracing is disabled.
   std::map<std::string, double> server_timing_ms;
 };
 
@@ -124,6 +135,9 @@ struct ServiceOptions {
   // Borrowed fault injector; nullptr injects nothing. Must outlive the
   // service.
   FaultInjector* faults = nullptr;
+  // What to do with diagnostics on generated snippets (see lint_gate.hpp).
+  // Off preserves the seed behaviour exactly.
+  LintPolicy lint_policy = LintPolicy::Off;
 };
 
 // Snapshot of the service's counters, derived from its metrics registry.
@@ -245,6 +259,17 @@ class InferenceService {
     obs::Histogram* stage_decode = nullptr;
     obs::Histogram* stage_postprocess = nullptr;
     obs::Histogram* stage_fallback = nullptr;
+    obs::Histogram* stage_lint = nullptr;
+    // Lint-gate counters. Pre-registered at construction (run_one is
+    // const), one per registry rule, so every rule family appears in the
+    // Prometheus exposition at 0 — scrape-side queries and the CI grep
+    // never depend on which rules happened to fire.
+    obs::Counter* lint_diagnostics = nullptr;
+    obs::Counter* lint_errors = nullptr;
+    obs::Counter* lint_warnings = nullptr;
+    obs::Counter* lint_repaired = nullptr;
+    obs::Counter* lint_rejected = nullptr;
+    std::map<std::string, obs::Counter*, std::less<>> lint_rules;
   };
 
   bool try_admit();
@@ -263,6 +288,13 @@ class InferenceService {
   void apply_fallback(const SuggestionRequest& request,
                       obs::TraceContext& trace,
                       SuggestionResponse* response) const;
+  // Pushes a generated snippet through the lint gate under the service's
+  // policy, recording the "lint" trace span and the lint counters (both
+  // skipped under Off, where the gate is just the schema check).
+  LintOutcome run_lint_gate(std::string_view snippet,
+                            obs::TraceContext& trace) const;
+  // Counter updates for one gate outcome (per-rule, severity, repair).
+  void record_lint(const LintOutcome& outcome) const;
   // Feeds the completed trace's stage totals into the per-stage
   // histograms.
   void observe_stages(const obs::Trace& trace) const;

@@ -37,15 +37,18 @@ std::string json_escape(std::string_view text) {
 namespace {
 
 // A tiny JSON value model: only what the two messages need. Nested
-// objects (server_timing_ms, tolerated unknown fields) are stored as a
-// member list behind a shared_ptr — std::vector accepts the incomplete
-// JsonValue element type, and the pointer keeps the variant copyable.
+// objects (server_timing_ms, per-diagnostic objects, tolerated unknown
+// fields) are stored as a member list behind a shared_ptr — std::vector
+// accepts the incomplete JsonValue element type, and the pointer keeps
+// the variant copyable. Arrays (the diagnostics list) follow the same
+// pattern.
 struct JsonValue;
 using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
 
 struct JsonValue {
   std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonMembers>>
+               std::shared_ptr<JsonMembers>, std::shared_ptr<JsonArray>>
       value = nullptr;
 
   bool is_bool() const { return std::holds_alternative<bool>(value); }
@@ -55,6 +58,9 @@ struct JsonValue {
   }
   bool is_object() const {
     return std::holds_alternative<std::shared_ptr<JsonMembers>>(value);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(value);
   }
 };
 
@@ -104,6 +110,25 @@ class JsonParser {
     }
   }
 
+  // Parses one [...] array (the opening bracket not yet consumed); shares
+  // the object nesting budget so depth stays bounded either way.
+  std::optional<JsonArray> parse_elements(int depth) {
+    if (depth > kMaxJsonDepth) return std::nullopt;
+    if (!eat('[')) return std::nullopt;
+    JsonArray elements;
+    skip_ws();
+    if (eat(']')) return elements;
+    for (;;) {
+      auto value = parse_value(depth);
+      if (!value) return std::nullopt;
+      elements.push_back(std::move(*value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return elements;
+      return std::nullopt;
+    }
+  }
+
   void skip_ws() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_])))
@@ -135,6 +160,12 @@ class JsonParser {
       auto members = parse_members(depth + 1);
       if (!members) return std::nullopt;
       out.value = std::make_shared<JsonMembers>(std::move(*members));
+      return out;
+    }
+    if (c == '[') {
+      auto elements = parse_elements(depth + 1);
+      if (!elements) return std::nullopt;
+      out.value = std::make_shared<JsonArray>(std::move(*elements));
       return out;
     }
     if (c == '"') {
@@ -220,6 +251,15 @@ const JsonValue* find(const JsonObject& obj, const std::string& key) {
   return it == obj.end() ? nullptr : &it->second;
 }
 
+// Linear find in a nested object's member list (diagnostic objects have a
+// handful of fields; no map needed).
+const JsonValue* find_member(const JsonMembers& members,
+                             std::string_view key) {
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
 // A number that is a whole value in [0, max]; rejects 4.5, -1, 1e12.
 bool as_bounded_int(const JsonValue& value, int max, int* out) {
   if (!value.is_number()) return false;
@@ -291,8 +331,30 @@ std::string to_json(const SuggestionResponse& response) {
          ", ";
   out += std::string("\"degraded\": ") +
          (response.degraded ? "true" : "false") + ", ";
+  out += std::string("\"repaired\": ") +
+         (response.repaired ? "true" : "false") + ", ";
   out += "\"error\": \"" + std::string(service_error_name(response.error)) +
          "\"";
+  if (!response.diagnostics.empty()) {
+    out += ", \"diagnostics\": [";
+    bool first = true;
+    for (const auto& d : response.diagnostics) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"rule\": \"" + json_escape(d.rule) + "\", ";
+      out += std::string("\"severity\": \"") +
+             (d.severity == analysis::Severity::Error ? "error" : "warning") +
+             "\", ";
+      out += "\"message\": \"" + json_escape(d.message) + "\", ";
+      out += "\"line\": " + std::to_string(d.span.line) + ", ";
+      out += "\"column\": " + std::to_string(d.span.column) + ", ";
+      out += "\"begin\": " + std::to_string(d.span.begin) + ", ";
+      out += "\"end\": " + std::to_string(d.span.end) + ", ";
+      out += std::string("\"fixable\": ") + (d.fixable() ? "true" : "false") +
+             "}";
+    }
+    out += "]";
+  }
   if (!response.trace_id.empty()) {
     out += ", \"trace_id\": \"" + json_escape(response.trace_id) + "\"";
   }
@@ -341,6 +403,51 @@ std::optional<SuggestionResponse> response_from_json(std::string_view json) {
   if (const JsonValue* degraded = find(*obj, "degraded")) {
     if (!degraded->is_bool()) return std::nullopt;
     response.degraded = std::get<bool>(degraded->value);
+  }
+  if (const JsonValue* repaired = find(*obj, "repaired")) {
+    if (!repaired->is_bool()) return std::nullopt;
+    response.repaired = std::get<bool>(repaired->value);
+  }
+  if (const JsonValue* diags = find(*obj, "diagnostics")) {
+    if (!diags->is_array()) return std::nullopt;
+    for (const JsonValue& item :
+         *std::get<std::shared_ptr<JsonArray>>(diags->value)) {
+      if (!item.is_object()) return std::nullopt;
+      const JsonMembers& members =
+          *std::get<std::shared_ptr<JsonMembers>>(item.value);
+      analysis::Diagnostic d;
+      const JsonValue* rule = find_member(members, "rule");
+      const JsonValue* severity = find_member(members, "severity");
+      const JsonValue* message = find_member(members, "message");
+      if (!rule || !rule->is_string() || !severity || !severity->is_string() ||
+          !message || !message->is_string())
+        return std::nullopt;
+      d.rule = std::get<std::string>(rule->value);
+      d.message = std::get<std::string>(message->value);
+      const std::string& sev = std::get<std::string>(severity->value);
+      if (sev == "error") d.severity = analysis::Severity::Error;
+      else if (sev == "warning") d.severity = analysis::Severity::Warning;
+      else return std::nullopt;
+      // Span fields are whole non-negative numbers; absent fields leave
+      // the span unlocated. The edits themselves do not cross the wire —
+      // "fixable" is informational for JSON consumers and is only
+      // type-checked here (fixable() on a parsed diagnostic is false).
+      struct SpanField { const char* key; std::size_t* slot; };
+      for (SpanField f : {SpanField{"line", &d.span.line},
+                          SpanField{"column", &d.span.column},
+                          SpanField{"begin", &d.span.begin},
+                          SpanField{"end", &d.span.end}}) {
+        if (const JsonValue* v = find_member(members, f.key)) {
+          int n = 0;
+          if (!as_bounded_int(*v, 1 << 24, &n)) return std::nullopt;
+          *f.slot = static_cast<std::size_t>(n);
+        }
+      }
+      if (const JsonValue* fixable = find_member(members, "fixable")) {
+        if (!fixable->is_bool()) return std::nullopt;
+      }
+      response.diagnostics.push_back(std::move(d));
+    }
   }
   if (const JsonValue* error = find(*obj, "error")) {
     if (!error->is_string() ||

@@ -1,9 +1,9 @@
 // JSON wire format for the inference service, mirroring the paper's
 // REST interface ("we expose a GRPC and REST API based interface to model
 // predictions so that inference can be called out using GRPC and REST
-// clients"). A deliberately small JSON subset — objects (nested to a small
-// fixed depth), strings, numbers, booleans — is all the two message types
-// need; no third-party dependency.
+// clients"). A deliberately small JSON subset — objects and arrays
+// (nested to a small fixed depth), strings, numbers, booleans — is all
+// the two message types need; no third-party dependency.
 //
 // The parsers are hardened against hostile input: payloads above
 // kMaxWireBytes are refused before parsing, numbers must be finite (no
@@ -38,10 +38,15 @@ std::optional<SuggestionRequest> request_from_json(std::string_view json);
 
 // {"ok": true, "snippet": "...", "schema_correct": true,
 //  "latency_ms": 12.5, "generated_tokens": 40,
-//  "degraded": false, "error": "none", "trace_id": "f00d...",
+//  "degraded": false, "repaired": false, "error": "none",
+//  "diagnostics": [{"rule": "fqcn", "severity": "warning",
+//                   "message": "...", "line": 2, "column": 5,
+//                   "begin": 14, "end": 17, "fixable": true}, ...],
+//  "trace_id": "f00d...",
 //  "server_timing_ms": {"decode": 9.1, "tokenize": 0.2, ...}}
-// (trace_id and server_timing_ms are optional and omitted when empty —
-// i.e. when observability is disabled server-side)
+// (diagnostics, trace_id and server_timing_ms are optional and omitted
+// when empty; a diagnostic's fix edits do not cross the wire, so the
+// "fixable" flag is informational for JSON consumers)
 std::string to_json(const SuggestionResponse& response);
 std::optional<SuggestionResponse> response_from_json(std::string_view json);
 

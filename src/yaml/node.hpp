@@ -23,6 +23,26 @@ namespace wisdom::yaml {
 
 enum class NodeType { Null, Bool, Int, Float, Str, Seq, Map };
 
+// Source location of a node in the text it was parsed from: a half-open
+// byte range [begin, end) into the original input plus the 1-based line and
+// column of `begin`. A default-constructed span (line 0) means "no source"
+// — nodes built programmatically have no span. Spans survive node copies,
+// so an alias use-site carries the span of the alias itself while the
+// copied children keep pointing at the anchor's definition.
+struct Span {
+  std::size_t begin = 0;  // byte offset of the first byte
+  std::size_t end = 0;    // byte offset one past the last byte
+  std::size_t line = 0;   // 1-based source line; 0 = no span
+  std::size_t column = 0; // 1-based column on `line`
+
+  bool valid() const { return line != 0; }
+  std::size_t length() const { return end - begin; }
+  // The exact source text the span covers.
+  std::string_view slice(std::string_view source) const {
+    return source.substr(begin, end - begin);
+  }
+};
+
 class Node;
 using MapEntry = std::pair<std::string, Node>;
 
@@ -66,6 +86,21 @@ class Node {
   // Overrides the remembered source spelling (used by the parser).
   void set_raw(std::string raw);
 
+  // Source location of this node's value text; invalid (line 0) for nodes
+  // not built by the parser. Collections span from their first entry to
+  // the end of their last one.
+  const Span& span() const { return span_; }
+  void set_span(Span span) { span_ = span; }
+  // For a mapping value: the span of the key that introduced it (the
+  // natural anchor for diagnostics about the key itself). Invalid when the
+  // node is not a parsed mapping value.
+  const Span& key_span() const { return key_span_; }
+  void set_key_span(Span span) { key_span_ = span; }
+  // key_span() when valid, else span() — the best diagnostic anchor.
+  const Span& anchor_span() const {
+    return key_span_.valid() ? key_span_ : span_;
+  }
+
   // Sequence access.
   const std::vector<Node>& items() const;
   std::vector<Node>& items();
@@ -97,6 +132,8 @@ class Node {
   double float_value_ = 0.0;
   std::string str_value_;
   std::string raw_;
+  Span span_;
+  Span key_span_;
   std::vector<Node> seq_;
   std::vector<MapEntry> map_;
 };

@@ -61,7 +61,23 @@ struct SignificantLine {
 class Parser {
  public:
   explicit Parser(std::string_view text)
-      : lines_(util::split_lines(text)) {}
+      : lines_(util::split_lines(text)), text_size_(text.size()) {
+    // Byte offset of each line start in the original text, aligned with
+    // lines_ (split_lines splits on '\n' and drops a trailing '\r').
+    line_begin_.reserve(lines_.size() + 1);
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        line_begin_.push_back(start);
+        start = i + 1;
+      }
+    }
+    if (start < text.size()) line_begin_.push_back(start);
+    // Compact-entry / anchor / document-marker handling rewrites lines_ in
+    // place; col_shift_ maps a column in the rewritten line back to the
+    // original text (original_col = rewritten_col + shift).
+    col_shift_.assign(lines_.size(), 0);
+  }
 
   ParseResult run() {
     ParseResult result;
@@ -81,6 +97,7 @@ class Parser {
           // the marker and parse it as the document body.
           lines_[line->raw_index] =
               std::string(line->content.substr(4));
+          note_rewrite(line->raw_index, /*old_col=*/4, /*new_col=*/0);
           pos_ = line->raw_index;
           break;
         } else {
@@ -143,6 +160,60 @@ class Parser {
 
   void consume(const SignificantLine& line) { pos_ = line.raw_index + 1; }
 
+  // --- source spans ------------------------------------------------------
+
+  // Span for `len` bytes starting at 0-based column `col` of (possibly
+  // rewritten) line `raw_index`, mapped back to original-text coordinates.
+  Span make_span(std::size_t raw_index, std::size_t col,
+                 std::size_t len) const {
+    Span span;
+    if (raw_index >= line_begin_.size()) return span;
+    std::ptrdiff_t shifted =
+        static_cast<std::ptrdiff_t>(col) + col_shift_[raw_index];
+    if (shifted < 0) shifted = 0;
+    std::size_t original_col = static_cast<std::size_t>(shifted);
+    span.line = raw_index + 1;
+    span.column = original_col + 1;
+    span.begin = std::min(line_begin_[raw_index] + original_col, text_size_);
+    span.end = std::min(span.begin + len, text_size_);
+    return span;
+  }
+
+  // 0-based column of a view into line.content (views produced by substr /
+  // trim share the content buffer, so pointer arithmetic is valid).
+  static std::size_t col_of(const SignificantLine& line,
+                            std::string_view within) {
+    return line.indent +
+           static_cast<std::size_t>(within.data() - line.content.data());
+  }
+
+  // Records that line `raw_index` was rewritten, moving the content that
+  // was at column `old_col` to column `new_col`.
+  void note_rewrite(std::size_t raw_index, std::size_t old_col,
+                    std::size_t new_col) {
+    col_shift_[raw_index] += static_cast<std::ptrdiff_t>(old_col) -
+                             static_cast<std::ptrdiff_t>(new_col);
+  }
+
+  // Widens a collection span to include another span / a child's spans.
+  static void grow_span(Span& parent, const Span& s) {
+    if (!s.valid()) return;
+    if (!parent.valid()) {
+      parent = s;
+      return;
+    }
+    if (s.begin < parent.begin) {
+      parent.line = s.line;
+      parent.column = s.column;
+      parent.begin = s.begin;
+    }
+    if (s.end > parent.end) parent.end = s.end;
+  }
+  static void grow_span(Span& parent, const Node& child) {
+    grow_span(parent, child.key_span());
+    grow_span(parent, child.span());
+  }
+
   void fail(std::size_t raw_index, std::string message) {
     if (failed_) return;
     failed_ = true;
@@ -199,6 +270,7 @@ class Parser {
           anchors_[*anchor] = value;
           return value;
         }
+        note_rewrite(line->raw_index, col_of(*line, content), indent);
         lines_[line->raw_index] =
             std::string(indent, ' ') + std::string(content);
         pos_ = line->raw_index;
@@ -211,7 +283,7 @@ class Parser {
     if (find_key_split(line->content)) return parse_mapping(indent);
     // Single scalar document / value.
     consume(*line);
-    Node n = parse_scalar_value(line->content, line->raw_index);
+    Node n = parse_scalar_value(line->content, line->raw_index, line->indent);
     if (auto next = peek();
         next && next->indent > indent && !failed_) {
       fail(next->raw_index,
@@ -232,6 +304,7 @@ class Parser {
 
   Node parse_sequence(std::size_t indent) {
     Node out = Node::seq();
+    Span span;
     for (;;) {
       auto line = peek();
       if (!line || failed_) break;
@@ -242,6 +315,9 @@ class Parser {
         break;
       }
       if (!is_sequence_entry(line->content)) break;
+      // The "- " marker anchors the sequence span even when an item is
+      // empty or its content was rewritten to a deeper indent.
+      Span marker = make_span(line->raw_index, line->indent, 1);
       if (line->content == "-") {
         consume(*line);
         // Item is the following more-indented block, or null.
@@ -249,20 +325,26 @@ class Parser {
         if (next && next->indent > indent && !failed_) {
           out.push_back(parse_block(next->indent));
         } else {
-          out.push_back(Node::null());
+          Node item = Node::null();
+          item.set_span(marker);
+          out.push_back(std::move(item));
         }
       } else {
         // "- X": rewrite the raw line as X indented two extra columns and
         // re-parse; compact mappings/sequences/scalars all fall out of this
         // uniformly because following keys of a compact mapping sit at
-        // indent + 2.
+        // indent + 2. The rest keeps its column (the marker is exactly two
+        // bytes), so no column shift is recorded.
         std::string rest(line->content.substr(2));
         lines_[line->raw_index] =
             std::string(indent + 2, ' ') + rest;
         pos_ = line->raw_index;
         out.push_back(parse_block(indent + 2));
       }
+      if (!out.items().empty()) grow_span(span, out.items().back());
+      grow_span(span, marker);
     }
+    out.set_span(span);
     return out;
   }
 
@@ -304,6 +386,7 @@ class Parser {
 
   Node parse_mapping(std::size_t indent) {
     Node out = Node::map();
+    Span span;
     // "<<" merge values, applied after explicit keys (explicit keys win).
     std::vector<Node> merges;
     for (;;) {
@@ -321,9 +404,12 @@ class Parser {
         fail(line->raw_index, "expected 'key: value'");
         break;
       }
-      std::string key = parse_key(
-          util::trim(std::string_view(line->content).substr(0, *split)),
-          line->raw_index);
+      std::string_view key_text =
+          util::trim(std::string_view(line->content).substr(0, *split));
+      Span key_span = make_span(line->raw_index, col_of(*line, key_text),
+                                key_text.size());
+      std::string key = parse_key(key_text, line->raw_index,
+                                  col_of(*line, key_text));
       std::string_view rest =
           util::trim(std::string_view(line->content).substr(*split + 1));
       consume(*line);
@@ -346,21 +432,30 @@ class Parser {
         } else {
           value = Node::null();
         }
+        if (value.is_null() && !value.span().valid()) {
+          // Implicit null: a zero-length span just after the ':'.
+          value.set_span(
+              make_span(line->raw_index, line->indent + *split + 1, 0));
+        }
       } else if (rest[0] == '|' || rest[0] == '>') {
-        value = parse_block_scalar(rest, indent, line->raw_index);
+        value = parse_block_scalar(rest, indent, line->raw_index,
+                                   col_of(*line, rest));
       } else {
-        value = parse_scalar_value(rest, line->raw_index);
+        value = parse_scalar_value(rest, line->raw_index,
+                                   col_of(*line, rest));
         if (auto next = peek(); next && next->indent > indent && !failed_) {
           fail(next->raw_index,
                "unexpected indentation after 'key: value'");
         }
       }
       if (failed_) break;
+      value.set_key_span(key_span);
       if (anchor) anchors_[*anchor] = value;
       if (key == "<<") {
         merges.push_back(std::move(value));
         continue;
       }
+      grow_span(span, value);
       out.entries().emplace_back(std::move(key), std::move(value));
     }
     // Apply merge keys: entries from merged mappings (or sequences of
@@ -384,17 +479,19 @@ class Parser {
              "'<<' merge value must be a mapping or list of mappings");
       }
     }
+    out.set_span(span);
     return out;
   }
 
-  std::string parse_key(std::string_view text, std::size_t raw_index) {
+  std::string parse_key(std::string_view text, std::size_t raw_index,
+                        std::size_t col) {
     if (text.empty()) {
       fail(raw_index, "empty mapping key");
       return {};
     }
     if (text[0] == '"' || text[0] == '\'') {
       std::size_t i = 0;
-      Node n = parse_quoted(text, i, raw_index);
+      Node n = parse_quoted(text, i, raw_index, col);
       if (!failed_ && i != text.size()) {
         fail(raw_index, "garbage after quoted key");
       }
@@ -409,12 +506,13 @@ class Parser {
 
   // --- scalars -----------------------------------------------------------
 
-  Node parse_scalar_value(std::string_view text, std::size_t raw_index) {
+  Node parse_scalar_value(std::string_view text, std::size_t raw_index,
+                          std::size_t col) {
     assert(!text.empty());
     char c = text[0];
     if (c == '[' || c == '{') {
       std::size_t i = 0;
-      Node n = parse_flow(text, i, raw_index, 0);
+      Node n = parse_flow(text, i, raw_index, 0, col);
       if (!failed_) {
         while (i < text.size() && text[i] == ' ') ++i;
         if (i != text.size())
@@ -424,7 +522,7 @@ class Parser {
     }
     if (c == '"' || c == '\'') {
       std::size_t i = 0;
-      Node n = parse_quoted(text, i, raw_index);
+      Node n = parse_quoted(text, i, raw_index, col);
       if (!failed_ && i != text.size())
         fail(raw_index, "garbage after quoted scalar");
       return n;
@@ -436,7 +534,11 @@ class Parser {
         fail(raw_index, "malformed alias");
         return Node::null();
       }
-      return resolve_alias(name, raw_index);
+      Node n = resolve_alias(name, raw_index);
+      // The use-site location, not the anchor definition's.
+      n.set_span(make_span(raw_index, col, text.size()));
+      n.set_key_span(Span{});
+      return n;
     }
     if (c == '&') {
       // Anchors on plain values are handled by the callers; reaching here
@@ -448,11 +550,14 @@ class Parser {
       fail(raw_index, "tags unsupported");
       return Node::null();
     }
-    return resolve_plain_scalar(text);
+    Node n = resolve_plain_scalar(text);
+    n.set_span(make_span(raw_index, col, text.size()));
+    return n;
   }
 
   Node parse_quoted(std::string_view text, std::size_t& i,
-                    std::size_t raw_index) {
+                    std::size_t raw_index, std::size_t base_col) {
+    const std::size_t start = i;
     char quote = text[i];
     ++i;
     std::string out;
@@ -481,6 +586,8 @@ class Parser {
         }
         ++i;
         Node n = Node::str(std::move(out));
+        // Span covers the quotes too: that is what a fix would replace.
+        n.set_span(make_span(raw_index, base_col + start, i - start));
         return n;
       }
       out += c;
@@ -491,7 +598,7 @@ class Parser {
   }
 
   Node parse_flow(std::string_view text, std::size_t& i,
-                  std::size_t raw_index, int depth) {
+                  std::size_t raw_index, int depth, std::size_t base_col) {
     if (depth > 32) {
       fail(raw_index, "flow nesting too deep");
       return Node::null();
@@ -506,16 +613,21 @@ class Parser {
     }
     char c = text[i];
     if (c == '[') {
+      const std::size_t open = i;
       ++i;
       Node out = Node::seq();
+      auto close = [&]() -> Node {
+        out.set_span(make_span(raw_index, base_col + open, i - open));
+        return std::move(out);
+      };
       skip_ws();
       if (i < text.size() && text[i] == ']') {
         ++i;
-        return out;
+        return close();
       }
       for (;;) {
-        out.push_back(parse_flow(text, i, raw_index, depth + 1));
-        if (failed_) return out;
+        out.push_back(parse_flow(text, i, raw_index, depth + 1, base_col));
+        if (failed_) return close();
         skip_ws();
         if (i < text.size() && text[i] == ',') {
           ++i;
@@ -523,33 +635,38 @@ class Parser {
           // allow trailing comma
           if (i < text.size() && text[i] == ']') {
             ++i;
-            return out;
+            return close();
           }
           continue;
         }
         if (i < text.size() && text[i] == ']') {
           ++i;
-          return out;
+          return close();
         }
         fail(raw_index, "expected ',' or ']' in flow sequence");
-        return out;
+        return close();
       }
     }
     if (c == '{') {
+      const std::size_t open = i;
       ++i;
       Node out = Node::map();
+      auto close = [&]() -> Node {
+        out.set_span(make_span(raw_index, base_col + open, i - open));
+        return std::move(out);
+      };
       skip_ws();
       if (i < text.size() && text[i] == '}') {
         ++i;
-        return out;
+        return close();
       }
       for (;;) {
         skip_ws();
-        Node key = parse_flow(text, i, raw_index, depth + 1);
-        if (failed_) return out;
+        Node key = parse_flow(text, i, raw_index, depth + 1, base_col);
+        if (failed_) return close();
         if (!key.is_scalar()) {
           fail(raw_index, "non-scalar key in flow mapping");
-          return out;
+          return close();
         }
         skip_ws();
         Node value = Node::null();
@@ -557,10 +674,14 @@ class Parser {
           ++i;
           skip_ws();
           if (i < text.size() && text[i] != ',' && text[i] != '}') {
-            value = parse_flow(text, i, raw_index, depth + 1);
-            if (failed_) return out;
+            value = parse_flow(text, i, raw_index, depth + 1, base_col);
+            if (failed_) return close();
+          } else {
+            // Implicit null: zero-length span after the ':'.
+            value.set_span(make_span(raw_index, base_col + i, 0));
           }
         }
+        value.set_key_span(key.span());
         out.entries().emplace_back(key.scalar_text(), std::move(value));
         skip_ws();
         if (i < text.size() && text[i] == ',') {
@@ -569,19 +690,23 @@ class Parser {
         }
         if (i < text.size() && text[i] == '}') {
           ++i;
-          return out;
+          return close();
         }
         fail(raw_index, "expected ',' or '}' in flow mapping");
-        return out;
+        return close();
       }
     }
-    if (c == '"' || c == '\'') return parse_quoted(text, i, raw_index);
+    if (c == '"' || c == '\'') return parse_quoted(text, i, raw_index, base_col);
     if (c == '*') {
+      const std::size_t star = i;
       std::size_t start = ++i;
       while (i < text.size() && text[i] != ',' && text[i] != ']' &&
              text[i] != '}' && text[i] != ' ')
         ++i;
-      return resolve_alias(text.substr(start, i - start), raw_index);
+      Node n = resolve_alias(text.substr(start, i - start), raw_index);
+      n.set_span(make_span(raw_index, base_col + star, i - star));
+      n.set_key_span(Span{});
+      return n;
     }
     // Plain flow scalar: up to an unquoted , ] } or :.
     std::size_t start = i;
@@ -594,11 +719,16 @@ class Parser {
       ++i;
     }
     std::string_view plain = util::trim(text.substr(start, i - start));
-    return resolve_plain_scalar(plain);
+    Node n = resolve_plain_scalar(plain);
+    std::size_t plain_col =
+        base_col + start +
+        static_cast<std::size_t>(plain.data() - (text.data() + start));
+    n.set_span(make_span(raw_index, plain_col, plain.size()));
+    return n;
   }
 
   Node parse_block_scalar(std::string_view header, std::size_t parent_indent,
-                          std::size_t header_index) {
+                          std::size_t header_index, std::size_t header_col) {
     assert(header[0] == '|' || header[0] == '>');
     bool folded = header[0] == '>';
     char chomp = 'c';  // clip
@@ -621,6 +751,7 @@ class Parser {
         explicit_indent >= 0
             ? parent_indent + static_cast<std::size_t>(explicit_indent)
             : 0;  // determined by first non-blank line
+    const std::size_t first_body = pos_;
     std::size_t scan = pos_;
     for (; scan < lines_.size(); ++scan) {
       const std::string& raw = lines_[scan];
@@ -673,10 +804,26 @@ class Parser {
     } else if (chomp == '+') {
       for (std::size_t i = end; i < body.size(); ++i) text += '\n';
     }
-    return Node::str(std::move(text));
+    Node n = Node::str(std::move(text));
+    // Span runs from the '|'/'>' header through the last body line (body
+    // lines are never rewritten, so their raw coordinates are original).
+    Span span = make_span(header_index, header_col, header.size());
+    if (scan > first_body && scan - 1 < line_begin_.size()) {
+      std::size_t last = scan - 1;
+      std::size_t e =
+          std::min(line_begin_[last] + lines_[last].size(), text_size_);
+      if (e > span.end) span.end = e;
+    }
+    n.set_span(span);
+    return n;
   }
 
   std::vector<std::string> lines_;
+  // Original-text byte offset of each line start, and the per-line column
+  // shift introduced by in-place line rewrites (see note_rewrite).
+  std::vector<std::size_t> line_begin_;
+  std::vector<std::ptrdiff_t> col_shift_;
+  std::size_t text_size_ = 0;
   std::size_t pos_ = 0;
   bool failed_ = false;
   ParseError error_;

@@ -1,0 +1,441 @@
+// The diagnostics engine: span accuracy on tricky YAML, positive/negative
+// cases for every new rule, fix-then-relint convergence, rule
+// configuration, formatters, and the lint-gate eval-set property (repair
+// strictly improves Schema Correct without touching already-valid
+// predictions).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "analysis/format.hpp"
+#include "analysis/rules.hpp"
+#include "ansible/linter.hpp"
+#include "metrics/schema_correct.hpp"
+#include "serve/lint_gate.hpp"
+
+namespace wa = wisdom::analysis;
+namespace wl = wisdom::ansible;
+namespace wm = wisdom::metrics;
+namespace ws = wisdom::serve;
+
+namespace {
+
+const wa::Diagnostic* find_rule(const wa::AnalysisResult& result,
+                                std::string_view rule) {
+  for (const auto& d : result.diagnostics)
+    if (d.rule == rule) return &d;
+  return nullptr;
+}
+
+bool has_rule(const wa::AnalysisResult& result, std::string_view rule) {
+  return find_rule(result, rule) != nullptr;
+}
+
+}  // namespace
+
+// --- rule registry ------------------------------------------------------------
+
+TEST(Rules, RegistrySortedAndLookupWorks) {
+  auto rules = wa::all_rules();
+  ASSERT_FALSE(rules.empty());
+  EXPECT_TRUE(std::is_sorted(
+      rules.begin(), rules.end(),
+      [](const wa::RuleInfo& a, const wa::RuleInfo& b) { return a.id < b.id; }));
+  for (const auto& rule : rules) {
+    const wa::RuleInfo* found = wa::find_rule(rule.id);
+    ASSERT_NE(found, nullptr) << rule.id;
+    EXPECT_EQ(found->id, rule.id);
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+  }
+  EXPECT_EQ(wa::find_rule("no-such-rule"), nullptr);
+}
+
+TEST(Rules, ConfigDisableAndOverride) {
+  const std::string text =
+      "- name: Install nginx\n"
+      "  apt:\n"
+      "    name: nginx\n"
+      "    state: present\n";
+  auto base = wa::analyze(text);
+  ASSERT_TRUE(has_rule(base, "fqcn"));
+
+  wa::RuleConfig disabled;
+  disabled.disabled = {"fqcn"};
+  EXPECT_FALSE(has_rule(wa::analyze(text, disabled), "fqcn"));
+
+  wa::RuleConfig upgraded;
+  upgraded.severity_overrides = {{"fqcn", wa::Severity::Error}};
+  auto strict = wa::analyze(text, upgraded);
+  const wa::Diagnostic* d = find_rule(strict, "fqcn");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, wa::Severity::Error);
+  EXPECT_FALSE(strict.ok());
+
+  wa::RuleConfig typo;
+  typo.disabled = {"fqcn", "not-a-rule"};
+  auto unknown = typo.unknown_ids();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "not-a-rule");
+}
+
+// --- span accuracy ------------------------------------------------------------
+
+TEST(Spans, DiagnosticsSliceToTheNamedKey) {
+  const std::string text =
+      "- name: Install nginx\n"
+      "  apt:\n"
+      "    name: nginx\n"
+      "    state: present\n";
+  auto result = wa::analyze(text);
+  const wa::Diagnostic* fqcn = find_rule(result, "fqcn");
+  ASSERT_NE(fqcn, nullptr);
+  ASSERT_TRUE(fqcn->span.valid());
+  EXPECT_EQ(fqcn->span.slice(text), "apt");
+  EXPECT_EQ(fqcn->span.line, 2u);
+  EXPECT_EQ(fqcn->span.column, 3u);
+}
+
+TEST(Spans, EveryLintTextViolationOnParseableDocIsLocated) {
+  // Tricky shapes: comments, a block scalar, a flow mapping, k=v args,
+  // octals, duplicate keys — every violation must carry a span whose
+  // bytes fall inside the input.
+  const std::string text =
+      "# provision\n"
+      "- name: Write config\n"
+      "  copy: dest=/etc/app.conf content=hi\n"
+      "- name: Script\n"
+      "  ansible.builtin.shell: |\n"
+      "    echo one\n"
+      "    echo two\n"
+      "  args: {chdir: /tmp, chdir: /var}\n"
+      "- ansible.builtin.file:\n"
+      "    path: /etc/app.conf\n"
+      "    mode: 644\n"
+      "    state: touch\n"
+      "    state: file\n";
+  wl::LintResult lint = wl::lint_text(text);
+  EXPECT_FALSE(lint.violations.empty());
+  for (const auto& v : lint.violations) {
+    EXPECT_TRUE(v.span.valid()) << v.rule << ": " << v.message;
+    EXPECT_LE(v.span.begin, v.span.end) << v.rule;
+    EXPECT_LE(v.span.end, text.size()) << v.rule;
+  }
+  // The engine sees the same text and locates the deeper rules too.
+  auto result = wa::analyze(text);
+  for (const auto& d : result.diagnostics) {
+    ASSERT_TRUE(d.span.valid()) << d.rule << ": " << d.message;
+    EXPECT_LE(d.span.end, text.size()) << d.rule;
+  }
+  const wa::Diagnostic* dup = find_rule(result, "duplicate-key");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_TRUE(dup->span.slice(text) == "chdir" ||
+              dup->span.slice(text) == "state")
+      << dup->span.slice(text);
+  const wa::Diagnostic* octal = find_rule(result, "octal-mode");
+  ASSERT_NE(octal, nullptr);
+  EXPECT_EQ(octal->span.slice(text), "644");
+}
+
+TEST(Spans, BlockScalarAndFlowMappingSpans) {
+  const std::string text =
+      "- name: Run script\n"
+      "  ansible.builtin.shell: |\n"
+      "    echo {{ missing_var }}\n"
+      "  vars: {retries: 3}\n";
+  auto result = wa::analyze(text);
+  // The Jinja reference inside the block scalar is located on the scalar.
+  for (const auto& d : result.diagnostics)
+    EXPECT_TRUE(d.span.valid()) << d.rule;
+}
+
+// --- new rules: positive and negative cases -----------------------------------
+
+TEST(NewRules, DeprecatedModule) {
+  auto bad = wa::analyze(
+      "- name: Install\n  ansible.builtin.yum:\n    name: vim\n"
+      "    state: present\n");
+  const wa::Diagnostic* d = find_rule(bad, "deprecated-module");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("ansible.builtin.dnf"), std::string::npos);
+  auto good = wa::analyze(
+      "- name: Install\n  ansible.builtin.dnf:\n    name: vim\n"
+      "    state: present\n");
+  EXPECT_FALSE(has_rule(good, "deprecated-module"));
+}
+
+TEST(NewRules, FqcnFixRewritesShortName) {
+  const std::string text =
+      "- name: Install\n  apt:\n    name: vim\n    state: present\n";
+  auto result = wa::analyze(text);
+  const wa::Diagnostic* d = find_rule(result, "fqcn");
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->fixable());
+  auto fixed = wa::apply_fixes(text, result);
+  EXPECT_NE(fixed.text.find("ansible.builtin.apt:"), std::string::npos);
+  EXPECT_FALSE(has_rule(wa::analyze(fixed.text), "fqcn"));
+}
+
+TEST(NewRules, DuplicateKeyDetectedAtAllDepths) {
+  auto dup = wa::analyze(
+      "- name: A\n  ansible.builtin.apt:\n    name: vim\n    name: git\n"
+      "    state: present\n");
+  EXPECT_TRUE(has_rule(dup, "duplicate-key"));
+  EXPECT_FALSE(dup.ok());
+  auto clean = wa::analyze(
+      "- name: A\n  ansible.builtin.apt:\n    name: vim\n"
+      "    state: present\n");
+  EXPECT_FALSE(has_rule(clean, "duplicate-key"));
+}
+
+TEST(NewRules, OldStyleArgsExpandToMapping) {
+  const std::string text =
+      "- name: Install\n  ansible.builtin.apt: name=vim state=present\n";
+  auto result = wa::analyze(text);
+  const wa::Diagnostic* d = find_rule(result, "old-style-args");
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->fixable());
+  auto repaired = wa::repair(text);
+  EXPECT_TRUE(repaired.converged);
+  EXPECT_NE(repaired.text.find("    name: vim"), std::string::npos);
+  EXPECT_NE(repaired.text.find("    state: present"), std::string::npos);
+  EXPECT_TRUE(wa::analyze(repaired.text).ok());
+  // Free-form modules keep their string form.
+  auto shell = wa::analyze(
+      "- name: Run\n  ansible.builtin.shell: echo hello\n");
+  EXPECT_FALSE(has_rule(shell, "old-style-args"));
+}
+
+TEST(NewRules, JinjaSyntaxErrors) {
+  auto bad = wa::analyze(
+      "- name: Show\n  ansible.builtin.debug:\n"
+      "    msg: \"{{ value\"\n");
+  EXPECT_TRUE(has_rule(bad, "jinja-syntax"));
+  auto good = wa::analyze(
+      "- name: Show\n  ansible.builtin.debug:\n"
+      "    msg: \"{{ value }}\"\n");
+  EXPECT_FALSE(has_rule(good, "jinja-syntax"));
+}
+
+TEST(NewRules, UndefinedVariableItemRequiresLoop) {
+  auto bad = wa::analyze(
+      "- name: Install\n  ansible.builtin.apt:\n"
+      "    name: \"{{ item }}\"\n    state: present\n");
+  EXPECT_TRUE(has_rule(bad, "undefined-variable"));
+  auto good = wa::analyze(
+      "- name: Install\n  ansible.builtin.apt:\n"
+      "    name: \"{{ item }}\"\n    state: present\n"
+      "  loop:\n    - vim\n    - git\n");
+  EXPECT_FALSE(has_rule(good, "undefined-variable"));
+}
+
+TEST(NewRules, UndefinedVariableRegisterOrdering) {
+  // Used before the registering task -> diagnostic.
+  auto bad = wa::analyze(
+      "- name: Report\n  ansible.builtin.debug:\n"
+      "    msg: \"{{ out.stdout }}\"\n"
+      "- name: Run\n  ansible.builtin.command: uptime\n  register: out\n");
+  EXPECT_TRUE(has_rule(bad, "undefined-variable"));
+  // Registered earlier -> fine.
+  auto good = wa::analyze(
+      "- name: Run\n  ansible.builtin.command: uptime\n  register: out\n"
+      "- name: Report\n  ansible.builtin.debug:\n"
+      "    msg: \"{{ out.stdout }}\"\n");
+  EXPECT_FALSE(has_rule(good, "undefined-variable"));
+}
+
+TEST(NewRules, BooleanLiteralNormalization) {
+  const std::string text =
+      "- name: Enable\n  ansible.builtin.service:\n    name: nginx\n"
+      "    enabled: yes\n";
+  auto result = wa::analyze(text);
+  const wa::Diagnostic* d = find_rule(result, "boolean-literal");
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->fixable());
+  auto fixed = wa::apply_fixes(text, result);
+  EXPECT_NE(fixed.text.find("enabled: true"), std::string::npos);
+  EXPECT_FALSE(has_rule(wa::analyze(fixed.text), "boolean-literal"));
+}
+
+TEST(NewRules, OctalModeQuoted) {
+  const std::string text =
+      "- name: Perms\n  ansible.builtin.file:\n    path: /tmp/x\n"
+      "    mode: 644\n    state: touch\n";
+  auto result = wa::analyze(text);
+  const wa::Diagnostic* d = find_rule(result, "octal-mode");
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->fixable());
+  auto fixed = wa::apply_fixes(text, result);
+  EXPECT_NE(fixed.text.find("mode: '0644'"), std::string::npos);
+  EXPECT_FALSE(has_rule(wa::analyze(fixed.text), "octal-mode"));
+}
+
+TEST(NewRules, NameMissing) {
+  auto bad = wa::analyze(
+      "- ansible.builtin.apt:\n    name: vim\n    state: present\n");
+  EXPECT_TRUE(has_rule(bad, "name-missing"));
+  auto good = wa::analyze(
+      "- name: Install\n  ansible.builtin.apt:\n    name: vim\n"
+      "    state: present\n");
+  EXPECT_FALSE(has_rule(good, "name-missing"));
+}
+
+TEST(NewRules, EmptyDocumentIsAWarningNotAnError) {
+  for (std::string_view text : {"", "   \n", "---\n"}) {
+    wl::LintResult lint = wl::lint_text(text);
+    EXPECT_TRUE(lint.ok()) << text;
+    ASSERT_EQ(lint.violations.size(), 1u) << text;
+    EXPECT_EQ(lint.violations[0].rule, "empty-document");
+    EXPECT_EQ(lint.violations[0].severity, wl::Severity::Warning);
+    // ... but an empty document is never a schema-correct *answer*.
+    EXPECT_FALSE(wm::schema_correct(text));
+  }
+}
+
+// --- fixing -------------------------------------------------------------------
+
+TEST(Repair, ComposedFixesConvergeInOnePass) {
+  const std::string text =
+      "- name: Enable\n  service: name=nginx enabled=yes\n"
+      "- name: Perms\n  file:\n    path: /tmp/x\n    mode: 600\n"
+      "    state: touch\n";
+  auto repaired = wa::repair(text);
+  EXPECT_TRUE(repaired.changed);
+  EXPECT_TRUE(repaired.converged);
+  EXPECT_EQ(repaired.final_result.fixable_count(), 0u);
+  EXPECT_NE(repaired.text.find("ansible.builtin.service:"),
+            std::string::npos);
+  EXPECT_NE(repaired.text.find("    enabled: true"), std::string::npos);
+  EXPECT_NE(repaired.text.find("mode: '0600'"), std::string::npos);
+  EXPECT_TRUE(wa::analyze(repaired.text).ok());
+}
+
+TEST(Repair, CleanInputIsUntouched) {
+  const std::string text =
+      "- name: Install\n  ansible.builtin.apt:\n    name: vim\n"
+      "    state: present\n";
+  auto repaired = wa::repair(text);
+  EXPECT_FALSE(repaired.changed);
+  EXPECT_TRUE(repaired.converged);
+  EXPECT_EQ(repaired.text, text);
+}
+
+TEST(Repair, UnparseableInputIsUntouched) {
+  const std::string text = "- name: [broken\n";
+  auto repaired = wa::repair(text);
+  EXPECT_FALSE(repaired.changed);
+  EXPECT_EQ(repaired.text, text);
+  EXPECT_FALSE(repaired.final_result.parsed);
+}
+
+// --- formatters ---------------------------------------------------------------
+
+TEST(Format, TextCaretsPointAtTheKey) {
+  const std::string text =
+      "- name: Install\n  apt:\n    name: vim\n    state: present\n";
+  auto result = wa::analyze(text);
+  std::string rendered = wa::format_text(text, result, "play.yml");
+  EXPECT_NE(rendered.find("play.yml:2:3: warning [fqcn]"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("  apt:"), std::string::npos);
+  EXPECT_NE(rendered.find("^~~"), std::string::npos);
+  EXPECT_NE(rendered.find("0 errors, 1 warning"), std::string::npos);
+}
+
+TEST(Format, JsonCarriesSpansAndFixability) {
+  const std::string text =
+      "- name: Install\n  apt:\n    name: vim\n    state: present\n";
+  std::string json = wa::format_json(wa::analyze(text));
+  EXPECT_NE(json.find("\"rule\":\"fqcn\""), std::string::npos);
+  EXPECT_NE(json.find("\"fixable\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"line\":2"), std::string::npos);
+}
+
+TEST(Format, LintResultToStringSortsBySourceOrder) {
+  // The unknown-param violation sits on line 4, the fqcn/old-style ones on
+  // line 6: source order must win regardless of emission order.
+  wl::LintResult lint = wl::lint_text(
+      "- name: A\n"
+      "  ansible.builtin.debug:\n"
+      "    msg: hi\n"
+      "    bogus: 1\n"
+      "- name: B\n"
+      "  apt: name=vim state=present\n");
+  std::string rendered = lint.to_string();
+  std::size_t first = rendered.find("unknown-param");
+  std::size_t second = rendered.find("fqcn");
+  ASSERT_NE(first, std::string::npos) << rendered;
+  ASSERT_NE(second, std::string::npos) << rendered;
+  EXPECT_LT(first, second);
+}
+
+// --- the lint gate over a seeded eval set -------------------------------------
+
+TEST(LintGateEval, RepairImprovesSchemaCorrectAndPreservesValidSnippets) {
+  // A seeded eval set standing in for model predictions: some already
+  // valid, some one mechanical fix away, one beyond repair.
+  const std::vector<std::string> predictions = {
+      "- name: Install vim\n  ansible.builtin.apt:\n    name: vim\n"
+      "    state: present\n",
+      "- name: Install git\n  ansible.builtin.apt:\n    name: git\n"
+      "    state: present\n",
+      "- name: Install curl\n  apt: name=curl state=present\n",
+      "- name: Enable nginx\n  service: name=nginx enabled=yes\n",
+      "- name: Broken\n  ansible.builtin.notamodule:\n    x: 1\n",
+  };
+  std::size_t schema_off = 0, schema_repair = 0;
+  for (const std::string& prediction : predictions) {
+    ws::LintOutcome off = ws::lint_gate(prediction, ws::LintPolicy::Off);
+    ws::LintOutcome rep = ws::lint_gate(prediction, ws::LintPolicy::Repair);
+    if (off.schema_correct) {
+      ++schema_off;
+      // Already-valid predictions must come back byte-identical (Exact
+      // Match unchanged).
+      EXPECT_EQ(rep.snippet, prediction);
+      EXPECT_FALSE(rep.repaired);
+    }
+    if (rep.schema_correct) ++schema_repair;
+  }
+  EXPECT_EQ(schema_off, 2u);
+  EXPECT_EQ(schema_repair, 4u);  // strictly better: both k=v forms repaired
+}
+
+TEST(LintGate, PolicyNamesRoundTrip) {
+  for (ws::LintPolicy p :
+       {ws::LintPolicy::Off, ws::LintPolicy::Annotate, ws::LintPolicy::Repair,
+        ws::LintPolicy::RejectDegraded}) {
+    ws::LintPolicy back;
+    ASSERT_TRUE(ws::lint_policy_from_name(ws::lint_policy_name(p), &back));
+    EXPECT_EQ(back, p);
+  }
+  ws::LintPolicy out;
+  EXPECT_FALSE(ws::lint_policy_from_name("bogus", &out));
+}
+
+TEST(LintGate, AnnotateReportsWithoutChanging) {
+  const std::string text =
+      "- name: Install\n  apt: name=vim state=present\n";
+  ws::LintOutcome outcome = ws::lint_gate(text, ws::LintPolicy::Annotate);
+  EXPECT_TRUE(outcome.analyzed);
+  EXPECT_FALSE(outcome.repaired);
+  EXPECT_EQ(outcome.snippet, text);
+  EXPECT_FALSE(outcome.schema_correct);
+  EXPECT_FALSE(outcome.diagnostics.empty());
+}
+
+TEST(LintGate, RejectDegradedRefusesUnrepairable) {
+  ws::LintOutcome outcome = ws::lint_gate(
+      "- name: Broken\n  ansible.builtin.notamodule:\n    x: 1\n",
+      ws::LintPolicy::RejectDegraded);
+  EXPECT_TRUE(outcome.rejected);
+  EXPECT_FALSE(outcome.schema_correct);
+  // ... but accepts what repair can save.
+  ws::LintOutcome saved = ws::lint_gate(
+      "- name: Install\n  apt: name=vim state=present\n",
+      ws::LintPolicy::RejectDegraded);
+  EXPECT_FALSE(saved.rejected);
+  EXPECT_TRUE(saved.repaired);
+  EXPECT_TRUE(saved.schema_correct);
+}

@@ -11,6 +11,8 @@
 #include "metrics/ansible_aware.hpp"
 #include "metrics/bleu.hpp"
 #include "metrics/exact_match.hpp"
+#include "metrics/schema_correct.hpp"
+#include "analysis/engine.hpp"
 #include "text/bpe.hpp"
 #include "util/rng.hpp"
 #include "yaml/emit.hpp"
@@ -233,6 +235,31 @@ TEST_P(SeededProperty, FtSamplesAreInternallyConsistent) {
       EXPECT_NEAR(wm::ansible_aware_text(sample.full_target(),
                                          sample.full_target()),
                   1.0, 1e-9);
+    }
+  }
+}
+
+// --- auto-fix safety ----------------------------------------------------------
+
+// Repair must never turn a schema-correct generated document
+// schema-incorrect: on clean input the fix engine finds nothing to apply
+// and returns the text byte-identical; on any input it converges.
+TEST_P(SeededProperty, RepairNeverBreaksSchemaCorrectDocuments) {
+  wd::AnsibleGenerator gen{Rng{GetParam()}};
+  for (int i = 0; i < 20; ++i) {
+    wy::Node doc = i % 2 ? gen.playbook(2) : gen.role_tasks(3);
+    std::string text = wy::emit(doc);
+    const bool correct_before = wm::schema_correct(text);
+    wisdom::analysis::RepairResult repaired = wisdom::analysis::repair(text);
+    EXPECT_TRUE(repaired.converged) << text;
+    if (correct_before) {
+      EXPECT_TRUE(wm::schema_correct(repaired.text))
+          << "repair broke:\n" << text << "\n-- into --\n" << repaired.text;
+      if (repaired.changed) {
+        // Fixes applied to a correct doc may only touch warnings
+        // (e.g. literal normalization) — never the error count.
+        EXPECT_EQ(repaired.final_result.error_count(), 0u) << repaired.text;
+      }
     }
   }
 }

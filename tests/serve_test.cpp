@@ -140,3 +140,102 @@ TEST(Service, EmptyStats) {
   EXPECT_EQ(service.stats().acceptance_rate(), 0.0);
   EXPECT_EQ(service.stats().mean_latency_ms(), 0.0);
 }
+
+// --- lint policy matrix -------------------------------------------------------
+
+TEST(LintPolicy, ValidSuggestionsPassEveryPolicyUnchanged) {
+  auto& f = fixture();
+  ws::InferenceService off(f.model, f.tokenizer);
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  auto baseline = off.suggest(request);
+  ASSERT_TRUE(baseline.ok);
+  ASSERT_TRUE(baseline.schema_correct);
+  EXPECT_TRUE(baseline.diagnostics.empty());
+  EXPECT_FALSE(baseline.repaired);
+
+  for (ws::LintPolicy policy :
+       {ws::LintPolicy::Annotate, ws::LintPolicy::Repair,
+        ws::LintPolicy::RejectDegraded}) {
+    ws::ServiceOptions options;
+    options.lint_policy = policy;
+    ws::InferenceService service(f.model, f.tokenizer, options);
+    auto response = service.suggest(request);
+    ASSERT_TRUE(response.ok) << ws::lint_policy_name(policy);
+    // Greedy decoding + an already-valid snippet: every policy returns
+    // the exact same bytes (Exact Match is untouched).
+    EXPECT_EQ(response.snippet, baseline.snippet)
+        << ws::lint_policy_name(policy);
+    EXPECT_TRUE(response.schema_correct);
+    EXPECT_FALSE(response.repaired);
+    EXPECT_FALSE(response.degraded);
+    EXPECT_TRUE(response.diagnostics.empty());
+  }
+}
+
+TEST(LintPolicy, RejectDegradedFallsBackOnGenerateFailure) {
+  auto& f = fixture();
+  ws::FaultInjector faults;
+  ws::ServiceOptions options;
+  options.lint_policy = ws::LintPolicy::RejectDegraded;
+  options.faults = &faults;
+  ws::InferenceService service(f.model, f.tokenizer, options);
+  faults.set_fail_generate(1);
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  auto response = service.suggest(request);
+  EXPECT_TRUE(response.ok);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.error, ws::ServiceError::GenerateFailed);
+  EXPECT_TRUE(response.schema_correct);
+}
+
+TEST(LintPolicy, RejectDegradedWithoutFallbackRefuses) {
+  auto& f = fixture();
+  // An untrained model generates junk or nothing; under reject-degraded
+  // with the fallback disabled the request is refused outright rather
+  // than answered with a snippet that fails the lint gate.
+  wm::Transformer untrained(f.config(), 99);
+  ws::ServiceOptions options;
+  options.lint_policy = ws::LintPolicy::RejectDegraded;
+  options.fallback_enabled = false;
+  ws::InferenceService service(untrained, f.tokenizer, options);
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  auto response = service.suggest(request);
+  if (!response.schema_correct) {
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.error, ws::ServiceError::LintRejected);
+  }
+}
+
+TEST(LintPolicy, RejectDegradedWithFallbackAlwaysServesSchemaCorrect) {
+  auto& f = fixture();
+  wm::Transformer untrained(f.config(), 99);
+  ws::ServiceOptions options;
+  options.lint_policy = ws::LintPolicy::RejectDegraded;
+  ws::InferenceService service(untrained, f.tokenizer, options);
+  ws::SuggestionRequest request;
+  request.prompt = "Install nginx";
+  auto response = service.suggest(request);
+  // The policy's contract: whatever the model produced, the served
+  // snippet is schema-correct (repaired, or replaced by the fallback).
+  EXPECT_TRUE(response.ok);
+  EXPECT_TRUE(response.schema_correct);
+}
+
+TEST(LintPolicy, LintCounterFamiliesPreRegistered) {
+  auto& f = fixture();
+  ws::ServiceOptions options;
+  options.lint_policy = ws::LintPolicy::Annotate;
+  ws::InferenceService service(f.model, f.tokenizer, options);
+  std::string exposition = service.metrics().expose_prometheus();
+  for (const char* family :
+       {"wisdom_lint_diagnostics_total", "wisdom_lint_errors_total",
+        "wisdom_lint_warnings_total", "wisdom_lint_repaired_total",
+        "wisdom_lint_rejected_total", "wisdom_lint_rule_fqcn_total",
+        "wisdom_lint_rule_duplicate_key_total",
+        "wisdom_lint_rule_old_style_args_total"}) {
+    EXPECT_NE(exposition.find(family), std::string::npos) << family;
+  }
+}

@@ -177,3 +177,80 @@ TEST(Wire, RejectsHostileNesting) {
       ws::request_from_json(R"({"prompt": "x", "a": {"b": {"c": 1}}})")
           .has_value());
 }
+
+// --- diagnostics / repaired fields --------------------------------------------
+
+TEST(Wire, DiagnosticsRoundTrip) {
+  ws::SuggestionResponse response;
+  response.ok = true;
+  response.snippet = "- name: X\n  apt:\n    name: nginx\n";
+  response.repaired = true;
+  wisdom::analysis::Diagnostic d;
+  d.rule = "fqcn";
+  d.message = "module 'apt' should use its FQCN 'ansible.builtin.apt'";
+  d.severity = wisdom::analysis::Severity::Warning;
+  d.span = {16, 19, 2, 3};
+  response.diagnostics.push_back(d);
+  wisdom::analysis::Diagnostic e;
+  e.rule = "duplicate-key";
+  e.message = "mapping repeats key \"name\"";
+  e.severity = wisdom::analysis::Severity::Error;
+  e.span = {30, 34, 3, 5};
+  response.diagnostics.push_back(e);
+
+  std::string json = ws::to_json(response);
+  EXPECT_NE(json.find("\"repaired\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\": ["), std::string::npos);
+  auto back = ws::response_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->repaired);
+  ASSERT_EQ(back->diagnostics.size(), 2u);
+  EXPECT_EQ(back->diagnostics[0].rule, "fqcn");
+  EXPECT_EQ(back->diagnostics[0].message, d.message);
+  EXPECT_EQ(back->diagnostics[0].severity, wisdom::analysis::Severity::Warning);
+  EXPECT_EQ(back->diagnostics[0].span.begin, 16u);
+  EXPECT_EQ(back->diagnostics[0].span.end, 19u);
+  EXPECT_EQ(back->diagnostics[0].span.line, 2u);
+  EXPECT_EQ(back->diagnostics[0].span.column, 3u);
+  EXPECT_EQ(back->diagnostics[1].rule, "duplicate-key");
+  EXPECT_EQ(back->diagnostics[1].severity, wisdom::analysis::Severity::Error);
+}
+
+TEST(Wire, EmptyDiagnosticsOmitted) {
+  ws::SuggestionResponse response;
+  response.ok = true;
+  response.snippet = "x";
+  std::string json = ws::to_json(response);
+  EXPECT_EQ(json.find("\"diagnostics\""), std::string::npos);
+  auto back = ws::response_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->diagnostics.empty());
+  EXPECT_FALSE(back->repaired);
+}
+
+TEST(Wire, RejectsMalformedDiagnostics) {
+  // Not an array.
+  EXPECT_FALSE(ws::response_from_json(
+      R"({"ok": true, "snippet": "s", "diagnostics": {}})"));
+  // Element not an object.
+  EXPECT_FALSE(ws::response_from_json(
+      R"({"ok": true, "snippet": "s", "diagnostics": [3]})"));
+  // Missing required fields.
+  EXPECT_FALSE(ws::response_from_json(
+      R"({"ok": true, "snippet": "s", "diagnostics": [{"rule": "x"}]})"));
+  // Unknown severity.
+  EXPECT_FALSE(ws::response_from_json(
+      R"({"ok": true, "snippet": "s", "diagnostics":)"
+      R"( [{"rule": "x", "severity": "fatal", "message": "m"}]})"));
+  // Negative span field.
+  EXPECT_FALSE(ws::response_from_json(
+      R"({"ok": true, "snippet": "s", "diagnostics":)"
+      R"( [{"rule": "x", "severity": "error", "message": "m", "line": -1}]})"));
+  // Unterminated array.
+  EXPECT_FALSE(ws::response_from_json(
+      R"({"ok": true, "snippet": "s", "diagnostics": [})"));
+  // lint-rejected error name round-trips.
+  ws::ServiceError error;
+  ASSERT_TRUE(ws::service_error_from_name("lint-rejected", &error));
+  EXPECT_EQ(error, ws::ServiceError::LintRejected);
+}
