@@ -7,6 +7,8 @@
 // serving throughput through the InferenceService.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -255,6 +257,117 @@ void BM_OverloadSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_OverloadSweep)
     ->ArgsProduct({{1, 2, 4}, {4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Prefix-cache sweep: batches whose kept prompts share ~0%/50%/90% of
+// their tokens with previously served requests. Each iteration gets a
+// fresh unique prompt tail (placed right after the shared span), so the
+// response memo never hits and every win comes from KV-prefix reuse.
+// The identical workload is replayed through a cache-off service inside
+// PauseTiming, which yields the speedup counter the acceptance criterion
+// reads: >=1.5x tokens/s at 90% overlap with hit_rate >= 0.8.
+void BM_PrefixCacheSweep(benchmark::State& state) {
+  const int overlap = static_cast<int>(state.range(0));
+  const int threads = 4;
+  wisdom::util::ThreadPool::set_global_threads(threads);
+  static const text::BpeTokenizer* tokenizer = [] {
+    return new text::BpeTokenizer(text::BpeTokenizer::train(
+        "- name: Install nginx\n  ansible.builtin.apt:\n"
+        "    name: nginx\n    state: present\n",
+        300));
+  }();
+  model::ModelConfig cfg;
+  cfg.vocab = static_cast<std::int32_t>(tokenizer->vocab_size());
+  cfg.ctx = kCtx;
+  cfg.d_model = 32;
+  cfg.n_head = 4;
+  cfg.n_layer = 2;
+  cfg.d_ff = 128;
+  model::Transformer m(cfg, 11);
+
+  // Shared context + unique-tail padding sized (in tokens of the trained
+  // tokenizer) so shared/kept lands near the nominal overlap while the
+  // whole kept prompt stays inside the left-truncation budget
+  // (ctx - max_new_tokens = 72 tokens).
+  std::string context;
+  std::string pad;
+  if (overlap == 50) {
+    context = "- name: Install nginx\n";
+    pad = " zq jw xk pv";
+  } else if (overlap == 90) {
+    context =
+        "- name: Install nginx\n  ansible.builtin.apt:\n"
+        "    name: nginx\n    state: present\n";
+  } else {
+    pad = " zq jw xk pv bd fg hm ln";
+  }
+
+  serve::ServiceOptions warm_options;
+  warm_options.max_new_tokens = 24;
+  warm_options.prefix_cache_enabled = true;
+  serve::InferenceService warm(m, *tokenizer, warm_options);
+  serve::ServiceOptions cold_options;
+  cold_options.max_new_tokens = 24;
+  serve::InferenceService cold(m, *tokenizer, cold_options);
+
+  constexpr int kBatch = 8;
+  std::uint64_t epoch = 0;
+  auto make_batch = [&](std::uint64_t e) {
+    std::vector<serve::SuggestionRequest> requests(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      requests[static_cast<std::size_t>(i)].context = context;
+      requests[static_cast<std::size_t>(i)].prompt =
+          "v" + std::to_string(e) + "r" + std::to_string(i) + pad;
+    }
+    return requests;
+  };
+
+  std::int64_t warm_tokens = 0;
+  std::int64_t cold_tokens = 0;
+  double warm_seconds = 0.0;
+  double cold_seconds = 0.0;
+  for (auto _ : state) {
+    auto requests = make_batch(epoch++);
+    auto t0 = std::chrono::steady_clock::now();
+    auto responses = warm.suggest_batch(requests);
+    warm_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    benchmark::DoNotOptimize(responses.data());
+    for (const auto& response : responses)
+      warm_tokens += response.generated_tokens;
+
+    // Cache-off baseline over the very same requests, outside the timed
+    // region so the reported ms stay the cached service's.
+    state.PauseTiming();
+    t0 = std::chrono::steady_clock::now();
+    auto baseline = cold.suggest_batch(requests);
+    cold_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    benchmark::DoNotOptimize(baseline.data());
+    for (const auto& response : baseline)
+      cold_tokens += response.generated_tokens;
+    state.ResumeTiming();
+  }
+
+  const serve::PrefixCacheStats cache = warm.prefix_cache_stats();
+  const double warm_rate =
+      warm_seconds > 0.0 ? static_cast<double>(warm_tokens) / warm_seconds : 0.0;
+  const double cold_rate =
+      cold_seconds > 0.0 ? static_cast<double>(cold_tokens) / cold_seconds : 0.0;
+  state.counters["tokens/s"] = warm_rate;
+  state.counters["baseline_tok/s"] = cold_rate;
+  state.counters["speedup"] = cold_rate > 0.0 ? warm_rate / cold_rate : 0.0;
+  state.counters["hit_rate"] = cache.hit_rate();
+  state.counters["prefill_saved"] = static_cast<double>(cache.tokens_reused);
+  state.SetLabel("overlap=" + std::to_string(overlap) + "%/t" +
+                 std::to_string(threads));
+  g_last_service_exposition = warm.metrics().expose_prometheus();
+}
+BENCHMARK(BM_PrefixCacheSweep)
+    ->Arg(0)->Arg(50)->Arg(90)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

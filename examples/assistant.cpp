@@ -34,7 +34,19 @@ int main(int argc, char** argv) {
   model::Transformer model = pipeline.finetuned(
       core::PretrainMix::WisdomAnsibleMulti, model::SizeClass::S350M, opts);
 
-  serve::InferenceService service(model, tokenizer);
+  // The growing editor buffer is the prefix cache's best case: every
+  // request re-sends the whole playbook so far, and the cached KV rows for
+  // that shared head are reused instead of re-prefilled. The response memo
+  // covers the user retyping an identical intent.
+  serve::ServiceOptions service_options;
+  service_options.prefix_cache_enabled = true;
+  service_options.response_cache_enabled = true;
+  // Task bodies fit well inside 24 tokens; a smaller generation reserve
+  // widens the kept-prompt window (ctx - reserve), which is what lets the
+  // growing buffer stay aligned with the cached prefixes instead of being
+  // left-truncated away from them.
+  service_options.max_new_tokens = 24;
+  serve::InferenceService service(model, tokenizer, service_options);
 
   std::vector<std::string> prompts;
   for (int i = 1; i < argc; ++i) prompts.emplace_back(argv[i]);
@@ -89,6 +101,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.rejected),
       100.0 * stats.acceptance_rate(), stats.mean_latency_ms());
+  const serve::PrefixCacheStats prefix = service.prefix_cache_stats();
+  const serve::ResponseCacheStats memo = service.response_cache_stats();
+  std::printf(
+      "prefix cache: %llu/%llu hits (%.0f%%), %llu prefill tokens saved, "
+      "%llu entries (%llu KiB)\nresponse memo: %llu/%llu hits, %llu "
+      "entries\n",
+      static_cast<unsigned long long>(prefix.hits),
+      static_cast<unsigned long long>(prefix.lookups),
+      100.0 * prefix.hit_rate(),
+      static_cast<unsigned long long>(prefix.tokens_reused),
+      static_cast<unsigned long long>(prefix.entries),
+      static_cast<unsigned long long>(prefix.bytes / 1024),
+      static_cast<unsigned long long>(memo.hits),
+      static_cast<unsigned long long>(memo.lookups),
+      static_cast<unsigned long long>(memo.entries));
   if (!last_trace.empty()) {
     std::printf("\n--- last request trace (%s) ---\n%s",
                 obs::trace_id_hex(last_trace.id).c_str(),

@@ -451,12 +451,49 @@ float Transformer::run(std::span<const std::int32_t> x,
   return loss;
 }
 
+Transformer::KvCache Transformer::KvCache::clone(int new_length) const {
+  KvCache out;
+  const int n = new_length < 0 ? length : std::min(new_length, length);
+  out.length = std::max(0, n);
+  out.row_width = row_width;
+  out.capacity = capacity;
+  const std::size_t rows =
+      static_cast<std::size_t>(out.length) * static_cast<std::size_t>(row_width);
+  out.keys.reserve(keys.size());
+  out.values.reserve(values.size());
+  for (const Vec& k : keys)
+    out.keys.emplace_back(k.begin(),
+                          k.begin() + static_cast<std::ptrdiff_t>(rows));
+  for (const Vec& v : values)
+    out.values.emplace_back(v.begin(),
+                            v.begin() + static_cast<std::ptrdiff_t>(rows));
+  if (out.length == length) out.logits = logits;
+  return out;
+}
+
+void Transformer::KvCache::truncate(int new_length) {
+  if (new_length >= length) return;
+  length = std::max(0, new_length);
+  // The logits belong to the position that no longer is the last one.
+  logits.clear();
+  logits.shrink_to_fit();
+}
+
+std::size_t Transformer::KvCache::byte_size() const {
+  std::size_t bytes = logits.capacity() * sizeof(float);
+  for (const Vec& k : keys) bytes += k.capacity() * sizeof(float);
+  for (const Vec& v : values) bytes += v.capacity() * sizeof(float);
+  return bytes;
+}
+
 Transformer::KvCache Transformer::make_cache() const {
   KvCache cache;
   const std::size_t per_layer =
       static_cast<std::size_t>(config_.ctx) * config_.d_model;
   cache.keys.assign(layers_.size(), Vec(per_layer, 0.0f));
   cache.values.assign(layers_.size(), Vec(per_layer, 0.0f));
+  cache.row_width = config_.d_model;
+  cache.capacity = config_.ctx;
   return cache;
 }
 
@@ -478,6 +515,16 @@ std::span<const float> Transformer::decode_step(KvCache& cache,
               d * sizeof(float));
   Vec a1(d), qkv(3 * d), mix(d), tmp(d), a2(d), fc(ff), mean(1), rstd(1);
   Vec att(static_cast<std::size_t>(pos) + 1);
+
+  // A compacted clone (prefix-cache hit) holds only its `length` rows;
+  // grow it back to the full window before appending.
+  const std::size_t full_rows = static_cast<std::size_t>(config_.ctx) * d;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    if (cache.keys[li].size() < full_rows)
+      cache.keys[li].resize(full_rows, 0.0f);
+    if (cache.values[li].size() < full_rows)
+      cache.values[li].resize(full_rows, 0.0f);
+  }
 
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const Layer& L = layers_[li];
@@ -538,17 +585,23 @@ std::span<const float> Transformer::decode_step(KvCache& cache,
   return cache.logits;
 }
 
-std::vector<std::int32_t> Transformer::generate(
-    std::span<const std::int32_t> prompt,
-    const GenerateOptions& options) const {
+std::span<const std::int32_t> Transformer::kept_prompt(
+    std::span<const std::int32_t> prompt, int max_new_tokens) const {
   // Left-truncate the prompt so prompt + generation fits the window, but
   // never reserve more than half the window for generation — a prompt
   // crushed to a few tokens would leave nothing to condition on.
-  int reserve = std::min(options.max_new_tokens, config_.ctx / 2);
-  int budget = std::max(1, config_.ctx - reserve);
-  std::span<const std::int32_t> kept = prompt;
-  if (static_cast<int>(kept.size()) > budget)
-    kept = kept.subspan(kept.size() - static_cast<std::size_t>(budget));
+  const int reserve = std::min(max_new_tokens, config_.ctx / 2);
+  const int budget = std::max(1, config_.ctx - reserve);
+  if (static_cast<int>(prompt.size()) > budget)
+    return prompt.subspan(prompt.size() - static_cast<std::size_t>(budget));
+  return prompt;
+}
+
+std::vector<std::int32_t> Transformer::generate(
+    std::span<const std::int32_t> prompt,
+    const GenerateOptions& options) const {
+  std::span<const std::int32_t> kept =
+      kept_prompt(prompt, options.max_new_tokens);
 
   GenerateStatus local_status;
   GenerateStatus& status = options.status ? *options.status : local_status;
@@ -560,19 +613,37 @@ std::vector<std::int32_t> Transformer::generate(
   const bool observe = obs::enabled();
   if (observe) decode_metrics().generate_calls->inc();
 
-  KvCache cache = make_cache();
+  // Warm start: the caller's cache already holds a prefix of the kept
+  // prompt, so prefill resumes after it. The cached rows are exactly the
+  // rows a cold prefill would write (decode_step is deterministic in the
+  // token sequence), so warm and cold generation are bit-identical.
+  KvCache local_cache;
+  KvCache* cache_ptr = options.warm_cache;
+  if (cache_ptr) {
+    assert(cache_ptr->length <= static_cast<int>(kept.size()));
+    assert(cache_ptr->length < static_cast<int>(kept.size()) ||
+           !cache_ptr->logits.empty());
+  } else {
+    local_cache = make_cache();
+    cache_ptr = &local_cache;
+  }
+  KvCache& cache = *cache_ptr;
+  const std::size_t skip = static_cast<std::size_t>(cache.length);
+  status.prefill_tokens_reused = cache.length;
+
   std::span<const float> logits;
+  if (skip == kept.size() && skip > 0) logits = cache.logits;
   std::vector<std::int32_t> out;
   {
     auto prefill_span = trace.span("prefill");
     auto prefill_start = observe ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
-    for (std::int32_t token : kept) {
+    for (std::size_t i = skip; i < kept.size(); ++i) {
       if (options.deadline.expired()) {
         status.deadline_expired = true;
         return out;  // nothing decoded yet: empty partial result
       }
-      logits = decode_step(cache, token);
+      logits = decode_step(cache, kept[i]);
       ++status.steps_taken;
     }
     if (observe) {
@@ -582,6 +653,8 @@ std::vector<std::int32_t> Transformer::generate(
     }
   }
   if (kept.empty()) return out;
+  if (options.prompt_snapshot)
+    *options.prompt_snapshot = cache.clone(static_cast<int>(kept.size()));
   util::Rng rng(options.sample_seed);
   for (int i = 0; i < options.max_new_tokens && cache.length < config_.ctx;
        ++i) {
@@ -629,11 +702,8 @@ void log_softmax(std::span<const float> logits, std::vector<float>& out) {
 std::vector<std::int32_t> Transformer::generate_beam(
     std::span<const std::int32_t> prompt, const BeamOptions& options) const {
   const int width = std::max(1, options.beam_width);
-  int reserve = std::min(options.max_new_tokens, config_.ctx / 2);
-  int budget = std::max(1, config_.ctx - reserve);
-  std::span<const std::int32_t> kept = prompt;
-  if (static_cast<int>(kept.size()) > budget)
-    kept = kept.subspan(kept.size() - static_cast<std::size_t>(budget));
+  std::span<const std::int32_t> kept =
+      kept_prompt(prompt, options.max_new_tokens);
   if (kept.empty()) return {};
 
   struct Beam {
@@ -658,20 +728,32 @@ std::vector<std::int32_t> Transformer::generate_beam(
   const bool observe = obs::enabled();
   if (observe) decode_metrics().generate_calls->inc();
 
-  // Seed beam: the prompt fed once.
+  // Seed beam: the prompt fed once, resuming past any warm-cached prefix
+  // (same contract as GenerateOptions::warm_cache; the warm cache is
+  // cloned so the caller's copy stays usable).
   Beam seed;
-  seed.cache = make_cache();
+  if (options.warm_cache) {
+    assert(options.warm_cache->length <= static_cast<int>(kept.size()));
+    assert(options.warm_cache->length < static_cast<int>(kept.size()) ||
+           !options.warm_cache->logits.empty());
+    seed.cache = options.warm_cache->clone();
+  } else {
+    seed.cache = make_cache();
+  }
+  const std::size_t skip = static_cast<std::size_t>(seed.cache.length);
+  status.prefill_tokens_reused = seed.cache.length;
   std::span<const float> logits;
+  if (skip == kept.size() && skip > 0) logits = seed.cache.logits;
   {
     auto prefill_span = trace.span("prefill");
     auto prefill_start = observe ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
-    for (std::int32_t token : kept) {
+    for (std::size_t i = skip; i < kept.size(); ++i) {
       if (options.deadline.expired()) {
         status.deadline_expired = true;
         return {};  // prefill never finished: no hypothesis exists yet
       }
-      logits = decode_step(seed.cache, token);
+      logits = decode_step(seed.cache, kept[i]);
       ++status.steps_taken;
     }
     if (observe) {
@@ -680,6 +762,8 @@ std::vector<std::int32_t> Transformer::generate_beam(
           static_cast<std::uint64_t>(status.steps_taken));
     }
   }
+  if (options.prompt_snapshot)
+    *options.prompt_snapshot = seed.cache.clone(static_cast<int>(kept.size()));
   log_softmax(logits, seed.logprobs);
 
   std::vector<Beam> beams;

@@ -53,7 +53,8 @@ class Transformer {
 
   // --- greedy decoding with a KV cache ------------------------------------
   struct KvCache {
-    // Per layer: rotated keys and values, [ctx x d_model] each.
+    // Per layer: rotated keys and values, [ctx x d_model] each (or fewer
+    // rows for a compacted clone; decode_step grows them back on demand).
     std::vector<nn::Vec> keys;
     std::vector<nn::Vec> values;
     // Next-token logits of the last decode_step. Living in the cache (not
@@ -61,6 +62,21 @@ class Transformer {
     // caches against one shared model concurrently.
     nn::Vec logits;
     int length = 0;
+    // Geometry stamped by make_cache(): row width (d_model) and capacity
+    // (context window), so clone()/byte_size() need no model reference.
+    int row_width = 0;
+    int capacity = 0;
+
+    // Deep copy truncated to the first `new_length` tokens (default: all)
+    // with keys/values compacted to exactly that many rows — the form the
+    // prefix cache stores. The logits survive only a full-length clone
+    // (they describe the last decoded position).
+    KvCache clone(int new_length = -1) const;
+    // Forgets every token past `new_length` and drops the logits (they
+    // belong to the old last position). No-op when already shorter.
+    void truncate(int new_length);
+    // Heap bytes held by keys, values and logits.
+    std::size_t byte_size() const;
   };
   KvCache make_cache() const;
   // Appends `token` at the cache's current position and returns the logits
@@ -74,8 +90,19 @@ class Transformer {
   struct GenerateStatus {
     bool deadline_expired = false;
     // Tokens actually decoded (prompt prefill + generation) before the cut.
+    // Prompt tokens served from a warm cache are not decoded and do not
+    // count here.
     int steps_taken = 0;
+    // Prompt tokens whose prefill was skipped thanks to a warm cache.
+    int prefill_tokens_reused = 0;
   };
+
+  // The prompt suffix generate()/generate_beam() would actually feed the
+  // model: left-truncated so prompt + generation fits the context window,
+  // reserving at most half the window for generation. Callers that key a
+  // prefix cache must key on exactly this span.
+  std::span<const std::int32_t> kept_prompt(
+      std::span<const std::int32_t> prompt, int max_new_tokens) const;
 
   struct GenerateOptions {
     int max_new_tokens = 64;
@@ -95,6 +122,19 @@ class Transformer {
     // ingestion and one "decode" span per generated token. Inert when
     // null (or when the context itself is inactive).
     obs::TraceContext* trace = nullptr;
+    // Prefix-cache reuse. When non-null, decoding uses *warm_cache as its
+    // working cache; it must already hold the KV rows for the first
+    // warm_cache->length tokens of the kept (post-left-truncation) prompt
+    // and — when it covers the whole kept prompt — the logits of the last
+    // token. Prefill then resumes after the covered span. Mutated in
+    // place; the reused rows produce bit-identical logits because they are
+    // exactly the rows a cold prefill would have written.
+    KvCache* warm_cache = nullptr;
+    // When non-null, receives a compacted clone of the cache taken right
+    // after prefill (the kept prompt's KV rows + last-token logits) — the
+    // snapshot a prefix cache inserts. Left untouched when prefill was cut
+    // short by the deadline or the kept prompt is empty.
+    KvCache* prompt_snapshot = nullptr;
   };
   // Greedy generation. The prompt is left-truncated to fit the context
   // window with room for at least one generated token — the paper: "when
@@ -118,6 +158,12 @@ class Transformer {
     // Optional request trace: "prefill" plus one "beam_step" span per
     // expansion round.
     obs::TraceContext* trace = nullptr;
+    // Prefix-cache reuse and snapshot capture, with the same contract as
+    // GenerateOptions. The warm cache seeds the root beam (cloned, so the
+    // caller's copy is left usable) and the snapshot is taken after the
+    // root prefill completes.
+    const KvCache* warm_cache = nullptr;
+    KvCache* prompt_snapshot = nullptr;
   };
   std::vector<std::int32_t> generate_beam(std::span<const std::int32_t> prompt,
                                           const BeamOptions& options) const;

@@ -1,0 +1,235 @@
+#include "serve/prefix_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wisdom::serve {
+
+namespace {
+
+// Fixed accounting overhead per entry: the token path (one trie node per
+// token) plus the entry bookkeeping. An estimate — the budget bounds the
+// dominant KV payload exactly and the structural overhead approximately.
+std::size_t path_overhead_bytes(std::size_t tokens) {
+  return tokens * (sizeof(std::int32_t) + 2 * sizeof(void*)) + 128;
+}
+
+}  // namespace
+
+PrefixKvCache::PrefixKvCache(PrefixCacheOptions options)
+    : options_(options), root_(std::make_unique<Node>()) {}
+
+PrefixKvCache::~PrefixKvCache() = default;
+
+void PrefixKvCache::bind_metrics(const MetricHooks& hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_ = hooks;
+}
+
+PrefixKvCache::Entry* PrefixKvCache::best_in_subtree(const Node* node) {
+  Entry* best = node->entry.get();
+  for (const auto& [token, child] : node->children) {
+    (void)token;
+    Entry* candidate = best_in_subtree(child.get());
+    if (candidate && (!best || candidate->tick > best->tick))
+      best = candidate;
+  }
+  return best;
+}
+
+void PrefixKvCache::touch(Entry* entry) {
+  entry->tick = tick_;
+  lru_.splice(lru_.begin(), lru_, entry->lru_it);
+}
+
+void PrefixKvCache::remove_entry(Entry* entry) {
+  Node* node = entry->node;
+  bytes_ -= entry->bytes;
+  lru_.erase(entry->lru_it);
+  node->entry.reset();  // destroys `entry`
+  // Prune the now-bare chain up to the root.
+  while (node != root_.get() && !node->entry && node->children.empty()) {
+    Node* parent = node->parent;
+    parent->children.erase(node->edge);
+    node = parent;
+  }
+}
+
+void PrefixKvCache::evict_to_budget() {
+  while (bytes_ > options_.byte_budget && !lru_.empty()) {
+    remove_entry(lru_.back());
+    ++stats_.evictions;
+    if (hooks_.evictions) hooks_.evictions->inc();
+  }
+}
+
+void PrefixKvCache::expire_stale() {
+  if (options_.ttl_lookups == 0) return;
+  // The LRU tail is the least recently used entry, so ticks are
+  // monotonically non-increasing toward the back: sweep from there.
+  while (!lru_.empty() &&
+         tick_ - lru_.back()->tick > options_.ttl_lookups) {
+    remove_entry(lru_.back());
+    ++stats_.expirations;
+    if (hooks_.expirations) hooks_.expirations->inc();
+  }
+}
+
+void PrefixKvCache::update_gauges() {
+  stats_.bytes = bytes_;
+  stats_.entries = lru_.size();
+  if (hooks_.bytes) hooks_.bytes->set(static_cast<double>(bytes_));
+  if (hooks_.entries)
+    hooks_.entries->set(static_cast<double>(lru_.size()));
+}
+
+std::optional<PrefixKvCache::Hit> PrefixKvCache::lookup(
+    std::span<const std::int32_t> tokens) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  ++stats_.lookups;
+  expire_stale();
+
+  // Walk as deep as the trie shares tokens with the request, remembering
+  // the deepest snapshot sitting on the walked path (its KV rows AND
+  // last-token logits are valid for the request).
+  Node* node = root_.get();
+  Entry* on_path = nullptr;
+  std::size_t walked = 0;
+  for (std::int32_t token : tokens) {
+    auto it = node->children.find(token);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    ++walked;
+    if (node->entry) on_path = node->entry.get();
+  }
+
+  // A snapshot anywhere below the divergence node shares the first
+  // `walked` tokens with the request; truncating its clone to the shared
+  // span (dropping the now-stale logits) makes it reusable. When the walk
+  // consumed the whole request, keep one row back so generation re-decodes
+  // the last prompt token and regenerates fresh logits.
+  Entry* subtree = nullptr;
+  std::size_t subtree_reuse = 0;
+  if (walked > 0) {
+    subtree = best_in_subtree(node);
+    if (subtree) {
+      subtree_reuse = walked < tokens.size() ? walked : tokens.size() - 1;
+      if (static_cast<std::size_t>(subtree->cache.length) < subtree_reuse)
+        subtree_reuse = static_cast<std::size_t>(subtree->cache.length);
+    }
+  }
+  const std::size_t on_path_reuse =
+      on_path ? static_cast<std::size_t>(on_path->cache.length) : 0;
+
+  Entry* chosen = nullptr;
+  std::size_t reuse = 0;
+  bool exact = false;
+  // Prefer the on-path snapshot on ties: it carries valid logits.
+  if (on_path && on_path_reuse >= subtree_reuse && on_path_reuse > 0) {
+    chosen = on_path;
+    reuse = on_path_reuse;
+    exact = reuse == tokens.size();
+  } else if (subtree && subtree_reuse > 0) {
+    chosen = subtree;
+    reuse = subtree_reuse;
+  }
+
+  if (!chosen) {
+    ++stats_.misses;
+    if (hooks_.misses) hooks_.misses->inc();
+    return std::nullopt;
+  }
+
+  Hit hit;
+  hit.cache = chosen->cache.clone(static_cast<int>(reuse));
+  hit.reused_tokens = static_cast<int>(reuse);
+  hit.exact = exact;
+  touch(chosen);
+  ++stats_.hits;
+  stats_.tokens_reused += reuse;
+  if (hooks_.hits) hooks_.hits->inc();
+  if (hooks_.tokens_reused) hooks_.tokens_reused->inc(reuse);
+  if (hooks_.hit_tokens)
+    hooks_.hit_tokens->observe(static_cast<double>(reuse));
+  return hit;
+}
+
+PrefixKvCache::InsertOutcome PrefixKvCache::insert(
+    std::span<const std::int32_t> tokens,
+    model::Transformer::KvCache snapshot) {
+  assert(snapshot.length == static_cast<int>(tokens.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_stale();
+  if (tokens.empty() ||
+      snapshot.length != static_cast<int>(tokens.size())) {
+    ++stats_.rejected;
+    return InsertOutcome::Rejected;
+  }
+  const std::size_t bytes =
+      snapshot.byte_size() + path_overhead_bytes(tokens.size());
+  if (bytes > options_.byte_budget) {
+    ++stats_.rejected;
+    return InsertOutcome::Rejected;
+  }
+
+  Node* node = root_.get();
+  for (std::int32_t token : tokens) {
+    auto it = node->children.find(token);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<Node>();
+      child->parent = node;
+      child->edge = token;
+      child->depth = node->depth + 1;
+      it = node->children.emplace(token, std::move(child)).first;
+    }
+    node = it->second.get();
+  }
+
+  if (node->entry) {
+    // Same kept prompt, same deterministic KV — nothing new to store.
+    touch(node->entry.get());
+    ++stats_.refreshed;
+    update_gauges();
+    return InsertOutcome::Refreshed;
+  }
+
+  auto entry = std::make_unique<Entry>();
+  entry->node = node;
+  entry->cache = std::move(snapshot);
+  entry->bytes = bytes;
+  entry->tick = tick_;
+  lru_.push_front(entry.get());
+  entry->lru_it = lru_.begin();
+  bytes_ += bytes;
+  node->entry = std::move(entry);
+  ++stats_.stored;
+  if (hooks_.stored) hooks_.stored->inc();
+  evict_to_budget();
+  update_gauges();
+  return InsertOutcome::Stored;
+}
+
+void PrefixKvCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.cleared += lru_.size();
+  lru_.clear();
+  root_ = std::make_unique<Node>();
+  bytes_ = 0;
+  update_gauges();
+}
+
+PrefixCacheStats PrefixKvCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PrefixCacheStats out = stats_;
+  out.bytes = bytes_;
+  out.entries = lru_.size();
+  return out;
+}
+
+std::size_t PrefixKvCache::bytes_held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace wisdom::serve

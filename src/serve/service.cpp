@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <span>
 
 #include "analysis/rules.hpp"
 #include "core/postprocess.hpp"
@@ -143,6 +144,99 @@ InferenceService::InferenceService(const model::Transformer& model,
         std::string(rule.id),
         &registry_.counter(name, "Lint diagnostics for one rule."));
   }
+  h_.stage_cache = &registry_.histogram(
+      "wisdom_serve_stage_cache_ms", {},
+      "Cache stage time (memo + prefix lookups, snapshot inserts).");
+  // wisdom_cache_* families: registered even when both caches are
+  // disabled, so the exposition (and the CI smoke grep) always sees them.
+  h_.cache_prefix_hits = &registry_.counter(
+      "wisdom_cache_prefix_hits_total",
+      "Prefix-cache lookups that found a reusable KV snapshot.");
+  h_.cache_prefix_misses = &registry_.counter(
+      "wisdom_cache_prefix_misses_total",
+      "Prefix-cache lookups with no shared-prefix snapshot.");
+  h_.cache_prefix_inserts = &registry_.counter(
+      "wisdom_cache_prefix_inserts_total",
+      "KV snapshots stored in the prefix cache.");
+  h_.cache_prefix_evictions = &registry_.counter(
+      "wisdom_cache_prefix_evictions_total",
+      "Prefix-cache entries evicted to honor the byte budget.");
+  h_.cache_prefix_expired = &registry_.counter(
+      "wisdom_cache_prefix_expired_total",
+      "Prefix-cache entries expired by the lookup-count TTL.");
+  h_.cache_prefill_tokens_saved = &registry_.counter(
+      "wisdom_cache_prefill_tokens_saved_total",
+      "Prompt tokens whose prefill was served from cached KV rows.");
+  h_.cache_prefix_bytes = &registry_.gauge(
+      "wisdom_cache_prefix_bytes",
+      "Bytes currently held by prefix-cache snapshots.");
+  h_.cache_prefix_entries = &registry_.gauge(
+      "wisdom_cache_prefix_entries",
+      "Snapshots currently held by the prefix cache.");
+  h_.cache_prefix_hit_tokens = &registry_.histogram(
+      "wisdom_cache_prefix_hit_tokens", {},
+      "Reused-prefix length (tokens) per prefix-cache hit.");
+  h_.cache_response_hits = &registry_.counter(
+      "wisdom_cache_response_hits_total",
+      "Response-memo lookups that replayed a full prior response.");
+  h_.cache_response_misses = &registry_.counter(
+      "wisdom_cache_response_misses_total",
+      "Response-memo lookups with no exact-repeat entry.");
+  h_.cache_response_inserts = &registry_.counter(
+      "wisdom_cache_response_inserts_total",
+      "Responses memoized for exact-repeat replay.");
+  h_.cache_response_evictions = &registry_.counter(
+      "wisdom_cache_response_evictions_total",
+      "Memo entries evicted past the entry cap.");
+  h_.cache_response_expired = &registry_.counter(
+      "wisdom_cache_response_expired_total",
+      "Memo entries expired by the lookup-count TTL.");
+  h_.cache_response_entries = &registry_.gauge(
+      "wisdom_cache_response_entries",
+      "Responses currently memoized.");
+
+  if (options_.prefix_cache_enabled) {
+    PrefixCacheOptions cache_options;
+    cache_options.byte_budget = options_.prefix_cache_bytes;
+    cache_options.ttl_lookups = options_.cache_ttl_requests;
+    prefix_cache_ = std::make_unique<PrefixKvCache>(cache_options);
+    PrefixKvCache::MetricHooks hooks;
+    hooks.hits = h_.cache_prefix_hits;
+    hooks.misses = h_.cache_prefix_misses;
+    hooks.stored = h_.cache_prefix_inserts;
+    hooks.evictions = h_.cache_prefix_evictions;
+    hooks.expirations = h_.cache_prefix_expired;
+    hooks.tokens_reused = h_.cache_prefill_tokens_saved;
+    hooks.bytes = h_.cache_prefix_bytes;
+    hooks.entries = h_.cache_prefix_entries;
+    hooks.hit_tokens = h_.cache_prefix_hit_tokens;
+    prefix_cache_->bind_metrics(hooks);
+  }
+  if (options_.response_cache_enabled) {
+    ResponseCacheOptions cache_options;
+    cache_options.max_entries = options_.response_cache_entries;
+    cache_options.ttl_lookups = options_.cache_ttl_requests;
+    response_cache_ = std::make_unique<ResponseCache>(cache_options);
+    ResponseCache::MetricHooks hooks;
+    hooks.hits = h_.cache_response_hits;
+    hooks.misses = h_.cache_response_misses;
+    hooks.stored = h_.cache_response_inserts;
+    hooks.evictions = h_.cache_response_evictions;
+    hooks.expirations = h_.cache_response_expired;
+    hooks.entries = h_.cache_response_entries;
+    response_cache_->bind_metrics(hooks);
+  }
+}
+
+ResponseCache::Key InferenceService::memo_key(
+    const SuggestionRequest& request) const {
+  ResponseCache::Key key;
+  key.context = request.context;
+  key.prompt = request.prompt;
+  key.indent = request.indent;
+  key.max_new_tokens = options_.max_new_tokens;
+  key.lint_policy = static_cast<int>(options_.lint_policy);
+  return key;
 }
 
 bool InferenceService::try_admit() {
@@ -218,6 +312,19 @@ SuggestionResponse InferenceService::run_one(
   std::string pad(static_cast<std::size_t>(request.indent), ' ');
   std::string name_line = pad + "- name: " + request.prompt + "\n";
 
+  // Level 2 first: an exact repeat replays the full prior response before
+  // the model (or the fault injector — a memo hit never touches either) is
+  // consulted. Only non-degraded successes are ever memoized, so the
+  // replayed bytes equal what a fresh decode would produce.
+  if (response_cache_) {
+    auto cache_span = trace.span("cache");
+    if (auto memo = response_cache_->lookup(memo_key(request))) {
+      response = std::move(*memo);
+      response.latency_ms = elapsed_ms(start);
+      return response;
+    }
+  }
+
   if (options_.faults && options_.faults->take_generate_failure()) {
     response.error = ServiceError::GenerateFailed;
     if (options_.fallback_enabled)
@@ -239,10 +346,38 @@ SuggestionResponse InferenceService::run_one(
   gen.trace = &trace;
   model::Transformer::GenerateStatus status;
   gen.status = &status;
+
+  // Level 1: warm-start generation from the deepest cached KV snapshot
+  // sharing a token prefix with this prompt, and capture a snapshot of the
+  // full prefilled prompt for future requests. Keyed on the kept prompt —
+  // exactly the tokens generate() feeds the model after left-truncation.
+  model::Transformer::KvCache warm;
+  model::Transformer::KvCache snapshot;
+  std::span<const std::int32_t> kept;
+  if (prefix_cache_) {
+    auto cache_span = trace.span("cache");
+    kept = model_.kept_prompt(ids, gen.max_new_tokens);
+    if (auto hit = prefix_cache_->lookup(kept)) {
+      warm = std::move(hit->cache);
+      gen.warm_cache = &warm;
+      response.cached = true;
+    }
+    gen.prompt_snapshot = &snapshot;
+  }
+
   std::vector<std::int32_t> out;
   {
     auto generate_span = trace.span("generate");
     out = model_.generate(ids, gen);
+  }
+
+  // Store the prefilled prompt whenever prefill completed — KV rows are
+  // valid even when the decode after them degraded (deadline salvage,
+  // empty generation): prefill is a pure function of the prompt tokens.
+  if (prefix_cache_ && snapshot.length == static_cast<int>(kept.size()) &&
+      snapshot.length > 0) {
+    auto cache_span = trace.span("cache");
+    prefix_cache_->insert(kept, std::move(snapshot));
   }
 
   std::string body;
@@ -307,6 +442,13 @@ SuggestionResponse InferenceService::run_one(
       }
     }
   }
+  // Memoize only full-fidelity successes; degraded and failed responses
+  // depend on deadlines and fault state, not just the request key.
+  if (response_cache_ && response.ok && !response.degraded &&
+      response.error == ServiceError::None) {
+    auto cache_span = trace.span("cache");
+    response_cache_->insert(memo_key(request), response);
+  }
   response.latency_ms = elapsed_ms(start);
   return response;
 }
@@ -334,6 +476,7 @@ void InferenceService::observe_stages(const obs::Trace& trace) const {
     else if (span.name == "decode") histogram = h_.stage_decode;
     else if (span.name == "postprocess") histogram = h_.stage_postprocess;
     else if (span.name == "fallback") histogram = h_.stage_fallback;
+    else if (span.name == "cache") histogram = h_.stage_cache;
     if (histogram) histogram->observe(span.duration_ms);
   }
 }
@@ -443,6 +586,19 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch(
   }
   h_.wall_ms->add(wall);
   return responses;
+}
+
+PrefixCacheStats InferenceService::prefix_cache_stats() const {
+  return prefix_cache_ ? prefix_cache_->stats() : PrefixCacheStats{};
+}
+
+ResponseCacheStats InferenceService::response_cache_stats() const {
+  return response_cache_ ? response_cache_->stats() : ResponseCacheStats{};
+}
+
+void InferenceService::invalidate_caches() {
+  if (prefix_cache_) prefix_cache_->clear();
+  if (response_cache_) response_cache_->clear();
 }
 
 void InferenceService::record_accept() { h_.accepted->inc(); }

@@ -25,16 +25,31 @@
 // Observability: the service owns an obs::MetricsRegistry (counters,
 // request-latency and per-stage histograms — exportable as Prometheus
 // text or JSON via metrics()), and every request is traced: admission →
-// tokenize → generate (prefill + per-token decode) → postprocess →
-// fallback spans land in the request's obs::Trace (attach a sink via
+// cache → tokenize → generate (prefill + per-token decode) → postprocess
+// → fallback spans land in the request's obs::Trace (attach a sink via
 // SuggestionRequest::trace to keep it) and the per-stage totals come back
 // in SuggestionResponse::server_timing_ms. ServiceStats is a snapshot
 // view derived from the registry; the accessors are unchanged.
+//
+// Caching: two optional levels sit in front of generation (both off by
+// default, preserving the exact seed behaviour).
+//   * Level 1, PrefixKvCache — KV snapshots of previously prefilled
+//     prompts, keyed by token prefix, so a request sharing a prompt
+//     prefix with an earlier one skips prefill for the shared span.
+//   * Level 2, ResponseCache — a memo of full responses for exact
+//     repeats of (context, prompt, indent, generation options, lint
+//     policy); degraded/fallback responses are never memoized.
+// Both levels are byte-transparent: cached and uncached serving produce
+// identical response bytes (KV rows are deterministic functions of the
+// token sequence, and the memo only replays deterministic decodes).
+// invalidate_caches() drops both levels; callers must invoke it whenever
+// the model weights change under the service (checkpoint reload).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -46,81 +61,14 @@
 #include "serve/fallback.hpp"
 #include "serve/fault.hpp"
 #include "serve/lint_gate.hpp"
+#include "serve/prefix_cache.hpp"
 #include "serve/queue.hpp"
+#include "serve/response_cache.hpp"
+#include "serve/types.hpp"
 #include "text/bpe.hpp"
 #include "util/deadline.hpp"
 
 namespace wisdom::serve {
-
-// Why a request was not served normally. Overloaded is the only transient
-// error (retrying after backoff can succeed); the rest are terminal for
-// the request that produced them.
-enum class ServiceError : std::uint8_t {
-  None = 0,
-  InvalidRequest,    // empty prompt, negative indent
-  Overloaded,        // shed by the admission queue
-  DeadlineExceeded,  // decode cut off by the request deadline
-  GenerateFailed,    // model failure (fault-injected or real)
-  LintRejected,      // RejectDegraded policy: errors survived repair
-};
-
-std::string_view service_error_name(ServiceError error);
-// Parses a name produced by service_error_name; false on unknown names.
-bool service_error_from_name(std::string_view name, ServiceError* out);
-// True for errors a client should retry with backoff.
-bool is_transient(ServiceError error);
-
-struct SuggestionRequest {
-  // YAML already in the editor above the cursor (may be empty).
-  std::string context;
-  // Natural-language intent, the value of the name line being completed.
-  std::string prompt;
-  // Indentation column of the task item ("- name:") being completed.
-  int indent = 0;
-  // Per-request decode budget in milliseconds; <= 0 uses the service
-  // default (ServiceOptions::deadline_ms).
-  double deadline_ms = 0.0;
-  // Client-supplied trace id echoed in the response; empty lets the
-  // service derive a deterministic one (sequence number + prompt hash).
-  std::string trace_id;
-  // Optional cooperative cancellation (the user kept typing).
-  util::CancelToken cancel;
-  // Optional trace sink: when set (and observability is enabled) the
-  // request's span timeline is written here. Borrowed; not serialized.
-  obs::Trace* trace = nullptr;
-};
-
-struct SuggestionResponse {
-  bool ok = false;
-  // The full suggested snippet (name line + generated body), formatted for
-  // pasting at the cursor.
-  std::string snippet;
-  // Whether the suggestion passes the strict Ansible schema.
-  bool schema_correct = false;
-  double latency_ms = 0.0;
-  int generated_tokens = 0;
-  // True when the snippet came from the fallback path (deadline expiry,
-  // model failure, or DegradeNewest shedding) rather than a full decode.
-  bool degraded = false;
-  // Why the request degraded or failed; None for a normal response.
-  ServiceError error = ServiceError::None;
-  // Diagnostics the lint gate attached to the served snippet (post-repair
-  // when the policy repairs). Empty when lint_policy is Off, when the
-  // snippet is clean, or for fallback-served snippets (the fallback is
-  // catalog-backed and schema-correct by construction) — except under
-  // RejectDegraded, where the rejected snippet's diagnostics are kept so
-  // the client can see why its model suggestion was refused.
-  std::vector<wisdom::analysis::Diagnostic> diagnostics;
-  // True when the lint gate's auto-fix engine changed the snippet.
-  bool repaired = false;
-  // Trace id of this request (client-supplied or service-derived); empty
-  // when tracing is disabled.
-  std::string trace_id;
-  // Per-stage wall time of this request ("admission", "tokenize",
-  // "prefill", "decode", "postprocess", "lint", "fallback", plus the
-  // "request" root). Empty when tracing is disabled.
-  std::map<std::string, double> server_timing_ms;
-};
 
 struct ServiceOptions {
   int max_new_tokens = 56;
@@ -138,6 +86,20 @@ struct ServiceOptions {
   // What to do with diagnostics on generated snippets (see lint_gate.hpp).
   // Off preserves the seed behaviour exactly.
   LintPolicy lint_policy = LintPolicy::Off;
+  // Level-1 prefix KV cache: reuse prefill work across requests sharing a
+  // tokenized prompt prefix. Off by default (seed behaviour).
+  bool prefix_cache_enabled = false;
+  // Byte budget for the prefix cache (KV payload + trie overhead); LRU
+  // eviction keeps the held bytes at or under this bound.
+  std::size_t prefix_cache_bytes = 32ull << 20;
+  // Level-2 response memo: replay the full prior response for exact
+  // request repeats. Off by default.
+  bool response_cache_enabled = false;
+  // Entry cap for the response memo (LRU past it).
+  std::size_t response_cache_entries = 256;
+  // TTL for both caches, measured in cache lookups (a request count, not
+  // wall time — deterministic under test); 0 disables expiry.
+  std::uint64_t cache_ttl_requests = 0;
 };
 
 // Snapshot of the service's counters, derived from its metrics registry.
@@ -236,6 +198,17 @@ class InferenceService {
   const ServiceStats& stats() const;
   ServiceStats stats_snapshot() const;
 
+  // Cache stats snapshots; all-zero when the corresponding level is
+  // disabled.
+  PrefixCacheStats prefix_cache_stats() const;
+  ResponseCacheStats response_cache_stats() const;
+
+  // Drops every cached KV snapshot and memoized response. MUST be called
+  // whenever the model behind the service changes (checkpoint reload,
+  // weight update): cache entries are keyed on token ids and model
+  // outputs, both of which a reload invalidates.
+  void invalidate_caches();
+
  private:
   // Per-service metric handles, registered once at construction; the hot
   // path updates through these pointers without touching the registry map.
@@ -260,6 +233,26 @@ class InferenceService {
     obs::Histogram* stage_postprocess = nullptr;
     obs::Histogram* stage_fallback = nullptr;
     obs::Histogram* stage_lint = nullptr;
+    obs::Histogram* stage_cache = nullptr;
+    // Cache metric families (wisdom_cache_*). Registered unconditionally
+    // at construction — even with both caches disabled every family shows
+    // up in the Prometheus exposition at 0, so scrape-side queries and the
+    // CI smoke grep never depend on the cache configuration.
+    obs::Counter* cache_prefix_hits = nullptr;
+    obs::Counter* cache_prefix_misses = nullptr;
+    obs::Counter* cache_prefix_inserts = nullptr;
+    obs::Counter* cache_prefix_evictions = nullptr;
+    obs::Counter* cache_prefix_expired = nullptr;
+    obs::Counter* cache_prefill_tokens_saved = nullptr;
+    obs::Gauge* cache_prefix_bytes = nullptr;
+    obs::Gauge* cache_prefix_entries = nullptr;
+    obs::Histogram* cache_prefix_hit_tokens = nullptr;
+    obs::Counter* cache_response_hits = nullptr;
+    obs::Counter* cache_response_misses = nullptr;
+    obs::Counter* cache_response_inserts = nullptr;
+    obs::Counter* cache_response_evictions = nullptr;
+    obs::Counter* cache_response_expired = nullptr;
+    obs::Gauge* cache_response_entries = nullptr;
     // Lint-gate counters. Pre-registered at construction (run_one is
     // const), one per registry rule, so every rule family appears in the
     // Prometheus exposition at 0 — scrape-side queries and the CI grep
@@ -303,11 +296,19 @@ class InferenceService {
   void record_response(const SuggestionResponse& response);
   void refresh_stats_locked() const;
 
+  // Memo key for one request under this service's configuration.
+  ResponseCache::Key memo_key(const SuggestionRequest& request) const;
+
   const model::Transformer& model_;
   const text::BpeTokenizer& tokenizer_;
   ServiceOptions options_;
   FallbackSuggester fallback_;
   AdmissionQueue queue_;
+  // Null when the corresponding ServiceOptions flag is off. Both caches
+  // are internally synchronized; run_one (const) uses them from every
+  // serving thread.
+  std::unique_ptr<PrefixKvCache> prefix_cache_;
+  std::unique_ptr<ResponseCache> response_cache_;
   obs::MetricsRegistry registry_;
   Handles h_;
   std::atomic<std::uint64_t> trace_seq_{0};

@@ -335,6 +335,8 @@ std::string to_json(const SuggestionResponse& response) {
          (response.repaired ? "true" : "false") + ", ";
   out += "\"error\": \"" + std::string(service_error_name(response.error)) +
          "\"";
+  // Emitted only when set, so pre-cache clients' goldens are unchanged.
+  if (response.cached) out += ", \"cached\": true";
   if (!response.diagnostics.empty()) {
     out += ", \"diagnostics\": [";
     bool first = true;
@@ -407,6 +409,10 @@ std::optional<SuggestionResponse> response_from_json(std::string_view json) {
   if (const JsonValue* repaired = find(*obj, "repaired")) {
     if (!repaired->is_bool()) return std::nullopt;
     response.repaired = std::get<bool>(repaired->value);
+  }
+  if (const JsonValue* cached = find(*obj, "cached")) {
+    if (!cached->is_bool()) return std::nullopt;
+    response.cached = std::get<bool>(cached->value);
   }
   if (const JsonValue* diags = find(*obj, "diagnostics")) {
     if (!diags->is_array()) return std::nullopt;

@@ -39,6 +39,8 @@ std::optional<SuggestionRequest> request_from_json(std::string_view json);
 // {"ok": true, "snippet": "...", "schema_correct": true,
 //  "latency_ms": 12.5, "generated_tokens": 40,
 //  "degraded": false, "repaired": false, "error": "none",
+//  "cached": true,
+//  ("cached" is emitted only when the response was served from a cache)
 //  "diagnostics": [{"rule": "fqcn", "severity": "warning",
 //                   "message": "...", "line": 2, "column": 5,
 //                   "begin": 14, "end": 17, "fixable": true}, ...],
