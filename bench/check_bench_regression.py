@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.10]
+                              [--seed-if-missing]
+
+For every benchmark in the baseline that reports a "tokens/s" counter, the
+current run must stay within THRESHOLD (default 10%) of the baseline's
+tokens/s. Benchmarks present only in the current run are reported but never
+fail the check (new benchmarks seed on the next baseline refresh).
+
+With --seed-if-missing, a missing baseline file is created from the current
+run and the check passes — this is how CI bootstraps the very first
+baseline without a manual commit.
+
+Exit codes: 0 = within threshold (or baseline seeded), 1 = regression,
+2 = usage / malformed input.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load_rates(path):
+    """Map benchmark name -> best tokens/s across repetitions.
+
+    Raw (non-aggregate) entries that report a tokens/s counter are grouped
+    by name. Best-of-N is the comparator because scheduler noise on shared
+    CI runners is one-sided — contention only ever slows a rep down — so
+    the fastest rep is the most reproducible estimate of true throughput.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    samples = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("tokens/s")
+        if isinstance(rate, (int, float)) and rate > 0:
+            samples.setdefault(bench["name"], []).append(float(rate))
+    return {name: max(rates) for name, rates in samples.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max fractional tokens/s drop (default 0.10)")
+    parser.add_argument("--seed-if-missing", action="store_true",
+                        help="copy CURRENT to BASELINE if BASELINE is absent")
+    args = parser.parse_args()
+
+    try:
+        current = load_rates(args.current)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: cannot read current run {args.current}: {err}")
+        return 2
+    if not current:
+        print(f"error: no tokens/s counters found in {args.current}")
+        return 2
+
+    try:
+        baseline = load_rates(args.baseline)
+    except FileNotFoundError:
+        if args.seed_if_missing:
+            shutil.copyfile(args.current, args.baseline)
+            print(f"baseline seeded: {args.baseline} <- {args.current}")
+            for name, rate in sorted(current.items()):
+                print(f"  {name}: {rate:.1f} tokens/s")
+            return 0
+        print(f"error: baseline {args.baseline} not found "
+              "(pass --seed-if-missing to bootstrap)")
+        return 2
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: cannot read baseline {args.baseline}: {err}")
+        return 2
+
+    failures = []
+    for name, base_rate in sorted(baseline.items()):
+        cur_rate = current.get(name)
+        if cur_rate is None:
+            failures.append(f"{name}: present in baseline but missing from "
+                            "current run")
+            continue
+        drop = (base_rate - cur_rate) / base_rate
+        verdict = "FAIL" if drop > args.threshold else "ok"
+        print(f"[{verdict}] {name}: {cur_rate:.1f} tokens/s "
+              f"(baseline {base_rate:.1f}, {drop:+.1%} drop, "
+              f"limit {args.threshold:.0%})")
+        if drop > args.threshold:
+            failures.append(f"{name}: {drop:.1%} drop exceeds "
+                            f"{args.threshold:.0%}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"[new] {name}: {current[name]:.1f} tokens/s "
+              "(not in baseline; will gate after next baseline refresh)")
+
+    if failures:
+        print("\nbenchmark regression detected:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nall benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

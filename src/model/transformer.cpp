@@ -8,6 +8,7 @@
 #include <functional>
 #include <limits>
 
+#include "model/kv_block.hpp"
 #include "nn/ops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -451,22 +452,95 @@ float Transformer::run(std::span<const std::int32_t> x,
   return loss;
 }
 
+namespace {
+
+void release_blocks(Transformer::KvCache& cache) {
+  if (!cache.arena) return;
+  for (std::int32_t id : cache.block_table) cache.arena->release(id);
+  cache.block_table.clear();
+}
+
+}  // namespace
+
+Transformer::KvCache::KvCache(const KvCache& other)
+    : keys(other.keys),
+      values(other.values),
+      logits(other.logits),
+      length(other.length),
+      row_width(other.row_width),
+      capacity(other.capacity),
+      arena(other.arena),
+      block_table(other.block_table) {
+  if (arena)
+    for (std::int32_t id : block_table) arena->add_ref(id);
+}
+
+Transformer::KvCache::KvCache(KvCache&& other) noexcept
+    : keys(std::move(other.keys)),
+      values(std::move(other.values)),
+      logits(std::move(other.logits)),
+      length(other.length),
+      row_width(other.row_width),
+      capacity(other.capacity),
+      arena(other.arena),
+      block_table(std::move(other.block_table)) {
+  other.arena = nullptr;
+  other.block_table.clear();
+  other.length = 0;
+}
+
+Transformer::KvCache& Transformer::KvCache::operator=(const KvCache& other) {
+  if (this == &other) return *this;
+  KvCache copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Transformer::KvCache& Transformer::KvCache::operator=(
+    KvCache&& other) noexcept {
+  if (this == &other) return *this;
+  release_blocks(*this);
+  keys = std::move(other.keys);
+  values = std::move(other.values);
+  logits = std::move(other.logits);
+  length = other.length;
+  row_width = other.row_width;
+  capacity = other.capacity;
+  arena = other.arena;
+  block_table = std::move(other.block_table);
+  other.arena = nullptr;
+  other.block_table.clear();
+  other.length = 0;
+  return *this;
+}
+
+Transformer::KvCache::~KvCache() { release_blocks(*this); }
+
 Transformer::KvCache Transformer::KvCache::clone(int new_length) const {
   KvCache out;
   const int n = new_length < 0 ? length : std::min(new_length, length);
   out.length = std::max(0, n);
   out.row_width = row_width;
   out.capacity = capacity;
-  const std::size_t rows =
-      static_cast<std::size_t>(out.length) * static_cast<std::size_t>(row_width);
-  out.keys.reserve(keys.size());
-  out.values.reserve(values.size());
-  for (const Vec& k : keys)
-    out.keys.emplace_back(k.begin(),
-                          k.begin() + static_cast<std::ptrdiff_t>(rows));
-  for (const Vec& v : values)
-    out.values.emplace_back(v.begin(),
-                            v.begin() + static_cast<std::ptrdiff_t>(rows));
+  if (paged()) {
+    out.arena = arena;
+    const int bs = arena->block_size();
+    const int nblocks = (out.length + bs - 1) / bs;
+    out.block_table.assign(block_table.begin(),
+                           block_table.begin() + nblocks);
+    for (std::int32_t id : out.block_table) arena->add_ref(id);
+  } else {
+    const std::size_t rows = static_cast<std::size_t>(out.length) *
+                             static_cast<std::size_t>(row_width);
+    out.keys.reserve(keys.size());
+    out.values.reserve(values.size());
+    for (const Vec& k : keys)
+      out.keys.emplace_back(k.begin(),
+                            k.begin() + static_cast<std::ptrdiff_t>(rows));
+    for (const Vec& v : values)
+      out.values.emplace_back(v.begin(),
+                              v.begin() + static_cast<std::ptrdiff_t>(rows));
+  }
   if (out.length == length) out.logits = logits;
   return out;
 }
@@ -474,6 +548,14 @@ Transformer::KvCache Transformer::KvCache::clone(int new_length) const {
 void Transformer::KvCache::truncate(int new_length) {
   if (new_length >= length) return;
   length = std::max(0, new_length);
+  if (paged()) {
+    const int bs = arena->block_size();
+    const int keep = (length + bs - 1) / bs;
+    while (static_cast<int>(block_table.size()) > keep) {
+      arena->release(block_table.back());
+      block_table.pop_back();
+    }
+  }
   // The logits belong to the position that no longer is the last one.
   logits.clear();
   logits.shrink_to_fit();
@@ -481,9 +563,41 @@ void Transformer::KvCache::truncate(int new_length) {
 
 std::size_t Transformer::KvCache::byte_size() const {
   std::size_t bytes = logits.capacity() * sizeof(float);
+  if (paged()) {
+    bytes += block_table.size() * arena->block_bytes();
+    bytes += block_table.capacity() * sizeof(std::int32_t);
+  }
   for (const Vec& k : keys) bytes += k.capacity() * sizeof(float);
   for (const Vec& v : values) bytes += v.capacity() * sizeof(float);
   return bytes;
+}
+
+void Transformer::KvCache::materialize() {
+  if (!paged()) return;
+  const int layers = arena->n_layers();
+  const int d = row_width;
+  const int bs = arena->block_size();
+  const std::size_t per_layer =
+      static_cast<std::size_t>(capacity) * static_cast<std::size_t>(d);
+  keys.assign(static_cast<std::size_t>(layers), Vec(per_layer, 0.0f));
+  values.assign(static_cast<std::size_t>(layers), Vec(per_layer, 0.0f));
+  for (int li = 0; li < layers; ++li) {
+    for (std::size_t b = 0; b < block_table.size(); ++b) {
+      const int row0 = static_cast<int>(b) * bs;
+      const int rows = std::min(bs, length - row0);
+      if (rows <= 0) break;
+      std::memcpy(keys[static_cast<std::size_t>(li)].data() +
+                      static_cast<std::size_t>(row0) * d,
+                  arena->key_row(block_table[b], li, 0),
+                  static_cast<std::size_t>(rows) * d * sizeof(float));
+      std::memcpy(values[static_cast<std::size_t>(li)].data() +
+                      static_cast<std::size_t>(row0) * d,
+                  arena->value_row(block_table[b], li, 0),
+                  static_cast<std::size_t>(rows) * d * sizeof(float));
+    }
+  }
+  release_blocks(*this);
+  arena = nullptr;
 }
 
 Transformer::KvCache Transformer::make_cache() const {
@@ -497,92 +611,245 @@ Transformer::KvCache Transformer::make_cache() const {
   return cache;
 }
 
+Transformer::KvCache Transformer::make_paged_cache(
+    KvBlockAllocator* arena) const {
+  if (!arena) return make_cache();
+  assert(arena->n_layers() == static_cast<int>(layers_.size()));
+  assert(arena->row_width() == config_.d_model);
+  KvCache cache;
+  cache.arena = arena;
+  cache.row_width = config_.d_model;
+  cache.capacity = config_.ctx;
+  return cache;
+}
+
+namespace {
+
+// One contiguous run of KV rows: `rows` rows of keys at `k` and values at
+// `v`, row stride = d_model. A monolithic cache is a single run; a paged
+// cache contributes one run per block (the last possibly partial). The
+// attention loops walk runs in logical row order, so the per-row
+// arithmetic — and therefore every accumulated float — is identical in
+// both layouts.
+struct KvRun {
+  const float* k;
+  const float* v;
+  int rows;
+};
+
+// Appends the runs covering rows [0, count) of layer `li`.
+void collect_runs(const Transformer::KvCache& cache, int li, int count,
+                  std::vector<KvRun>& runs) {
+  runs.clear();
+  if (!cache.paged()) {
+    runs.push_back({cache.keys[static_cast<std::size_t>(li)].data(),
+                    cache.values[static_cast<std::size_t>(li)].data(),
+                    count});
+    return;
+  }
+  const int bs = cache.arena->block_size();
+  for (std::size_t b = 0; b * bs < static_cast<std::size_t>(count); ++b) {
+    const int rows = std::min(bs, count - static_cast<int>(b) * bs);
+    runs.push_back({cache.arena->key_row(cache.block_table[b], li, 0),
+                    cache.arena->value_row(cache.block_table[b], li, 0),
+                    rows});
+  }
+}
+
+// Makes row `pos` of `cache` writable: grows a compacted monolithic clone
+// back to the full window, allocates or copy-on-writes the paged block
+// covering `pos`. On arena exhaustion the cache falls back to monolithic
+// (materialize) — decoding never fails, it just stops being paged.
+void prepare_append(Transformer::KvCache& cache, int pos, int ctx) {
+  if (!cache.paged()) {
+    const std::size_t full_rows = static_cast<std::size_t>(ctx) *
+                                  static_cast<std::size_t>(cache.row_width);
+    for (std::size_t li = 0; li < cache.keys.size(); ++li) {
+      if (cache.keys[li].size() < full_rows)
+        cache.keys[li].resize(full_rows, 0.0f);
+      if (cache.values[li].size() < full_rows)
+        cache.values[li].resize(full_rows, 0.0f);
+    }
+    return;
+  }
+  KvBlockAllocator* arena = cache.arena;
+  const int bs = arena->block_size();
+  const std::size_t b = static_cast<std::size_t>(pos / bs);
+  if (b < cache.block_table.size()) {
+    // Appending into the last block; copy-on-write if it is shared (a
+    // prefix-cache snapshot or beam sibling also references it).
+    const std::int32_t exclusive =
+        arena->make_exclusive(cache.block_table[b]);
+    if (exclusive < 0) {
+      cache.materialize();
+      prepare_append(cache, pos, ctx);
+      return;
+    }
+    cache.block_table[b] = exclusive;
+  } else {
+    const std::int32_t id = arena->allocate();
+    if (id < 0) {
+      cache.materialize();
+      prepare_append(cache, pos, ctx);
+      return;
+    }
+    cache.block_table.push_back(id);
+  }
+}
+
+float* key_append_row(Transformer::KvCache& cache, int li, int pos) {
+  if (!cache.paged())
+    return cache.keys[static_cast<std::size_t>(li)].data() +
+           static_cast<std::size_t>(pos) * cache.row_width;
+  const int bs = cache.arena->block_size();
+  return cache.arena->key_row(
+      cache.block_table[static_cast<std::size_t>(pos / bs)], li, pos % bs);
+}
+
+float* value_append_row(Transformer::KvCache& cache, int li, int pos) {
+  if (!cache.paged())
+    return cache.values[static_cast<std::size_t>(li)].data() +
+           static_cast<std::size_t>(pos) * cache.row_width;
+  const int bs = cache.arena->block_size();
+  return cache.arena->value_row(
+      cache.block_table[static_cast<std::size_t>(pos / bs)], li, pos % bs);
+}
+
+}  // namespace
+
 std::span<const float> Transformer::decode_step(KvCache& cache,
                                                 std::int32_t token) const {
-  assert(cache.length < config_.ctx);
-  assert(token >= 0 && token < config_.vocab);
+  KvCache* caches[1] = {&cache};
+  const std::int32_t tokens[1] = {token};
+  decode_step_batch(std::span<KvCache* const>(caches, 1),
+                    std::span<const std::int32_t>(tokens, 1));
+  return cache.logits;
+}
+
+void Transformer::decode_step_batch(
+    std::span<KvCache* const> caches,
+    std::span<const std::int32_t> tokens) const {
+  assert(tokens.size() == caches.size());
+  const int n = static_cast<int>(caches.size());
+  if (n == 0) return;
   const int d = config_.d_model;
   const int h = config_.n_head;
   const int hd = config_.head_dim();
   const int rot = config_.rotary_dim();
   const int ff = config_.d_ff;
   const int v = config_.vocab;
-  const int pos = cache.length;
   const float att_scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
-  Vec x(static_cast<std::size_t>(d));
-  std::memcpy(x.data(), wte_.w.data() + static_cast<std::size_t>(token) * d,
-              d * sizeof(float));
-  Vec a1(d), qkv(3 * d), mix(d), tmp(d), a2(d), fc(ff), mean(1), rstd(1);
-  Vec att(static_cast<std::size_t>(pos) + 1);
-
-  // A compacted clone (prefix-cache hit) holds only its `length` rows;
-  // grow it back to the full window before appending.
-  const std::size_t full_rows = static_cast<std::size_t>(config_.ctx) * d;
-  for (std::size_t li = 0; li < layers_.size(); ++li) {
-    if (cache.keys[li].size() < full_rows)
-      cache.keys[li].resize(full_rows, 0.0f);
-    if (cache.values[li].size() < full_rows)
-      cache.values[li].resize(full_rows, 0.0f);
+  std::vector<int> pos(caches.size());
+  for (int s = 0; s < n; ++s) {
+    KvCache& cache = *caches[s];
+    assert(cache.length < config_.ctx);
+    assert(tokens[s] >= 0 && tokens[s] < config_.vocab);
+    pos[static_cast<std::size_t>(s)] = cache.length;
+    prepare_append(cache, cache.length, config_.ctx);
   }
+
+  const std::size_t nd = static_cast<std::size_t>(n) * d;
+  Vec x(nd);
+  for (int s = 0; s < n; ++s)
+    std::memcpy(x.data() + static_cast<std::size_t>(s) * d,
+                wte_.w.data() + static_cast<std::size_t>(tokens[s]) * d,
+                d * sizeof(float));
+  Vec a1(nd), qkv(static_cast<std::size_t>(n) * 3 * d), mix(nd), tmp(nd),
+      a2(nd), fc(static_cast<std::size_t>(n) * ff), mean(n), rstd(n);
+
+  // Attention work this step: q·K^T plus probs·V per (sequence, head).
+  std::size_t att_madds = 0;
+  for (int s = 0; s < n; ++s)
+    att_madds += 2ull * static_cast<std::size_t>(h) *
+                 static_cast<std::size_t>(pos[static_cast<std::size_t>(s)] + 1) *
+                 static_cast<std::size_t>(hd);
+
+  std::vector<std::vector<KvRun>> runs(caches.size());
 
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const Layer& L = layers_[li];
+    // Batched rows: every kernel below computes each sequence's row
+    // exactly as the n = 1 step would (row-independent kernels), so the
+    // fused step is bit-identical to n sequential decode_steps.
     nn::layernorm(x.data(), L.ln1_g.w.data(), L.ln1_b.w.data(), a1.data(),
-                  mean.data(), rstd.data(), 1, d);
-    nn::matmul(a1.data(), L.wqkv.w.data(), qkv.data(), 1, d, 3 * d);
-    nn::add_bias(qkv.data(), L.bqkv.w.data(), qkv.data(), 1, 3 * d);
-    // Rotate q and k at this position.
-    for (int head = 0; head < h; ++head) {
-      nn::rotary(qkv.data() + head * hd, 1, hd, rot, pos);
-      nn::rotary(qkv.data() + d + head * hd, 1, hd, rot, pos);
+                  mean.data(), rstd.data(), n, d);
+    nn::matmul(a1.data(), L.wqkv.w.data(), qkv.data(), n, d, 3 * d);
+    nn::add_bias(qkv.data(), L.bqkv.w.data(), qkv.data(), n, 3 * d);
+    for (int s = 0; s < n; ++s) {
+      float* row = qkv.data() + static_cast<std::size_t>(s) * 3 * d;
+      const int p = pos[static_cast<std::size_t>(s)];
+      // Rotate q and k at this sequence's position.
+      for (int head = 0; head < h; ++head) {
+        nn::rotary(row + head * hd, 1, hd, rot, p);
+        nn::rotary(row + d + head * hd, 1, hd, rot, p);
+      }
+      // Append rotated k and v.
+      std::memcpy(key_append_row(*caches[s], static_cast<int>(li), p),
+                  row + d, d * sizeof(float));
+      std::memcpy(value_append_row(*caches[s], static_cast<int>(li), p),
+                  row + 2 * d, d * sizeof(float));
+      collect_runs(*caches[s], static_cast<int>(li), p + 1,
+                   runs[static_cast<std::size_t>(s)]);
     }
-    // Append rotated k and v.
-    std::memcpy(cache.keys[li].data() + static_cast<std::size_t>(pos) * d,
-                qkv.data() + d, d * sizeof(float));
-    std::memcpy(cache.values[li].data() + static_cast<std::size_t>(pos) * d,
-                qkv.data() + 2 * d, d * sizeof(float));
 
-    for (int head = 0; head < h; ++head) {
-      const float* q = qkv.data() + head * hd;
-      for (int j = 0; j <= pos; ++j) {
-        const float* krow =
-            cache.keys[li].data() + static_cast<std::size_t>(j) * d +
-            head * hd;
-        float acc = 0.0f;
-        for (int c = 0; c < hd; ++c) acc += q[c] * krow[c];
-        att[static_cast<std::size_t>(j)] = acc * att_scale;
+    for_each_head(n, h, att_madds, [&](int s0, int s1) {
+      Vec att(static_cast<std::size_t>(config_.ctx));
+      for (int slot = s0; slot < s1; ++slot) {
+        const int s = slot / h;
+        const int head = slot % h;
+        const float* q =
+            qkv.data() + static_cast<std::size_t>(s) * 3 * d + head * hd;
+        const int count = pos[static_cast<std::size_t>(s)] + 1;
+        int j = 0;
+        for (const KvRun& run : runs[static_cast<std::size_t>(s)]) {
+          for (int r = 0; r < run.rows; ++r) {
+            const float* krow =
+                run.k + static_cast<std::size_t>(r) * d + head * hd;
+            float acc = 0.0f;
+            for (int c = 0; c < hd; ++c) acc += q[c] * krow[c];
+            att[static_cast<std::size_t>(j++)] = acc * att_scale;
+          }
+        }
+        nn::softmax(att.data(), att.data(), 1, count);
+        float* out = mix.data() + static_cast<std::size_t>(s) * d + head * hd;
+        std::fill(out, out + hd, 0.0f);
+        j = 0;
+        for (const KvRun& run : runs[static_cast<std::size_t>(s)]) {
+          for (int r = 0; r < run.rows; ++r) {
+            const float w = att[static_cast<std::size_t>(j++)];
+            const float* vrow =
+                run.v + static_cast<std::size_t>(r) * d + head * hd;
+            for (int c = 0; c < hd; ++c) out[c] += w * vrow[c];
+          }
+        }
       }
-      nn::softmax(att.data(), att.data(), 1, pos + 1);
-      float* out = mix.data() + head * hd;
-      std::fill(out, out + hd, 0.0f);
-      for (int j = 0; j <= pos; ++j) {
-        const float w = att[static_cast<std::size_t>(j)];
-        const float* vrow =
-            cache.values[li].data() + static_cast<std::size_t>(j) * d +
-            head * hd;
-        for (int c = 0; c < hd; ++c) out[c] += w * vrow[c];
-      }
-    }
-    nn::matmul(mix.data(), L.wo.w.data(), tmp.data(), 1, d, d);
-    nn::add_bias(tmp.data(), L.bo.w.data(), tmp.data(), 1, d);
-    for (int c = 0; c < d; ++c) x[static_cast<std::size_t>(c)] += tmp[c];
+    });
+
+    nn::matmul(mix.data(), L.wo.w.data(), tmp.data(), n, d, d);
+    nn::add_bias(tmp.data(), L.bo.w.data(), tmp.data(), n, d);
+    for (std::size_t i = 0; i < nd; ++i) x[i] += tmp[i];
 
     nn::layernorm(x.data(), L.ln2_g.w.data(), L.ln2_b.w.data(), a2.data(),
-                  mean.data(), rstd.data(), 1, d);
-    nn::matmul(a2.data(), L.wfc.w.data(), fc.data(), 1, d, ff);
-    nn::add_bias(fc.data(), L.bfc.w.data(), fc.data(), 1, ff);
-    nn::gelu(fc.data(), fc.data(), ff);
-    nn::matmul(fc.data(), L.wproj.w.data(), tmp.data(), 1, ff, d);
-    nn::add_bias(tmp.data(), L.bproj.w.data(), tmp.data(), 1, d);
-    for (int c = 0; c < d; ++c) x[static_cast<std::size_t>(c)] += tmp[c];
+                  mean.data(), rstd.data(), n, d);
+    nn::matmul(a2.data(), L.wfc.w.data(), fc.data(), n, d, ff);
+    nn::add_bias(fc.data(), L.bfc.w.data(), fc.data(), n, ff);
+    nn::gelu(fc.data(), fc.data(), n * ff);
+    nn::matmul(fc.data(), L.wproj.w.data(), tmp.data(), n, ff, d);
+    nn::add_bias(tmp.data(), L.bproj.w.data(), tmp.data(), n, d);
+    for (std::size_t i = 0; i < nd; ++i) x[i] += tmp[i];
   }
   nn::layernorm(x.data(), lnf_g_.w.data(), lnf_b_.w.data(), a1.data(),
-                mean.data(), rstd.data(), 1, d);
-  cache.logits.resize(static_cast<std::size_t>(v));
-  nn::matmul(a1.data(), head_.w.data(), cache.logits.data(), 1, d, v);
-  cache.length = pos + 1;
-  return cache.logits;
+                mean.data(), rstd.data(), n, d);
+  Vec logits_all(static_cast<std::size_t>(n) * v);
+  nn::matmul(a1.data(), head_.w.data(), logits_all.data(), n, d, v);
+  for (int s = 0; s < n; ++s) {
+    KvCache& cache = *caches[s];
+    cache.logits.assign(
+        logits_all.begin() + static_cast<std::ptrdiff_t>(s) * v,
+        logits_all.begin() + static_cast<std::ptrdiff_t>(s + 1) * v);
+    cache.length = pos[static_cast<std::size_t>(s)] + 1;
+  }
 }
 
 std::span<const std::int32_t> Transformer::kept_prompt(

@@ -22,6 +22,8 @@
 
 namespace wisdom::model {
 
+class KvBlockAllocator;
+
 class Transformer {
  public:
   Transformer(const ModelConfig& config, std::uint64_t seed);
@@ -53,8 +55,9 @@ class Transformer {
 
   // --- greedy decoding with a KV cache ------------------------------------
   struct KvCache {
-    // Per layer: rotated keys and values, [ctx x d_model] each (or fewer
-    // rows for a compacted clone; decode_step grows them back on demand).
+    // Monolithic backing — per layer: rotated keys and values,
+    // [ctx x d_model] each (or fewer rows for a compacted clone;
+    // decode_step grows them back on demand). Empty when paged.
     std::vector<nn::Vec> keys;
     std::vector<nn::Vec> values;
     // Next-token logits of the last decode_step. Living in the cache (not
@@ -66,23 +69,61 @@ class Transformer {
     // (context window), so clone()/byte_size() need no model reference.
     int row_width = 0;
     int capacity = 0;
+    // Paged backing: when `arena` is set the KV rows live in fixed-size
+    // blocks owned by the arena (borrowed; must outlive the cache) and
+    // `block_table` maps logical block index -> arena block id. Copies
+    // share blocks by refcount; decode_step copies-on-write before
+    // appending into a shared block. Values are bit-identical to the
+    // monolithic layout — only row placement differs.
+    KvBlockAllocator* arena = nullptr;
+    std::vector<std::int32_t> block_table;
 
-    // Deep copy truncated to the first `new_length` tokens (default: all)
-    // with keys/values compacted to exactly that many rows — the form the
-    // prefix cache stores. The logits survive only a full-length clone
-    // (they describe the last decoded position).
+    KvCache() = default;
+    KvCache(const KvCache& other);
+    KvCache(KvCache&& other) noexcept;
+    KvCache& operator=(const KvCache& other);
+    KvCache& operator=(KvCache&& other) noexcept;
+    ~KvCache();
+
+    bool paged() const { return arena != nullptr; }
+    // Copy truncated to the first `new_length` tokens (default: all) — the
+    // form the prefix cache stores. Monolithic: a deep copy with
+    // keys/values compacted to exactly that many rows. Paged: shares the
+    // covering blocks (refcounted, O(blocks) — no payload copy). The
+    // logits survive only a full-length clone (they describe the last
+    // decoded position).
     KvCache clone(int new_length = -1) const;
     // Forgets every token past `new_length` and drops the logits (they
-    // belong to the old last position). No-op when already shorter.
+    // belong to the old last position); a paged cache also releases the
+    // blocks past the kept span. No-op when already shorter.
     void truncate(int new_length);
-    // Heap bytes held by keys, values and logits.
+    // Heap bytes held: keys/values/logits for a monolithic cache, the
+    // arena blocks referenced (full blocks, shared or not) for a paged
+    // one.
     std::size_t byte_size() const;
+    // Converts a paged cache to an equivalent monolithic one (copying the
+    // live rows out of the arena and releasing the blocks). Decoding
+    // falls back to this when the arena is exhausted, so paged decodes
+    // degrade gracefully instead of failing. No-op when not paged.
+    void materialize();
   };
   KvCache make_cache() const;
+  // A cache whose KV rows live in `arena` blocks, allocated lazily as the
+  // sequence grows. The arena geometry must match the model (layers,
+  // d_model); it must outlive the cache.
+  KvCache make_paged_cache(KvBlockAllocator* arena) const;
   // Appends `token` at the cache's current position and returns the logits
   // for the next position (valid until the next call on the same cache).
   // Cache length must be < ctx. Thread-safe across distinct caches.
   std::span<const float> decode_step(KvCache& cache, std::int32_t token) const;
+  // One iteration-level batched step: appends tokens[i] to caches[i] for
+  // every sequence in one fused forward pass (batched layernorm/matmul
+  // rows, per-sequence attention against each cache). Every kernel is
+  // row-independent, so each cache's logits are bit-identical to a
+  // sequential decode_step(caches[i], tokens[i]) — at any WISDOM_THREADS.
+  // Caches must be distinct; each length must be < ctx.
+  void decode_step_batch(std::span<KvCache* const> caches,
+                         std::span<const std::int32_t> tokens) const;
 
   // Filled by generate()/generate_beam() when a caller passes a status
   // pointer: whether decoding ran to completion or was cut short by its

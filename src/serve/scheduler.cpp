@@ -1,0 +1,318 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "model/kv_block.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+namespace wisdom::serve {
+
+namespace {
+
+using model::Transformer;
+
+// The scheduler performs generate()'s token-level actions itself, so it
+// also owns generate()'s instrumentation: these are the same registry
+// names transformer.cpp registers (MetricsRegistry dedups by name), which
+// keeps the decode-path counters faithful no matter which path served a
+// request.
+struct DecodeMetrics {
+  obs::Counter* generate_calls;
+  obs::Counter* decoded_tokens;
+  obs::Histogram* prefill_ms;
+  obs::Histogram* token_ms;
+};
+
+DecodeMetrics& decode_metrics() {
+  static DecodeMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::global();
+    return DecodeMetrics{
+        &registry.counter("wisdom_model_generate_total",
+                          "generate()/generate_beam() invocations."),
+        &registry.counter("wisdom_model_decoded_tokens_total",
+                          "Decode steps taken (prefill + generation)."),
+        &registry.histogram("wisdom_model_prefill_ms", {},
+                            "Prompt-ingestion latency per generate call."),
+        &registry.histogram("wisdom_model_decode_token_ms", {},
+                            "Per-token decode-step latency."),
+    };
+  }();
+  return metrics;
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One in-flight sequence. The lifecycle mirrors generate() line by line:
+// admit = everything generate() does before its prefill loop, each
+// select/post-step pair = one loop iteration (prefill or decode), retire
+// = the return. Heap-allocated so addresses stay stable while the live
+// list shrinks.
+struct Seq {
+  SeqRequest* req = nullptr;
+  std::size_t index = 0;  // result slot
+  std::span<const std::int32_t> kept;
+  Transformer::KvCache owned_cache;       // when no warm cache was passed
+  Transformer::KvCache* cache = nullptr;  // working cache (owned or warm)
+  Transformer::GenerateStatus local_status;
+  Transformer::GenerateStatus* status = nullptr;
+  obs::TraceContext inert_trace;
+  obs::TraceContext* trace = nullptr;
+  bool observe = false;
+
+  bool prefilling = true;
+  std::size_t pos = 0;    // next kept-prompt index to feed
+  int iterations = 0;     // decode-loop counter (generate()'s `i`)
+  std::vector<std::int32_t> out;
+  std::optional<util::Rng> rng;  // seeded after prefill, like generate()
+  bool retired = false;
+
+  std::optional<obs::TraceContext::Scope> prefill_span;
+  std::optional<obs::TraceContext::Scope> decode_span;
+  std::chrono::steady_clock::time_point prefill_start;
+};
+
+}  // namespace
+
+ContinuousScheduler::ContinuousScheduler(const model::Transformer& model,
+                                         SchedulerOptions options,
+                                         SchedulerMetrics metrics)
+    : model_(model), options_(options), metrics_(metrics) {
+  if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+}
+
+std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
+    std::span<SeqRequest> requests) {
+  const int ctx = model_.config().ctx;
+  last_run_ = SchedulerRunStats{};
+  std::vector<std::vector<std::int32_t>> results(requests.size());
+
+  auto retire = [&](Seq& seq) {
+    seq.decode_span.reset();
+    seq.prefill_span.reset();
+    results[seq.index] = std::move(seq.out);
+    seq.retired = true;
+    if (metrics_.retired) metrics_.retired->inc();
+  };
+
+  // Everything generate() does after its prefill loop: observe prefill
+  // latency, take the prompt snapshot, seed the sampling RNG, and bail
+  // out if the decode loop would not run at all.
+  auto finish_prefill = [&](Seq& seq) {
+    if (seq.observe) {
+      decode_metrics().prefill_ms->observe(
+          elapsed_ms_since(seq.prefill_start));
+      decode_metrics().decoded_tokens->inc(
+          static_cast<std::uint64_t>(seq.status->steps_taken));
+    }
+    seq.prefill_span.reset();
+    seq.prefilling = false;
+    if (seq.kept.empty()) {
+      retire(seq);
+      return;
+    }
+    if (seq.req->prompt_snapshot)
+      *seq.req->prompt_snapshot =
+          seq.cache->clone(static_cast<int>(seq.kept.size()));
+    seq.rng.emplace(seq.req->sample_seed);
+    if (seq.req->max_new_tokens <= 0 || seq.cache->length >= ctx) retire(seq);
+  };
+
+  auto admit = [&](SeqRequest& req, std::size_t index) {
+    auto seq = std::make_unique<Seq>();
+    seq->req = &req;
+    seq->index = index;
+    seq->status = req.status ? req.status : &seq->local_status;
+    *seq->status = Transformer::GenerateStatus{};
+    seq->trace = req.trace ? req.trace : &seq->inert_trace;
+    seq->observe = obs::enabled();
+    if (seq->observe) decode_metrics().generate_calls->inc();
+    seq->kept = model_.kept_prompt(req.prompt, req.max_new_tokens);
+
+    if (req.warm_cache) {
+      assert(req.warm_cache->length <=
+             static_cast<int>(seq->kept.size()));
+      assert(req.warm_cache->length < static_cast<int>(seq->kept.size()) ||
+             !req.warm_cache->logits.empty());
+      seq->cache = req.warm_cache;
+    } else {
+      if (options_.arena) {
+        // Admission control: only go paged when the arena can cover the
+        // sequence's worst case; otherwise fall back to a monolithic
+        // cache up front rather than churn through a mid-flight
+        // materialize().
+        const int target = std::min(
+            ctx, static_cast<int>(seq->kept.size()) + req.max_new_tokens);
+        const int bs = options_.arena->block_size();
+        const int needed = (target + bs - 1) / bs;
+        if (options_.arena->free_blocks() >= needed) {
+          seq->owned_cache = model_.make_paged_cache(options_.arena);
+        } else {
+          seq->owned_cache = model_.make_cache();
+          ++last_run_.monolithic_fallbacks;
+          if (metrics_.monolithic_fallbacks)
+            metrics_.monolithic_fallbacks->inc();
+        }
+      } else {
+        seq->owned_cache = model_.make_cache();
+      }
+      seq->cache = &seq->owned_cache;
+    }
+    seq->status->prefill_tokens_reused = seq->cache->length;
+    seq->pos = static_cast<std::size_t>(seq->cache->length);
+
+    seq->prefill_span = seq->trace->span("prefill");
+    if (seq->observe) seq->prefill_start = std::chrono::steady_clock::now();
+    if (seq->pos == seq->kept.size()) finish_prefill(*seq);
+
+    ++last_run_.admitted;
+    if (metrics_.admitted) metrics_.admitted->inc();
+    return seq;
+  };
+
+  // Select phase: generate()'s per-iteration work up to (not including)
+  // the decode_step — deadline check, span open, sampling, stop check.
+  // Returns the token to feed this step, or nullopt when the sequence
+  // retired (or, transiently, pushed a token into a full context).
+  auto select = [&](Seq& seq) -> std::optional<std::int32_t> {
+    if (seq.prefilling) {
+      if (seq.req->deadline.expired()) {
+        // Mirrors generate()'s early return from inside the prefill
+        // scope: span closes, prefill_ms/decoded_tokens are NOT
+        // observed, the partial result is empty.
+        seq.status->deadline_expired = true;
+        retire(seq);
+        return std::nullopt;
+      }
+      return seq.kept[seq.pos];
+    }
+    if (seq.req->deadline.expired()) {
+      seq.status->deadline_expired = true;
+      retire(seq);
+      return std::nullopt;
+    }
+    seq.decode_span = seq.trace->span("decode");
+    const std::span<const float> logits = seq.cache->logits;
+    const std::int32_t next =
+        seq.req->temperature > 0.0f
+            ? model_.sample_token(logits, seq.req->temperature,
+                                  seq.req->top_k, *seq.rng)
+            : model_.argmax_token(logits);
+    if (next == seq.req->stop_token) {
+      retire(seq);
+      return std::nullopt;
+    }
+    seq.out.push_back(next);
+    if (seq.cache->length >= ctx) {
+      // generate() would skip the decode_step and fail the loop
+      // condition on the next pass without another deadline check.
+      retire(seq);
+      return std::nullopt;
+    }
+    return next;
+  };
+
+  // Post-step phase: the bookkeeping generate() does after decode_step —
+  // counters, span close, prefill completion, loop-exit checks (which
+  // generate() evaluates before the next deadline check, so they retire
+  // here rather than in the next select).
+  auto post_step = [&](Seq& seq, double step_ms) {
+    ++seq.status->steps_taken;
+    if (seq.prefilling) {
+      ++seq.pos;
+      if (seq.pos == seq.kept.size()) finish_prefill(seq);
+      return;
+    }
+    if (seq.observe) {
+      decode_metrics().token_ms->observe(step_ms);
+      decode_metrics().decoded_tokens->inc();
+    }
+    seq.decode_span.reset();
+    ++seq.iterations;
+    if (seq.iterations >= seq.req->max_new_tokens ||
+        seq.cache->length >= ctx)
+      retire(seq);
+  };
+
+  std::vector<std::unique_ptr<Seq>> live;
+  std::vector<Transformer::KvCache*> step_caches;
+  std::vector<std::int32_t> step_tokens;
+  std::vector<Seq*> step_seqs;
+  std::size_t next_pending = 0;
+  int step = 0;
+
+  while (next_pending < requests.size() || !live.empty()) {
+    int admissions = 0;
+    while (next_pending < requests.size() &&
+           static_cast<int>(live.size()) < options_.max_in_flight &&
+           requests[next_pending].arrival_step <= step) {
+      auto seq = admit(requests[next_pending], next_pending);
+      ++next_pending;
+      ++admissions;
+      if (!seq->retired) live.push_back(std::move(seq));
+    }
+    if (live.empty()) {
+      if (next_pending >= requests.size()) break;
+      // Nothing in flight and the next arrival is in the future: jump
+      // straight to it instead of spinning empty iterations.
+      step = std::max(step + 1, requests[next_pending].arrival_step);
+      continue;
+    }
+    last_run_.peak_in_flight =
+        std::max(last_run_.peak_in_flight, static_cast<int>(live.size()));
+    if (metrics_.inflight)
+      metrics_.inflight->set(static_cast<double>(live.size()));
+
+    step_caches.clear();
+    step_tokens.clear();
+    step_seqs.clear();
+    for (auto& seq : live) {
+      if (auto token = select(*seq)) {
+        step_caches.push_back(seq->cache);
+        step_tokens.push_back(*token);
+        step_seqs.push_back(seq.get());
+      }
+    }
+    std::erase_if(live, [](const auto& s) { return s->retired; });
+
+    if (!step_seqs.empty()) {
+      const bool observe = obs::enabled();
+      const auto step_start = observe
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+      model_.decode_step_batch(step_caches, step_tokens);
+      const double step_ms =
+          observe ? elapsed_ms_since(step_start) : 0.0;
+      ++last_run_.steps;
+      if (metrics_.steps) metrics_.steps->inc();
+      if (metrics_.batch_width)
+        metrics_.batch_width->observe(
+            static_cast<double>(step_seqs.size()));
+      if (metrics_.admissions_per_step)
+        metrics_.admissions_per_step->observe(
+            static_cast<double>(admissions));
+      for (Seq* seq : step_seqs) post_step(*seq, step_ms);
+      std::erase_if(live, [](const auto& s) { return s->retired; });
+    }
+    if (options_.arena && (metrics_.blocks_in_use || metrics_.blocks_free)) {
+      const auto stats = options_.arena->stats();
+      if (metrics_.blocks_in_use)
+        metrics_.blocks_in_use->set(static_cast<double>(stats.in_use));
+      if (metrics_.blocks_free)
+        metrics_.blocks_free->set(static_cast<double>(stats.free_blocks));
+    }
+    ++step;
+  }
+  if (metrics_.inflight) metrics_.inflight->set(0.0);
+  return results;
+}
+
+}  // namespace wisdom::serve

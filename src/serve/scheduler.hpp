@@ -1,0 +1,116 @@
+// Iteration-level continuous batching (Orca-style) over the model's
+// batched decode step.
+//
+// Request-level batching (ThreadPool::parallel_for over whole requests)
+// wastes the machine two ways under production traffic: a worker that
+// drew a short request idles while long ones finish (head-of-line
+// imbalance), and every concurrent decode streams the full weight matrix
+// through the cache hierarchy for its own single row (a GEMV per
+// sequence). The continuous scheduler instead merges every in-flight
+// sequence into ONE batched forward step per token — each step is a
+// GEMM whose rows are the live sequences — admits newly arrived
+// sequences between steps, and retires finished or deadline-expired
+// sequences each iteration. Weights stream once per step regardless of
+// batch width, and a finished sequence's slot is reused immediately.
+//
+// The contract is the one the serving stack is built on: for every
+// sequence the scheduler performs exactly the token-level actions of
+// model::Transformer::generate() — the same deadline checks in the same
+// order (check-count budgets spend identically), the same sampling RNG
+// per sequence, the same snapshot timing, the same trace span shapes —
+// and the batched step itself is bit-identical to sequential
+// decode_step calls (row-independent kernels). Outputs are therefore
+// byte-equal to per-request sequential serving at any WISDOM_THREADS,
+// with the prefix cache on or off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/deadline.hpp"
+
+namespace wisdom::model {
+class KvBlockAllocator;
+}
+
+namespace wisdom::serve {
+
+// One generation request for the continuous batcher; mirrors
+// Transformer::GenerateOptions plus an arrival step for admission tests.
+struct SeqRequest {
+  std::vector<std::int32_t> prompt;
+  int max_new_tokens = 64;
+  std::int32_t stop_token = -1;
+  float temperature = 0.0f;  // 0 = greedy
+  int top_k = 0;
+  std::uint64_t sample_seed = 1;
+  util::Deadline deadline;
+  // Earliest scheduler iteration this request may be admitted at (0 =
+  // present from the start). Lets tests interleave admissions mid-flight;
+  // the service always passes 0 and relies on batch arrival order.
+  int arrival_step = 0;
+  model::Transformer::GenerateStatus* status = nullptr;  // optional
+  obs::TraceContext* trace = nullptr;                    // optional
+  // Same contract as GenerateOptions: warm_cache is used as the working
+  // cache (mutated in place; must hold a prefix of the kept prompt),
+  // prompt_snapshot receives a clone taken right after prefill.
+  model::Transformer::KvCache* warm_cache = nullptr;
+  model::Transformer::KvCache* prompt_snapshot = nullptr;
+};
+
+struct SchedulerOptions {
+  // Max sequences decoded together per step; arrivals past this wait for
+  // a retirement (admission is strictly in request order).
+  int max_in_flight = 8;
+  // Paged-KV arena for sequence caches; borrowed, may be null (sequences
+  // then use monolithic caches — still continuously batched).
+  model::KvBlockAllocator* arena = nullptr;
+};
+
+// Borrowed metric handles (all optional) updated as the loop runs.
+struct SchedulerMetrics {
+  obs::Gauge* inflight = nullptr;          // live sequences after admission
+  obs::Gauge* blocks_in_use = nullptr;     // arena occupancy
+  obs::Gauge* blocks_free = nullptr;
+  obs::Counter* steps = nullptr;           // batched forward steps
+  obs::Counter* admitted = nullptr;        // sequences admitted
+  obs::Counter* retired = nullptr;         // sequences retired
+  obs::Counter* monolithic_fallbacks = nullptr;  // arena full at admit
+  obs::Histogram* admissions_per_step = nullptr;
+  obs::Histogram* batch_width = nullptr;   // sequences per forward step
+};
+
+struct SchedulerRunStats {
+  int steps = 0;             // batched forward steps taken
+  int admitted = 0;          // sequences admitted (== requests)
+  int peak_in_flight = 0;
+  int monolithic_fallbacks = 0;  // sequences denied a paged cache
+};
+
+class ContinuousScheduler {
+ public:
+  ContinuousScheduler(const model::Transformer& model,
+                      SchedulerOptions options = {},
+                      SchedulerMetrics metrics = {});
+
+  // Runs every request to completion and returns the generated tokens,
+  // aligned by index — byte-identical to calling model.generate() per
+  // request with the matching GenerateOptions. Requests must stay alive
+  // and unmoved for the duration of the call (prompts are borrowed).
+  std::vector<std::vector<std::int32_t>> run(
+      std::span<SeqRequest> requests);
+
+  const SchedulerRunStats& last_run() const { return last_run_; }
+
+ private:
+  const model::Transformer& model_;
+  SchedulerOptions options_;
+  SchedulerMetrics metrics_;
+  SchedulerRunStats last_run_;
+};
+
+}  // namespace wisdom::serve

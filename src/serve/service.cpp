@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <span>
 
 #include "analysis/rules.hpp"
@@ -194,6 +195,60 @@ InferenceService::InferenceService(const model::Transformer& model,
   h_.cache_response_entries = &registry_.gauge(
       "wisdom_cache_response_entries",
       "Responses currently memoized.");
+  // wisdom_sched_* / wisdom_kv_* families: registered even with continuous
+  // batching off, so the exposition always carries them.
+  h_.sched_inflight = &registry_.gauge(
+      "wisdom_sched_inflight_seqs",
+      "Sequences in flight in the continuous scheduler.");
+  h_.kv_blocks_in_use = &registry_.gauge(
+      "wisdom_kv_blocks_in_use", "Paged-KV arena blocks currently live.");
+  h_.kv_blocks_free = &registry_.gauge(
+      "wisdom_kv_blocks_free", "Paged-KV arena blocks on the free list.");
+  h_.sched_steps = &registry_.counter(
+      "wisdom_sched_steps_total",
+      "Batched forward steps taken by the continuous scheduler.");
+  h_.sched_admitted = &registry_.counter(
+      "wisdom_sched_admitted_total",
+      "Sequences admitted by the continuous scheduler.");
+  h_.sched_retired = &registry_.counter(
+      "wisdom_sched_retired_total",
+      "Sequences retired (finished or deadline-expired).");
+  h_.sched_monolithic_fallback = &registry_.counter(
+      "wisdom_sched_monolithic_fallback_total",
+      "Sequences denied a paged cache by arena exhaustion.");
+  h_.sched_admissions_per_step = &registry_.histogram(
+      "wisdom_sched_admissions_per_step", {},
+      "Sequences admitted between consecutive scheduler steps.");
+  h_.sched_batch_width = &registry_.histogram(
+      "wisdom_sched_batch_width", {},
+      "Sequences per batched forward step.");
+
+  if (options_.continuous_batching) {
+    if (options_.max_batch_sequences < 1) options_.max_batch_sequences = 1;
+    if (options_.kv_block_size < 1) options_.kv_block_size = 16;
+    const model::ModelConfig& config = model_.config();
+    const int blocks_per_seq =
+        (config.ctx + options_.kv_block_size - 1) / options_.kv_block_size;
+    int blocks = options_.kv_arena_blocks;
+    if (blocks <= 0) blocks = 4 * options_.max_batch_sequences * blocks_per_seq;
+    arena_ = std::make_unique<model::KvBlockAllocator>(
+        blocks, options_.kv_block_size, config.n_layer, config.d_model);
+    SchedulerOptions sched_options;
+    sched_options.max_in_flight = options_.max_batch_sequences;
+    sched_options.arena = arena_.get();
+    SchedulerMetrics sched_metrics;
+    sched_metrics.inflight = h_.sched_inflight;
+    sched_metrics.blocks_in_use = h_.kv_blocks_in_use;
+    sched_metrics.blocks_free = h_.kv_blocks_free;
+    sched_metrics.steps = h_.sched_steps;
+    sched_metrics.admitted = h_.sched_admitted;
+    sched_metrics.retired = h_.sched_retired;
+    sched_metrics.monolithic_fallbacks = h_.sched_monolithic_fallback;
+    sched_metrics.admissions_per_step = h_.sched_admissions_per_step;
+    sched_metrics.batch_width = h_.sched_batch_width;
+    scheduler_ = std::make_unique<ContinuousScheduler>(model_, sched_options,
+                                                       sched_metrics);
+  }
 
   if (options_.prefix_cache_enabled) {
     PrefixCacheOptions cache_options;
@@ -299,18 +354,20 @@ LintOutcome InferenceService::run_lint_gate(std::string_view snippet,
   return outcome;
 }
 
-SuggestionResponse InferenceService::run_one(
-    const SuggestionRequest& request, obs::TraceContext& trace) const {
-  auto start = std::chrono::steady_clock::now();
-  SuggestionResponse response;
+bool InferenceService::pre_generate(const SuggestionRequest& request,
+                                    obs::TraceContext& trace,
+                                    GenPrep& prep) const {
+  prep.start = std::chrono::steady_clock::now();
+  SuggestionResponse& response = prep.response;
   if (request.prompt.empty() || request.indent < 0) {
     response.error = ServiceError::InvalidRequest;
-    response.latency_ms = elapsed_ms(start);
-    return response;
+    response.latency_ms = elapsed_ms(prep.start);
+    prep.done = true;
+    return true;
   }
 
   std::string pad(static_cast<std::size_t>(request.indent), ' ');
-  std::string name_line = pad + "- name: " + request.prompt + "\n";
+  prep.name_line = pad + "- name: " + request.prompt + "\n";
 
   // Level 2 first: an exact repeat replays the full prior response before
   // the model (or the fault injector — a memo hit never touches either) is
@@ -320,8 +377,9 @@ SuggestionResponse InferenceService::run_one(
     auto cache_span = trace.span("cache");
     if (auto memo = response_cache_->lookup(memo_key(request))) {
       response = std::move(*memo);
-      response.latency_ms = elapsed_ms(start);
-      return response;
+      response.latency_ms = elapsed_ms(prep.start);
+      prep.done = true;
+      return true;
     }
   }
 
@@ -329,55 +387,55 @@ SuggestionResponse InferenceService::run_one(
     response.error = ServiceError::GenerateFailed;
     if (options_.fallback_enabled)
       apply_fallback(request, trace, &response);
-    response.latency_ms = elapsed_ms(start);
-    return response;
+    response.latency_ms = elapsed_ms(prep.start);
+    prep.done = true;
+    return true;
   }
 
-  std::vector<std::int32_t> ids;
   {
     auto tokenize_span = trace.span("tokenize");
-    std::string input_text = request.context + name_line;
-    ids = tokenizer_.encode(input_text);
+    std::string input_text = request.context + prep.name_line;
+    prep.ids = tokenizer_.encode(input_text);
   }
-  model::Transformer::GenerateOptions gen;
-  gen.max_new_tokens = options_.max_new_tokens;
-  gen.stop_token = text::BpeTokenizer::kEndOfText;
-  gen.deadline = request_deadline(request);
-  gen.trace = &trace;
-  model::Transformer::GenerateStatus status;
-  gen.status = &status;
+  prep.gen.max_new_tokens = options_.max_new_tokens;
+  prep.gen.stop_token = text::BpeTokenizer::kEndOfText;
+  prep.gen.deadline = request_deadline(request);
+  prep.gen.trace = &trace;
+  prep.gen.status = &prep.status;
 
   // Level 1: warm-start generation from the deepest cached KV snapshot
   // sharing a token prefix with this prompt, and capture a snapshot of the
   // full prefilled prompt for future requests. Keyed on the kept prompt —
   // exactly the tokens generate() feeds the model after left-truncation.
-  model::Transformer::KvCache warm;
-  model::Transformer::KvCache snapshot;
-  std::span<const std::int32_t> kept;
   if (prefix_cache_) {
     auto cache_span = trace.span("cache");
-    kept = model_.kept_prompt(ids, gen.max_new_tokens);
-    if (auto hit = prefix_cache_->lookup(kept)) {
-      warm = std::move(hit->cache);
-      gen.warm_cache = &warm;
+    prep.kept = model_.kept_prompt(prep.ids, prep.gen.max_new_tokens);
+    if (auto hit = prefix_cache_->lookup(prep.kept)) {
+      prep.warm = std::move(hit->cache);
+      prep.gen.warm_cache = &prep.warm;
+      prep.has_warm = true;
       response.cached = true;
     }
-    gen.prompt_snapshot = &snapshot;
+    prep.gen.prompt_snapshot = &prep.snapshot;
   }
+  return false;
+}
 
-  std::vector<std::int32_t> out;
-  {
-    auto generate_span = trace.span("generate");
-    out = model_.generate(ids, gen);
-  }
+void InferenceService::post_generate(const SuggestionRequest& request,
+                                     obs::TraceContext& trace,
+                                     std::vector<std::int32_t> out,
+                                     GenPrep& prep) const {
+  SuggestionResponse& response = prep.response;
+  const model::Transformer::GenerateStatus& status = prep.status;
 
   // Store the prefilled prompt whenever prefill completed — KV rows are
   // valid even when the decode after them degraded (deadline salvage,
   // empty generation): prefill is a pure function of the prompt tokens.
-  if (prefix_cache_ && snapshot.length == static_cast<int>(kept.size()) &&
-      snapshot.length > 0) {
+  if (prefix_cache_ &&
+      prep.snapshot.length == static_cast<int>(prep.kept.size()) &&
+      prep.snapshot.length > 0) {
     auto cache_span = trace.span("cache");
-    prefix_cache_->insert(kept, std::move(snapshot));
+    prefix_cache_->insert(prep.kept, std::move(prep.snapshot));
   }
 
   std::string body;
@@ -388,6 +446,7 @@ SuggestionResponse InferenceService::run_one(
         body, static_cast<std::size_t>(request.indent));
   }
   response.generated_tokens = static_cast<int>(out.size());
+  const std::string& name_line = prep.name_line;
 
   if (status.deadline_expired) {
     response.error = ServiceError::DeadlineExceeded;
@@ -449,8 +508,20 @@ SuggestionResponse InferenceService::run_one(
     auto cache_span = trace.span("cache");
     response_cache_->insert(memo_key(request), response);
   }
-  response.latency_ms = elapsed_ms(start);
-  return response;
+  response.latency_ms = elapsed_ms(prep.start);
+}
+
+SuggestionResponse InferenceService::run_one(
+    const SuggestionRequest& request, obs::TraceContext& trace) const {
+  GenPrep prep;
+  if (pre_generate(request, trace, prep)) return std::move(prep.response);
+  std::vector<std::int32_t> out;
+  {
+    auto generate_span = trace.span("generate");
+    out = model_.generate(prep.ids, prep.gen);
+  }
+  post_generate(request, trace, std::move(out), prep);
+  return std::move(prep.response);
 }
 
 SuggestionResponse InferenceService::run_shed(
@@ -546,8 +617,125 @@ SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
   return response;
 }
 
+std::vector<SuggestionResponse> InferenceService::suggest_batch_continuous(
+    const std::vector<SuggestionRequest>& requests) {
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  auto start = std::chrono::steady_clock::now();
+  const std::size_t n = requests.size();
+  // Admission in arrival order, exactly like the request-level path.
+  std::vector<char> admitted(n, 0);
+  for (std::size_t i = 0; i < n; ++i) admitted[i] = try_admit() ? 1 : 0;
+  const std::uint64_t base_seq = trace_seq_.fetch_add(
+      static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+  if (obs::enabled())
+    h_.inflight->set(static_cast<double>(queue_.in_flight()));
+
+  // Per-request trace plus the pre/post state; sized once so the
+  // GenerateOptions' back-pointers into each GenPrep stay valid.
+  struct Slot {
+    obs::Trace local_trace;
+    obs::Trace* sink = nullptr;
+    std::uint64_t id = 0;
+    std::optional<obs::TraceContext> trace;
+    std::optional<obs::TraceContext::Scope> root;
+    std::optional<obs::TraceContext::Scope> generate_span;
+    GenPrep prep;
+  };
+  std::vector<Slot> slots(n);
+
+  // Pre phase, strictly in arrival order: shed/memo/fault/tokenize/prefix
+  // lookup — so fault credits and admission decisions land on the same
+  // requests as sequential serving.
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    const SuggestionRequest& request = requests[i];
+    slot.sink = request.trace ? request.trace : &slot.local_trace;
+    slot.id = obs::trace_id(base_seq + static_cast<std::uint64_t>(i),
+                            request.prompt);
+    slot.trace.emplace(slot.sink, slot.id);
+    slot.root = slot.trace->span("request");
+    {
+      auto admission_span = slot.trace->span("admission");
+    }
+    if (!admitted[i]) {
+      slot.prep.response = run_shed(request, *slot.trace);
+      slot.prep.done = true;
+    } else {
+      pre_generate(request, *slot.trace, slot.prep);
+    }
+  }
+
+  // One scheduler pass over every request that reached generation. The
+  // scheduler replicates generate()'s token-level actions per sequence,
+  // so each out[k] is byte-identical to the sequential path.
+  std::vector<SeqRequest> seq_requests;
+  std::vector<std::size_t> slot_of;
+  for (std::size_t i = 0; i < n; ++i) {
+    GenPrep& prep = slots[i].prep;
+    if (prep.done) continue;
+    slots[i].generate_span = slots[i].trace->span("generate");
+    SeqRequest seq;
+    seq.prompt = prep.ids;
+    seq.max_new_tokens = prep.gen.max_new_tokens;
+    seq.stop_token = prep.gen.stop_token;
+    seq.temperature = prep.gen.temperature;
+    seq.top_k = prep.gen.top_k;
+    seq.sample_seed = prep.gen.sample_seed;
+    seq.deadline = prep.gen.deadline;
+    seq.status = &prep.status;
+    seq.trace = &*slots[i].trace;
+    seq.warm_cache = prep.has_warm ? &prep.warm : nullptr;
+    seq.prompt_snapshot = prefix_cache_ ? &prep.snapshot : nullptr;
+    seq_requests.push_back(std::move(seq));
+    slot_of.push_back(i);
+  }
+  std::vector<std::vector<std::int32_t>> outs;
+  if (!seq_requests.empty()) outs = scheduler_->run(seq_requests);
+
+  // Post phase, again in arrival order (snapshot/memo insert order matches
+  // sequential serving).
+  for (std::size_t k = 0; k < seq_requests.size(); ++k) {
+    Slot& slot = slots[slot_of[k]];
+    slot.generate_span.reset();
+    post_generate(requests[slot_of[k]], *slot.trace, std::move(outs[k]),
+                  slot.prep);
+  }
+
+  std::vector<SuggestionResponse> responses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    slot.root.reset();
+    if (slot.trace->active()) {
+      slot.prep.response.trace_id = requests[i].trace_id.empty()
+                                        ? obs::trace_id_hex(slot.id)
+                                        : requests[i].trace_id;
+      slot.prep.response.server_timing_ms = slot.sink->stage_totals();
+      observe_stages(*slot.sink);
+    }
+    responses[i] = std::move(slot.prep.response);
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (admitted[i]) queue_.release();
+  if (obs::enabled())
+    h_.inflight->set(static_cast<double>(queue_.in_flight()));
+  double wall = elapsed_ms(start);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    h_.offered->inc();
+    if (!admitted[i]) {
+      h_.shed->inc();
+      if (options_.shed_policy == ShedPolicy::RejectNewest) continue;
+    }
+    record_response(responses[i]);
+  }
+  h_.wall_ms->add(wall);
+  return responses;
+}
+
 std::vector<SuggestionResponse> InferenceService::suggest_batch(
     const std::vector<SuggestionRequest>& requests) {
+  if (scheduler_) return suggest_batch_continuous(requests);
   auto start = std::chrono::steady_clock::now();
   const std::size_t n = requests.size();
   // Admission in arrival order, before the fan-out: with capacity C on an

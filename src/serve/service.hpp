@@ -6,9 +6,13 @@
 // coding assistant must respond interactively, which is why Wisdom ships
 // the 350M model rather than the 2.7B one).
 //
-// suggest_batch() fans N requests out across util::ThreadPool::global(),
-// sharing one read-only model; with greedy decoding the batched responses
-// are identical to N sequential suggest() calls.
+// suggest_batch() serves N requests through the continuous batcher: one
+// iteration-level scheduler merges every in-flight sequence into a single
+// batched forward step per token over paged KV blocks (see scheduler.hpp
+// and kv_block.hpp), admitting and retiring sequences between steps. With
+// continuous_batching off it falls back to fanning whole requests out
+// across util::ThreadPool::global(). Either way the batched responses are
+// byte-identical to N sequential suggest() calls.
 //
 // The serving path is deadline-aware and failure-tolerant end to end:
 //   * every request decodes under a deadline (per-request override or the
@@ -47,14 +51,17 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "model/kv_block.hpp"
 #include "model/transformer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -64,6 +71,7 @@
 #include "serve/prefix_cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/response_cache.hpp"
+#include "serve/scheduler.hpp"
 #include "serve/types.hpp"
 #include "text/bpe.hpp"
 #include "util/deadline.hpp"
@@ -100,6 +108,23 @@ struct ServiceOptions {
   // TTL for both caches, measured in cache lookups (a request count, not
   // wall time — deterministic under test); 0 disables expiry.
   std::uint64_t cache_ttl_requests = 0;
+  // --- continuous batching (iteration-level scheduler) -------------------
+  // Serve suggest_batch() through the ContinuousScheduler: one batched
+  // forward step per token across every in-flight request, admissions
+  // between steps, paged KV memory. Responses stay byte-identical to the
+  // request-level path (and to sequential suggest() calls); turning this
+  // off restores the whole-request thread-pool fan-out.
+  bool continuous_batching = true;
+  // Tokens per KV block in the paged arena.
+  int kv_block_size = 16;
+  // Max sequences decoded together per scheduler step (in-flight cap).
+  int max_batch_sequences = 8;
+  // Arena capacity in blocks; <= 0 sizes it automatically (4x the
+  // worst-case working set of max_batch_sequences full-context sequences,
+  // the surplus backing block-sharing prefix-cache snapshots). When the
+  // arena is exhausted, sequences fall back to monolithic caches —
+  // serving never fails for lack of blocks.
+  int kv_arena_blocks = 0;
 };
 
 // Snapshot of the service's counters, derived from its metrics registry.
@@ -173,13 +198,14 @@ class InferenceService {
 
   SuggestionResponse suggest(const SuggestionRequest& request);
 
-  // Serves a batch concurrently on the global thread pool. Responses align
-  // with requests by index and match sequential suggest() calls exactly
-  // (greedy decoding, shared read-only model). Admission is decided in
-  // arrival order before the fan-out (reject-newest: with capacity C and
-  // an otherwise idle service, the first C requests are admitted and the
-  // rest shed — deterministically). Stats count each request individually
-  // but the batch's wall time once.
+  // Serves a batch through the continuous scheduler (or, with
+  // continuous_batching off, concurrently on the global thread pool).
+  // Responses align with requests by index and match sequential suggest()
+  // calls exactly (greedy decoding, shared read-only model). Admission is
+  // decided in arrival order before any serving (reject-newest: with
+  // capacity C and an otherwise idle service, the first C requests are
+  // admitted and the rest shed — deterministically). Stats count each
+  // request individually but the batch's wall time once.
   std::vector<SuggestionResponse> suggest_batch(
       const std::vector<SuggestionRequest>& requests);
 
@@ -263,6 +289,36 @@ class InferenceService {
     obs::Counter* lint_repaired = nullptr;
     obs::Counter* lint_rejected = nullptr;
     std::map<std::string, obs::Counter*, std::less<>> lint_rules;
+    // Continuous-batching scheduler and paged-KV arena gauges
+    // (wisdom_sched_* / wisdom_kv_*). Registered unconditionally so the
+    // families are visible at 0 even with continuous batching disabled.
+    obs::Gauge* sched_inflight = nullptr;
+    obs::Gauge* kv_blocks_in_use = nullptr;
+    obs::Gauge* kv_blocks_free = nullptr;
+    obs::Counter* sched_steps = nullptr;
+    obs::Counter* sched_admitted = nullptr;
+    obs::Counter* sched_retired = nullptr;
+    obs::Counter* sched_monolithic_fallback = nullptr;
+    obs::Histogram* sched_admissions_per_step = nullptr;
+    obs::Histogram* sched_batch_width = nullptr;
+  };
+
+  // State carried between pre_generate() and post_generate(): everything
+  // run_one() builds before the model is consulted, plus the out-params
+  // generation fills in. Must not move between the two calls — the
+  // GenerateOptions point back into it.
+  struct GenPrep {
+    std::chrono::steady_clock::time_point start;
+    SuggestionResponse response;
+    std::string name_line;
+    std::vector<std::int32_t> ids;
+    std::span<const std::int32_t> kept;  // into ids
+    model::Transformer::KvCache warm;
+    bool has_warm = false;
+    model::Transformer::KvCache snapshot;
+    model::Transformer::GenerateStatus status;
+    model::Transformer::GenerateOptions gen;
+    bool done = false;  // response finalized without generation
   };
 
   bool try_admit();
@@ -273,6 +329,19 @@ class InferenceService {
                                   bool admitted, std::uint64_t seq) const;
   SuggestionResponse run_one(const SuggestionRequest& request,
                              obs::TraceContext& trace) const;
+  // run_one() split at the generate call, so the continuous batcher can
+  // run each half per request around one shared scheduler pass. Returns
+  // true when the response is already final (invalid request, memo hit,
+  // injected failure) and generation must be skipped.
+  bool pre_generate(const SuggestionRequest& request,
+                    obs::TraceContext& trace, GenPrep& prep) const;
+  void post_generate(const SuggestionRequest& request,
+                     obs::TraceContext& trace, std::vector<std::int32_t> out,
+                     GenPrep& prep) const;
+  // suggest_batch() via the ContinuousScheduler: per-request pre/post
+  // halves in arrival order around one iteration-level scheduler run.
+  std::vector<SuggestionResponse> suggest_batch_continuous(
+      const std::vector<SuggestionRequest>& requests);
   // Response for a request refused admission: an Overloaded rejection or,
   // under DegradeNewest, a fallback suggestion.
   SuggestionResponse run_shed(const SuggestionRequest& request,
@@ -304,6 +373,13 @@ class InferenceService {
   ServiceOptions options_;
   FallbackSuggester fallback_;
   AdmissionQueue queue_;
+  // Paged-KV arena and iteration-level scheduler (continuous batching).
+  // Declared before prefix_cache_: cached snapshots share arena blocks,
+  // so the trie must release them before the arena is torn down.
+  std::unique_ptr<model::KvBlockAllocator> arena_;
+  std::unique_ptr<ContinuousScheduler> scheduler_;
+  // Serializes continuous batch runs (the scheduler is single-caller).
+  std::mutex batch_mu_;
   // Null when the corresponding ServiceOptions flag is off. Both caches
   // are internally synchronized; run_one (const) uses them from every
   // serving thread.
