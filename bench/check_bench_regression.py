@@ -7,8 +7,14 @@ Usage:
 
 For every benchmark in the baseline that reports a "tokens/s" counter, the
 current run must stay within THRESHOLD (default 10%) of the baseline's
-tokens/s. Benchmarks present only in the current run are reported but never
-fail the check (new benchmarks seed on the next baseline refresh).
+tokens/s. Benchmarks that also report service-quality counters (shed_rate,
+degraded_rate — the overload sweep's fields) are additionally gated on
+those: the current rate must not exceed the baseline's by more than
+QUALITY_TOLERANCE (default 0.05, absolute), so an overload-handling change
+that silently sheds or degrades more traffic fails the gate even when raw
+throughput holds. Benchmarks present only in the current run are reported
+but never fail the check (new benchmarks seed on the next baseline
+refresh).
 
 With --seed-if-missing, a missing baseline file is created from the current
 run and the check passes — this is how CI bootstraps the very first
@@ -44,12 +50,42 @@ def load_rates(path):
     return {name: max(rates) for name, rates in samples.items()}
 
 
+# Service-quality counters gated in addition to tokens/s. Higher is worse,
+# and they are fractions of offered/served traffic, so the comparison is an
+# absolute-increase bound rather than a relative drop.
+QUALITY_FIELDS = ("shed_rate", "degraded_rate")
+
+
+def load_quality(path):
+    """Map benchmark name -> {field: worst value across repetitions}.
+
+    Worst-of-N (max) is the comparator: shedding is load-dependent, and the
+    gate exists to catch the run where overload handling got worse, not the
+    luckiest rep.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    worst = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        for field in QUALITY_FIELDS:
+            value = bench.get(field)
+            if isinstance(value, (int, float)):
+                fields = worst.setdefault(bench["name"], {})
+                fields[field] = max(fields.get(field, 0.0), float(value))
+    return worst
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="max fractional tokens/s drop (default 0.10)")
+    parser.add_argument("--quality-tolerance", type=float, default=0.05,
+                        help="max absolute shed_rate/degraded_rate increase "
+                             "over baseline (default 0.05)")
     parser.add_argument("--seed-if-missing", action="store_true",
                         help="copy CURRENT to BASELINE if BASELINE is absent")
     args = parser.parse_args()
@@ -97,6 +133,34 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"[new] {name}: {current[name]:.1f} tokens/s "
               "(not in baseline; will gate after next baseline refresh)")
+
+    # Quality gate: shed/degraded rates must not climb past the baseline
+    # by more than the absolute tolerance. Entries (or fields) only in the
+    # current run seed on the next refresh, like new benchmarks above.
+    current_quality = load_quality(args.current)
+    baseline_quality = load_quality(args.baseline)
+    for name, base_fields in sorted(baseline_quality.items()):
+        cur_fields = current_quality.get(name)
+        if cur_fields is None:
+            if name in current:
+                failures.append(f"{name}: quality counters present in "
+                                "baseline but missing from current run")
+            continue
+        for field, base_value in sorted(base_fields.items()):
+            cur_value = cur_fields.get(field)
+            if cur_value is None:
+                failures.append(f"{name}: {field} present in baseline but "
+                                "missing from current run")
+                continue
+            rise = cur_value - base_value
+            verdict = "FAIL" if rise > args.quality_tolerance else "ok"
+            print(f"[{verdict}] {name}: {field}={cur_value:.3f} "
+                  f"(baseline {base_value:.3f}, {rise:+.3f}, "
+                  f"limit +{args.quality_tolerance:.2f})")
+            if rise > args.quality_tolerance:
+                failures.append(f"{name}: {field} rose {rise:.3f} over "
+                                f"baseline (limit "
+                                f"{args.quality_tolerance:.2f})")
 
     if failures:
         print("\nbenchmark regression detected:")

@@ -6,8 +6,9 @@
 # --regression: instead of the full sweep, run only the serving throughput
 # benchmarks on a pinned config (WISDOM_THREADS=4), write the results to
 # BENCH_PR6.json, and fail if tokens/s drops more than 10% against the
-# committed baseline in bench/bench_baseline.json. This is what the CI
-# bench-regression job runs.
+# committed baseline in bench/bench_baseline.json — or if the overload
+# sweep's shed/degraded rates rise past the absolute tolerance. This is
+# what the CI bench-regression job runs.
 set -e
 cd "$(dirname "$0")"
 
@@ -15,7 +16,7 @@ if [ "$1" = "--regression" ]; then
   OUT="${BENCH_OUT:-BENCH_PR6.json}"
   BASELINE="${BENCH_BASELINE:-bench/bench_baseline.json}"
   WISDOM_THREADS=4 build/bench/bench_throughput \
-    --benchmark_filter='BM_BatchedSuggest|BM_ContinuousBatchSweep' \
+    --benchmark_filter='BM_BatchedSuggest|BM_ContinuousBatchSweep|BM_OverloadSweep' \
     --benchmark_repetitions=3 --benchmark_min_time=1 \
     --benchmark_format=json --benchmark_out="$OUT" \
     --benchmark_out_format=json >/dev/null

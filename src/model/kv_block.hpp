@@ -51,6 +51,11 @@ class KvBlockAllocator {
   int block_size() const { return block_size_; }
   int n_layers() const { return n_layers_; }
   int row_width() const { return d_; }
+  // Blocks needed to hold `tokens` rows (ceil division); the unit the
+  // scheduler's admission control and KV-pressure checks budget in.
+  int blocks_for_tokens(int tokens) const {
+    return tokens <= 0 ? 0 : (tokens + block_size_ - 1) / block_size_;
+  }
   // Payload bytes of one block (all layers, keys + values).
   std::size_t block_bytes() const {
     return block_stride_ * sizeof(float);

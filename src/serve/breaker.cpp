@@ -1,0 +1,123 @@
+#include "serve/breaker.hpp"
+
+#include <algorithm>
+
+namespace wisdom::serve {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "closed";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options, BreakerMetrics metrics)
+    : options_(options), metrics_(metrics) {
+  options_.window = std::max(1, options_.window);
+  options_.min_samples = std::clamp(options_.min_samples, 1, options_.window);
+  options_.failure_threshold =
+      std::clamp(options_.failure_threshold, 0.0, 1.0);
+  options_.cooldown = std::max(1, options_.cooldown);
+  options_.probes = std::max(1, options_.probes);
+  window_.assign(static_cast<std::size_t>(options_.window), 0);
+  if (metrics_.state)
+    metrics_.state->set(static_cast<double>(state_));
+}
+
+void CircuitBreaker::transition_locked(BreakerState next) {
+  if (next == state_) return;
+  if (next == BreakerState::Open) {
+    ++opened_total_;
+    if (metrics_.opened) metrics_.opened->inc();
+    cooldown_left_ = options_.cooldown;
+    // The window emptied the moment we gave up on the backend; after the
+    // probe cycle it restarts from clean history.
+    std::fill(window_.begin(), window_.end(), 0);
+    head_ = outcomes_ = failures_ = 0;
+  } else if (next == BreakerState::HalfOpen) {
+    probes_issued_ = 0;
+    probe_successes_ = 0;
+  } else {  // Closed, from a successful probe cycle
+    ++closed_total_;
+    if (metrics_.closed) metrics_.closed->inc();
+  }
+  state_ = next;
+  if (metrics_.state) metrics_.state->set(static_cast<double>(state_));
+}
+
+CircuitBreaker::Admission CircuitBreaker::admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::Open) {
+    if (cooldown_left_ > 0) {
+      --cooldown_left_;
+      ++short_circuit_total_;
+      if (metrics_.short_circuited) metrics_.short_circuited->inc();
+      return Admission::ShortCircuit;
+    }
+    transition_locked(BreakerState::HalfOpen);
+  }
+  if (state_ == BreakerState::HalfOpen) {
+    if (probes_issued_ >= options_.probes) {
+      ++short_circuit_total_;
+      if (metrics_.short_circuited) metrics_.short_circuited->inc();
+      return Admission::ShortCircuit;
+    }
+    ++probes_issued_;
+    ++probe_total_;
+    if (metrics_.probes) metrics_.probes->inc();
+    return Admission::Probe;
+  }
+  return Admission::Allow;
+}
+
+void CircuitBreaker::record(bool failure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failure && metrics_.failures_recorded) metrics_.failures_recorded->inc();
+  if (state_ == BreakerState::HalfOpen) {
+    if (failure) {
+      transition_locked(BreakerState::Open);
+      return;
+    }
+    ++probe_successes_;
+    if (probe_successes_ >= options_.probes)
+      transition_locked(BreakerState::Closed);
+    return;
+  }
+  if (state_ == BreakerState::Open) return;  // straggler; window was cleared
+  // Closed: rolling window update. The slot being overwritten ages out of
+  // both counts before the new outcome lands.
+  if (outcomes_ == options_.window) {
+    failures_ -= window_[static_cast<std::size_t>(head_)];
+  } else {
+    ++outcomes_;
+  }
+  window_[static_cast<std::size_t>(head_)] = failure ? 1 : 0;
+  head_ = (head_ + 1) % options_.window;
+  if (failure) ++failures_;
+  if (outcomes_ >= options_.min_samples &&
+      static_cast<double>(failures_) >=
+          options_.failure_threshold * static_cast<double>(outcomes_))
+    transition_locked(BreakerState::Open);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.state = state_;
+  s.window_outcomes = outcomes_;
+  s.window_failures = failures_;
+  s.opened = opened_total_;
+  s.closed_from_half_open = closed_total_;
+  s.short_circuited = short_circuit_total_;
+  s.probes_admitted = probe_total_;
+  return s;
+}
+
+}  // namespace wisdom::serve

@@ -1,0 +1,112 @@
+// Admission circuit breaker: stop offering doomed work to a failing
+// backend, answer from the deterministic fallback instead, and probe the
+// backend back to health.
+//
+// Under a failure storm (model errors, deadline misses, shedding) every
+// admitted request burns a full decode budget to produce a degraded
+// response anyway. The breaker watches a rolling window of request
+// outcomes and, past a failure-rate threshold, OPENS: arrivals
+// short-circuit straight to the fallback path with a typed
+// ServiceError::CircuitOpen — no queue slot, no decode, immediate
+// response. After a cooldown it HALF-OPENS: a bounded number of probe
+// requests are let through to the real pipeline; all probes succeeding
+// closes the breaker, any probe failing reopens it.
+//
+// Everything is counted in requests, never wall time: the window is the
+// last `window` outcomes, the cooldown elapses after `cooldown` refused
+// arrivals, probes are an exact count. That makes every state transition
+// deterministic and unit-testable at exact boundaries — the same
+// check-count discipline the deadline machinery uses.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wisdom::serve {
+
+enum class BreakerState : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
+
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerOptions {
+  // Rolling outcome window length (requests).
+  int window = 32;
+  // Never open on fewer than this many outcomes in the window — a single
+  // early failure must not trip a cold breaker.
+  int min_samples = 8;
+  // Open when failures/outcomes in the window reaches this fraction.
+  double failure_threshold = 0.5;
+  // Arrivals short-circuited while open before the breaker half-opens.
+  int cooldown = 16;
+  // Probes admitted in half-open; this many consecutive successes close
+  // the breaker, any failure reopens it (and restarts the cooldown).
+  int probes = 2;
+};
+
+// Borrowed metric handles (all optional) updated on transitions.
+struct BreakerMetrics {
+  obs::Gauge* state = nullptr;            // numeric BreakerState
+  obs::Counter* opened = nullptr;         // Closed/HalfOpen -> Open
+  obs::Counter* closed = nullptr;         // HalfOpen -> Closed
+  obs::Counter* short_circuited = nullptr;
+  obs::Counter* probes = nullptr;         // probe admissions
+  obs::Counter* failures_recorded = nullptr;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {},
+                          BreakerMetrics metrics = {});
+
+  // Per-arrival admission decision. Allow = normal pipeline; Probe =
+  // normal pipeline, but the outcome decides the half-open verdict;
+  // ShortCircuit = answer from the fallback without touching the backend.
+  enum class Admission : std::uint8_t { Allow, Probe, ShortCircuit };
+  Admission admit();
+
+  // Outcome of a request that was admitted (Allow or Probe). Closed:
+  // pushed into the rolling window, possibly opening the breaker.
+  // HalfOpen: decides the probe — failure reopens, the configured number
+  // of successes closes. Open: ignored (a straggler admitted before the
+  // trip; it already counted once).
+  void record(bool failure);
+
+  BreakerState state() const;
+
+  struct Stats {
+    BreakerState state = BreakerState::Closed;
+    int window_outcomes = 0;  // outcomes currently in the rolling window
+    int window_failures = 0;
+    std::uint64_t opened = 0;
+    std::uint64_t closed_from_half_open = 0;
+    std::uint64_t short_circuited = 0;
+    std::uint64_t probes_admitted = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void transition_locked(BreakerState next);
+
+  BreakerOptions options_;
+  BreakerMetrics metrics_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::Closed;
+  // Rolling window as a circular bit-history: outcomes_ entries valid,
+  // head_ is the next write slot.
+  std::vector<char> window_;
+  int head_ = 0;
+  int outcomes_ = 0;
+  int failures_ = 0;
+  int cooldown_left_ = 0;
+  int probes_issued_ = 0;
+  int probe_successes_ = 0;
+  std::uint64_t opened_total_ = 0;
+  std::uint64_t closed_total_ = 0;
+  std::uint64_t short_circuit_total_ = 0;
+  std::uint64_t probe_total_ = 0;
+};
+
+}  // namespace wisdom::serve

@@ -43,9 +43,13 @@ RetryingClient::Outcome RetryingClient::suggest_with_trace(
   obs::Counter& exhausted = service_.metrics().counter(
       "wisdom_serve_retry_exhausted_total",
       "Client calls that used every attempt and still failed.");
+  obs::Counter& budget_exhausted = service_.metrics().counter(
+      "wisdom_serve_retry_budget_exhausted_total",
+      "Client calls that stopped retrying on the total delay budget.");
   Outcome outcome;
   Backoff backoff(policy_);
   const int attempts = std::max(1, policy_.max_attempts);
+  double delay_spent_ms = 0.0;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     outcome.response = service_.suggest(request);
     ++outcome.attempts;
@@ -58,6 +62,16 @@ RetryingClient::Outcome RetryingClient::suggest_with_trace(
       break;
     }
     double delay = backoff.next_delay_ms();
+    // Charge the budget before sleeping: a delay that would overrun the
+    // total budget is not taken at all (the schedule is deterministic, so
+    // the same policy always gives up at the same attempt).
+    if (policy_.total_budget_ms > 0.0 &&
+        delay_spent_ms + delay > policy_.total_budget_ms) {
+      outcome.budget_exhausted = true;
+      budget_exhausted.inc();
+      break;
+    }
+    delay_spent_ms += delay;
     outcome.delays_ms.push_back(delay);
     retries.inc();
     sleep_(delay);

@@ -30,6 +30,13 @@ struct RetryPolicy {
   double jitter = 0.5;
   // Seeds the jitter stream; the schedule is reproducible per seed.
   std::uint64_t seed = 1;
+  // Total retry-delay budget in ms; <= 0 means unlimited. The budget is
+  // charged the computed backoff delays (a pure function of the policy,
+  // not wall time, so the cutoff is deterministic and testable without
+  // sleeping): a retry whose delay would push the cumulative delay past
+  // the budget is not taken — the client returns the last response
+  // instead of queueing more load behind a bounded caller deadline.
+  double total_budget_ms = 0.0;
 };
 
 // The delay sequence alone; deterministic given the policy.
@@ -61,10 +68,15 @@ class RetryingClient {
     SuggestionResponse response;
     int attempts = 0;
     std::vector<double> delays_ms;  // one entry per retry actually taken
+    // True when a retry was wanted but its delay would have exceeded
+    // RetryPolicy::total_budget_ms.
+    bool budget_exhausted = false;
   };
 
   // Calls suggest(), retrying transient errors per the policy. Terminal
-  // errors and successes return immediately.
+  // (non-transient) errors — invalid requests, lint rejections, and
+  // Draining refusals among them — and successes return immediately;
+  // retries stop early once the total delay budget is spent.
   SuggestionResponse suggest(const SuggestionRequest& request);
   Outcome suggest_with_trace(const SuggestionRequest& request);
 

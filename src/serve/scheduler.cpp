@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <optional>
 
@@ -75,9 +76,30 @@ struct Seq {
   std::optional<util::Rng> rng;  // seeded after prefill, like generate()
   bool retired = false;
 
+  // --- preemption / watchdog state ---------------------------------------
+  int preemptions = 0;      // times this sequence has been preempted
+  // Cache length to restore before normal decoding resumes; while
+  // cache->length < recompute_until the sequence is in warm-start
+  // recompute — re-feeding rows whose decode-loop bookkeeping (deadline
+  // checks, RNG draws, counters, spans) already happened before the
+  // preemption, so the recompute does none of it again.
+  int recompute_until = 0;
+  bool preempt_pending = false;  // marked by the pressure check this iter
+  int age = 0;        // scheduler iterations since admission (incl. waits)
+  int age_bound = 0;  // watchdog force-retire threshold
+
   std::optional<obs::TraceContext::Scope> prefill_span;
   std::optional<obs::TraceContext::Scope> decode_span;
   std::chrono::steady_clock::time_point prefill_start;
+
+  bool recomputing() const { return cache->length < recompute_until; }
+  // The token occupying cache row `p`: prompt rows first, then the
+  // generated tail — the sequence a warm-start recompute must re-feed.
+  std::int32_t token_at(int p) const {
+    return p < static_cast<int>(kept.size())
+               ? kept[static_cast<std::size_t>(p)]
+               : out[static_cast<std::size_t>(p) - kept.size()];
+  }
 };
 
 }  // namespace
@@ -87,6 +109,7 @@ ContinuousScheduler::ContinuousScheduler(const model::Transformer& model,
                                          SchedulerMetrics metrics)
     : model_(model), options_(options), metrics_(metrics) {
   if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+  if (options_.max_preemptions_per_seq < 0) options_.max_preemptions_per_seq = 0;
 }
 
 std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
@@ -126,6 +149,20 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
     if (seq.req->max_new_tokens <= 0 || seq.cache->length >= ctx) retire(seq);
   };
 
+  // The watchdog's per-sequence residence bound. The derived bound must
+  // never trip on a fault-free run, so it covers the worst legitimate
+  // case: the sequence's own work (prefill + decode), every re-admitted
+  // recompute of it, and — per preemption — a requeue wait while up to
+  // max_in_flight other sequences drain whole contexts to free blocks.
+  auto watchdog_bound = [&](const Seq& seq) {
+    if (options_.watchdog_iterations > 0) return options_.watchdog_iterations;
+    const int own_work = static_cast<int>(seq.kept.size()) +
+                         std::max(0, seq.req->max_new_tokens);
+    return 64 + own_work * (2 + options_.max_preemptions_per_seq) +
+           (1 + options_.max_preemptions_per_seq) *
+               options_.max_in_flight * ctx;
+  };
+
   auto admit = [&](SeqRequest& req, std::size_t index) {
     auto seq = std::make_unique<Seq>();
     seq->req = &req;
@@ -136,6 +173,7 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
     seq->observe = obs::enabled();
     if (seq->observe) decode_metrics().generate_calls->inc();
     seq->kept = model_.kept_prompt(req.prompt, req.max_new_tokens);
+    seq->age_bound = watchdog_bound(*seq);
 
     if (req.warm_cache) {
       assert(req.warm_cache->length <=
@@ -148,12 +186,14 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
         // Admission control: only go paged when the arena can cover the
         // sequence's worst case; otherwise fall back to a monolithic
         // cache up front rather than churn through a mid-flight
-        // materialize().
+        // materialize(). An injected allocation failure denies the paged
+        // cache the same way a full arena would.
         const int target = std::min(
             ctx, static_cast<int>(seq->kept.size()) + req.max_new_tokens);
-        const int bs = options_.arena->block_size();
-        const int needed = (target + bs - 1) / bs;
-        if (options_.arena->free_blocks() >= needed) {
+        const int needed = options_.arena->blocks_for_tokens(target);
+        const bool alloc_fault =
+            options_.faults && options_.faults->take_alloc_failure();
+        if (!alloc_fault && options_.arena->free_blocks() >= needed) {
           seq->owned_cache = model_.make_paged_cache(options_.arena);
         } else {
           seq->owned_cache = model_.make_cache();
@@ -183,6 +223,14 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
   // Returns the token to feed this step, or nullopt when the sequence
   // retired (or, transiently, pushed a token into a full context).
   auto select = [&](Seq& seq) -> std::optional<std::int32_t> {
+    if (seq.recomputing()) {
+      // Warm-start recompute of rows released by a preemption: the
+      // decode-loop bookkeeping for these rows already ran before the
+      // preemption, so re-feeding them checks no deadline, draws no RNG,
+      // opens no span — byte-identity to the unpreempted run depends on
+      // exactly this.
+      return seq.token_at(seq.cache->length);
+    }
     if (seq.prefilling) {
       if (seq.req->deadline.expired()) {
         // Mirrors generate()'s early return from inside the prefill
@@ -223,8 +271,10 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
   // Post-step phase: the bookkeeping generate() does after decode_step —
   // counters, span close, prefill completion, loop-exit checks (which
   // generate() evaluates before the next deadline check, so they retire
-  // here rather than in the next select).
+  // here rather than in the next select). Recompute rows were booked
+  // before their preemption and are skipped entirely.
   auto post_step = [&](Seq& seq, double step_ms) {
+    if (seq.cache->length <= seq.recompute_until) return;
     ++seq.status->steps_taken;
     if (seq.prefilling) {
       ++seq.pos;
@@ -243,15 +293,153 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
   };
 
   std::vector<std::unique_ptr<Seq>> live;
+  std::deque<std::unique_ptr<Seq>> requeue;  // preempted, FIFO
   std::vector<Transformer::KvCache*> step_caches;
   std::vector<std::int32_t> step_tokens;
   std::vector<Seq*> step_seqs;
   std::size_t next_pending = 0;
   int step = 0;
 
-  while (next_pending < requests.size() || !live.empty()) {
+  // Blocks the arena appears to have free — zero once an injected
+  // arena-exhaustion step is reached, the real free count otherwise.
+  auto perceived_free = [&]() {
+    if (options_.faults && options_.faults->arena_exhausted_at(step)) return 0;
+    return options_.arena->free_blocks();
+  };
+
+  // Blocks this sequence's next append needs beyond what it holds: a
+  // fresh block at a block boundary, or an exclusive copy when the tail
+  // block is shared with a snapshot (COW).
+  auto step_block_need = [&](const Seq& seq) {
+    if (!seq.cache->paged()) return 0;
+    const int bi = seq.cache->length / options_.arena->block_size();
+    if (bi >= static_cast<int>(seq.cache->block_table.size())) return 1;
+    const std::int32_t block =
+        seq.cache->block_table[static_cast<std::size_t>(bi)];
+    return options_.arena->ref_count(block) > 1 ? 1 : 0;
+  };
+
+  // Blocks a preemption of `seq` could return: everything past the
+  // kept-prefix boundary (the generated tail). The prefilled prompt rows
+  // stay resident — that is the snapshot the sequence resumes from.
+  auto releasable_blocks = [&](const Seq& seq) {
+    if (!seq.cache->paged()) return 0;
+    const int keep =
+        std::min(static_cast<int>(seq.kept.size()), seq.cache->length);
+    return static_cast<int>(seq.cache->block_table.size()) -
+           options_.arena->blocks_for_tokens(keep);
+  };
+
+  auto preempt = [&](Seq& seq) {
+    const int keep =
+        std::min(static_cast<int>(seq.kept.size()), seq.cache->length);
+    const int free_before = options_.arena->free_blocks();
+    // max(): a victim preempted mid-recompute keeps its original restore
+    // target — shrinking it to the partial recompute length would replay
+    // the remaining rows through the normal decode path, re-emitting
+    // tokens the sequence already produced.
+    seq.recompute_until = std::max(seq.recompute_until, seq.cache->length);
+    seq.cache->truncate(keep);  // drops the tail blocks AND the logits;
+                                // the recompute regenerates both
+    const int released = options_.arena->free_blocks() - free_before;
+    const int recompute = seq.recompute_until - keep;
+    ++seq.preemptions;
+    seq.preempt_pending = true;
+    ++last_run_.preemptions;
+    last_run_.preempt_blocks_released += released;
+    last_run_.preempt_recompute_tokens += recompute;
+    if (metrics_.preempted) metrics_.preempted->inc();
+    if (metrics_.preempt_blocks_released && released > 0)
+      metrics_.preempt_blocks_released->inc(
+          static_cast<std::uint64_t>(released));
+    if (metrics_.preempt_recompute_tokens && recompute > 0)
+      metrics_.preempt_recompute_tokens->inc(
+          static_cast<std::uint64_t>(recompute));
+  };
+
+  // KV-pressure check: preempt lowest-progress sequences until the
+  // arena can cover every live sequence's next append. Victims must
+  // actually return blocks and be under their preemption cap; when no
+  // victim qualifies the step proceeds and prepare_append's monolithic
+  // materialization absorbs the (real) shortfall — decoding never fails.
+  auto relieve_pressure = [&]() {
+    if (!options_.arena) return;
+    bool any_preempted = false;
+    while (true) {
+      int needed = 0;
+      for (auto& seq : live)
+        if (!seq->preempt_pending) needed += step_block_need(*seq);
+      if (needed <= perceived_free()) break;
+      Seq* victim = nullptr;
+      for (auto& seq : live) {
+        if (seq->preempt_pending) continue;
+        if (seq->preemptions >= options_.max_preemptions_per_seq) continue;
+        if (releasable_blocks(*seq) <= 0) continue;
+        // Lowest progress loses least recompute work; ties go to the
+        // most recently admitted (later in the live list).
+        if (!victim || seq->out.size() <= victim->out.size())
+          victim = seq.get();
+      }
+      if (!victim) break;
+      preempt(*victim);
+      any_preempted = true;
+    }
+    if (!any_preempted) return;
+    for (auto& seq : live) {
+      if (!seq->preempt_pending) continue;
+      seq->preempt_pending = false;
+      requeue.push_back(std::move(seq));
+    }
+    std::erase_if(live, [](const auto& s) { return s == nullptr; });
+  };
+
+  // Re-admission gate for a preempted sequence: the arena must cover the
+  // recompute target plus one decode row. `force` (nothing else is live)
+  // overrides — the requeue must always be able to make progress.
+  auto fits_requeued = [&](const Seq& seq) {
+    if (!seq.cache->paged()) return true;
+    const int target = std::min(ctx, seq.recompute_until + 1);
+    const int needed = options_.arena->blocks_for_tokens(target) -
+                       static_cast<int>(seq.cache->block_table.size());
+    return needed <= perceived_free();
+  };
+
+  // Watchdog sweep: every admitted-but-unfinished sequence (live or
+  // requeued) ages one iteration; past its bound it is force-retired as
+  // deadline-expired — the guarantee that a wedged batch (stall faults,
+  // pathological requeue waits) still terminates with every request
+  // answered.
+  auto age_and_watchdog = [&](std::unique_ptr<Seq>& seq) {
+    ++seq->age;
+    last_run_.max_seq_age = std::max(last_run_.max_seq_age, seq->age);
+    if (seq->age <= seq->age_bound) return;
+    seq->status->deadline_expired = true;
+    ++last_run_.watchdog_retired;
+    if (metrics_.watchdog_retired) metrics_.watchdog_retired->inc();
+    retire(*seq);
+  };
+
+  while (next_pending < requests.size() || !live.empty() ||
+         !requeue.empty()) {
+    // An injected stall wedges this iteration: admissions still land (so
+    // the watchdog has sequences to age) but nothing decodes.
+    const bool stalled =
+        options_.faults && options_.faults->take_stall_step();
+
     int admissions = 0;
-    while (next_pending < requests.size() &&
+    // Preempted sequences re-admit first — strict priority over new
+    // arrivals, so a victim cannot be starved by fresh traffic grabbing
+    // the blocks it is waiting for. The head re-admits unconditionally
+    // when nothing else is live (forward progress even under injected
+    // exhaustion, where fits_requeued() never passes).
+    while (!requeue.empty() &&
+           static_cast<int>(live.size()) < options_.max_in_flight &&
+           (live.empty() || fits_requeued(*requeue.front()))) {
+      live.push_back(std::move(requeue.front()));
+      requeue.pop_front();
+      ++admissions;
+    }
+    while (requeue.empty() && next_pending < requests.size() &&
            static_cast<int>(live.size()) < options_.max_in_flight &&
            requests[next_pending].arrival_step <= step) {
       auto seq = admit(requests[next_pending], next_pending);
@@ -259,7 +447,7 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
       ++admissions;
       if (!seq->retired) live.push_back(std::move(seq));
     }
-    if (live.empty()) {
+    if (live.empty() && requeue.empty()) {
       if (next_pending >= requests.size()) break;
       // Nothing in flight and the next arrival is in the future: jump
       // straight to it instead of spinning empty iterations.
@@ -271,36 +459,40 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
     if (metrics_.inflight)
       metrics_.inflight->set(static_cast<double>(live.size()));
 
-    step_caches.clear();
-    step_tokens.clear();
-    step_seqs.clear();
-    for (auto& seq : live) {
-      if (auto token = select(*seq)) {
-        step_caches.push_back(seq->cache);
-        step_tokens.push_back(*token);
-        step_seqs.push_back(seq.get());
-      }
-    }
-    std::erase_if(live, [](const auto& s) { return s->retired; });
+    if (!stalled) {
+      relieve_pressure();
 
-    if (!step_seqs.empty()) {
-      const bool observe = obs::enabled();
-      const auto step_start = observe
-                                  ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point{};
-      model_.decode_step_batch(step_caches, step_tokens);
-      const double step_ms =
-          observe ? elapsed_ms_since(step_start) : 0.0;
-      ++last_run_.steps;
-      if (metrics_.steps) metrics_.steps->inc();
-      if (metrics_.batch_width)
-        metrics_.batch_width->observe(
-            static_cast<double>(step_seqs.size()));
-      if (metrics_.admissions_per_step)
-        metrics_.admissions_per_step->observe(
-            static_cast<double>(admissions));
-      for (Seq* seq : step_seqs) post_step(*seq, step_ms);
+      step_caches.clear();
+      step_tokens.clear();
+      step_seqs.clear();
+      for (auto& seq : live) {
+        if (auto token = select(*seq)) {
+          step_caches.push_back(seq->cache);
+          step_tokens.push_back(*token);
+          step_seqs.push_back(seq.get());
+        }
+      }
       std::erase_if(live, [](const auto& s) { return s->retired; });
+
+      if (!step_seqs.empty()) {
+        const bool observe = obs::enabled();
+        const auto step_start =
+            observe ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{};
+        model_.decode_step_batch(step_caches, step_tokens);
+        const double step_ms =
+            observe ? elapsed_ms_since(step_start) : 0.0;
+        ++last_run_.steps;
+        if (metrics_.steps) metrics_.steps->inc();
+        if (metrics_.batch_width)
+          metrics_.batch_width->observe(
+              static_cast<double>(step_seqs.size()));
+        if (metrics_.admissions_per_step)
+          metrics_.admissions_per_step->observe(
+              static_cast<double>(admissions));
+        for (Seq* seq : step_seqs) post_step(*seq, step_ms);
+        std::erase_if(live, [](const auto& s) { return s->retired; });
+      }
     }
     if (options_.arena && (metrics_.blocks_in_use || metrics_.blocks_free)) {
       const auto stats = options_.arena->stats();
@@ -309,6 +501,10 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
       if (metrics_.blocks_free)
         metrics_.blocks_free->set(static_cast<double>(stats.free_blocks));
     }
+    for (auto& seq : live) age_and_watchdog(seq);
+    for (auto& seq : requeue) age_and_watchdog(seq);
+    std::erase_if(live, [](const auto& s) { return s->retired; });
+    std::erase_if(requeue, [](const auto& s) { return s->retired; });
     ++step;
   }
   if (metrics_.inflight) metrics_.inflight->set(0.0);

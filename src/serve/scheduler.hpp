@@ -22,6 +22,20 @@
 // decode_step calls (row-independent kernels). Outputs are therefore
 // byte-equal to per-request sequential serving at any WISDOM_THREADS,
 // with the prefix cache on or off.
+//
+// Overload resilience: when the upcoming step would need more KV blocks
+// than the arena has free, the scheduler preempts the lowest-progress
+// sequence instead of silently materializing monolithic buffers — the
+// generated-tail blocks are released (the prefilled kept-prefix stays
+// resident, exactly the PR 5 truncate-to-shared-span path), and the
+// sequence is requeued; on re-admission the released rows are recomputed
+// as a warm-start (recompute steps consume no deadline checks, RNG draws,
+// or counters, so outputs and statuses stay byte-identical to sequential
+// serving). Preempted sequences re-admit with strict priority over new
+// arrivals, and a per-sequence preemption cap exempts repeat victims, so
+// nothing starves. A check-count watchdog bounds per-sequence residence
+// and force-retires wedged sequences as deadline-expired — the loop
+// terminates for any fault schedule the FaultInjector can produce.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +45,7 @@
 #include "model/transformer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/fault.hpp"
 #include "util/deadline.hpp"
 
 namespace wisdom::model {
@@ -69,6 +84,24 @@ struct SchedulerOptions {
   // Paged-KV arena for sequence caches; borrowed, may be null (sequences
   // then use monolithic caches — still continuously batched).
   model::KvBlockAllocator* arena = nullptr;
+  // KV-pressure preemption: when the upcoming step needs more blocks than
+  // the arena has free, the lowest-progress sequence is preempted — its
+  // generated-tail blocks released (the kept-prefix blocks stay), the
+  // sequence requeued for re-admission with a warm-start recompute of the
+  // released rows. A sequence preempted this many times is exempt from
+  // further preemption (it finishes, materializing monolithically if the
+  // arena is truly exhausted) so repeated victimhood cannot starve it.
+  int max_preemptions_per_seq = 2;
+  // Force-retire (as deadline-expired) any sequence still unfinished
+  // after this many scheduler iterations from its admission — the bound
+  // on per-sequence residence that keeps a wedged batch from spinning
+  // forever. Counted in iterations (check-count discipline, no wall
+  // clocks); <= 0 derives a bound generous enough that fault-free runs —
+  // including preemption-heavy ones on tiny arenas — never trip it.
+  int watchdog_iterations = 0;
+  // Borrowed fault injector driving arena-exhaustion / allocation-failure
+  // / stall injection; nullptr injects nothing.
+  FaultInjector* faults = nullptr;
 };
 
 // Borrowed metric handles (all optional) updated as the loop runs.
@@ -82,6 +115,10 @@ struct SchedulerMetrics {
   obs::Counter* monolithic_fallbacks = nullptr;  // arena full at admit
   obs::Histogram* admissions_per_step = nullptr;
   obs::Histogram* batch_width = nullptr;   // sequences per forward step
+  obs::Counter* preempted = nullptr;       // KV-pressure preemptions
+  obs::Counter* preempt_blocks_released = nullptr;
+  obs::Counter* preempt_recompute_tokens = nullptr;
+  obs::Counter* watchdog_retired = nullptr;
 };
 
 struct SchedulerRunStats {
@@ -89,6 +126,11 @@ struct SchedulerRunStats {
   int admitted = 0;          // sequences admitted (== requests)
   int peak_in_flight = 0;
   int monolithic_fallbacks = 0;  // sequences denied a paged cache
+  int preemptions = 0;           // KV-pressure preemption events
+  int preempt_blocks_released = 0;  // blocks returned by preemptions
+  int preempt_recompute_tokens = 0;  // rows re-fed by warm-start resumes
+  int watchdog_retired = 0;      // sequences force-retired by the watchdog
+  int max_seq_age = 0;           // longest per-sequence residence (iters)
 };
 
 class ContinuousScheduler {

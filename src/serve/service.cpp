@@ -33,6 +33,8 @@ std::string_view service_error_name(ServiceError error) {
     case ServiceError::DeadlineExceeded: return "deadline-exceeded";
     case ServiceError::GenerateFailed: return "generate-failed";
     case ServiceError::LintRejected: return "lint-rejected";
+    case ServiceError::CircuitOpen: return "circuit-open";
+    case ServiceError::Draining: return "draining";
   }
   return "none";
 }
@@ -41,7 +43,8 @@ bool service_error_from_name(std::string_view name, ServiceError* out) {
   for (ServiceError e :
        {ServiceError::None, ServiceError::InvalidRequest,
         ServiceError::Overloaded, ServiceError::DeadlineExceeded,
-        ServiceError::GenerateFailed, ServiceError::LintRejected}) {
+        ServiceError::GenerateFailed, ServiceError::LintRejected,
+        ServiceError::CircuitOpen, ServiceError::Draining}) {
     if (service_error_name(e) == name) {
       *out = e;
       return true;
@@ -51,7 +54,11 @@ bool service_error_from_name(std::string_view name, ServiceError* out) {
 }
 
 bool is_transient(ServiceError error) {
-  return error == ServiceError::Overloaded;
+  // Overloaded clears when the queue drains; CircuitOpen clears when the
+  // breaker's cooldown elapses and probes succeed. Draining never clears —
+  // the service is going away, so clients must fail over, not retry.
+  return error == ServiceError::Overloaded ||
+         error == ServiceError::CircuitOpen;
 }
 
 double ServiceStats::percentile_latency_ms(double p) const {
@@ -222,6 +229,60 @@ InferenceService::InferenceService(const model::Transformer& model,
   h_.sched_batch_width = &registry_.histogram(
       "wisdom_sched_batch_width", {},
       "Sequences per batched forward step.");
+  // Overload-resilience families: preemption, breaker, drain. Registered
+  // unconditionally (like every family above) so the exposition and the
+  // CI smoke grep see them at 0 whatever the configuration.
+  h_.sched_preempted = &registry_.counter(
+      "wisdom_sched_preempt_total",
+      "Sequences preempted by KV-block pressure (requeued for resume).");
+  h_.sched_preempt_blocks = &registry_.counter(
+      "wisdom_sched_preempt_blocks_released_total",
+      "KV blocks returned to the arena by preemptions.");
+  h_.sched_preempt_recompute = &registry_.counter(
+      "wisdom_sched_preempt_recompute_tokens_total",
+      "KV rows re-fed by warm-start resumes of preempted sequences.");
+  h_.sched_watchdog_retired = &registry_.counter(
+      "wisdom_sched_watchdog_retired_total",
+      "Wedged sequences force-retired (deadline-expired) by the watchdog.");
+  h_.breaker_state = &registry_.gauge(
+      "wisdom_breaker_state",
+      "Circuit-breaker state: 0 closed, 1 open, 2 half-open.");
+  h_.breaker_opened = &registry_.counter(
+      "wisdom_breaker_opened_total",
+      "Times the breaker tripped open on window failure rate.");
+  h_.breaker_closed = &registry_.counter(
+      "wisdom_breaker_closed_total",
+      "Times a successful probe cycle closed the breaker.");
+  h_.breaker_short_circuit = &registry_.counter(
+      "wisdom_breaker_short_circuit_total",
+      "Arrivals answered from the fallback by the open breaker.");
+  h_.breaker_probes = &registry_.counter(
+      "wisdom_breaker_probes_total",
+      "Probe requests admitted while half-open.");
+  h_.breaker_failures = &registry_.counter(
+      "wisdom_breaker_failures_recorded_total",
+      "Failure outcomes recorded into the breaker window.");
+  h_.drain_state = &registry_.gauge(
+      "wisdom_drain_state",
+      "Service lifecycle: 0 accepting, 1 draining, 2 stopped.");
+  h_.drain_rejected = &registry_.counter(
+      "wisdom_drain_rejected_total",
+      "Arrivals refused because the service was draining or stopped.");
+  h_.drain_completed = &registry_.counter(
+      "wisdom_drain_completed_total",
+      "Completed drains (in-flight ran dry after begin_drain).");
+
+  if (options_.breaker_enabled) {
+    BreakerMetrics breaker_metrics;
+    breaker_metrics.state = h_.breaker_state;
+    breaker_metrics.opened = h_.breaker_opened;
+    breaker_metrics.closed = h_.breaker_closed;
+    breaker_metrics.short_circuited = h_.breaker_short_circuit;
+    breaker_metrics.probes = h_.breaker_probes;
+    breaker_metrics.failures_recorded = h_.breaker_failures;
+    breaker_ =
+        std::make_unique<CircuitBreaker>(options_.breaker, breaker_metrics);
+  }
 
   if (options_.continuous_batching) {
     if (options_.max_batch_sequences < 1) options_.max_batch_sequences = 1;
@@ -236,6 +297,9 @@ InferenceService::InferenceService(const model::Transformer& model,
     SchedulerOptions sched_options;
     sched_options.max_in_flight = options_.max_batch_sequences;
     sched_options.arena = arena_.get();
+    sched_options.max_preemptions_per_seq = options_.max_preemptions_per_seq;
+    sched_options.watchdog_iterations = options_.watchdog_iterations;
+    sched_options.faults = options_.faults;
     SchedulerMetrics sched_metrics;
     sched_metrics.inflight = h_.sched_inflight;
     sched_metrics.blocks_in_use = h_.kv_blocks_in_use;
@@ -246,6 +310,10 @@ InferenceService::InferenceService(const model::Transformer& model,
     sched_metrics.monolithic_fallbacks = h_.sched_monolithic_fallback;
     sched_metrics.admissions_per_step = h_.sched_admissions_per_step;
     sched_metrics.batch_width = h_.sched_batch_width;
+    sched_metrics.preempted = h_.sched_preempted;
+    sched_metrics.preempt_blocks_released = h_.sched_preempt_blocks;
+    sched_metrics.preempt_recompute_tokens = h_.sched_preempt_recompute;
+    sched_metrics.watchdog_retired = h_.sched_watchdog_retired;
     scheduler_ = std::make_unique<ContinuousScheduler>(model_, sched_options,
                                                        sched_metrics);
   }
@@ -537,6 +605,36 @@ SuggestionResponse InferenceService::run_shed(
   return response;
 }
 
+SuggestionResponse InferenceService::run_short_circuit(
+    const SuggestionRequest& request, obs::TraceContext& trace) const {
+  auto start = std::chrono::steady_clock::now();
+  SuggestionResponse response;
+  response.error = ServiceError::CircuitOpen;
+  // The whole point of the open breaker: answer immediately from the
+  // deterministic fallback without spending a queue slot or decode budget
+  // on a backend that is currently failing.
+  if (options_.fallback_enabled && !request.prompt.empty() &&
+      request.indent >= 0) {
+    apply_fallback(request, trace, &response);
+  }
+  response.latency_ms = elapsed_ms(start);
+  return response;
+}
+
+void InferenceService::breaker_record(const SuggestionResponse& response) {
+  if (!breaker_) return;
+  // Failures are the outcomes that predict the next request will also
+  // burn budget for nothing: deadline misses, model failures, shedding.
+  // Client errors (invalid request) and lint rejections say nothing about
+  // backend health. An armed poison_breaker fault overrides the verdict.
+  bool failure = response.error == ServiceError::DeadlineExceeded ||
+                 response.error == ServiceError::GenerateFailed ||
+                 response.error == ServiceError::Overloaded;
+  if (options_.faults && options_.faults->take_breaker_poison())
+    failure = true;
+  breaker_->record(failure);
+}
+
 void InferenceService::observe_stages(const obs::Trace& trace) const {
   for (const obs::Span& span : trace.spans) {
     obs::Histogram* histogram = nullptr;
@@ -553,7 +651,7 @@ void InferenceService::observe_stages(const obs::Trace& trace) const {
 }
 
 SuggestionResponse InferenceService::serve_traced(
-    const SuggestionRequest& request, bool admitted,
+    const SuggestionRequest& request, ServePath path,
     std::uint64_t seq) const {
   // Every request is traced when observability is enabled; the caller's
   // sink (if any) keeps the timeline, otherwise a local one feeds the
@@ -571,7 +669,13 @@ SuggestionResponse InferenceService::serve_traced(
       // documents the stage at its true sub-microsecond cost.
       auto admission_span = trace.span("admission");
     }
-    response = admitted ? run_one(request, trace) : run_shed(request, trace);
+    switch (path) {
+      case ServePath::Full: response = run_one(request, trace); break;
+      case ServePath::Shed: response = run_shed(request, trace); break;
+      case ServePath::ShortCircuit:
+        response = run_short_circuit(request, trace);
+        break;
+    }
   }
   if (trace.active()) {
     response.trace_id =
@@ -594,17 +698,99 @@ void InferenceService::record_response(const SuggestionResponse& response) {
   latencies_ms_.push_back(response.latency_ms);
 }
 
+bool InferenceService::enter_serving() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (lifecycle_ != State::Accepting) return false;
+  ++serving_calls_;
+  return true;
+}
+
+void InferenceService::exit_serving() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  --serving_calls_;
+  if (serving_calls_ == 0 && lifecycle_ != State::Accepting)
+    lifecycle_cv_.notify_all();
+}
+
+SuggestionResponse InferenceService::drain_refusal() {
+  // A typed refusal, not a degraded answer: the service is going away,
+  // so handing out a fallback snippet would invite the client to keep
+  // sending traffic here instead of failing over.
+  SuggestionResponse response;
+  response.error = ServiceError::Draining;
+  h_.offered->inc();
+  h_.drain_rejected->inc();
+  return response;
+}
+
+InferenceService::State InferenceService::state() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return lifecycle_;
+}
+
+void InferenceService::begin_drain() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (lifecycle_ != State::Accepting) return;
+  lifecycle_ = State::Draining;
+  h_.drain_state->set(static_cast<double>(State::Draining));
+}
+
+std::string InferenceService::drain() {
+  begin_drain();
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    lifecycle_cv_.wait(lock, [&] { return serving_calls_ == 0; });
+    if (lifecycle_ != State::Stopped) {
+      lifecycle_ = State::Stopped;
+      h_.drain_state->set(static_cast<double>(State::Stopped));
+      h_.drain_completed->inc();
+    }
+  }
+  // Final metrics flush: in-flight is zero by construction, and the
+  // returned exposition is the complete last word on this service's
+  // counters — scrape it once before tearing the process down.
+  h_.inflight->set(0.0);
+  return registry_.expose_prometheus();
+}
+
+CircuitBreaker::Stats InferenceService::breaker_stats() const {
+  return breaker_ ? breaker_->stats() : CircuitBreaker::Stats{};
+}
+
 SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
-  const bool admitted = try_admit();
+  if (!enter_serving()) return drain_refusal();
+  SuggestionResponse response = suggest_serving(request);
+  exit_serving();
+  return response;
+}
+
+SuggestionResponse InferenceService::suggest_serving(
+    const SuggestionRequest& request) {
+  const CircuitBreaker::Admission gate =
+      breaker_ ? breaker_->admit() : CircuitBreaker::Admission::Allow;
   const std::uint64_t seq =
       trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (gate == CircuitBreaker::Admission::ShortCircuit) {
+    // Short-circuited arrivals never touch the queue or the model, and
+    // their outcome is NOT recorded into the breaker window — refusing
+    // traffic must not look like the backend failing harder.
+    SuggestionResponse response =
+        serve_traced(request, ServePath::ShortCircuit, seq);
+    h_.offered->inc();
+    record_response(response);
+    h_.wall_ms->add(response.latency_ms);
+    return response;
+  }
+  const bool admitted = try_admit();
   if (obs::enabled())
     h_.inflight->set(static_cast<double>(queue_.in_flight()));
-  SuggestionResponse response = serve_traced(request, admitted, seq);
+  SuggestionResponse response = serve_traced(
+      request, admitted ? ServePath::Full : ServePath::Shed, seq);
   if (admitted) queue_.release();
   if (obs::enabled())
     h_.inflight->set(static_cast<double>(queue_.in_flight()));
 
+  breaker_record(response);
   h_.offered->inc();
   if (!admitted) {
     h_.shed->inc();
@@ -622,9 +808,19 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch_continuous(
   std::lock_guard<std::mutex> batch_lock(batch_mu_);
   auto start = std::chrono::steady_clock::now();
   const std::size_t n = requests.size();
-  // Admission in arrival order, exactly like the request-level path.
+  // Admission in arrival order, exactly like the request-level path:
+  // breaker gate first (a short-circuited arrival never consumes a queue
+  // slot), then the bounded queue.
+  std::vector<CircuitBreaker::Admission> gate(
+      n, CircuitBreaker::Admission::Allow);
   std::vector<char> admitted(n, 0);
-  for (std::size_t i = 0; i < n; ++i) admitted[i] = try_admit() ? 1 : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (breaker_) gate[i] = breaker_->admit();
+    admitted[i] = gate[i] != CircuitBreaker::Admission::ShortCircuit &&
+                          try_admit()
+                      ? 1
+                      : 0;
+  }
   const std::uint64_t base_seq = trace_seq_.fetch_add(
       static_cast<std::uint64_t>(n), std::memory_order_relaxed);
   if (obs::enabled())
@@ -657,7 +853,10 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch_continuous(
     {
       auto admission_span = slot.trace->span("admission");
     }
-    if (!admitted[i]) {
+    if (gate[i] == CircuitBreaker::Admission::ShortCircuit) {
+      slot.prep.response = run_short_circuit(request, *slot.trace);
+      slot.prep.done = true;
+    } else if (!admitted[i]) {
       slot.prep.response = run_shed(request, *slot.trace);
       slot.prep.done = true;
     } else {
@@ -723,6 +922,11 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch_continuous(
 
   for (std::size_t i = 0; i < n; ++i) {
     h_.offered->inc();
+    if (gate[i] == CircuitBreaker::Admission::ShortCircuit) {
+      record_response(responses[i]);
+      continue;
+    }
+    breaker_record(responses[i]);
     if (!admitted[i]) {
       h_.shed->inc();
       if (options_.shed_policy == ShedPolicy::RejectNewest) continue;
@@ -735,14 +939,35 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch_continuous(
 
 std::vector<SuggestionResponse> InferenceService::suggest_batch(
     const std::vector<SuggestionRequest>& requests) {
-  if (scheduler_) return suggest_batch_continuous(requests);
+  if (!enter_serving()) {
+    std::vector<SuggestionResponse> refused(requests.size());
+    for (auto& response : refused) response = drain_refusal();
+    return refused;
+  }
+  std::vector<SuggestionResponse> responses =
+      scheduler_ ? suggest_batch_continuous(requests)
+                 : suggest_batch_pooled(requests);
+  exit_serving();
+  return responses;
+}
+
+std::vector<SuggestionResponse> InferenceService::suggest_batch_pooled(
+    const std::vector<SuggestionRequest>& requests) {
   auto start = std::chrono::steady_clock::now();
   const std::size_t n = requests.size();
   // Admission in arrival order, before the fan-out: with capacity C on an
   // otherwise idle service exactly the first C requests are admitted —
   // deterministic reject-newest. Trace ids are sequenced the same way.
+  std::vector<CircuitBreaker::Admission> gate(
+      n, CircuitBreaker::Admission::Allow);
   std::vector<char> admitted(n, 0);
-  for (std::size_t i = 0; i < n; ++i) admitted[i] = try_admit() ? 1 : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (breaker_) gate[i] = breaker_->admit();
+    admitted[i] = gate[i] != CircuitBreaker::Admission::ShortCircuit &&
+                          try_admit()
+                      ? 1
+                      : 0;
+  }
   const std::uint64_t base_seq = trace_seq_.fetch_add(
       static_cast<std::uint64_t>(n), std::memory_order_relaxed);
   if (obs::enabled())
@@ -754,7 +979,11 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch(
       [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i) {
           std::size_t j = static_cast<std::size_t>(i);
-          responses[j] = serve_traced(requests[j], admitted[j] != 0,
+          const ServePath path =
+              gate[j] == CircuitBreaker::Admission::ShortCircuit
+                  ? ServePath::ShortCircuit
+                  : (admitted[j] != 0 ? ServePath::Full : ServePath::Shed);
+          responses[j] = serve_traced(requests[j], path,
                                       base_seq + static_cast<std::uint64_t>(j));
         }
       });
@@ -766,6 +995,11 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch(
 
   for (std::size_t i = 0; i < n; ++i) {
     h_.offered->inc();
+    if (gate[i] == CircuitBreaker::Admission::ShortCircuit) {
+      record_response(responses[i]);
+      continue;
+    }
+    breaker_record(responses[i]);
     if (!admitted[i]) {
       h_.shed->inc();
       if (options_.shed_policy == ShedPolicy::RejectNewest) continue;
@@ -802,6 +1036,8 @@ void InferenceService::refresh_stats_locked() const {
   stats_.accepted = h_.accepted->value();
   stats_.rejected = h_.rejected->value();
   stats_.generated_tokens = h_.generated_tokens->value();
+  stats_.short_circuited = h_.breaker_short_circuit->value();
+  stats_.drain_rejected = h_.drain_rejected->value();
   stats_.total_latency_ms = h_.request_ms->sum();
   stats_.total_wall_ms = h_.wall_ms->value();
   stats_.latencies_ms = latencies_ms_;

@@ -52,6 +52,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,6 +66,7 @@
 #include "model/transformer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/breaker.hpp"
 #include "serve/fallback.hpp"
 #include "serve/fault.hpp"
 #include "serve/lint_gate.hpp"
@@ -125,6 +127,20 @@ struct ServiceOptions {
   // arena is exhausted, sequences fall back to monolithic caches —
   // serving never fails for lack of blocks.
   int kv_arena_blocks = 0;
+  // --- overload resilience ------------------------------------------------
+  // KV-pressure preemption cap: a sequence preempted this many times is
+  // exempt from further preemption (see SchedulerOptions).
+  int max_preemptions_per_seq = 2;
+  // Scheduler watchdog bound in iterations; <= 0 derives one (see
+  // SchedulerOptions::watchdog_iterations).
+  int watchdog_iterations = 0;
+  // Admission circuit breaker: past a rolling-window failure-rate
+  // threshold, arrivals short-circuit to the deterministic fallback with
+  // ServiceError::CircuitOpen instead of burning decode budget against a
+  // failing backend; after a cooldown, probe requests test recovery. Off
+  // by default (seed behaviour preserved exactly).
+  bool breaker_enabled = false;
+  BreakerOptions breaker;
 };
 
 // Snapshot of the service's counters, derived from its metrics registry.
@@ -142,6 +158,10 @@ struct ServiceStats {
   std::uint64_t degraded = 0;
   // Requests whose decode hit its deadline.
   std::uint64_t deadline_expired = 0;
+  // Arrivals answered from the fallback by the open circuit breaker.
+  std::uint64_t short_circuited = 0;
+  // Arrivals refused because the service was draining or stopped.
+  std::uint64_t drain_rejected = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t generated_tokens = 0;
@@ -208,6 +228,24 @@ class InferenceService {
   // request individually but the batch's wall time once.
   std::vector<SuggestionResponse> suggest_batch(
       const std::vector<SuggestionRequest>& requests);
+
+  // --- lifecycle (graceful drain) -----------------------------------------
+  // accepting -> draining -> stopped. While accepting, everything serves
+  // normally. begin_drain() stops admitting: new arrivals get a typed
+  // ok=false ServiceError::Draining refusal (no fallback — clients must
+  // fail over, not retry) while requests already in flight run to
+  // completion or deadline. drain() blocks until the in-flight count hits
+  // zero, transitions to stopped, and returns the final Prometheus
+  // exposition — the metrics flush a supervisor scrapes once before
+  // tearing the process down.
+  enum class State : std::uint8_t { Accepting = 0, Draining = 1, Stopped = 2 };
+  State state() const;
+  void begin_drain();
+  std::string drain();
+
+  // The breaker's current state/window snapshot; a default (Closed,
+  // all-zero) snapshot when the breaker is disabled.
+  CircuitBreaker::Stats breaker_stats() const;
 
   // The plugin's accept/reject feedback ("hit tab ... or escape").
   void record_accept();
@@ -301,6 +339,22 @@ class InferenceService {
     obs::Counter* sched_monolithic_fallback = nullptr;
     obs::Histogram* sched_admissions_per_step = nullptr;
     obs::Histogram* sched_batch_width = nullptr;
+    // Overload-resilience families (wisdom_sched_preempt_* /
+    // wisdom_breaker_* / wisdom_drain_*). Registered unconditionally so
+    // they are scrapeable at 0 whatever the configuration.
+    obs::Counter* sched_preempted = nullptr;
+    obs::Counter* sched_preempt_blocks = nullptr;
+    obs::Counter* sched_preempt_recompute = nullptr;
+    obs::Counter* sched_watchdog_retired = nullptr;
+    obs::Gauge* breaker_state = nullptr;
+    obs::Counter* breaker_opened = nullptr;
+    obs::Counter* breaker_closed = nullptr;
+    obs::Counter* breaker_short_circuit = nullptr;
+    obs::Counter* breaker_probes = nullptr;
+    obs::Counter* breaker_failures = nullptr;
+    obs::Gauge* drain_state = nullptr;
+    obs::Counter* drain_rejected = nullptr;
+    obs::Counter* drain_completed = nullptr;
   };
 
   // State carried between pre_generate() and post_generate(): everything
@@ -321,12 +375,17 @@ class InferenceService {
     bool done = false;  // response finalized without generation
   };
 
+  // Which pipeline a request takes after admission decisions: the full
+  // model path, the shed path (queue refusal), or the breaker's
+  // short-circuit (open circuit, fallback-only).
+  enum class ServePath : std::uint8_t { Full, Shed, ShortCircuit };
+
   bool try_admit();
   util::Deadline request_deadline(const SuggestionRequest& request) const;
-  // Serves one request (admitted or shed path), recording spans into
-  // `trace` and finalizing trace_id/server_timing_ms on the response.
+  // Serves one request down `path`, recording spans into the trace and
+  // finalizing trace_id/server_timing_ms on the response.
   SuggestionResponse serve_traced(const SuggestionRequest& request,
-                                  bool admitted, std::uint64_t seq) const;
+                                  ServePath path, std::uint64_t seq) const;
   SuggestionResponse run_one(const SuggestionRequest& request,
                              obs::TraceContext& trace) const;
   // run_one() split at the generate call, so the continuous batcher can
@@ -346,6 +405,25 @@ class InferenceService {
   // under DegradeNewest, a fallback suggestion.
   SuggestionResponse run_shed(const SuggestionRequest& request,
                               obs::TraceContext& trace) const;
+  // Response for an arrival the open breaker short-circuited: the
+  // deterministic fallback (when enabled) with ServiceError::CircuitOpen.
+  SuggestionResponse run_short_circuit(const SuggestionRequest& request,
+                                       obs::TraceContext& trace) const;
+  // Feeds one served outcome into the breaker's rolling window (deadline
+  // miss / generate failure / shed count as failures; an armed
+  // poison_breaker fault forces a failure regardless). No-op when the
+  // breaker is disabled.
+  void breaker_record(const SuggestionResponse& response);
+  // Lifecycle gate: registers one in-flight serving call; false when the
+  // service is draining or stopped (the caller must refuse the request).
+  bool enter_serving();
+  void exit_serving();
+  // The typed refusal drained/stopped services answer with.
+  SuggestionResponse drain_refusal();
+  // suggest()/suggest_batch() bodies once past the lifecycle gate.
+  SuggestionResponse suggest_serving(const SuggestionRequest& request);
+  std::vector<SuggestionResponse> suggest_batch_pooled(
+      const std::vector<SuggestionRequest>& requests);
   // Fills `response` from the fallback suggester (degraded path).
   void apply_fallback(const SuggestionRequest& request,
                       obs::TraceContext& trace,
@@ -385,6 +463,15 @@ class InferenceService {
   // serving thread.
   std::unique_ptr<PrefixKvCache> prefix_cache_;
   std::unique_ptr<ResponseCache> response_cache_;
+  // Null when breaker_enabled is off (admission skips it entirely).
+  std::unique_ptr<CircuitBreaker> breaker_;
+  // Lifecycle: state transitions and the in-flight serving count drain()
+  // waits on. A plain int under the mutex (not an atomic) so the
+  // condition-variable wait has no lost-wakeup window.
+  mutable std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  State lifecycle_ = State::Accepting;
+  int serving_calls_ = 0;
   obs::MetricsRegistry registry_;
   Handles h_;
   std::atomic<std::uint64_t> trace_seq_{0};

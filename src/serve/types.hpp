@@ -15,9 +15,9 @@
 
 namespace wisdom::serve {
 
-// Why a request was not served normally. Overloaded is the only transient
-// error (retrying after backoff can succeed); the rest are terminal for
-// the request that produced them.
+// Why a request was not served normally. Overloaded and CircuitOpen are
+// the transient errors (retrying after backoff can succeed); the rest are
+// terminal for the request that produced them.
 enum class ServiceError : std::uint8_t {
   None = 0,
   InvalidRequest,    // empty prompt, negative indent
@@ -25,6 +25,8 @@ enum class ServiceError : std::uint8_t {
   DeadlineExceeded,  // decode cut off by the request deadline
   GenerateFailed,    // model failure (fault-injected or real)
   LintRejected,      // RejectDegraded policy: errors survived repair
+  CircuitOpen,       // short-circuited by the admission circuit breaker
+  Draining,          // refused: the service is draining or stopped
 };
 
 std::string_view service_error_name(ServiceError error);

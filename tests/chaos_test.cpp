@@ -1,0 +1,360 @@
+// Seeded chaos harness for the overload-resilient serving stack.
+//
+// Every test derives its schedule from WISDOM_CHAOS_SEED (default 101; CI
+// loops a fixed seed set in release and TSan builds), then randomizes the
+// workload shape and the fault schedule — arena size, in-flight caps,
+// prompt/budget mix, injected arena exhaustion, allocation failures,
+// scheduler stalls, generate failures, breaker poisoning — and checks the
+// invariants that must hold under ANY schedule:
+//
+//   * the run terminates and yields exactly one terminal result per
+//     request (a response with ok=true or a typed error; at the scheduler
+//     level, a retired status per sequence),
+//   * the paged-KV arena is fully freed afterwards (no leaked blocks,
+//     preempted-and-resumed sequences included),
+//   * no sequence outlives the watchdog bound by more than the retiring
+//     iteration,
+//   * fault schedules that do not wedge the scheduler stay byte-identical
+//     to sequential generate() — preemption, requeue, monolithic fallback
+//     and finite stalls are placement decisions, never output decisions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/kv_block.hpp"
+#include "model/transformer.hpp"
+#include "nn/ops.hpp"
+#include "serve/fault.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/service.hpp"
+#include "text/bpe.hpp"
+#include "util/deadline.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nn = wisdom::nn;
+namespace wm = wisdom::model;
+namespace ws = wisdom::serve;
+namespace wt = wisdom::text;
+using wisdom::util::Deadline;
+using wisdom::util::Rng;
+using wisdom::util::ThreadPool;
+
+namespace {
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("WISDOM_CHAOS_SEED");
+  if (env != nullptr && *env != '\0')
+    return std::strtoull(env, nullptr, 10);
+  return 101;
+}
+
+wm::ModelConfig tiny_config() {
+  wm::ModelConfig cfg;
+  cfg.vocab = 96;
+  cfg.ctx = 48;
+  cfg.d_model = 24;
+  cfg.n_head = 2;
+  cfg.n_layer = 2;
+  cfg.d_ff = 48;
+  return cfg;
+}
+
+// Forces every kernel through the pool (threshold 0) while alive, so the
+// cross-thread parity test actually exercises parallel kernels on the
+// tiny model.
+struct ForceParallel {
+  std::size_t saved = nn::parallel_threshold();
+  ForceParallel() { nn::set_parallel_threshold(0); }
+  ~ForceParallel() { nn::set_parallel_threshold(saved); }
+};
+
+std::vector<std::int32_t> random_prompt(Rng& rng, int min_len, int max_len,
+                                        std::int32_t vocab) {
+  std::vector<std::int32_t> prompt(
+      static_cast<std::size_t>(rng.uniform_int(min_len, max_len)));
+  for (auto& t : prompt)
+    t = static_cast<std::int32_t>(
+        rng.uniform(static_cast<std::uint64_t>(vocab)));
+  return prompt;
+}
+
+struct Reference {
+  std::vector<std::int32_t> tokens;
+  wm::Transformer::GenerateStatus status;
+};
+
+Reference run_reference(const wm::Transformer& model,
+                        const std::vector<std::int32_t>& prompt, int max_new,
+                        std::int32_t stop, float temperature, int top_k,
+                        std::uint64_t seed, std::int64_t deadline_checks) {
+  Reference ref;
+  wm::Transformer::GenerateOptions gen;
+  gen.max_new_tokens = max_new;
+  gen.stop_token = stop;
+  gen.temperature = temperature;
+  gen.top_k = top_k;
+  gen.sample_seed = seed;
+  if (deadline_checks >= 0)
+    gen.deadline = Deadline::after_checks(deadline_checks);
+  gen.status = &ref.status;
+  ref.tokens = model.generate(prompt, gen);
+  return ref;
+}
+
+}  // namespace
+
+// --- scheduler-level chaos -------------------------------------------------
+
+TEST(ChaosScheduler, SeededFaultSchedulesUpholdInvariants) {
+  const std::uint64_t seed = chaos_seed();
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::Transformer model(cfg, 17);
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    Rng rng(seed * 7919 + round);
+    wm::KvBlockAllocator arena(static_cast<int>(rng.uniform_int(6, 32)), 4,
+                               cfg.n_layer, cfg.d_model);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    ws::FaultInjector faults;
+    // ~1 round in 5 wedges the scheduler outright; the rest draw a random
+    // mix of identity-preserving faults.
+    const bool wedged = rng.chance(0.2);
+    if (wedged) {
+      faults.set_stall_steps(-1);
+    } else {
+      if (rng.chance(0.5))
+        faults.set_arena_exhaust_at_step(rng.uniform_int(0, 12));
+      if (rng.chance(0.4)) faults.set_fail_alloc(rng.uniform_int(1, 3));
+      if (rng.chance(0.4)) faults.set_stall_steps(rng.uniform_int(1, 5));
+    }
+    // Wedged rounds need a tight bound so the test stays fast; live rounds
+    // get one no healthy sequence can reach (byte-identity below would
+    // expose a spurious retirement anyway).
+    const int bound = wedged ? 12 : 2000;
+
+    std::vector<ws::SeqRequest> requests(n);
+    std::vector<Reference> expected;
+    std::vector<wm::Transformer::GenerateStatus> statuses(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ws::SeqRequest& req = requests[i];
+      req.prompt = random_prompt(rng, 1, 20, cfg.vocab);
+      req.max_new_tokens = static_cast<int>(rng.uniform_int(1, 10));
+      req.stop_token = rng.chance(0.3) ? 7 : -1;
+      req.arrival_step = static_cast<int>(rng.uniform_int(0, 12));
+      req.status = &statuses[i];
+      if (rng.chance(0.3)) {
+        req.temperature = 0.8f;
+        req.top_k = 5;
+        req.sample_seed = 1000 + i;
+      }
+      const std::int64_t budget =
+          rng.chance(0.3) ? rng.uniform_int(0, 30) : -1;
+      if (budget >= 0) req.deadline = Deadline::after_checks(budget);
+      expected.push_back(run_reference(model, req.prompt, req.max_new_tokens,
+                                       req.stop_token, req.temperature,
+                                       req.top_k, req.sample_seed, budget));
+    }
+    ws::SchedulerOptions options;
+    options.max_in_flight = static_cast<int>(rng.uniform_int(1, 4));
+    options.arena = &arena;
+    options.faults = &faults;
+    options.watchdog_iterations = bound;
+    options.max_preemptions_per_seq = static_cast<int>(rng.uniform_int(1, 3));
+    ws::ContinuousScheduler scheduler(model, options);
+
+    const auto outs = scheduler.run(requests);  // must terminate
+    ASSERT_EQ(outs.size(), n) << "round " << round << " seed " << seed;
+    const ws::SchedulerRunStats& stats = scheduler.last_run();
+    if (wedged) {
+      // Nothing ever decodes; the watchdog retires every admitted
+      // sequence as deadline-expired with an empty output.
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(outs[i].empty())
+            << "round " << round << " request " << i << " seed " << seed;
+        EXPECT_TRUE(statuses[i].deadline_expired)
+            << "round " << round << " request " << i << " seed " << seed;
+      }
+      EXPECT_EQ(stats.watchdog_retired, static_cast<int>(n))
+          << "round " << round << " seed " << seed;
+    } else {
+      // Every non-wedging fault is a placement decision: outputs, step
+      // counts and deadline outcomes are byte-identical to sequential
+      // generate().
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(outs[i], expected[i].tokens)
+            << "round " << round << " request " << i << " seed " << seed;
+        EXPECT_EQ(statuses[i].steps_taken, expected[i].status.steps_taken)
+            << "round " << round << " request " << i << " seed " << seed;
+        EXPECT_EQ(statuses[i].deadline_expired,
+                  expected[i].status.deadline_expired)
+            << "round " << round << " request " << i << " seed " << seed;
+      }
+      EXPECT_EQ(stats.watchdog_retired, 0)
+          << "round " << round << " seed " << seed;
+    }
+    // No sequence outlived its bound by more than the retiring iteration.
+    EXPECT_LE(stats.max_seq_age, bound + 1)
+        << "round " << round << " seed " << seed;
+    // Every block came back, preempted-and-resumed sequences included.
+    EXPECT_EQ(arena.free_blocks(), arena.capacity())
+        << "round " << round << " seed " << seed;
+  }
+}
+
+// --- cross-thread parity under preemption pressure -------------------------
+
+TEST(ChaosParity, FaultFreePreemptingRunsMatchSequentialAcrossThreads) {
+  const std::uint64_t seed = chaos_seed();
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::Transformer model(cfg, 17);
+  ForceParallel force;
+
+  // Greedy and sampling sequences mixed; the arena is sized between one
+  // sequence's worst case (7 blocks) and the in-flight pair's (14), so
+  // admission passes and preemption must fire mid-flight.
+  Rng rng(seed * 104729);
+  std::vector<ws::SeqRequest> requests(4);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ws::SeqRequest& req = requests[i];
+    req.prompt = random_prompt(rng, 8, 8, cfg.vocab);
+    req.max_new_tokens = 20;
+    if (i % 2 == 1) {
+      req.temperature = 0.7f;
+      req.top_k = 6;
+      req.sample_seed = 500 + i;
+    }
+  }
+
+  std::vector<std::vector<std::vector<std::int32_t>>> per_thread_outs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<Reference> expected;
+    for (const auto& req : requests)
+      expected.push_back(run_reference(model, req.prompt, req.max_new_tokens,
+                                       -1, req.temperature, req.top_k,
+                                       req.sample_seed, -1));
+    wm::KvBlockAllocator arena(10, 4, cfg.n_layer, cfg.d_model);
+    ws::SchedulerOptions options;
+    options.max_in_flight = 2;
+    options.arena = &arena;
+    ws::ContinuousScheduler scheduler(model, options);
+    const auto outs = scheduler.run(requests);
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      EXPECT_EQ(outs[i], expected[i].tokens)
+          << "threads " << threads << " request " << i << " seed " << seed;
+    EXPECT_GT(scheduler.last_run().preemptions, 0) << "threads " << threads;
+    EXPECT_EQ(arena.free_blocks(), arena.capacity())
+        << "threads " << threads;
+    per_thread_outs.push_back(outs);
+  }
+  ThreadPool::set_global_threads(0);
+  // The kernels are bit-identical at any thread count, so the scheduler's
+  // outputs must agree across thread counts too.
+  ASSERT_EQ(per_thread_outs.size(), 2u);
+  EXPECT_EQ(per_thread_outs[0], per_thread_outs[1]);
+}
+
+// --- service-level chaos ---------------------------------------------------
+
+namespace {
+
+wt::BpeTokenizer serving_tokenizer() {
+  return wt::BpeTokenizer::train(
+      "- name: Install nginx\n  ansible.builtin.apt:\n"
+      "    name: nginx\n    state: present\n",
+      280);
+}
+
+wm::Transformer serving_model(const wt::BpeTokenizer& tokenizer) {
+  wm::ModelConfig cfg = tiny_config();
+  cfg.vocab = static_cast<std::int32_t>(tokenizer.vocab_size());
+  return wm::Transformer(cfg, 17);
+}
+
+// Terminal = the caller can act on it: a successful suggestion, or a typed
+// error explaining the refusal/degradation. The storm runs under
+// LintPolicy::RejectDegraded with the fallback on, where that dichotomy is
+// total — an empty or rejected generation is lint-refused and served from
+// the fallback instead of surfacing as an untyped ok=false.
+void expect_terminal(const ws::SuggestionResponse& r, std::uint64_t round,
+                     std::size_t i, std::uint64_t seed) {
+  if (!r.ok) {
+    EXPECT_NE(r.error, ws::ServiceError::None)
+        << "round " << round << " request " << i << " seed " << seed;
+  }
+}
+
+}  // namespace
+
+TEST(ChaosService, OverloadStormYieldsOneTerminalResponsePerRequest) {
+  const std::uint64_t seed = chaos_seed();
+  const wt::BpeTokenizer tokenizer = serving_tokenizer();
+  const wm::Transformer model = serving_model(tokenizer);
+  const char* prompts[] = {"Install nginx",  "Start redis",  "Copy a file",
+                           "Enable service", "Remove package"};
+
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    Rng rng(seed * 31337 + round);
+    ws::FaultInjector faults;
+    ws::ServiceOptions options;
+    options.faults = &faults;
+    options.queue_capacity = static_cast<int>(rng.uniform_int(1, 4));
+    options.shed_policy = rng.chance(0.5) ? ws::ShedPolicy::RejectNewest
+                                          : ws::ShedPolicy::DegradeNewest;
+    options.breaker_enabled = true;
+    options.breaker.window = 8;
+    options.breaker.min_samples = 4;
+    options.breaker.failure_threshold = 0.5;
+    options.breaker.cooldown = static_cast<std::size_t>(
+        rng.uniform_int(1, 4));
+    options.breaker.probes = 2;
+    options.lint_policy = ws::LintPolicy::RejectDegraded;
+    ws::InferenceService service(model, tokenizer, options);
+
+    std::uint64_t total = 0;
+    for (int wave = 0; wave < 3; ++wave) {
+      // Re-arm a random fault mix between waves.
+      if (rng.chance(0.5)) faults.set_fail_generate(rng.uniform_int(1, 4));
+      if (rng.chance(0.4)) faults.set_poison_breaker(rng.uniform_int(1, 4));
+      if (rng.chance(0.3)) faults.set_slow_decode_after_tokens(6);
+      if (rng.chance(0.2)) faults.set_arena_exhaust_at_step(2);
+      faults.set_force_queue_full(rng.chance(0.2));
+
+      std::vector<ws::SuggestionRequest> batch(
+          static_cast<std::size_t>(rng.uniform_int(2, 6)));
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].prompt = prompts[rng.uniform_int(0, 4)];
+        batch[i].indent = static_cast<int>(rng.uniform_int(0, 2));
+      }
+      const auto responses = service.suggest_batch(batch);
+      ASSERT_EQ(responses.size(), batch.size())
+          << "round " << round << " wave " << wave << " seed " << seed;
+      for (std::size_t i = 0; i < responses.size(); ++i)
+        expect_terminal(responses[i], round, i, seed);
+      total += batch.size();
+
+      ws::SuggestionRequest single;
+      single.prompt = prompts[rng.uniform_int(0, 4)];
+      expect_terminal(service.suggest(single), round, batch.size(), seed);
+      ++total;
+      faults.reset();
+    }
+    EXPECT_EQ(service.stats_snapshot().offered, total)
+        << "round " << round << " seed " << seed;
+
+    // Drain at the end of the storm: the flush must report a stopped
+    // service, and post-drain arrivals get the typed refusal.
+    const std::string flush = service.drain();
+    EXPECT_NE(flush.find("wisdom_drain_state 2"), std::string::npos)
+        << "round " << round << " seed " << seed;
+    ws::SuggestionRequest late;
+    late.prompt = prompts[0];
+    const auto refused = service.suggest(late);
+    EXPECT_FALSE(refused.ok);
+    EXPECT_EQ(refused.error, ws::ServiceError::Draining);
+  }
+}

@@ -5,14 +5,17 @@
 // sleep functions) — no wall-clock sleeps, no timing assumptions.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "metrics/schema_correct.hpp"
 #include "model/checkpoint.hpp"
 #include "model/transformer.hpp"
+#include "serve/breaker.hpp"
 #include "serve/fallback.hpp"
 #include "serve/fault.hpp"
 #include "serve/queue.hpp"
@@ -659,6 +662,434 @@ TEST(Retry, DegradedShedIsAcceptedNotRetried) {
   EXPECT_TRUE(outcome.response.degraded);
 }
 
+TEST(Retry, TotalDelayBudgetStopsRetrying) {
+  auto& f = fixture();
+  ws::FaultInjector faults;
+  faults.set_force_queue_full(true);
+  ws::ServiceOptions options;
+  options.faults = &faults;
+  options.queue_capacity = 1;
+  ws::InferenceService service(f.model, f.tokenizer, options);
+
+  // Deterministic schedule 10, 20, 40, ...; a 25 ms budget affords exactly
+  // the first retry (10) — the second (10 + 20 = 30 > 25) is refused
+  // before sleeping.
+  ws::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.jitter = 0.0;
+  policy.base_delay_ms = 10.0;
+  policy.total_budget_ms = 25.0;
+  std::vector<double> slept;
+  ws::RetryingClient client(service, policy,
+                            [&](double ms) { slept.push_back(ms); });
+
+  auto outcome = client.suggest_with_trace(install_request());
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_TRUE(outcome.budget_exhausted);
+  ASSERT_EQ(outcome.delays_ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(outcome.delays_ms[0], 10.0);
+  EXPECT_EQ(slept, outcome.delays_ms);
+  EXPECT_EQ(outcome.response.error, ws::ServiceError::Overloaded);
+  const auto* budget_counter = service.metrics().find_counter(
+      "wisdom_serve_retry_budget_exhausted_total");
+  ASSERT_NE(budget_counter, nullptr);
+  EXPECT_EQ(budget_counter->value(), 1u);
+}
+
+TEST(Retry, ZeroBudgetMeansUnlimited) {
+  auto& f = fixture();
+  ws::FaultInjector faults;
+  faults.set_force_queue_full(true);
+  ws::ServiceOptions options;
+  options.faults = &faults;
+  options.queue_capacity = 1;
+  ws::InferenceService service(f.model, f.tokenizer, options);
+
+  ws::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  policy.total_budget_ms = 0.0;  // the default: no budget cutoff
+  ws::RetryingClient client(service, policy, [](double) {});
+  auto outcome = client.suggest_with_trace(install_request());
+  EXPECT_EQ(outcome.attempts, 4);
+  EXPECT_FALSE(outcome.budget_exhausted);
+}
+
+TEST(Retry, DrainingRefusalIsTerminalNotRetried) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  service.begin_drain();
+
+  int sleeps = 0;
+  ws::RetryingClient client(service, ws::RetryPolicy{},
+                            [&](double) { ++sleeps; });
+  auto outcome = client.suggest_with_trace(install_request());
+  // Draining is not transient: the service is going away, so the client
+  // must fail over instead of queueing retries against it.
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(sleeps, 0);
+  EXPECT_EQ(outcome.response.error, ws::ServiceError::Draining);
+  EXPECT_FALSE(outcome.response.ok);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector: overload-resilience knobs
+
+TEST(FaultInjector, ArenaExhaustionStepThreshold) {
+  ws::FaultInjector faults;
+  EXPECT_FALSE(faults.arena_exhausted_at(0));  // default injects nothing
+  faults.set_arena_exhaust_at_step(3);
+  EXPECT_FALSE(faults.arena_exhausted_at(0));
+  EXPECT_FALSE(faults.arena_exhausted_at(2));
+  EXPECT_TRUE(faults.arena_exhausted_at(3));   // boundary: step N included
+  EXPECT_TRUE(faults.arena_exhausted_at(100));
+  faults.reset();
+  EXPECT_FALSE(faults.arena_exhausted_at(100));
+}
+
+TEST(FaultInjector, AllocStallAndPoisonShareCreditSemantics) {
+  ws::FaultInjector faults;
+  // Positive credits are consumed one per take.
+  faults.set_fail_alloc(2);
+  EXPECT_TRUE(faults.take_alloc_failure());
+  EXPECT_TRUE(faults.take_alloc_failure());
+  EXPECT_FALSE(faults.take_alloc_failure());
+  // Negative is infinite — nothing is consumed.
+  faults.set_stall_steps(-1);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(faults.take_stall_step());
+  faults.set_poison_breaker(1);
+  EXPECT_TRUE(faults.take_breaker_poison());
+  EXPECT_FALSE(faults.take_breaker_poison());
+  // reset() restores every knob's inactive default.
+  faults.set_fail_alloc(-1);
+  faults.reset();
+  EXPECT_FALSE(faults.take_alloc_failure());
+  EXPECT_FALSE(faults.take_stall_step());
+  EXPECT_FALSE(faults.take_breaker_poison());
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker: state transitions at exact window boundaries
+
+namespace {
+
+ws::BreakerOptions tight_breaker() {
+  ws::BreakerOptions options;
+  options.window = 4;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  options.cooldown = 2;
+  options.probes = 2;
+  return options;
+}
+
+}  // namespace
+
+TEST(CircuitBreaker, OpensExactlyAtMinSamplesAndThreshold) {
+  ws::CircuitBreaker breaker(tight_breaker());
+  // Three outcomes with two failures: failure rate already >= 0.5, but
+  // min_samples = 4 has not been met — still closed.
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::Allow);
+  breaker.record(true);
+  breaker.record(false);
+  breaker.record(true);
+  EXPECT_EQ(breaker.state(), ws::BreakerState::Closed);
+  // The 4th outcome reaches min_samples with 2/4 failures — exactly at
+  // the 0.5 threshold, which trips (>=, not >).
+  breaker.record(false);
+  EXPECT_EQ(breaker.state(), ws::BreakerState::Open);
+  EXPECT_EQ(breaker.stats().opened, 1u);
+  // The window cleared on open: no stale history feeds the next cycle.
+  EXPECT_EQ(breaker.stats().window_outcomes, 0);
+  EXPECT_EQ(breaker.stats().window_failures, 0);
+}
+
+TEST(CircuitBreaker, BelowThresholdStaysClosedAsWindowRolls) {
+  ws::CircuitBreaker breaker(tight_breaker());
+  // 1 failure per 4 outcomes = 0.25 < 0.5, sustained across several full
+  // window rotations: never opens, and old outcomes age out of the counts.
+  for (int round = 0; round < 5; ++round) {
+    breaker.record(true);
+    breaker.record(false);
+    breaker.record(false);
+    breaker.record(false);
+    EXPECT_EQ(breaker.state(), ws::BreakerState::Closed) << round;
+  }
+  EXPECT_EQ(breaker.stats().window_outcomes, 4);
+  EXPECT_EQ(breaker.stats().window_failures, 1);
+}
+
+TEST(CircuitBreaker, CooldownCountsExactArrivalsThenHalfOpens) {
+  ws::CircuitBreaker breaker(tight_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record(true);
+  ASSERT_EQ(breaker.state(), ws::BreakerState::Open);
+  // cooldown = 2: exactly two arrivals short-circuit...
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::ShortCircuit);
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::ShortCircuit);
+  EXPECT_EQ(breaker.stats().short_circuited, 2u);
+  // ...and the next one becomes the first probe of half-open.
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::Probe);
+  EXPECT_EQ(breaker.state(), ws::BreakerState::HalfOpen);
+  EXPECT_EQ(breaker.stats().probes_admitted, 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeAccounting) {
+  ws::CircuitBreaker breaker(tight_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record(true);
+  for (int i = 0; i < 2; ++i) breaker.admit();  // burn the cooldown
+  // probes = 2 admitted; excess arrivals short-circuit while they are out.
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::Probe);
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::Probe);
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::ShortCircuit);
+  // One success is not enough; the second closes.
+  breaker.record(false);
+  EXPECT_EQ(breaker.state(), ws::BreakerState::HalfOpen);
+  breaker.record(false);
+  EXPECT_EQ(breaker.state(), ws::BreakerState::Closed);
+  EXPECT_EQ(breaker.stats().closed_from_half_open, 1u);
+  // Closed with a clean window: the next arrival is a normal Allow.
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::Allow);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensImmediately) {
+  ws::CircuitBreaker breaker(tight_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record(true);
+  for (int i = 0; i < 2; ++i) breaker.admit();
+  ASSERT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::Probe);
+  breaker.record(false);  // one success banked...
+  breaker.record(true);   // ...but any probe failure reopens
+  EXPECT_EQ(breaker.state(), ws::BreakerState::Open);
+  EXPECT_EQ(breaker.stats().opened, 2u);
+  // The cooldown restarts in full.
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::ShortCircuit);
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::ShortCircuit);
+  EXPECT_EQ(breaker.admit(), ws::CircuitBreaker::Admission::Probe);
+}
+
+TEST(CircuitBreaker, StateNamesAreStable) {
+  EXPECT_STREQ(ws::breaker_state_name(ws::BreakerState::Closed), "closed");
+  EXPECT_STREQ(ws::breaker_state_name(ws::BreakerState::Open), "open");
+  EXPECT_STREQ(ws::breaker_state_name(ws::BreakerState::HalfOpen),
+               "half-open");
+}
+
+// ---------------------------------------------------------------------------
+// Service-level circuit breaking
+
+TEST(ServiceBreaker, OpensOnFailuresAndShortCircuitsToFallback) {
+  auto& f = fixture();
+  ws::FaultInjector faults;
+  faults.set_fail_generate(-1);  // every admitted request fails
+  ws::ServiceOptions options;
+  options.faults = &faults;
+  options.breaker_enabled = true;
+  options.breaker = tight_breaker();
+  ws::InferenceService service(f.model, f.tokenizer, options);
+
+  // Four failures fill the window and trip the breaker.
+  for (int i = 0; i < 4; ++i) {
+    auto response = service.suggest(install_request());
+    EXPECT_EQ(response.error, ws::ServiceError::GenerateFailed);
+    EXPECT_TRUE(response.degraded);  // fallback still answered
+  }
+  EXPECT_EQ(service.breaker_stats().state, ws::BreakerState::Open);
+
+  // While open (cooldown = 2): short-circuited responses carry the typed
+  // error, the fallback snippet, and never touch the model or the queue.
+  for (int i = 0; i < 2; ++i) {
+    auto response = service.suggest(install_request());
+    EXPECT_EQ(response.error, ws::ServiceError::CircuitOpen);
+    EXPECT_TRUE(response.ok);
+    EXPECT_TRUE(response.degraded);
+    EXPECT_TRUE(wisdom::metrics::schema_correct(response.snippet));
+  }
+  EXPECT_EQ(service.stats_snapshot().short_circuited, 2u);
+
+  // Backend recovers; the two probes succeed and the breaker closes.
+  faults.reset();
+  for (int i = 0; i < 2; ++i) {
+    auto response = service.suggest(install_request());
+    EXPECT_EQ(response.error, ws::ServiceError::None);
+  }
+  EXPECT_EQ(service.breaker_stats().state, ws::BreakerState::Closed);
+  EXPECT_EQ(service.breaker_stats().closed_from_half_open, 1u);
+}
+
+TEST(ServiceBreaker, PoisonedWindowOpensDespiteHealthyBackend) {
+  auto& f = fixture();
+  ws::FaultInjector faults;
+  ws::ServiceOptions options;
+  options.faults = &faults;
+  options.breaker_enabled = true;
+  options.breaker = tight_breaker();
+  ws::InferenceService service(f.model, f.tokenizer, options);
+
+  faults.set_poison_breaker(4);
+  for (int i = 0; i < 4; ++i) {
+    auto response = service.suggest(install_request());
+    // The responses themselves are healthy; only the breaker's view of
+    // them is poisoned.
+    EXPECT_EQ(response.error, ws::ServiceError::None);
+  }
+  EXPECT_EQ(service.breaker_stats().state, ws::BreakerState::Open);
+  EXPECT_EQ(service.suggest(install_request()).error,
+            ws::ServiceError::CircuitOpen);
+}
+
+TEST(ServiceBreaker, ShortCircuitsAreNotRecordedAsOutcomes) {
+  auto& f = fixture();
+  ws::FaultInjector faults;
+  faults.set_fail_generate(-1);
+  ws::ServiceOptions options;
+  options.faults = &faults;
+  options.breaker_enabled = true;
+  options.breaker = tight_breaker();
+  ws::InferenceService service(f.model, f.tokenizer, options);
+
+  for (int i = 0; i < 4; ++i) service.suggest(install_request());
+  const auto opened = service.breaker_stats();
+  ASSERT_EQ(opened.state, ws::BreakerState::Open);
+  const std::uint64_t failures_at_open = 4;
+  // Two short-circuited arrivals must not feed the window: refusing
+  // traffic is not evidence the backend got worse.
+  service.suggest(install_request());
+  service.suggest(install_request());
+  const auto* failures = service.metrics().find_counter(
+      "wisdom_breaker_failures_recorded_total");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_EQ(failures->value(), failures_at_open);
+}
+
+TEST(ServiceBreaker, BatchAdmissionGatesPerRequest) {
+  auto& f = fixture();
+  ws::FaultInjector faults;
+  faults.set_fail_generate(-1);
+  ws::ServiceOptions options;
+  options.faults = &faults;
+  options.breaker_enabled = true;
+  options.breaker = tight_breaker();
+  ws::InferenceService service(f.model, f.tokenizer, options);
+
+  // A batch models a concurrent burst: every arrival is gated before any
+  // response exists, so all six serve (and fail) under the still-closed
+  // breaker, and their outcomes land in the window afterwards — the 4th
+  // trips it, the last two are Open-state stragglers the cleared window
+  // ignores.
+  std::vector<ws::SuggestionRequest> requests(6, install_request());
+  const auto responses = service.suggest_batch(requests);
+  ASSERT_EQ(responses.size(), 6u);
+  for (std::size_t i = 0; i < responses.size(); ++i)
+    EXPECT_EQ(responses[i].error, ws::ServiceError::GenerateFailed) << i;
+  EXPECT_EQ(service.breaker_stats().state, ws::BreakerState::Open);
+
+  // The next batch arrives against the open breaker: cooldown = 2 means
+  // both arrivals short-circuit, per-request, inside one batch.
+  std::vector<ws::SuggestionRequest> next(2, install_request());
+  const auto refused = service.suggest_batch(next);
+  for (std::size_t i = 0; i < refused.size(); ++i) {
+    EXPECT_EQ(refused[i].error, ws::ServiceError::CircuitOpen) << i;
+    EXPECT_TRUE(refused[i].degraded) << i;
+  }
+  EXPECT_EQ(service.stats_snapshot().short_circuited, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+
+TEST(Drain, LifecycleRefusesNewWorkAfterBeginDrain) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  EXPECT_EQ(service.state(), ws::InferenceService::State::Accepting);
+  auto served = service.suggest(install_request());
+  EXPECT_NE(served.error, ws::ServiceError::Draining);
+
+  service.begin_drain();
+  EXPECT_EQ(service.state(), ws::InferenceService::State::Draining);
+  auto refused = service.suggest(install_request());
+  EXPECT_FALSE(refused.ok);
+  EXPECT_FALSE(refused.degraded);  // a typed refusal, not a fallback
+  EXPECT_TRUE(refused.snippet.empty());
+  EXPECT_EQ(refused.error, ws::ServiceError::Draining);
+  EXPECT_FALSE(ws::is_transient(refused.error));
+
+  std::vector<ws::SuggestionRequest> requests(3, install_request());
+  for (const auto& response : service.suggest_batch(requests))
+    EXPECT_EQ(response.error, ws::ServiceError::Draining);
+  EXPECT_EQ(service.stats_snapshot().drain_rejected, 4u);
+}
+
+TEST(Drain, DrainReturnsFinalMetricsFlushAndStops) {
+  auto& f = fixture();
+  ws::InferenceService service(f.model, f.tokenizer);
+  service.suggest(install_request());
+  const std::string exposition = service.drain();
+  EXPECT_EQ(service.state(), ws::InferenceService::State::Stopped);
+  // The flush is the complete exposition: served counters and the drain
+  // families themselves are present, with the terminal lifecycle state.
+  EXPECT_NE(exposition.find("wisdom_serve_requests_total 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("wisdom_drain_completed_total 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("wisdom_drain_state 2"), std::string::npos);
+  // Idempotent: a second drain is an immediate no-op flush.
+  EXPECT_EQ(service.drain(), exposition);
+  // A stopped service refuses exactly like a draining one.
+  EXPECT_EQ(service.suggest(install_request()).error,
+            ws::ServiceError::Draining);
+}
+
+TEST(Drain, RacesConcurrentBatchCallersToCompletion) {
+  auto& f = fixture();
+  ws::ServiceOptions options;
+  options.max_new_tokens = 8;
+  ws::InferenceService service(f.model, f.tokenizer, options);
+
+  // Callers hammer suggest/suggest_batch while the main thread drains.
+  // Every response must be terminal: either fully served (the call
+  // entered before the drain) or a typed Draining refusal — never a torn
+  // half-response. TSan runs this test in CI.
+  std::atomic<int> served{0};
+  std::atomic<int> refused{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      for (int i = 0; i < 3; ++i) {
+        if (t % 2 == 0) {
+          auto response = service.suggest(install_request());
+          if (response.error == ws::ServiceError::Draining) {
+            EXPECT_FALSE(response.ok);
+            ++refused;
+          } else {
+            ++served;
+          }
+        } else {
+          std::vector<ws::SuggestionRequest> batch(2, install_request());
+          for (const auto& response : service.suggest_batch(batch)) {
+            if (response.error == ws::ServiceError::Draining) {
+              EXPECT_FALSE(response.ok);
+              ++refused;
+            } else {
+              EXPECT_TRUE(response.ok || !response.snippet.empty() ||
+                          response.error != ws::ServiceError::None);
+              ++served;
+            }
+          }
+        }
+      }
+    });
+  }
+  const std::string exposition = service.drain();
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(service.state(), ws::InferenceService::State::Stopped);
+  EXPECT_EQ(served.load() + refused.load(), 2 * 3 + 2 * 3 * 2);
+  // drain() waited for in-flight calls: whatever was being served when the
+  // flush happened has fully completed by join time, and late arrivals
+  // were refused with the typed error.
+  EXPECT_NE(exposition.find("wisdom_drain_state"), std::string::npos);
+  EXPECT_EQ(service.suggest(install_request()).error,
+            ws::ServiceError::Draining);
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint corruption
 
@@ -871,12 +1302,14 @@ TEST(WireRobustness, ErrorNamesRoundTrip) {
   for (ws::ServiceError e :
        {ws::ServiceError::None, ws::ServiceError::InvalidRequest,
         ws::ServiceError::Overloaded, ws::ServiceError::DeadlineExceeded,
-        ws::ServiceError::GenerateFailed}) {
+        ws::ServiceError::GenerateFailed, ws::ServiceError::LintRejected,
+        ws::ServiceError::CircuitOpen, ws::ServiceError::Draining}) {
     ws::ServiceError parsed;
     ASSERT_TRUE(
         ws::service_error_from_name(ws::service_error_name(e), &parsed));
     EXPECT_EQ(parsed, e);
-    EXPECT_EQ(ws::is_transient(e), e == ws::ServiceError::Overloaded);
+    EXPECT_EQ(ws::is_transient(e), e == ws::ServiceError::Overloaded ||
+                                       e == ws::ServiceError::CircuitOpen);
   }
   ws::ServiceError unused;
   EXPECT_FALSE(ws::service_error_from_name("bogus", &unused));

@@ -717,3 +717,182 @@ TEST(ContinuousService, TinyArenaFallsBackMonolithically) {
   ASSERT_NE(fallbacks, nullptr);
   EXPECT_GT(fallbacks->value(), 0u);
 }
+
+// --- KV-pressure preemption and the scheduler watchdog ---------------------
+
+TEST(SchedulerPreemption, RealPressurePreemptsAndStaysByteIdentical) {
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::Transformer model(cfg, 17);
+  // Each sequence's worst case is 7 blocks (8 prompt + 20 generated rows,
+  // block size 4); two in flight need 14. A 10-block arena admits both
+  // paged (admission sees a near-empty arena) and must preempt mid-flight.
+  wm::KvBlockAllocator arena(10, 4, cfg.n_layer, cfg.d_model);
+  Rng rng(53);
+
+  std::vector<ws::SeqRequest> requests(3);
+  std::vector<Reference> expected;
+  std::vector<wm::Transformer::GenerateStatus> statuses(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ws::SeqRequest& req = requests[i];
+    req.prompt = random_prompt(rng, 8, 8, cfg.vocab);
+    req.max_new_tokens = 20;
+    if (i == 2) {  // one sampling sequence in the mix
+      req.temperature = 0.8f;
+      req.top_k = 5;
+      req.sample_seed = 77;
+    }
+    req.status = &statuses[i];
+    expected.push_back(run_reference(model, req.prompt, req.max_new_tokens,
+                                     -1, req.temperature, req.top_k,
+                                     req.sample_seed, -1));
+  }
+  ws::SchedulerOptions options;
+  options.max_in_flight = 2;
+  options.arena = &arena;
+  ws::ContinuousScheduler scheduler(model, options);
+  const auto outs = scheduler.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(outs[i], expected[i].tokens) << "request " << i;
+    EXPECT_EQ(statuses[i].steps_taken, expected[i].status.steps_taken)
+        << "request " << i;
+    EXPECT_FALSE(statuses[i].deadline_expired) << "request " << i;
+  }
+  const ws::SchedulerRunStats& stats = scheduler.last_run();
+  EXPECT_GT(stats.preemptions, 0);
+  EXPECT_GT(stats.preempt_blocks_released, 0);
+  EXPECT_GT(stats.preempt_recompute_tokens, 0);
+  // The derived watchdog bound never trips on a fault-free run — even a
+  // preemption-heavy one on a tiny arena.
+  EXPECT_EQ(stats.watchdog_retired, 0);
+  // Preempted-and-resumed sequences returned every block on retirement.
+  EXPECT_EQ(arena.free_blocks(), arena.capacity());
+}
+
+TEST(SchedulerPreemption, InjectedExhaustionChurnsWithinCaps) {
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::Transformer model(cfg, 17);
+  wm::KvBlockAllocator arena(256, 4, cfg.n_layer, cfg.d_model);
+  Rng rng(59);
+  ws::FaultInjector faults;
+  // From step 3 on the pressure check sees zero free blocks; real
+  // allocations still succeed, so decodes complete and the churn is pure
+  // preemption/requeue traffic.
+  faults.set_arena_exhaust_at_step(3);
+
+  const int kMaxPreempt = 2;
+  std::vector<ws::SeqRequest> requests(4);
+  std::vector<Reference> expected;
+  std::vector<wm::Transformer::GenerateStatus> statuses(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ws::SeqRequest& req = requests[i];
+    req.prompt = random_prompt(rng, 4, 12, cfg.vocab);
+    req.max_new_tokens = 10;
+    req.status = &statuses[i];
+    expected.push_back(run_reference(model, req.prompt, req.max_new_tokens,
+                                     -1, 0.0f, 0, 1, -1));
+  }
+  ws::SchedulerOptions options;
+  options.max_in_flight = 3;
+  options.arena = &arena;
+  options.max_preemptions_per_seq = kMaxPreempt;
+  options.faults = &faults;
+  ws::ContinuousScheduler scheduler(model, options);
+  const auto outs = scheduler.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(outs[i], expected[i].tokens) << "request " << i;
+    EXPECT_EQ(statuses[i].steps_taken, expected[i].status.steps_taken)
+        << "request " << i;
+  }
+  const ws::SchedulerRunStats& stats = scheduler.last_run();
+  EXPECT_GT(stats.preemptions, 0);
+  // The per-sequence cap bounds total churn: once every sequence has been
+  // victimized kMaxPreempt times, preemption stops and decoding proceeds
+  // against the (injected) exhaustion via monolithic materialization.
+  EXPECT_LE(stats.preemptions,
+            kMaxPreempt * static_cast<int>(requests.size()));
+  EXPECT_EQ(stats.watchdog_retired, 0);
+  EXPECT_EQ(arena.free_blocks(), arena.capacity());
+}
+
+TEST(SchedulerPreemption, FiniteStallDelaysButStaysByteIdentical) {
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::Transformer model(cfg, 17);
+  wm::KvBlockAllocator arena(64, 4, cfg.n_layer, cfg.d_model);
+  Rng rng(61);
+  ws::FaultInjector faults;
+  faults.set_stall_steps(4);  // four wedged iterations, then normal
+
+  std::vector<ws::SeqRequest> requests(3);
+  std::vector<Reference> expected;
+  for (auto& req : requests) {
+    req.prompt = random_prompt(rng, 3, 10, cfg.vocab);
+    req.max_new_tokens = 6;
+    expected.push_back(run_reference(model, req.prompt, req.max_new_tokens,
+                                     -1, 0.0f, 0, 1, -1));
+  }
+  ws::SchedulerOptions options;
+  options.arena = &arena;
+  options.faults = &faults;
+  ws::ContinuousScheduler scheduler(model, options);
+  const auto outs = scheduler.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    EXPECT_EQ(outs[i], expected[i].tokens) << "request " << i;
+  EXPECT_EQ(scheduler.last_run().watchdog_retired, 0);
+  EXPECT_EQ(arena.free_blocks(), arena.capacity());
+}
+
+TEST(SchedulerWatchdog, InfiniteStallForceRetiresAsDeadlineExpired) {
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::Transformer model(cfg, 17);
+  wm::KvBlockAllocator arena(64, 4, cfg.n_layer, cfg.d_model);
+  Rng rng(67);
+  ws::FaultInjector faults;
+  faults.set_stall_steps(-1);  // wedged forever: only the watchdog exits
+
+  const int kBound = 10;
+  std::vector<ws::SeqRequest> requests(2);
+  std::vector<wm::Transformer::GenerateStatus> statuses(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].prompt = random_prompt(rng, 4, 8, cfg.vocab);
+    requests[i].max_new_tokens = 8;
+    requests[i].status = &statuses[i];
+  }
+  ws::SchedulerOptions options;
+  options.arena = &arena;
+  options.watchdog_iterations = kBound;
+  options.faults = &faults;
+  ws::ContinuousScheduler scheduler(model, options);
+  const auto outs = scheduler.run(requests);  // must terminate
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(outs[i].empty()) << "request " << i;
+    EXPECT_TRUE(statuses[i].deadline_expired) << "request " << i;
+  }
+  const ws::SchedulerRunStats& stats = scheduler.last_run();
+  EXPECT_EQ(stats.watchdog_retired, static_cast<int>(requests.size()));
+  // No sequence outlived its bound by more than the retiring iteration.
+  EXPECT_LE(stats.max_seq_age, kBound + 1);
+  EXPECT_EQ(arena.free_blocks(), arena.capacity());
+}
+
+TEST(ContinuousService, InjectedExhaustionIsByteTransparentThroughService) {
+  const wt::BpeTokenizer tokenizer = serving_tokenizer();
+  const wm::Transformer model = serving_model(tokenizer);
+  const auto requests = serving_requests();
+
+  ws::InferenceService sequential(model, tokenizer);
+  std::vector<ws::SuggestionResponse> expected;
+  for (const auto& r : requests) expected.push_back(sequential.suggest(r));
+
+  ws::FaultInjector faults;
+  faults.set_arena_exhaust_at_step(2);
+  ws::ServiceOptions options;
+  options.faults = &faults;
+  ws::InferenceService batched(model, tokenizer, options);
+  const auto responses = batched.suggest_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    expect_same_payload(responses[i], expected[i], i);
+  const auto* preempted =
+      batched.metrics().find_counter("wisdom_sched_preempt_total");
+  ASSERT_NE(preempted, nullptr);
+  EXPECT_GT(preempted->value(), 0u);
+}
