@@ -936,6 +936,7 @@ std::vector<std::int32_t> Transformer::generate(
             : argmax_token(logits);
     if (next == options.stop_token) break;
     out.push_back(next);
+    if (options.on_token) options.on_token(next);
     if (cache.length < config_.ctx) {
       auto token_start = observe ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -176,6 +177,13 @@ class Transformer {
     // snapshot a prefix cache inserts. Left untouched when prefill was cut
     // short by the deadline or the kept prompt is empty.
     KvCache* prompt_snapshot = nullptr;
+    // Per-token emission hook: called once per generated token, in order,
+    // immediately after the token is committed to the output (and before
+    // its decode_step runs) — the same point the per-token "decode" trace
+    // span marks. Never called for the stop token (it is not part of the
+    // output) or for prefill steps. The callback runs on the decoding
+    // thread and must not re-enter the model.
+    std::function<void(std::int32_t)> on_token;
   };
   // Greedy generation. The prompt is left-truncated to fit the context
   // window with room for at least one generated token — the paper: "when

@@ -1,0 +1,110 @@
+// Minimal HTTP/1.1 subset for the /v1 API front end: an incremental
+// request parser that survives arbitrarily torn reads, plus response
+// formatting helpers (status line + headers, chunked transfer framing).
+//
+// The parser accepts exactly what the API needs and rejects the rest with
+// a typed status:
+//   * request line `METHOD SP target SP HTTP/1.x` — anything malformed is
+//     400; versions other than HTTP/1.0 and HTTP/1.1 are 505,
+//   * headers up to a byte cap (431 past it), names case-insensitive,
+//   * bodies only via Content-Length — a POST/PUT without one is 411, a
+//     Transfer-Encoding request body is 400 (the server streams responses
+//     with chunked encoding but does not accept chunked requests), and a
+//     declared length past the body cap is 413 before a single body byte
+//     is buffered,
+//   * keep-alive: HTTP/1.1 defaults on, HTTP/1.0 defaults off, the
+//     Connection header overrides either way.
+//
+// feed() consumes bytes incrementally: callers hand it whatever the
+// socket produced (one byte or one hundred requests) and it consumes
+// exactly up to the end of the current request, leaving pipelined bytes
+// for the next reset()-then-feed() round.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wisdom::net {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   // origin-form, query string included
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  // Names lower-cased at parse time; values trimmed of surrounding space.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  // The target's path component (target up to the first '?').
+  std::string_view path() const;
+  // First header value by (lower-case) name; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+};
+
+struct HttpParserLimits {
+  std::size_t max_header_bytes = 16u << 10;
+  std::size_t max_body_bytes = 1u << 20;  // serve::kMaxWireBytes
+};
+
+class HttpParser {
+ public:
+  enum class Status {
+    NeedMore,  // consumed everything offered, request incomplete
+    Complete,  // request() is ready; unconsumed bytes belong to the next
+    Error,     // protocol error; error_status()/error_reason() describe it
+  };
+
+  explicit HttpParser(HttpParserLimits limits = {});
+
+  // Consumes bytes from `data` (up to the end of the current request) and
+  // advances the parse. `*consumed` reports how many bytes were taken —
+  // on Complete, the remainder is pipelined input for the next request.
+  // Once Error or Complete is returned, further bytes are not consumed
+  // until reset().
+  Status feed(std::string_view data, std::size_t* consumed);
+
+  const HttpRequest& request() const { return request_; }
+  // The HTTP status a protocol error maps to (400/411/413/431/505).
+  int error_status() const { return error_status_; }
+  std::string_view error_reason() const { return error_reason_; }
+
+  // Ready the parser for the next request on the same connection.
+  void reset();
+
+ private:
+  enum class State { Headers, Body, Complete, Failed };
+
+  Status fail(int status, std::string_view reason);
+  Status parse_head();
+
+  HttpParserLimits limits_;
+  State state_ = State::Headers;
+  std::string head_;  // accumulated request line + headers
+  HttpRequest request_;
+  std::size_t body_expected_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+// "HTTP/1.1 <status> <reason>\r\n<headers...>\r\n\r\n". Callers append the
+// body (or chunks) themselves.
+std::string response_head(
+    int status, std::string_view reason,
+    const std::vector<std::pair<std::string_view, std::string>>& headers);
+
+// A complete fixed-length response with Content-Length and Connection
+// headers filled in.
+std::string simple_response(int status, std::string_view reason,
+                            std::string_view content_type,
+                            std::string_view body, bool keep_alive);
+
+// One chunk of a chunked-transfer body: "<hex-size>\r\n<payload>\r\n".
+std::string chunk_frame(std::string_view payload);
+
+// The terminal zero-length chunk.
+inline constexpr std::string_view kLastChunk = "0\r\n\r\n";
+
+}  // namespace wisdom::net

@@ -259,6 +259,7 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
       return std::nullopt;
     }
     seq.out.push_back(next);
+    if (seq.req->on_token) seq.req->on_token(next);
     if (seq.cache->length >= ctx) {
       // generate() would skip the decode_step and fail the loop
       // condition on the next pass without another deadline check.

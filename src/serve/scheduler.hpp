@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -75,6 +76,11 @@ struct SeqRequest {
   // prompt_snapshot receives a clone taken right after prefill.
   model::Transformer::KvCache* warm_cache = nullptr;
   model::Transformer::KvCache* prompt_snapshot = nullptr;
+  // Per-token emission hook with GenerateOptions' contract: fired once
+  // per generated token as it is committed to the output — never for the
+  // stop token, prefill rows, or preemption-recompute rows (those re-feed
+  // already-emitted tokens, which the hook must not see twice).
+  std::function<void(std::int32_t)> on_token;
 };
 
 struct SchedulerOptions {

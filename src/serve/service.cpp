@@ -579,14 +579,116 @@ void InferenceService::post_generate(const SuggestionRequest& request,
   response.latency_ms = elapsed_ms(prep.start);
 }
 
+// Streams the stable prefix of the response body as tokens decode.
+//
+// The postprocess pipeline (trim_generation + truncate_to_first_task)
+// rewrites raw decoded bytes, so raw token text cannot be streamed
+// verbatim without breaking the byte-identity invariant (concatenated
+// chunks == final snippet). Instead the emitter recomputes, after every
+// token, the portion of the final body that is already decided:
+//   - trim_generation keeps only complete lines (up to the last '\n'),
+//     and a complete line never changes as more tokens append — BPE
+//     decode is byte-concatenative, so new tokens only extend the tail;
+//   - truncate_to_first_task decides each complete line's fate from that
+//     line's content alone and cuts at the first terminator, so over the
+//     complete-lines prefix its output is monotone: each recomputation
+//     extends the previous one and is a prefix of the final body.
+// The delta between successive stable prefixes is emitted as a chunk.
+// finish() reconciles the cases where the final snippet diverges from
+// the streamed prefix (lint repair/rejection, fallback, deadline
+// salvage, empty generation) with a reset chunk carrying the
+// authoritative bytes.
+class InferenceService::StreamEmitter {
+ public:
+  StreamEmitter(const TokenSink& sink, const text::BpeTokenizer& tokenizer,
+                const SuggestionRequest& request, bool token_streaming)
+      : sink_(sink),
+        tokenizer_(tokenizer),
+        indent_(static_cast<std::size_t>(std::max(request.indent, 0))),
+        token_streaming_(token_streaming) {
+    std::string pad(indent_, ' ');
+    name_line_ = pad + "- name: " + request.prompt + "\n";
+  }
+
+  // Whether run_one should hook GenerateOptions::on_token. Beam search
+  // revises hypotheses non-monotonically, so beam responses stream as one
+  // final chunk from finish() instead of per-token deltas.
+  bool streaming_tokens() const { return token_streaming_; }
+
+  // GenerateOptions::on_token target: runs on the decoding thread, once
+  // per committed token, in order.
+  void on_token(std::int32_t token) {
+    ids_.push_back(token);
+    std::string body = core::trim_generation(tokenizer_.decode(ids_));
+    body = core::truncate_to_first_task(body, indent_);
+    std::string stable = name_line_ + body;
+    if (stable.size() > emitted_.size() &&
+        stable.compare(0, emitted_.size(), emitted_) == 0) {
+      sink_(std::string_view(stable).substr(emitted_.size()),
+            /*reset=*/false);
+      emitted_ = std::move(stable);
+    }
+  }
+
+  // Settles the stream against the final response: afterwards the bytes
+  // delivered through the sink equal `final_snippet` exactly. Appends the
+  // missing suffix when the stream is a prefix of the final bytes (the
+  // common case — also how memo hits and shed/fallback responses that
+  // never decoded a token stream their one chunk); emits a reset chunk
+  // when postprocess rewrote already-streamed bytes.
+  void finish(const std::string& final_snippet) {
+    if (final_snippet.size() >= emitted_.size() &&
+        final_snippet.compare(0, emitted_.size(), emitted_) == 0) {
+      if (final_snippet.size() > emitted_.size())
+        sink_(std::string_view(final_snippet).substr(emitted_.size()),
+              /*reset=*/false);
+    } else {
+      sink_(final_snippet, /*reset=*/true);
+    }
+    emitted_ = final_snippet;
+  }
+
+ private:
+  const TokenSink& sink_;
+  const text::BpeTokenizer& tokenizer_;
+  std::size_t indent_;
+  bool token_streaming_;
+  std::string name_line_;
+  std::vector<std::int32_t> ids_;
+  std::string emitted_;
+};
+
 SuggestionResponse InferenceService::run_one(
-    const SuggestionRequest& request, obs::TraceContext& trace) const {
+    const SuggestionRequest& request, obs::TraceContext& trace,
+    StreamEmitter* emitter) const {
   GenPrep prep;
   if (pre_generate(request, trace, prep)) return std::move(prep.response);
+  if (emitter && emitter->streaming_tokens())
+    prep.gen.on_token = [emitter](std::int32_t token) {
+      emitter->on_token(token);
+    };
   std::vector<std::int32_t> out;
   {
     auto generate_span = trace.span("generate");
-    out = model_.generate(prep.ids, prep.gen);
+    if (options_.beam_width > 1) {
+      // Beam-configured service: decode through generate_beam with the
+      // same budget/deadline/cache wiring as the greedy path. The
+      // continuous scheduler is greedy-only, so beam requests always take
+      // this per-request route (suggest_batch bypasses the scheduler).
+      model::Transformer::BeamOptions beam;
+      beam.beam_width = options_.beam_width;
+      beam.max_new_tokens = prep.gen.max_new_tokens;
+      beam.stop_token = prep.gen.stop_token;
+      beam.length_penalty = options_.beam_length_penalty;
+      beam.deadline = prep.gen.deadline;
+      beam.status = prep.gen.status;
+      beam.trace = prep.gen.trace;
+      beam.warm_cache = prep.gen.warm_cache;
+      beam.prompt_snapshot = prep.gen.prompt_snapshot;
+      out = model_.generate_beam(prep.ids, beam);
+    } else {
+      out = model_.generate(prep.ids, prep.gen);
+    }
   }
   post_generate(request, trace, std::move(out), prep);
   return std::move(prep.response);
@@ -651,8 +753,8 @@ void InferenceService::observe_stages(const obs::Trace& trace) const {
 }
 
 SuggestionResponse InferenceService::serve_traced(
-    const SuggestionRequest& request, ServePath path,
-    std::uint64_t seq) const {
+    const SuggestionRequest& request, ServePath path, std::uint64_t seq,
+    StreamEmitter* emitter) const {
   // Every request is traced when observability is enabled; the caller's
   // sink (if any) keeps the timeline, otherwise a local one feeds the
   // per-stage histograms and Server-Timing map and is dropped.
@@ -670,7 +772,9 @@ SuggestionResponse InferenceService::serve_traced(
       auto admission_span = trace.span("admission");
     }
     switch (path) {
-      case ServePath::Full: response = run_one(request, trace); break;
+      case ServePath::Full:
+        response = run_one(request, trace, emitter);
+        break;
       case ServePath::Shed: response = run_shed(request, trace); break;
       case ServePath::ShortCircuit:
         response = run_short_circuit(request, trace);
@@ -764,8 +868,35 @@ SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
   return response;
 }
 
+SuggestionResponse InferenceService::suggest(const std::string& prompt,
+                                             int indent) {
+  SuggestionRequest request;
+  request.prompt = prompt;
+  request.indent = indent;
+  return suggest(request);
+}
+
+SuggestionResponse InferenceService::suggest_stream(
+    const SuggestionRequest& request, const TokenSink& sink) {
+  if (!enter_serving()) return drain_refusal();
+  SuggestionResponse response;
+  if (sink) {
+    StreamEmitter emitter(sink, tokenizer_, request,
+                          /*token_streaming=*/options_.beam_width <= 1);
+    response = suggest_serving(request, &emitter);
+    // Settle the stream before exit_serving(): a drain() waiter that sees
+    // serving_calls_ hit zero must know every in-flight stream delivered
+    // its final bytes.
+    emitter.finish(response.snippet);
+  } else {
+    response = suggest_serving(request);
+  }
+  exit_serving();
+  return response;
+}
+
 SuggestionResponse InferenceService::suggest_serving(
-    const SuggestionRequest& request) {
+    const SuggestionRequest& request, StreamEmitter* emitter) {
   const CircuitBreaker::Admission gate =
       breaker_ ? breaker_->admit() : CircuitBreaker::Admission::Allow;
   const std::uint64_t seq =
@@ -785,7 +916,7 @@ SuggestionResponse InferenceService::suggest_serving(
   if (obs::enabled())
     h_.inflight->set(static_cast<double>(queue_.in_flight()));
   SuggestionResponse response = serve_traced(
-      request, admitted ? ServePath::Full : ServePath::Shed, seq);
+      request, admitted ? ServePath::Full : ServePath::Shed, seq, emitter);
   if (admitted) queue_.release();
   if (obs::enabled())
     h_.inflight->set(static_cast<double>(queue_.in_flight()));
@@ -885,6 +1016,7 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch_continuous(
     seq.trace = &*slots[i].trace;
     seq.warm_cache = prep.has_warm ? &prep.warm : nullptr;
     seq.prompt_snapshot = prefix_cache_ ? &prep.snapshot : nullptr;
+    seq.on_token = prep.gen.on_token;
     seq_requests.push_back(std::move(seq));
     slot_of.push_back(i);
   }
@@ -944,9 +1076,13 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch(
     for (auto& response : refused) response = drain_refusal();
     return refused;
   }
+  // The continuous scheduler replicates greedy generate() token-for-token;
+  // a beam-configured service serves batches on the thread-pool path,
+  // where run_one routes each request through generate_beam.
   std::vector<SuggestionResponse> responses =
-      scheduler_ ? suggest_batch_continuous(requests)
-                 : suggest_batch_pooled(requests);
+      scheduler_ && options_.beam_width <= 1
+          ? suggest_batch_continuous(requests)
+          : suggest_batch_pooled(requests);
   exit_serving();
   return responses;
 }

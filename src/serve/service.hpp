@@ -54,6 +54,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,13 @@ namespace wisdom::serve {
 
 struct ServiceOptions {
   int max_new_tokens = 56;
+  // Decoding strategy: <= 1 decodes greedily (seed behaviour); widths > 1
+  // serve through Transformer::generate_beam. Beam requests bypass the
+  // continuous scheduler (iteration-level batching is greedy-only) — a
+  // beam-configured service serves batches on the thread-pool path.
+  int beam_width = 1;
+  // Length normalization for beam scoring (score / length^penalty).
+  float beam_length_penalty = 0.6f;
   // Default per-request decode budget in ms; <= 0 disables the deadline.
   double deadline_ms = 0.0;
   // Admission queue capacity; <= 0 means unbounded (never sheds).
@@ -217,6 +225,41 @@ class InferenceService {
   const ServiceOptions& options() const { return options_; }
 
   SuggestionResponse suggest(const SuggestionRequest& request);
+
+  // Legacy pre-/v1 convenience entry point, kept for one release so
+  // out-of-tree callers can migrate. It exposes a second, narrower schema
+  // than the wire format (no context, deadline, trace id, ...), which the
+  // /v1 HTTP surface deliberately does not replicate — build a
+  // SuggestionRequest (the one schema shared by the in-process and HTTP
+  // APIs) and call suggest(request) instead.
+  [[deprecated(
+      "bare-prompt suggest() is going away: build a SuggestionRequest (the "
+      "schema shared with the /v1 HTTP API) and call suggest(request)")]]
+  SuggestionResponse suggest(const std::string& prompt, int indent = 0);
+
+  // --- streaming ----------------------------------------------------------
+  // Incremental delivery of one suggestion, hooked into the model's
+  // per-token emission points (the same points the per-token "decode"
+  // trace spans mark). The sink is called on the serving thread with text
+  // chunks as tokens decode:
+  //   * sink(text, reset=false) — append `text` to the accumulated
+  //     snippet. Only bytes that are already final are emitted this way
+  //     (complete lines that postprocessing provably keeps), so chunks
+  //     never have to be retracted token-by-token.
+  //   * sink(text, reset=true) — discard everything accumulated and
+  //     replace it with `text`. Fired at most once, at the end, when the
+  //     final snippet is not an extension of what was streamed (fallback
+  //     replaced the decode, the lint gate repaired it, an empty
+  //     generation cleared it, ...).
+  // Invariant (asserted by tests/http_test.cpp): after suggest_stream
+  // returns, the accumulated bytes equal response.snippet exactly — the
+  // stream is byte-identical to the single-shot response for the same
+  // request, greedy or beam. Beam decoding emits no per-token chunks (a
+  // hypothesis is not final until search ends); its snippet arrives as
+  // one chunk at the end.
+  using TokenSink = std::function<void(std::string_view text, bool reset)>;
+  SuggestionResponse suggest_stream(const SuggestionRequest& request,
+                                    const TokenSink& sink);
 
   // Serves a batch through the continuous scheduler (or, with
   // continuous_batching off, concurrently on the global thread pool).
@@ -380,14 +423,21 @@ class InferenceService {
   // short-circuit (open circuit, fallback-only).
   enum class ServePath : std::uint8_t { Full, Shed, ShortCircuit };
 
+  // Stable-prefix chunk emitter backing suggest_stream (defined in
+  // service.cpp); run_one hooks it into GenerateOptions::on_token.
+  class StreamEmitter;
+
   bool try_admit();
   util::Deadline request_deadline(const SuggestionRequest& request) const;
   // Serves one request down `path`, recording spans into the trace and
-  // finalizing trace_id/server_timing_ms on the response.
+  // finalizing trace_id/server_timing_ms on the response. A non-null
+  // emitter receives per-token chunks from the generate stage.
   SuggestionResponse serve_traced(const SuggestionRequest& request,
-                                  ServePath path, std::uint64_t seq) const;
+                                  ServePath path, std::uint64_t seq,
+                                  StreamEmitter* emitter = nullptr) const;
   SuggestionResponse run_one(const SuggestionRequest& request,
-                             obs::TraceContext& trace) const;
+                             obs::TraceContext& trace,
+                             StreamEmitter* emitter = nullptr) const;
   // run_one() split at the generate call, so the continuous batcher can
   // run each half per request around one shared scheduler pass. Returns
   // true when the response is already final (invalid request, memo hit,
@@ -421,7 +471,8 @@ class InferenceService {
   // The typed refusal drained/stopped services answer with.
   SuggestionResponse drain_refusal();
   // suggest()/suggest_batch() bodies once past the lifecycle gate.
-  SuggestionResponse suggest_serving(const SuggestionRequest& request);
+  SuggestionResponse suggest_serving(const SuggestionRequest& request,
+                                     StreamEmitter* emitter = nullptr);
   std::vector<SuggestionResponse> suggest_batch_pooled(
       const std::vector<SuggestionRequest>& requests);
   // Fills `response` from the fallback suggester (degraded path).

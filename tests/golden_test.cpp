@@ -221,7 +221,9 @@ TEST(Golden, CheckpointRoundTripServesSameBytes) {
   ASSERT_TRUE(second.ok()) << second.message;
   ws::InferenceService service(*second.model, *tokenizer,
                                golden_service_options());
-  service.suggest({.prompt = "Install nginx"});  // populate caches
+  ws::SuggestionRequest warm;
+  warm.prompt = "Install nginx";
+  service.suggest(warm);  // populate caches
   service.invalidate_caches();
   EXPECT_EQ(service.prefix_cache_stats().entries, 0u);
 
