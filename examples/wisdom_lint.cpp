@@ -2,7 +2,8 @@
 //
 //   wisdom_lint playbook.yml tasks.yml     lint files (caret diagnostics)
 //   wisdom_lint < playbook.yml             lint stdin
-//   wisdom_lint --json file.yml            machine-readable output
+//   wisdom_lint --format json file.yml     machine-readable output
+//   wisdom_lint --format sarif *.yml       SARIF 2.1.0 (one log, all files)
 //   wisdom_lint --fix file.yml             apply auto-fixes in place
 //   wisdom_lint --list-rules               print the rule registry
 //
@@ -15,6 +16,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "analysis/engine.hpp"
@@ -25,8 +27,10 @@ namespace analysis = wisdom::analysis;
 
 namespace {
 
+enum class OutputFormat { Text, Json, Sarif };
+
 struct CliOptions {
-  bool json = false;
+  OutputFormat format = OutputFormat::Text;
   bool fix = false;
   bool list_rules = false;
   analysis::RuleConfig config;
@@ -38,8 +42,11 @@ void print_usage(std::FILE* out) {
                "usage: wisdom_lint [options] [file ...]\n"
                "Lints Ansible YAML (playbook, task list, or single task);\n"
                "reads stdin when no file is given.\n"
-               "  --json            machine-readable output (one JSON object "
-               "per input)\n"
+               "  --format=FMT      output format: text (default), json (one "
+               "object per input),\n"
+               "                    or sarif (one SARIF 2.1.0 log covering "
+               "all inputs)\n"
+               "  --json            alias for --format=json\n"
                "  --fix             apply auto-fixes (in place for files, to "
                "stdout for stdin)\n"
                "  --list-rules      print the rule registry and exit\n"
@@ -53,7 +60,15 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--json") {
-      options->json = true;
+      options->format = OutputFormat::Json;
+    } else if (arg.rfind("--format=", 0) == 0 ||
+               (arg == "--format" && i + 1 < argc)) {
+      std::string_view name =
+          arg == "--format" ? std::string_view(argv[++i]) : arg.substr(9);
+      if (name == "text") options->format = OutputFormat::Text;
+      else if (name == "json") options->format = OutputFormat::Json;
+      else if (name == "sarif") options->format = OutputFormat::Sarif;
+      else return false;
     } else if (arg == "--fix") {
       options->fix = true;
     } else if (arg == "--list-rules") {
@@ -147,6 +162,9 @@ int main(int argc, char** argv) {
   bool io_failure = false;
   std::vector<std::string> files = options.files;
   if (files.empty()) files.emplace_back("-");
+  // SARIF emits one log over all inputs after the loop, so the per-file
+  // results must outlive their iterations.
+  std::vector<std::pair<std::string, analysis::AnalysisResult>> sarif_runs;
   for (const std::string& path : files) {
     const bool is_stdin = path == "-";
     std::string text;
@@ -165,11 +183,17 @@ int main(int argc, char** argv) {
     if (result.error_count() > 0) any_errors = true;
 
     const std::string label = is_stdin ? "stdin" : path;
-    if (options.json) {
-      std::printf("%s\n", analysis::format_json(result).c_str());
-    } else {
-      std::fputs(analysis::format_text(final_text, result, label).c_str(),
-                 stdout);
+    switch (options.format) {
+      case OutputFormat::Json:
+        std::printf("%s\n", analysis::format_json(result).c_str());
+        break;
+      case OutputFormat::Sarif:
+        sarif_runs.emplace_back(label, std::move(result));
+        break;
+      case OutputFormat::Text:
+        std::fputs(analysis::format_text(final_text, result, label).c_str(),
+                   stdout);
+        break;
     }
     if (options.fix && final_text != text) {
       if (is_stdin) {
@@ -182,6 +206,13 @@ int main(int argc, char** argv) {
         }
       }
     }
+  }
+  if (options.format == OutputFormat::Sarif) {
+    std::vector<analysis::SarifArtifact> artifacts;
+    artifacts.reserve(sarif_runs.size());
+    for (const auto& [label, result] : sarif_runs)
+      artifacts.push_back({label, &result});
+    std::printf("%s\n", analysis::format_sarif(artifacts).c_str());
   }
   if (io_failure) return 2;
   return any_errors ? 1 : 0;

@@ -1,0 +1,223 @@
+#include "analysis/dataflow.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace wisdom::analysis {
+
+namespace {
+
+// The tightest span to hang a whole-task finding on: the `name:` value,
+// else the first key, else the task's own span.
+yaml::Span task_anchor(const IrTask& t) {
+  if (t.node && t.node->is_map() && !t.node->entries().empty()) {
+    if (const yaml::Node* name = t.node->find("name");
+        name && name->span().valid())
+      return name->span();
+    const yaml::Span& first = t.node->entries().front().second.key_span();
+    if (first.valid()) return first;
+  }
+  return t.span;
+}
+
+struct PendingRegister {
+  std::size_t task = kNoTask;
+  yaml::Span span;
+};
+
+}  // namespace
+
+std::vector<Finding> dataflow_pass(const PlaybookIr& ir) {
+  std::vector<Finding> out;
+
+  // Persistent definitions the document makes *somewhere*: only names in
+  // this set are candidates for undefined-variable, so inventory vars and
+  // gathered facts (defined outside the document) never false-positive.
+  std::set<std::string> defined_somewhere;
+  for (const IrPlay& play : ir.plays)
+    for (const VarDef& d : play.vars) defined_somewhere.insert(d.name);
+  for (const IrTask& t : ir.tasks)
+    for (const VarDef& d : t.defs)
+      if (d.kind == DefKind::Register || d.kind == DefKind::SetFact)
+        defined_somewhere.insert(d.name);
+
+  std::set<std::string> used_anywhere;
+  for (const IrTask& t : ir.tasks)
+    for (const VarUse& u : t.uses) used_anywhere.insert(u.name);
+
+  // Forward walk. Registered vars and facts persist across plays.
+  std::set<std::string> defined;
+  std::map<std::string, PendingRegister> pending;  // registers never read
+
+  for (const IrPlay& play : ir.plays) {
+    for (const VarDef& d : play.vars) defined.insert(d.name);
+
+    std::vector<std::size_t> order = ir.execution_order(play);
+    std::vector<std::size_t> handler_order;
+    {
+      IrPlay handlers;
+      handlers.tasks = play.handlers;
+      handler_order = ir.execution_order(handlers);
+    }
+
+    bool play_ended = false;
+    auto walk = [&](std::size_t id, bool handler_phase) {
+      const IrTask& t = ir.tasks[id];
+
+      if (!handler_phase) {
+        if (play_ended) {
+          out.push_back(Finding{
+              "unreachable-task",
+              "task is unreachable: an earlier 'meta: end_play' always ends "
+              "the play first",
+              task_anchor(t),
+              {}});
+        }
+        if (t.when_constant_false) {
+          out.push_back(Finding{
+              "unreachable-task",
+              "task can never run: its 'when' condition is always false",
+              t.when_span.valid() ? t.when_span : task_anchor(t),
+              {}});
+        }
+      }
+
+      // The task's own register/vars are visible inside it (retry loops
+      // read their own register from `until`).
+      std::set<std::string> own;
+      for (const VarDef& d : t.defs) own.insert(d.name);
+
+      for (const VarUse& u : t.uses) {
+        pending.erase(u.name);
+        if (t.has_loop && u.name == t.loop_var) continue;
+        if (u.name == "item") {
+          if (!t.has_loop) {
+            out.push_back(Finding{
+                "undefined-variable",
+                "loop variable 'item' is used but the task has no "
+                "loop/with_* keyword",
+                u.span,
+                {}});
+          } else {
+            out.push_back(Finding{
+                "undefined-variable",
+                "loop variable 'item' is used but loop_control renames the "
+                "loop variable to '" + t.loop_var + "'",
+                u.span,
+                {}});
+          }
+          continue;
+        }
+        if (defined.count(u.name) || own.count(u.name)) continue;
+        if (defined_somewhere.count(u.name)) {
+          out.push_back(Finding{
+              "undefined-variable",
+              "variable '" + u.name +
+                  "' is used before the task that defines it",
+              u.span,
+              {}});
+        }
+      }
+
+      for (const VarDef& d : t.defs) {
+        if (d.kind == DefKind::Register) {
+          auto it = pending.find(d.name);
+          if (it != pending.end()) {
+            const IrTask& prev = ir.tasks[it->second.task];
+            // Only a certain overwrite is worth flagging: both writes
+            // unconditional and on the same block/rescue branch.
+            if (!prev.has_when && !t.has_when &&
+                ir.branch_path(prev.id) == ir.branch_path(t.id)) {
+              out.push_back(Finding{
+                  "register-overwritten",
+                  "register '" + d.name +
+                      "' is overwritten by a later task before it is read",
+                  it->second.span,
+                  {}});
+            }
+          }
+          pending[d.name] = PendingRegister{t.id, d.span};
+          defined.insert(d.name);
+        } else if (d.kind == DefKind::SetFact) {
+          pending.erase(d.name);
+          defined.insert(d.name);
+        }
+        // TaskVars stay task-scoped: visible through `own` only.
+      }
+
+      if (!handler_phase && t.ends_play && !t.has_when &&
+          t.parent == kNoTask) {
+        play_ended = true;
+      }
+    };
+    for (std::size_t id : order) walk(id, /*handler_phase=*/false);
+    for (std::size_t id : handler_order) walk(id, /*handler_phase=*/true);
+
+    // Handler resolution needs a real play with a handlers section; bare
+    // task lists legitimately notify handlers that live elsewhere.
+    if (ir.is_playbook && !play.handlers.empty()) {
+      std::set<std::size_t> notified;
+      for (std::size_t id : order) {
+        for (const auto& [target, span] : ir.tasks[id].notify) {
+          std::size_t handler = ir.resolve_handler(play, target);
+          if (handler == kNoTask) {
+            out.push_back(Finding{
+                "undefined-handler",
+                "notify target '" + target +
+                    "' matches no handler in this play",
+                span,
+                {}});
+          } else {
+            notified.insert(handler);
+          }
+        }
+      }
+      // Handlers may chain-notify each other.
+      for (std::size_t id : handler_order) {
+        for (const auto& [target, span] : ir.tasks[id].notify) {
+          (void)span;
+          std::size_t handler = ir.resolve_handler(play, target);
+          if (handler != kNoTask) notified.insert(handler);
+        }
+      }
+      for (std::size_t id : handler_order) {
+        const IrTask& h = ir.tasks[id];
+        if (h.is_block) continue;
+        bool reached = notified.count(id) != 0;
+        for (std::size_t up = h.parent; !reached && up != kNoTask;
+             up = ir.tasks[up].parent) {
+          reached = notified.count(up) != 0;
+        }
+        if (!reached) {
+          out.push_back(Finding{
+              "unused-handler",
+              h.name.empty()
+                  ? std::string("handler is never notified")
+                  : "handler '" + h.name + "' is never notified",
+              task_anchor(h),
+              {}});
+        }
+      }
+    }
+  }
+
+  // A register nothing ever reads. Names starting with '_' opt out, the
+  // same convention ansible-lint's var-naming rules use for throwaways.
+  for (const IrTask& t : ir.tasks) {
+    for (const VarDef& d : t.defs) {
+      if (d.kind != DefKind::Register) continue;
+      if (!d.name.empty() && d.name[0] == '_') continue;
+      if (used_anywhere.count(d.name)) continue;
+      out.push_back(Finding{
+          "unused-register",
+          "registered variable '" + d.name + "' is never used",
+          d.span,
+          {}});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace wisdom::analysis

@@ -1,0 +1,27 @@
+// Reaching-definitions dataflow over the playbook IR.
+//
+// One forward walk over the document's execution order (plays in sequence,
+// tasks flattened through block/rescue/always, handlers after their play)
+// computes def-use chains for `register` / `set_fact` / play `vars` — facts
+// persist across plays, task `vars` stay task-scoped — and derives:
+//
+//   undefined-variable   a use before any definition can reach it (only for
+//                        names the document defines *somewhere*; inventory
+//                        and fact variables are out of scope by design)
+//   unused-register      a registered variable never read anywhere
+//   register-overwritten a register shadowed before it is ever read, on the
+//                        same unconditional branch path
+//   unreachable-task     `when: false`, or a task after `meta: end_play`
+//   undefined-handler    `notify` naming no handler of a play that has some
+//   unused-handler       a handler no task ever notifies
+#pragma once
+
+#include <vector>
+
+#include "analysis/ir.hpp"
+
+namespace wisdom::analysis {
+
+std::vector<Finding> dataflow_pass(const PlaybookIr& ir);
+
+}  // namespace wisdom::analysis

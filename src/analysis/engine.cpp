@@ -1,13 +1,15 @@
 #include "analysis/engine.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <set>
 
+#include "analysis/dataflow.hpp"
+#include "analysis/ir.hpp"
+#include "analysis/taint.hpp"
+#include "analysis/typecheck.hpp"
 #include "ansible/catalog.hpp"
 #include "ansible/freeform.hpp"
 #include "ansible/jinja.hpp"
-#include "ansible/keywords.hpp"
 #include "ansible/model.hpp"
 #include "util/strings.hpp"
 #include "yaml/emit.hpp"
@@ -19,15 +21,6 @@ namespace util = wisdom::util;
 namespace ans = wisdom::ansible;
 
 namespace {
-
-// A fix computed during traversal, matched to a diagnostic afterwards by
-// (rule, span.begin) — the base linter produces the diagnostic, the
-// traversal knows the edit.
-struct FixCandidate {
-  std::string_view rule;
-  std::size_t anchor = 0;  // span.begin of the diagnostic it repairs
-  std::vector<TextEdit> edits;
-};
 
 // Config-aware diagnostic sink: drops disabled rules, applies severity
 // overrides, falls back to the registry's default severity.
@@ -61,70 +54,6 @@ class Emitter {
   const RuleConfig& config_;
   AnalysisResult& result_;
 };
-
-// --- variable reference extraction ---------------------------------------
-
-bool is_expr_keyword_token(std::string_view token) {
-  static constexpr std::string_view kKeywords[] = {
-      "and", "or",   "not",  "in",    "is",    "if",   "else",
-      "true", "false", "True", "False", "none", "None", "null",
-  };
-  for (std::string_view k : kKeywords)
-    if (token == k) return true;
-  return false;
-}
-
-// Root identifiers a Jinja expression dereferences: `result.rc != 0` yields
-// {result}; filters (`x | default(1)`), tests (`x is defined`), attribute
-// accesses and calls are not roots. Quoted strings are skipped.
-void expr_roots(std::string_view text, std::vector<std::string>& out) {
-  std::string prev_token;
-  char prev_sig = 0;  // last significant (non-space) char before the token
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    if (c == '\'' || c == '"') {
-      char quote = c;
-      ++i;
-      while (i < text.size() && text[i] != quote) ++i;
-      prev_sig = quote;
-      prev_token.clear();
-      continue;
-    }
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::size_t j = i;
-      while (j < text.size() &&
-             (std::isalnum(static_cast<unsigned char>(text[j])) ||
-              text[j] == '_'))
-        ++j;
-      std::string token(text.substr(i, j - i));
-      bool is_call = j < text.size() && text[j] == '(';
-      if (prev_sig != '.' && prev_token != "|" && prev_token != "is" &&
-          !is_call && !is_expr_keyword_token(token)) {
-        if (std::find(out.begin(), out.end(), token) == out.end())
-          out.push_back(token);
-      }
-      prev_token = std::move(token);
-      prev_sig = 'a';
-      i = j - 1;
-      continue;
-    }
-    if (!std::isspace(static_cast<unsigned char>(c))) {
-      prev_sig = c;
-      prev_token.assign(1, c);
-    }
-  }
-}
-
-// Roots referenced by the {{ ... }} interpolations of a template string.
-void template_roots(std::string_view text, std::vector<std::string>& out) {
-  std::size_t pos = 0;
-  while ((pos = text.find("{{", pos)) != std::string_view::npos) {
-    std::size_t end = text.find("}}", pos + 2);
-    if (end == std::string_view::npos) return;  // unbalanced: jinja-syntax
-    expr_roots(text.substr(pos + 2, end - pos - 2), out);
-    pos = end + 2;
-  }
-}
 
 // --- generic node walks ---------------------------------------------------
 
@@ -196,81 +125,7 @@ void check_templates(const yaml::Node& node, Emitter& em) {
   }
 }
 
-// --- task enumeration -----------------------------------------------------
-
-void collect_tasks(const yaml::Node& node,
-                   std::vector<const yaml::Node*>& out) {
-  if (!node.is_map()) return;
-  if (ans::is_block(node)) {
-    for (const auto& [key, value] : node.entries()) {
-      if (ans::is_block_key(key) && value.is_seq()) {
-        for (const yaml::Node& child : value.items())
-          collect_tasks(child, out);
-      }
-    }
-    return;
-  }
-  out.push_back(&node);
-}
-
-// Document-ordered module tasks of a task / task list / playbook document.
-std::vector<const yaml::Node*> document_tasks(const yaml::Node& doc) {
-  std::vector<const yaml::Node*> tasks;
-  if (doc.is_map()) {
-    collect_tasks(doc, tasks);
-    return tasks;
-  }
-  if (!doc.is_seq()) return tasks;
-  if (ans::looks_like_playbook(doc)) {
-    static constexpr std::string_view kTaskLists[] = {
-        "pre_tasks", "tasks", "post_tasks", "handlers"};
-    for (const yaml::Node& play : doc.items()) {
-      if (!play.is_map()) continue;
-      for (std::string_view key : kTaskLists) {
-        const yaml::Node* list = play.find(key);
-        if (list && list->is_seq()) {
-          for (const yaml::Node& item : list->items())
-            collect_tasks(item, tasks);
-        }
-      }
-    }
-    return tasks;
-  }
-  for (const yaml::Node& item : doc.items()) collect_tasks(item, tasks);
-  return tasks;
-}
-
 // --- per-task rules -------------------------------------------------------
-
-struct TaskView {
-  const yaml::Node* node = nullptr;
-  std::string module_key;          // as written; empty when none found
-  const yaml::Node* args = nullptr;
-  bool has_loop = false;
-  std::string register_name;
-};
-
-TaskView classify_task(const yaml::Node& task) {
-  TaskView view;
-  view.node = &task;
-  for (const auto& [key, value] : task.entries()) {
-    if (key == "name") continue;
-    if (key == "loop" || util::starts_with(key, "with_")) {
-      view.has_loop = true;
-      continue;
-    }
-    if (key == "register" && value.is_str()) {
-      view.register_name = value.as_str();
-      continue;
-    }
-    if (ans::find_task_keyword(key)) continue;
-    if (view.module_key.empty()) {
-      view.module_key = key;
-      view.args = &value;
-    }
-  }
-  return view;
-}
 
 bool is_expression_keyword(std::string_view key) {
   return key == "when" || key == "changed_when" || key == "failed_when" ||
@@ -292,33 +147,6 @@ void check_expression(const yaml::Node& value, Emitter& em) {
   }
 }
 
-// Collects (root, span) variable references of the task subtree: template
-// interpolations of every string plus bare conditional expressions.
-void collect_variable_uses(
-    const yaml::Node& node, bool in_expression,
-    std::vector<std::pair<std::string, yaml::Span>>& uses) {
-  if (node.is_str()) {
-    std::vector<std::string> roots;
-    if (in_expression && !util::contains(node.as_str(), "{{")) {
-      expr_roots(node.as_str(), roots);
-    } else {
-      template_roots(node.as_str(), roots);
-    }
-    for (std::string& root : roots)
-      uses.emplace_back(std::move(root), node.span().valid()
-                                             ? node.span()
-                                             : node.anchor_span());
-    return;
-  }
-  if (node.is_map()) {
-    for (const auto& [key, value] : node.entries())
-      collect_variable_uses(value, is_expression_keyword(key), uses);
-  } else if (node.is_seq()) {
-    for (const yaml::Node& item : node.items())
-      collect_variable_uses(item, in_expression, uses);
-  }
-}
-
 std::string render_param_scalar(const yaml::Node& value) {
   std::string text = value.scalar_text();
   if (value.is_str() && yaml::scalar_needs_quotes(text))
@@ -326,91 +154,62 @@ std::string render_param_scalar(const yaml::Node& value) {
   return text;
 }
 
-void analyze_tasks(std::string_view source, const yaml::Node& doc,
-                   Emitter& em, std::vector<FixCandidate>& fixes) {
-  const ans::ModuleCatalog& catalog = ans::ModuleCatalog::instance();
-  std::vector<const yaml::Node*> tasks = document_tasks(doc);
+// Per-task schema-adjacent rules that need the source text: name-missing,
+// deprecated-module, the fqcn / old-style-args fix candidates, and Jinja
+// validation of conditional expressions. Variable def-use rules live in
+// dataflow_pass; parameter rules in typecheck_pass.
+void check_ir_tasks(std::string_view source, const PlaybookIr& ir,
+                    Emitter& em, std::vector<FixCandidate>& fixes) {
+  for (const IrTask& t : ir.tasks) {
+    if (!t.node || t.node->size() == 0) continue;
 
-  // Names some task registers; references to these are checkable.
-  std::set<std::string> all_registered;
-  for (const yaml::Node* task : tasks) {
-    TaskView view = classify_task(*task);
-    if (!view.register_name.empty()) all_registered.insert(view.register_name);
-  }
-
-  std::set<std::string> registered;
-  for (const yaml::Node* task : tasks) {
-    if (!task->is_map() || task->size() == 0) continue;
-    TaskView view = classify_task(*task);
-
-    if (!task->has("name")) {
-      em.add("name-missing", "task has no 'name:'", task->anchor_span());
-    }
-
-    if (!view.module_key.empty() && view.args) {
-      const ans::ModuleSpec* module = catalog.resolve(view.module_key);
-      const yaml::Span& key_span = view.args->key_span();
-      if (module && !module->deprecated_by.empty()) {
-        em.add("deprecated-module",
-               "module '" + view.module_key + "' is deprecated; use '" +
-                   module->deprecated_by + "'",
-               view.args->anchor_span());
-      }
-      if (module && key_span.valid() &&
-          view.module_key.find('.') == std::string::npos) {
-        fixes.push_back(FixCandidate{
-            "fqcn", key_span.begin,
-            {TextEdit{key_span.begin, key_span.end, module->fqcn}}});
-      }
-      if (module && !module->free_form && view.args->is_str() &&
-          ans::looks_like_kv_args(view.args->as_str()) &&
-          view.args->span().valid() && key_span.valid()) {
-        ans::FreeFormSplit split = ans::parse_free_form(view.args->as_str());
-        const yaml::Span& value_span = view.args->span();
-        // Eat the spaces between ':' and the k=v string so the expansion
-        // becomes "module:\n  key: value" with no trailing blanks.
-        std::size_t begin = value_span.begin;
-        while (begin > 0 && begin - 1 < source.size() &&
-               source[begin - 1] == ' ')
-          --begin;
-        std::string indent(key_span.column - 1 + 2, ' ');
-        std::string replacement;
-        for (const auto& [pkey, pvalue] : split.params.entries()) {
-          replacement += "\n" + indent + pkey + ": " +
-                         render_param_scalar(pvalue);
-        }
-        if (!replacement.empty()) {
-          fixes.push_back(FixCandidate{
-              "old-style-args", value_span.begin,
-              {TextEdit{begin, value_span.end, std::move(replacement)}}});
-        }
-      }
-    }
-
-    // Conditional expressions must parse as Jinja.
-    for (const auto& [key, value] : task->entries()) {
+    // Conditional expressions must parse as Jinja (blocks carry them too).
+    for (const auto& [key, value] : t.node->entries()) {
       if (is_expression_keyword(key)) check_expression(value, em);
     }
 
-    // Loop / register variable references.
-    if (!view.register_name.empty()) registered.insert(view.register_name);
-    std::vector<std::pair<std::string, yaml::Span>> uses;
-    collect_variable_uses(*task, false, uses);
-    for (const auto& [root, span] : uses) {
-      if (root == "item") {
-        if (!view.has_loop) {
-          em.add("undefined-variable",
-                 "loop variable 'item' is used but the task has no "
-                 "loop/with_* keyword",
-                 span);
-        }
-        continue;
+    if (t.is_block) continue;
+
+    if (!t.node->has("name")) {
+      em.add("name-missing", "task has no 'name:'", t.node->anchor_span());
+    }
+
+    if (t.module.empty() || !t.args) continue;
+    const ans::ModuleSpec* module = t.spec;
+    const yaml::Span& key_span = t.args->key_span();
+    if (module && !module->deprecated_by.empty()) {
+      em.add("deprecated-module",
+             "module '" + t.module + "' is deprecated; use '" +
+                 module->deprecated_by + "'",
+             t.args->anchor_span());
+    }
+    if (module && key_span.valid() &&
+        t.module.find('.') == std::string::npos) {
+      fixes.push_back(FixCandidate{
+          "fqcn", key_span.begin,
+          {TextEdit{key_span.begin, key_span.end, module->fqcn}}});
+    }
+    if (module && !module->free_form && t.args->is_str() &&
+        ans::looks_like_kv_args(t.args->as_str()) &&
+        t.args->span().valid() && key_span.valid()) {
+      ans::FreeFormSplit split = ans::parse_free_form(t.args->as_str());
+      const yaml::Span& value_span = t.args->span();
+      // Eat the spaces between ':' and the k=v string so the expansion
+      // becomes "module:\n  key: value" with no trailing blanks.
+      std::size_t begin = value_span.begin;
+      while (begin > 0 && begin - 1 < source.size() &&
+             source[begin - 1] == ' ')
+        --begin;
+      std::string indent(key_span.column - 1 + 2, ' ');
+      std::string replacement;
+      for (const auto& [pkey, pvalue] : split.params.entries()) {
+        replacement += "\n" + indent + pkey + ": " +
+                       render_param_scalar(pvalue);
       }
-      if (all_registered.count(root) && !registered.count(root)) {
-        em.add("undefined-variable",
-               "variable '" + root +
-                   "' is used before the task that registers it",
-               span);
+      if (!replacement.empty()) {
+        fixes.push_back(FixCandidate{
+            "old-style-args", value_span.begin,
+            {TextEdit{begin, value_span.end, std::move(replacement)}}});
       }
     }
   }
@@ -458,7 +257,21 @@ AnalysisResult analyze(std::string_view text, const RuleConfig& config) {
   check_duplicate_keys(*doc, em);
   check_literals(*doc, em);
   check_templates(*doc, em);
-  analyze_tasks(text, *doc, em, fixes);
+
+  // The semantic layer: lower to IR once, run every pass over it.
+  PlaybookIr ir = build_ir(*doc);
+  check_ir_tasks(text, ir, em, fixes);
+  for (Finding& f : dataflow_pass(ir)) {
+    em.add(f.rule, std::move(f.message), f.span, std::move(f.edits));
+  }
+  TypecheckOutput typecheck = typecheck_pass(ir);
+  for (Finding& f : typecheck.findings) {
+    em.add(f.rule, std::move(f.message), f.span, std::move(f.edits));
+  }
+  for (FixCandidate& f : typecheck.fixes) fixes.push_back(std::move(f));
+  for (Finding& f : taint_pass(ir)) {
+    em.add(f.rule, std::move(f.message), f.span, std::move(f.edits));
+  }
 
   // Attach computed edits to the diagnostics they repair.
   for (Diagnostic& d : result.diagnostics) {

@@ -1,7 +1,9 @@
 #include "analysis/format.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
+#include "analysis/rules.hpp"
 #include "util/strings.hpp"
 
 namespace wisdom::analysis {
@@ -122,6 +124,66 @@ std::string format_json(const AnalysisResult& result) {
     out += '}';
   }
   out += "]}";
+  return out;
+}
+
+std::string format_sarif(const std::vector<SarifArtifact>& artifacts) {
+  const auto rules = all_rules();
+  std::string out;
+  out +=
+      "{\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"wisdom_lint\",\"informationUri\":"
+      "\"https://github.com/ansible/ansible-wisdom\",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out += ',';
+    const RuleInfo& rule = rules[i];
+    out += "{\"id\":";
+    append_json_string(out, rule.id);
+    out += ",\"shortDescription\":{\"text\":";
+    append_json_string(out, rule.summary);
+    out += "},\"defaultConfiguration\":{\"level\":";
+    append_json_string(out, severity_name(rule.default_severity));
+    out += "},\"properties\":{\"fixable\":";
+    out += rule.fixable ? "true" : "false";
+    out += ",\"semantic\":";
+    out += rule.semantic ? "true" : "false";
+    out += "}}";
+  }
+  out += "]}},\"results\":[";
+  bool first = true;
+  for (const SarifArtifact& artifact : artifacts) {
+    if (artifact.result == nullptr) continue;
+    for (const Diagnostic* d : artifact.result->sorted()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ruleId\":";
+      append_json_string(out, d->rule);
+      // ruleIndex ties the result to the driver.rules entry; -1 (omitted)
+      // would be legal but viewers use the index for severity metadata.
+      for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (rules[i].id == d->rule) {
+          out += ",\"ruleIndex\":" + std::to_string(i);
+          break;
+        }
+      }
+      out += ",\"level\":";
+      append_json_string(out, severity_name(d->severity));
+      out += ",\"message\":{\"text\":";
+      append_json_string(out, d->message);
+      out += "},\"locations\":[{\"physicalLocation\":{"
+             "\"artifactLocation\":{\"uri\":";
+      append_json_string(out, artifact.uri);
+      out += '}';
+      if (d->span.valid()) {
+        out += ",\"region\":{\"startLine\":" + std::to_string(d->span.line) +
+               ",\"startColumn\":" + std::to_string(d->span.column) + '}';
+      }
+      out += "}}]}";
+    }
+  }
+  out += "]}]}";
   return out;
 }
 

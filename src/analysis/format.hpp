@@ -1,10 +1,11 @@
 // Rendering of analysis results for humans (caret diagnostics in the style
 // of compiler output) and machines (JSON, consumed by the serve wire format
-// and the lint CLI's --json mode).
+// and the lint CLI's --json mode; SARIF 2.1.0 for code-scanning UIs).
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/diagnostic.hpp"
 
@@ -30,5 +31,21 @@ std::string format_json(const AnalysisResult& result);
 // Renders one diagnostic's location+message line (no source excerpt).
 std::string format_one_line(const Diagnostic& diagnostic,
                             std::string_view file_label = "input");
+
+// One analyzed artifact for SARIF rendering: the URI results point at and
+// the analysis of that artifact (not owned; must outlive the call).
+struct SarifArtifact {
+  std::string uri;
+  const AnalysisResult* result = nullptr;
+};
+
+// SARIF 2.1.0 rendering: a single run whose tool.driver.rules carries the
+// full rule registry (id, summary, default level, fixable) in registry
+// order, and whose results cover every diagnostic of every artifact, in
+// artifact order then (line, column, rule) order. Spans become
+// physicalLocation regions (startLine/startColumn, 1-based); diagnostics
+// without a location omit the region. Deterministic byte-for-byte output,
+// suitable for golden-file comparison in CI.
+std::string format_sarif(const std::vector<SarifArtifact>& artifacts);
 
 }  // namespace wisdom::analysis

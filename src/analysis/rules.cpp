@@ -11,7 +11,7 @@ constexpr Severity kErr = Severity::Error;
 constexpr Severity kWarn = Severity::Warning;
 
 // Sorted by id (asserted by the registry test).
-constexpr std::array<RuleInfo, 29> kRules{{
+constexpr std::array<RuleInfo, 39> kRules{{
     {"args-shape", kErr, false,
      "module arguments must be a mapping (or free-form string)"},
     {"block-shape", kErr, false, "block/rescue/always must hold task lists"},
@@ -33,23 +33,42 @@ constexpr std::array<RuleInfo, 29> kRules{{
     {"multiple-modules", kErr, false, "task has more than one module key"},
     {"name-missing", kWarn, false, "task has no 'name:'"},
     {"name-shape", kErr, false, "name must be a scalar"},
+    {"no-log-missing", kWarn, true,
+     "credential-valued parameter without 'no_log: true'", true},
     {"octal-mode", kWarn, true,
      "numeric file mode loses its leading zero - quote it"},
     {"old-style-args", kErr, true,
      "legacy k=v argument string on a non-free-form module"},
-    {"param-value", kErr, false, "module parameter has an invalid value"},
+    {"param-mutually-exclusive", kErr, false,
+     "module parameters that exclude each other are both set", true},
+    {"param-required-together", kWarn, false,
+     "module parameter is missing its companion parameter", true},
+    {"param-value", kErr, true, "module parameter has an invalid value"},
     {"play-empty", kErr, false, "play has no tasks, roles or handlers"},
     {"play-shape", kErr, false, "play must be a mapping"},
     {"playbook-shape", kErr, false,
      "playbook must be a non-empty sequence of plays"},
+    {"register-overwritten", kWarn, false,
+     "registered variable is overwritten before it is ever read", true},
+    {"secret-in-name", kWarn, false,
+     "task name interpolates a secret-shaped variable", true},
+    {"secret-logging", kWarn, true,
+     "secret-shaped value flows into logged output without no_log", true},
     {"task-shape", kErr, false, "task must be a non-empty mapping"},
     {"tasks-shape", kErr, false, "task file must be a sequence of tasks"},
+    {"undefined-handler", kErr, false,
+     "notify target matches no handler in the play", true},
     {"undefined-variable", kWarn, false,
-     "loop/register variable referenced where it is not defined"},
+     "variable used before any definition reaches it", true},
     {"unknown-keyword", kErr, false, "unknown block keyword"},
     {"unknown-module", kErr, false, "unknown module or keyword"},
-    {"unknown-param", kErr, false, "module has no such parameter"},
+    {"unknown-param", kErr, true, "module has no such parameter"},
     {"unknown-play-keyword", kErr, false, "unknown play keyword"},
+    {"unreachable-task", kWarn, false,
+     "task can never execute (constant-false when or after end_play)", true},
+    {"unused-handler", kWarn, false, "handler is never notified", true},
+    {"unused-register", kWarn, false,
+     "registered variable is never used", true},
     {"yaml-syntax", kErr, false, "document is not parseable YAML"},
 }};
 

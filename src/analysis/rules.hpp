@@ -21,6 +21,11 @@ struct RuleInfo {
   Severity default_severity = Severity::Error;
   bool fixable = false;
   std::string_view summary;
+  // Semantic rules come from the IR passes (dataflow/typecheck/taint) and
+  // judge meaning rather than schema shape: they feed `semantic_correct`
+  // and are excluded from the paper's Schema Correct metric so its numbers
+  // stay comparable across engine generations.
+  bool semantic = false;
 };
 
 // All known rules, sorted by id.

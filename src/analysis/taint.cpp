@@ -1,0 +1,194 @@
+#include "analysis/taint.hpp"
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace wisdom::analysis {
+
+namespace util = wisdom::util;
+namespace ans = wisdom::ansible;
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Sink parameters whose values Ansible prints to the controller output.
+bool is_log_sink_param(const ans::ModuleSpec& spec, std::string_view param) {
+  if (spec.short_name == "debug") return param == "msg" || param == "var";
+  if (spec.short_name == "fail") return param == "msg";
+  if (spec.short_name == "assert") {
+    return param == "msg" || param == "fail_msg" || param == "success_msg";
+  }
+  return false;
+}
+
+// A `lookup('env', 'DB_PASSWORD')`-style call with a credential-shaped
+// literal argument.
+bool has_secret_lookup(std::string_view text) {
+  std::size_t pos = 0;
+  while ((pos = text.find("lookup(", pos)) != std::string_view::npos) {
+    std::size_t close = text.find(')', pos);
+    std::string_view call = text.substr(
+        pos, close == std::string_view::npos ? text.size() - pos
+                                             : close - pos);
+    std::size_t i = 0;
+    while (i < call.size()) {
+      char quote = call[i];
+      if (quote != '\'' && quote != '"') {
+        ++i;
+        continue;
+      }
+      std::size_t end = call.find(quote, i + 1);
+      if (end == std::string_view::npos) break;
+      if (secret_shaped_name(call.substr(i + 1, end - i - 1))) return true;
+      i = end + 1;
+    }
+    pos += 7;
+  }
+  return false;
+}
+
+TextEdit no_log_edit(const IrTask& t) {
+  std::size_t indent = t.span.column > 0 ? t.span.column - 1 : 0;
+  return TextEdit{t.span.end, t.span.end,
+                  "\n" + std::string(indent, ' ') + "no_log: true"};
+}
+
+// The no_log fix is only mechanical when the task has no `no_log:` key yet
+// (never insert a duplicate next to an explicit `no_log: false`).
+std::vector<TextEdit> no_log_fix(const IrTask& t) {
+  if (t.has_no_log_key || !t.span.valid()) return {};
+  return {no_log_edit(t)};
+}
+
+struct TaintWalk {
+  const PlaybookIr& ir;
+  std::vector<Finding>& out;
+  std::set<std::string> tainted;  // persists across plays, like facts
+
+  bool tainted_name(std::string_view name) const {
+    return secret_shaped_name(name) || tainted.count(std::string(name)) != 0;
+  }
+
+  void visit(const IrTask& t) {
+    bool inputs_tainted = false;
+    for (const VarUse& u : t.uses) {
+      if (!tainted_name(u.name)) continue;
+      inputs_tainted = true;
+      if (u.in_name) {
+        out.push_back(Finding{
+            "secret-in-name",
+            "task name interpolates secret-shaped variable '" + u.name +
+                "'; names are always displayed, even under no_log",
+            u.span,
+            {}});
+      }
+    }
+
+    bool has_secret_param = false;
+    if (!t.is_block && t.spec) {
+      check_module(t, &has_secret_param);
+    }
+
+    // Propagate: a register or fact computed from tainted inputs (or from
+    // a secret parameter's module) is itself tainted.
+    for (const VarDef& d : t.defs) {
+      bool source = secret_shaped_name(d.name);
+      if (d.kind == DefKind::Register) {
+        if (source || inputs_tainted || has_secret_param)
+          tainted.insert(d.name);
+      } else if (d.kind == DefKind::SetFact) {
+        if (source || inputs_tainted) tainted.insert(d.name);
+      }
+    }
+  }
+
+  void check_module(const IrTask& t, bool* has_secret_param) {
+    std::vector<const yaml::Node*> maps;
+    if (t.args && t.args->is_map()) maps.push_back(t.args);
+    if (t.args_kw) maps.push_back(t.args_kw);
+    for (const yaml::Node* args : maps) {
+      for (const auto& [key, value] : args->entries()) {
+        const ans::ParamSpec* param = t.spec->param(key);
+        if (param && param->secret && !value.is_null()) {
+          *has_secret_param = true;
+          if (!t.no_log) {
+            out.push_back(Finding{
+                "no-log-missing",
+                "module '" + t.spec->fqcn + "' parameter '" + param->name +
+                    "' is a credential; set 'no_log: true' on the task",
+                value.anchor_span(), no_log_fix(t)});
+          }
+        }
+        if (!is_log_sink_param(*t.spec, key) || !value.is_str()) continue;
+        // A sink value: flag tainted roots and secret lookups.
+        std::vector<std::string> roots;
+        if (t.spec->short_name == "debug" && key == "var" &&
+            !util::contains(value.as_str(), "{{")) {
+          expr_roots(value.as_str(), roots);
+        } else {
+          template_roots(value.as_str(), roots);
+        }
+        std::string offender;
+        for (const std::string& root : roots) {
+          if (tainted_name(root)) {
+            offender = root;
+            break;
+          }
+        }
+        bool lookup_leak = offender.empty() && has_secret_lookup(value.as_str());
+        if (offender.empty() && !lookup_leak) continue;
+        if (t.no_log) continue;
+        out.push_back(Finding{
+            "secret-logging",
+            offender.empty()
+                ? "a lookup of a credential flows into '" + key +
+                      "', which is logged; set 'no_log: true'"
+                : "secret-shaped variable '" + offender + "' flows into '" +
+                      key + "', which is logged; set 'no_log: true'",
+            value.anchor_span().valid() ? value.anchor_span() : t.span,
+            no_log_fix(t)});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool secret_shaped_name(std::string_view name) {
+  std::string lowered = to_lower(name);
+  if (util::starts_with(lowered, "vault_")) return true;
+  static constexpr std::string_view kMarkers[] = {
+      "password", "passwd",  "secret",      "api_key",    "apikey",
+      "token",    "credential", "access_key", "private_key",
+  };
+  for (std::string_view marker : kMarkers)
+    if (util::contains(lowered, marker)) return true;
+  return false;
+}
+
+std::vector<Finding> taint_pass(const PlaybookIr& ir) {
+  std::vector<Finding> out;
+  TaintWalk walk{ir, out, {}};
+  for (const IrPlay& play : ir.plays) {
+    for (const VarDef& d : play.vars)
+      if (secret_shaped_name(d.name)) walk.tainted.insert(d.name);
+    for (std::size_t id : ir.execution_order(play))
+      walk.visit(ir.tasks[id]);
+    IrPlay handlers;
+    handlers.tasks = play.handlers;
+    for (std::size_t id : ir.execution_order(handlers))
+      walk.visit(ir.tasks[id]);
+  }
+  return out;
+}
+
+}  // namespace wisdom::analysis

@@ -1,0 +1,31 @@
+// Secret-taint analysis over the playbook IR.
+//
+// Taint sources are (a) variables whose names look like credentials
+// (vault_*, *password*, *token*, *_key*, ...), (b) module parameters the
+// catalog marks `secret`, and (c) `lookup(...)` calls whose literal
+// arguments name a credential. Taint propagates through `register` and
+// `set_fact` along the same forward walk the dataflow pass uses. Findings:
+//
+//   secret-logging   a tainted value reaches a logged sink (debug/fail/
+//                    assert message output) on a task without no_log
+//                    [auto-fix: insert `no_log: true`]
+//   no-log-missing   a catalog-secret parameter is set without no_log
+//                    [auto-fix: insert `no_log: true`]
+//   secret-in-name   a task name interpolates a tainted variable — task
+//                    names are always displayed, no_log does not help
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/ir.hpp"
+
+namespace wisdom::analysis {
+
+// True when a variable name is credential-shaped (the taint source
+// predicate; exposed for tests).
+bool secret_shaped_name(std::string_view name);
+
+std::vector<Finding> taint_pass(const PlaybookIr& ir);
+
+}  // namespace wisdom::analysis

@@ -1,0 +1,225 @@
+#include "analysis/typecheck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "util/strings.hpp"
+#include "yaml/emit.hpp"
+
+namespace wisdom::analysis {
+
+namespace util = wisdom::util;
+namespace ans = wisdom::ansible;
+
+namespace {
+
+bool is_templated(const yaml::Node& node) {
+  return node.is_str() && util::contains(node.as_str(), "{{");
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t next_diag = row[j];
+      std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = next_diag;
+    }
+  }
+  return row[b.size()];
+}
+
+// Short names tolerate one typo, longer ones two; anything looser starts
+// renaming parameters the author plausibly meant as written.
+std::size_t typo_budget(std::string_view written) {
+  return written.size() >= 6 ? 2 : 1;
+}
+
+// The unique candidate within the typo budget of `written`; "" when none
+// or when the minimum is ambiguous.
+std::string closest_unique(std::string_view written,
+                           const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = typo_budget(written) + 1;
+  bool ambiguous = false;
+  for (const std::string& candidate : candidates) {
+    std::size_t d = edit_distance(written, candidate);
+    if (d < best_distance) {
+      best = candidate;
+      best_distance = d;
+      ambiguous = false;
+    } else if (d == best_distance) {
+      ambiguous = true;
+    }
+  }
+  return ambiguous ? std::string() : best;
+}
+
+bool is_bool_spelling(std::string_view lowered, bool* value) {
+  static constexpr std::string_view kTrue[] = {"true", "yes", "on", "y"};
+  static constexpr std::string_view kFalse[] = {"false", "no", "off", "n"};
+  for (std::string_view t : kTrue) {
+    if (lowered == t) {
+      *value = true;
+      return true;
+    }
+  }
+  for (std::string_view f : kFalse) {
+    if (lowered == f) {
+      *value = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void add_param_value_fix(const ans::ParamSpec& param, const yaml::Node& value,
+                         std::vector<FixCandidate>& fixes) {
+  // The base linter anchors param-value at the key span and only fires on
+  // non-templated values; mirror both so the candidate matches.
+  if (is_templated(value) || !value.is_str() || !value.span().valid())
+    return;
+  std::size_t anchor = value.anchor_span().begin;
+  if (param.type == ans::ParamType::Bool) {
+    bool truth = false;
+    if (!is_bool_spelling(to_lower(value.as_str()), &truth)) return;
+    fixes.push_back(FixCandidate{
+        "param-value", anchor,
+        {TextEdit{value.span().begin, value.span().end,
+                  truth ? "true" : "false"}}});
+    return;
+  }
+  if (param.type == ans::ParamType::Choice) {
+    std::string lowered = to_lower(value.as_str());
+    std::string replacement;
+    for (const std::string& choice : param.choices) {
+      if (to_lower(choice) == lowered) {
+        replacement = choice;  // case mismatch only
+        break;
+      }
+    }
+    if (replacement.empty())
+      replacement = closest_unique(value.as_str(), param.choices);
+    if (replacement.empty()) return;
+    if (yaml::scalar_needs_quotes(replacement))
+      replacement = yaml::quote_scalar(replacement);
+    fixes.push_back(FixCandidate{
+        "param-value", anchor,
+        {TextEdit{value.span().begin, value.span().end,
+                  std::move(replacement)}}});
+  }
+}
+
+void check_task(const IrTask& t, TypecheckOutput& out) {
+  const ans::ModuleSpec* spec = t.spec;
+  if (!spec) return;
+
+  // Merge the module mapping with the `args:` keyword, as Ansible does.
+  std::vector<const yaml::Node*> maps;
+  if (t.args && t.args->is_map()) maps.push_back(t.args);
+  if (t.args_kw) maps.push_back(t.args_kw);
+  if (maps.empty()) return;
+
+  std::vector<std::string> param_names;
+  for (const ans::ParamSpec& param : spec->params)
+    param_names.push_back(param.name);
+
+  for (const yaml::Node* args : maps) {
+    for (const auto& [key, value] : args->entries()) {
+      const ans::ParamSpec* param = spec->param(key);
+      if (param) {
+        add_param_value_fix(*param, value, out.fixes);
+        continue;
+      }
+      if (spec->arbitrary_params) continue;
+      if (spec->free_form && (key == "cmd" || key == "_raw_params")) continue;
+      // Rename a typo'd key to the unique close parameter — unless that
+      // parameter is already set (the rename would create a duplicate).
+      std::string target = closest_unique(key, param_names);
+      if (target.empty() || args->has(target)) continue;
+      const yaml::Span& key_span = value.key_span();
+      if (!key_span.valid()) continue;
+      out.fixes.push_back(FixCandidate{
+          "unknown-param", value.anchor_span().begin,
+          {TextEdit{key_span.begin, key_span.end, std::move(target)}}});
+    }
+  }
+
+  // Presence (and the span of the latest-present name) per parameter, for
+  // the cross-parameter groups.
+  auto present = [&](std::string_view name) -> const yaml::Node* {
+    for (const yaml::Node* args : maps) {
+      if (const yaml::Node* value = args->find(name)) return value;
+    }
+    return nullptr;
+  };
+
+  for (const auto& group : spec->mutually_exclusive) {
+    std::vector<std::pair<std::string_view, const yaml::Node*>> set;
+    for (const std::string& name : group) {
+      if (const yaml::Node* value = present(name)) set.emplace_back(name, value);
+    }
+    if (set.size() < 2) continue;
+    std::string listed;
+    for (const auto& [name, value] : set) {
+      (void)value;
+      if (!listed.empty()) listed += "' and '";
+      listed += name;
+    }
+    out.findings.push_back(Finding{
+        "param-mutually-exclusive",
+        "module '" + spec->fqcn + "' parameters '" + listed +
+            "' are mutually exclusive",
+        set.back().second->anchor_span(),
+        {}});
+  }
+
+  for (const auto& group : spec->required_together) {
+    std::vector<std::string_view> missing;
+    const yaml::Node* anchor = nullptr;
+    for (const std::string& name : group) {
+      if (const yaml::Node* value = present(name)) {
+        if (!anchor) anchor = value;
+      } else {
+        missing.push_back(name);
+      }
+    }
+    if (!anchor || missing.empty()) continue;
+    std::string listed;
+    for (std::string_view name : missing) {
+      if (!listed.empty()) listed += "', '";
+      listed += name;
+    }
+    out.findings.push_back(Finding{
+        "param-required-together",
+        "module '" + spec->fqcn + "' parameter group requires '" + listed +
+            "' to be set as well",
+        anchor->anchor_span(),
+        {}});
+  }
+}
+
+}  // namespace
+
+TypecheckOutput typecheck_pass(const PlaybookIr& ir) {
+  TypecheckOutput out;
+  for (const IrTask& t : ir.tasks) {
+    if (t.is_block || t.module.empty()) continue;
+    check_task(t, out);
+  }
+  return out;
+}
+
+}  // namespace wisdom::analysis

@@ -1,0 +1,27 @@
+// Catalog-backed module parameter type checking over the playbook IR.
+//
+// The base linter already reports wrong-type (`param-value`), unknown
+// (`unknown-param`) and missing-required parameters; this pass adds the
+// cross-parameter rules the catalog now carries — `param-mutually-exclusive`
+// and `param-required-together` — and computes the mechanical fixes for the
+// base rules where one exists:
+//
+//   param-value    quoted booleans ("yes", "True") -> canonical true/false;
+//                  a near-miss Choice value -> the unique closest choice
+//   unknown-param  a typo'd name -> the unique close catalog parameter
+#pragma once
+
+#include <vector>
+
+#include "analysis/ir.hpp"
+
+namespace wisdom::analysis {
+
+struct TypecheckOutput {
+  std::vector<Finding> findings;
+  std::vector<FixCandidate> fixes;  // for diagnostics the base linter emits
+};
+
+TypecheckOutput typecheck_pass(const PlaybookIr& ir);
+
+}  // namespace wisdom::analysis

@@ -39,6 +39,12 @@ ParamSpec state(std::vector<std::string> choices) {
   return p("state", PT::Choice, false, std::move(choices));
 }
 
+// Marks a parameter as credential-valued (see ParamSpec::secret).
+ParamSpec secret(ParamSpec param) {
+  param.secret = true;
+  return param;
+}
+
 struct Builder {
   std::vector<ModuleSpec> mods;
 
@@ -98,7 +104,8 @@ std::vector<ModuleSpec> build_catalog() {
          p("filename"), p("update_cache", PT::Bool)});
   b.add("ansible.builtin.apt_key", "packaging",
         {p("url"), p("id"), p("keyserver"), state({"present", "absent"}),
-         p("keyring", PT::Path)});
+         p("keyring", PT::Path)})
+      .mutually_exclusive = {{"url", "keyserver"}};
   b.add("ansible.builtin.rpm_key", "packaging",
         {p("key", PT::Str, true), state({"present", "absent"}),
          p("fingerprint")});
@@ -109,7 +116,8 @@ std::vector<ModuleSpec> build_catalog() {
          p("owner"), p("group"), p("mode"), p("backup", PT::Bool),
          p("remote_src", PT::Bool), p("force", PT::Bool),
          p("directory_mode"), p("validate")},
-        kFileContent);
+        kFileContent)
+      .mutually_exclusive = {{"src", "content"}};
   b.add("ansible.builtin.template", "files",
         {p("src", PT::Path, true), p("dest", PT::Path, true), p("owner"),
          p("group"), p("mode"), p("backup", PT::Bool), p("validate"),
@@ -126,12 +134,14 @@ std::vector<ModuleSpec> build_catalog() {
          state({"present", "absent"}), p("insertafter"), p("insertbefore"),
          p("create", PT::Bool), p("backup", PT::Bool),
          p("backrefs", PT::Bool), p("owner"), p("group"), p("mode"),
-         p("validate")});
+         p("validate")})
+      .mutually_exclusive = {{"insertafter", "insertbefore"}};
   b.add("ansible.builtin.blockinfile", "files",
         {p("path", PT::Path, true), p("block"), p("marker"),
          state({"present", "absent"}), p("insertafter"), p("insertbefore"),
          p("create", PT::Bool), p("backup", PT::Bool), p("owner"),
-         p("group"), p("mode")});
+         p("group"), p("mode")})
+      .mutually_exclusive = {{"insertafter", "insertbefore"}};
   b.add("ansible.builtin.replace", "files",
         {p("path", PT::Path, true), p("regexp", PT::Str, true), p("replace"),
          p("backup", PT::Bool), p("owner"), p("group"), p("mode"),
@@ -165,7 +175,9 @@ std::vector<ModuleSpec> build_catalog() {
         {p("url", PT::Str, true), p("dest", PT::Path, true), p("mode"),
          p("owner"), p("group"), p("checksum"), p("timeout", PT::Int),
          p("validate_certs", PT::Bool), p("force", PT::Bool),
-         p("headers", PT::Dict), p("url_username"), p("url_password")});
+         p("headers", PT::Dict), p("url_username"),
+         secret(p("url_password"))})
+      .required_together = {{"url_username", "url_password"}};
   b.add("ansible.builtin.uri", "net",
         {p("url", PT::Str, true),
          p("method", PT::Choice, false,
@@ -174,9 +186,10 @@ std::vector<ModuleSpec> build_catalog() {
                       {"json", "form-urlencoded", "raw"}),
          p("status_code", PT::List), p("return_content", PT::Bool),
          p("headers", PT::Dict), p("timeout", PT::Int),
-         p("validate_certs", PT::Bool), p("user"), p("password"),
+         p("validate_certs", PT::Bool), p("user"), secret(p("password")),
          p("force_basic_auth", PT::Bool), p("dest", PT::Path),
-         p("creates", PT::Path)});
+         p("creates", PT::Path)})
+      .required_together = {{"user", "password"}};
 
   // --- commands ------------------------------------------------------------
   {
@@ -186,6 +199,7 @@ std::vector<ModuleSpec> build_catalog() {
                      p("stdin"), p("strip_empty_ends", PT::Bool)},
                     kExec);
     m.free_form = true;
+    m.mutually_exclusive = {{"cmd", "argv"}};
   }
   {
     auto& m = b.add("ansible.builtin.shell", "commands",
@@ -233,7 +247,7 @@ std::vector<ModuleSpec> build_catalog() {
         {p("name", PT::Str, true), state({"present", "absent"}),
          p("uid", PT::Int), p("group"), p("groups", PT::List),
          p("append", PT::Bool), p("shell", PT::Path), p("home", PT::Path),
-         p("create_home", PT::Bool), p("password"), p("comment"),
+         p("create_home", PT::Bool), secret(p("password")), p("comment"),
          p("system", PT::Bool), p("remove", PT::Bool),
          p("generate_ssh_key", PT::Bool), p("ssh_key_bits", PT::Int),
          p("ssh_key_file", PT::Path),
@@ -324,7 +338,8 @@ std::vector<ModuleSpec> build_catalog() {
   b.add("ansible.builtin.package_facts", "utilities",
         {p("manager", PT::List)});
   b.add("ansible.builtin.debug", "utilities",
-        {p("msg"), p("var"), p("verbosity", PT::Int)});
+        {p("msg"), p("var"), p("verbosity", PT::Int)})
+      .mutually_exclusive = {{"msg", "var"}};
   b.add("ansible.builtin.fail", "utilities", {p("msg")});
   b.add("ansible.builtin.assert", "utilities",
         {p("that", PT::List, true), p("msg"), p("fail_msg"),
@@ -337,7 +352,8 @@ std::vector<ModuleSpec> build_catalog() {
   b.add("ansible.builtin.include_vars", "utilities",
         {p("file", PT::Path), p("dir", PT::Path), p("name"),
          p("depth", PT::Int), p("files_matching"),
-         p("ignore_files", PT::List)});
+         p("ignore_files", PT::List)})
+      .mutually_exclusive = {{"file", "dir"}};
   {
     auto& m = b.add("ansible.builtin.include_tasks", "utilities",
                     {p("file", PT::Path), p("apply", PT::Dict)},
@@ -418,21 +434,21 @@ std::vector<ModuleSpec> build_catalog() {
   b.add("community.mysql.mysql_db", "database",
         {p("name", PT::Str, true),
          state({"present", "absent", "dump", "import"}), p("login_user"),
-         p("login_password"), p("login_host"), p("target", PT::Path),
+         secret(p("login_password")), p("login_host"), p("target", PT::Path),
          p("encoding"), p("collation")});
   b.add("community.mysql.mysql_user", "database",
-        {p("name", PT::Str, true), p("password"), p("priv"), p("host"),
-         state({"present", "absent"}), p("append_privs", PT::Bool),
-         p("login_user"), p("login_password")});
+        {p("name", PT::Str, true), secret(p("password")), p("priv"),
+         p("host"), state({"present", "absent"}), p("append_privs", PT::Bool),
+         p("login_user"), secret(p("login_password"))});
   b.add("community.postgresql.postgresql_db", "database",
         {p("name", PT::Str, true),
          state({"present", "absent", "dump", "restore"}), p("owner"),
          p("encoding"), p("template"), p("login_user"),
-         p("login_password"), p("login_host")});
+         secret(p("login_password")), p("login_host")});
   b.add("community.postgresql.postgresql_user", "database",
-        {p("name", PT::Str, true), p("password"), p("db"), p("priv"),
+        {p("name", PT::Str, true), secret(p("password")), p("db"), p("priv"),
          p("role_attr_flags"), state({"present", "absent"}),
-         p("login_user"), p("login_password")});
+         p("login_user"), secret(p("login_password"))});
 
   // --- network devices ---------------------------------------------------------------
   b.add("vyos.vyos.vyos_facts", "network",

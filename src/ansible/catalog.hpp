@@ -30,6 +30,10 @@ struct ParamSpec {
   bool required = false;
   // Non-empty only for ParamType::Choice.
   std::vector<std::string> choices;
+  // True when the value is a credential: Ansible would echo it into logs
+  // and diffs unless the task sets `no_log: true` (the taint pass's
+  // catalog-backed source list).
+  bool secret = false;
 };
 
 struct ModuleSpec {
@@ -48,6 +52,11 @@ struct ModuleSpec {
   // (e.g. yum -> ansible.builtin.dnf on EL9+).
   std::string deprecated_by;
   std::vector<ParamSpec> params;
+  // Parameter groups that must not be set together (each group lists names
+  // of which at most one may appear), and groups that only make sense as a
+  // unit — the type checker's cross-parameter rules.
+  std::vector<std::vector<std::string>> mutually_exclusive;
+  std::vector<std::vector<std::string>> required_together;
 
   const ParamSpec* param(std::string_view name) const;
   bool has_param(std::string_view name) const { return param(name) != nullptr; }

@@ -6,6 +6,7 @@
 #include "metrics/ansible_aware.hpp"
 #include "metrics/exact_match.hpp"
 #include "metrics/schema_correct.hpp"
+#include "metrics/semantic_correct.hpp"
 #include "util/strings.hpp"
 
 namespace wisdom::metrics {
@@ -14,6 +15,7 @@ namespace util = wisdom::util;
 
 std::string MetricsReport::to_string() const {
   return "schema=" + util::fmt_fixed(schema_correct, 2) +
+         " sem=" + util::fmt_fixed(semantic_correct, 2) +
          " em=" + util::fmt_fixed(exact_match, 2) +
          " bleu=" + util::fmt_fixed(bleu, 2) +
          " aware=" + util::fmt_fixed(ansible_aware, 2) +
@@ -33,6 +35,7 @@ void MetricsAccumulator::add(std::string_view prediction,
   bleu_.add(prediction, target);
   analysis::AnalysisResult analyzed = analysis::analyze(prediction);
   if (schema_correct(analyzed)) ++schema_ok_;
+  if (semantic_correct(analyzed)) ++semantic_ok_;
   for (const auto& d : analyzed.diagnostics) {
     auto it = std::find_if(rule_counts_.begin(), rule_counts_.end(),
                            [&](const auto& e) { return e.first == d.rule; });
@@ -59,6 +62,7 @@ MetricsReport MetricsAccumulator::report() const {
   if (count_ == 0) return report;
   double n = static_cast<double>(count_);
   report.schema_correct = 100.0 * static_cast<double>(schema_ok_) / n;
+  report.semantic_correct = 100.0 * static_cast<double>(semantic_ok_) / n;
   report.exact_match = 100.0 * static_cast<double>(exact_) / n;
   report.bleu = 100.0 * bleu_.score();
   report.ansible_aware = 100.0 * aware_sum_ / n;

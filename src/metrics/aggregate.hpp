@@ -17,6 +17,9 @@ namespace wisdom::metrics {
 
 struct MetricsReport {
   double schema_correct = 0.0;
+  // Schema-correct *and* clean under the semantic passes (dataflow /
+  // typecheck / taint errors); always <= schema_correct.
+  double semantic_correct = 0.0;
   double exact_match = 0.0;
   double bleu = 0.0;
   double ansible_aware = 0.0;
@@ -42,6 +45,7 @@ class MetricsAccumulator {
  private:
   BleuAccumulator bleu_;
   std::size_t schema_ok_ = 0;
+  std::size_t semantic_ok_ = 0;
   std::size_t exact_ = 0;
   double aware_sum_ = 0.0;
   std::size_t count_ = 0;

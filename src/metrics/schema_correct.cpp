@@ -1,13 +1,23 @@
 #include "metrics/schema_correct.hpp"
 
 #include "analysis/engine.hpp"
+#include "analysis/rules.hpp"
 
 namespace wisdom::metrics {
 
 bool schema_correct(const wisdom::analysis::AnalysisResult& analysis) {
-  if (!analysis.ok()) return false;
-  for (const auto& d : analysis.diagnostics)
+  for (const auto& d : analysis.diagnostics) {
     if (d.rule == "empty-document") return false;
+    if (d.severity != wisdom::analysis::Severity::Error) continue;
+    // Error-severity *semantic* findings (dataflow/typecheck/taint) do not
+    // change this metric: the paper's Schema Correct is about satisfying
+    // the Ansible schema, and its numbers must stay comparable across
+    // engine generations. They gate `semantic_correct` instead.
+    const wisdom::analysis::RuleInfo* info =
+        wisdom::analysis::find_rule(d.rule);
+    if (info && info->semantic) continue;
+    return false;
+  }
   return true;
 }
 

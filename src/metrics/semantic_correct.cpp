@@ -1,0 +1,19 @@
+#include "metrics/semantic_correct.hpp"
+
+#include "analysis/engine.hpp"
+#include "metrics/schema_correct.hpp"
+
+namespace wisdom::metrics {
+
+bool semantic_correct(const wisdom::analysis::AnalysisResult& analysis) {
+  // Schema correctness filters semantic rules out; here every error
+  // counts, so semantic_correct implies (and strengthens) schema_correct.
+  if (!schema_correct(analysis)) return false;
+  return analysis.ok();
+}
+
+bool semantic_correct(std::string_view prediction) {
+  return semantic_correct(wisdom::analysis::analyze(prediction));
+}
+
+}  // namespace wisdom::metrics

@@ -1,0 +1,21 @@
+// Semantic Correct: the axis Schema Correct cannot see. A prediction is
+// semantic-correct when it is schema-correct *and* the IR passes (reaching
+// definitions, catalog type checking, taint) report no error-severity
+// findings — variables defined before use, notify targets that exist,
+// mutually-exclusive parameters not combined. This is the deployment-study
+// notion of acceptability (arXiv 2402.17442): suggestions users keep are
+// ones that are right, not merely well-formed.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/diagnostic.hpp"
+
+namespace wisdom::metrics {
+
+bool semantic_correct(std::string_view prediction);
+
+// The same predicate over an analysis the caller already ran.
+bool semantic_correct(const wisdom::analysis::AnalysisResult& analysis);
+
+}  // namespace wisdom::metrics

@@ -4,6 +4,7 @@
 
 #include "analysis/engine.hpp"
 #include "metrics/schema_correct.hpp"
+#include "metrics/semantic_correct.hpp"
 
 namespace wisdom::serve {
 
@@ -32,13 +33,16 @@ LintOutcome lint_gate(std::string_view snippet, LintPolicy policy) {
   LintOutcome out;
   out.snippet = std::string(snippet);
   if (policy == LintPolicy::Off) {
-    out.schema_correct = metrics::schema_correct(snippet);
+    analysis::AnalysisResult result = analysis::analyze(snippet);
+    out.schema_correct = metrics::schema_correct(result);
+    out.semantic_correct = metrics::semantic_correct(result);
     return out;
   }
   out.analyzed = true;
   if (policy == LintPolicy::Annotate) {
     analysis::AnalysisResult result = analysis::analyze(snippet);
     out.schema_correct = metrics::schema_correct(result);
+    out.semantic_correct = metrics::semantic_correct(result);
     out.diagnostics = std::move(result.diagnostics);
     return out;
   }
@@ -46,8 +50,11 @@ LintOutcome lint_gate(std::string_view snippet, LintPolicy policy) {
   out.snippet = std::move(repaired.text);
   out.repaired = repaired.changed;
   out.schema_correct = metrics::schema_correct(repaired.final_result);
+  out.semantic_correct = metrics::semantic_correct(repaired.final_result);
   out.diagnostics = std::move(repaired.final_result.diagnostics);
-  if (policy == LintPolicy::RejectDegraded && !out.schema_correct)
+  // Semantic errors that survive repair reject the snippet too: the gate
+  // is strictly stricter than schema-only rejection.
+  if (policy == LintPolicy::RejectDegraded && !out.semantic_correct)
     out.rejected = true;
   return out;
 }

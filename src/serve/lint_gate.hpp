@@ -24,8 +24,9 @@ enum class LintPolicy : std::uint8_t {
   // Apply the engine's auto-fixes and return the repaired snippet;
   // remaining diagnostics are attached.
   Repair,
-  // Repair, then refuse snippets still carrying errors: the caller serves
-  // the degraded/fallback path instead of a known-broken suggestion.
+  // Repair, then refuse snippets still carrying errors (schema or
+  // semantic): the caller serves the degraded/fallback path instead of a
+  // known-broken suggestion.
   RejectDegraded,
 };
 
@@ -47,6 +48,9 @@ struct LintOutcome {
   bool rejected = false;
   // Schema-correct verdict of the post-gate snippet.
   bool schema_correct = false;
+  // Semantic-correct verdict (schema-correct and no error-severity
+  // semantic findings); implies schema_correct.
+  bool semantic_correct = false;
   // Diagnostics of the post-gate snippet (i.e. post-repair when the
   // policy repairs); empty under Off.
   std::vector<analysis::Diagnostic> diagnostics;

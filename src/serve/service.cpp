@@ -868,14 +868,6 @@ SuggestionResponse InferenceService::suggest(const SuggestionRequest& request) {
   return response;
 }
 
-SuggestionResponse InferenceService::suggest(const std::string& prompt,
-                                             int indent) {
-  SuggestionRequest request;
-  request.prompt = prompt;
-  request.indent = indent;
-  return suggest(request);
-}
-
 SuggestionResponse InferenceService::suggest_stream(
     const SuggestionRequest& request, const TokenSink& sink) {
   if (!enter_serving()) return drain_refusal();

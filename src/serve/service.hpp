@@ -226,17 +226,6 @@ class InferenceService {
 
   SuggestionResponse suggest(const SuggestionRequest& request);
 
-  // Legacy pre-/v1 convenience entry point, kept for one release so
-  // out-of-tree callers can migrate. It exposes a second, narrower schema
-  // than the wire format (no context, deadline, trace id, ...), which the
-  // /v1 HTTP surface deliberately does not replicate — build a
-  // SuggestionRequest (the one schema shared by the in-process and HTTP
-  // APIs) and call suggest(request) instead.
-  [[deprecated(
-      "bare-prompt suggest() is going away: build a SuggestionRequest (the "
-      "schema shared with the /v1 HTTP API) and call suggest(request)")]]
-  SuggestionResponse suggest(const std::string& prompt, int indent = 0);
-
   // --- streaming ----------------------------------------------------------
   // Incremental delivery of one suggestion, hooked into the model's
   // per-token emission points (the same points the per-token "decode"

@@ -1,0 +1,222 @@
+// Seeded fuzz test for the semantic analysis engine. The seed corpus
+// exercises every IR shape the passes walk — plays, blocks with
+// rescue/always, handlers and notify chains, loops, registers, set_fact,
+// secrets and no_log — then mutates it with bit flips, truncations,
+// splices, and indentation noise.
+//
+// Invariants under every input, however mangled:
+//   1. analyze() never crashes, hangs, or reads out of bounds.
+//   2. repair() reaches a fixed point: when it reports `converged`,
+//      re-repairing its output changes nothing.
+//   3. Repair never breaks a snippet the semantic metric accepted: if
+//      semantic_correct held before repair, it holds after.
+//
+// Iteration budget: WISDOM_FUZZ_ITERS (default 10000, the CI budget);
+// raise it locally for longer campaigns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "metrics/semantic_correct.hpp"
+
+namespace wa = wisdom::analysis;
+namespace wm = wisdom::metrics;
+
+namespace {
+
+int fuzz_iters() {
+  if (const char* env = std::getenv("WISDOM_FUZZ_ITERS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 10000;
+}
+
+// Deterministic splitmix64: reproducible corpora on every platform.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+std::vector<std::string> seed_corpus() {
+  return {
+      // Playbook with handlers, notify, and play vars.
+      "- name: Site\n"
+      "  hosts: web\n"
+      "  vars:\n"
+      "    app_name: web\n"
+      "  tasks:\n"
+      "    - name: Deploy config\n"
+      "      ansible.builtin.copy:\n"
+      "        src: nginx.conf\n"
+      "        dest: /etc/nginx/nginx.conf\n"
+      "      notify: restart nginx\n"
+      "  handlers:\n"
+      "    - name: restart nginx\n"
+      "      ansible.builtin.service:\n"
+      "        name: nginx\n"
+      "        state: restarted\n",
+      // Block / rescue / always with a register read across branches.
+      "- name: Attempt\n"
+      "  block:\n"
+      "    - name: Try\n"
+      "      ansible.builtin.command: primary-probe\n"
+      "      register: probe_out\n"
+      "  rescue:\n"
+      "    - name: Fall back\n"
+      "      ansible.builtin.command: secondary-probe\n"
+      "      register: probe_out\n"
+      "  always:\n"
+      "    - name: Show\n"
+      "      ansible.builtin.debug:\n"
+      "        msg: \"{{ probe_out.stdout }}\"\n",
+      // Loop with loop_control rename plus a when expression.
+      "- name: Install packages\n"
+      "  ansible.builtin.apt:\n"
+      "    name: \"{{ pkg }}\"\n"
+      "    state: present\n"
+      "  loop: [vim, git]\n"
+      "  loop_control:\n"
+      "    loop_var: pkg\n"
+      "  when: ansible_os_family == 'Debian'\n",
+      // Secrets: credential param, tainted register, debug sink.
+      "- name: Create db user\n"
+      "  community.mysql.mysql_user:\n"
+      "    name: app\n"
+      "    password: \"{{ vault_db_password }}\"\n"
+      "  register: user_result\n"
+      "- name: Show\n"
+      "  ansible.builtin.debug:\n"
+      "    var: user_result\n",
+      // Fixable schema + type errors: k=v args, bool spelling, typo'd
+      // choice and parameter name.
+      "- name: Install\n"
+      "  apt: name=vim state=present\n"
+      "- name: Update cache\n"
+      "  ansible.builtin.apt:\n"
+      "    update_cache: \"yes\"\n"
+      "    stat: presnt\n",
+      // set_fact chain with end_play and a dead tail.
+      "- name: Set version\n"
+      "  ansible.builtin.set_fact:\n"
+      "    app_version: 1.2.3\n"
+      "- name: Stop\n"
+      "  ansible.builtin.meta: end_play\n"
+      "- name: Never\n"
+      "  ansible.builtin.debug:\n"
+      "    msg: \"{{ app_version }}\"\n",
+  };
+}
+
+std::string mutate(const std::string& seed, Rng& rng) {
+  std::string out = seed;
+  switch (rng.below(6)) {
+    case 0:  // byte flip(s)
+      for (std::size_t flips = 1 + rng.below(4); flips && !out.empty();
+           --flips)
+        out[rng.below(out.size())] =
+            static_cast<char>(static_cast<unsigned char>(rng.next()));
+      break;
+    case 1:  // truncate
+      out.resize(rng.below(out.size() + 1));
+      break;
+    case 2:  // insert random bytes
+      for (std::size_t n = 1 + rng.below(8); n; --n)
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.below(out.size() + 1)),
+                   static_cast<char>(static_cast<unsigned char>(rng.next())));
+      break;
+    case 3: {  // duplicate a slice
+      if (out.empty()) break;
+      std::size_t begin = rng.below(out.size());
+      std::size_t len = 1 + rng.below(out.size() - begin);
+      out.insert(rng.below(out.size()), out.substr(begin, len));
+      break;
+    }
+    case 4: {  // splice: random head of out + random tail of seed
+      std::size_t cut = rng.below(out.size() + 1);
+      out = out.substr(0, cut) + seed.substr(rng.below(seed.size() + 1));
+      break;
+    }
+    default:  // structural noise: YAML punctuation and indentation shifts
+      for (std::size_t n = 1 + rng.below(6); n; --n) {
+        const char punct[] = ":-{}[]\"' \n#";
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.below(out.size() + 1)),
+                   punct[rng.below(sizeof(punct) - 1)]);
+      }
+      break;
+  }
+  return out;
+}
+
+// The three engine invariants, checked on one input.
+void check_invariants(const std::string& input) {
+  wa::AnalysisResult before = wa::analyze(input);
+  bool was_semantic = wm::semantic_correct(before);
+
+  wa::RepairResult repaired = wa::repair(input);
+  if (repaired.converged) {
+    // Fixed point: repairing the repaired text is a no-op.
+    wa::RepairResult again = wa::repair(repaired.text);
+    EXPECT_EQ(again.text, repaired.text) << input;
+    EXPECT_FALSE(again.changed) << input;
+  }
+  if (was_semantic) {
+    // Repair may still normalize fixable warnings (fqcn, boolean
+    // spellings), but must never regress an accepted snippet.
+    EXPECT_TRUE(wm::semantic_correct(wa::analyze(repaired.text))) << input;
+  }
+}
+
+}  // namespace
+
+TEST(FuzzAnalysis, SeedCorpusRepairsToSemanticCorrect) {
+  // Unmutated seeds: every one analyzes, and repair leaves no fixable
+  // diagnostic behind.
+  for (const std::string& seed : seed_corpus()) {
+    wa::RepairResult repaired = wa::repair(seed);
+    EXPECT_TRUE(repaired.converged) << seed;
+    EXPECT_EQ(repaired.final_result.fixable_count(), 0u) << seed;
+  }
+}
+
+TEST(FuzzAnalysis, SeededMutationsNeverCrashAndHoldInvariants) {
+  auto seeds = seed_corpus();
+  Rng rng(0xa11a1e5e5ull);
+  const int iters = fuzz_iters();
+  for (int i = 0; i < iters; ++i) {
+    std::string input = mutate(seeds[rng.below(seeds.size())], rng);
+    check_invariants(input);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FuzzAnalysis, PureRandomBytesNeverCrash) {
+  Rng rng(0xdeadfa11ull);
+  const int iters = fuzz_iters();
+  for (int i = 0; i < iters; ++i) {
+    std::string input;
+    std::size_t len = rng.below(512);
+    input.reserve(len);
+    for (std::size_t k = 0; k < len; ++k)
+      input.push_back(
+          static_cast<char>(static_cast<unsigned char>(rng.next())));
+    check_invariants(input);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
