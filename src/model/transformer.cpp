@@ -730,8 +730,16 @@ void Transformer::decode_step_batch(
     std::span<KvCache* const> caches,
     std::span<const std::int32_t> tokens) const {
   assert(tokens.size() == caches.size());
-  const int n = static_cast<int>(caches.size());
+  const std::size_t n = caches.size();
   if (n == 0) return;
+  std::vector<SpanFeed> feeds(n);
+  for (std::size_t s = 0; s < n; ++s)
+    feeds[s] = SpanFeed{caches[s], tokens.subspan(s, 1)};
+  verify_step_batch(feeds);
+}
+
+void Transformer::verify_step_batch(std::span<const SpanFeed> feeds,
+                                    std::vector<float>* row_logits) const {
   const int d = config_.d_model;
   const int h = config_.n_head;
   const int hd = config_.head_dim();
@@ -740,88 +748,121 @@ void Transformer::decode_step_batch(
   const int v = config_.vocab;
   const float att_scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
-  std::vector<int> pos(caches.size());
-  for (int s = 0; s < n; ++s) {
-    KvCache& cache = *caches[s];
-    assert(cache.length < config_.ctx);
-    assert(tokens[s] >= 0 && tokens[s] < config_.vocab);
-    pos[static_cast<std::size_t>(s)] = cache.length;
-    prepare_append(cache, cache.length, config_.ctx);
+  // Flatten the feeds into rows: row r appends token row_token[r] to
+  // feeds[row_feed[r]].cache at position row_pos[r]. Runs keep their feed
+  // order, so row-major row_logits line up with the drafted chains.
+  std::vector<int> row_feed, row_pos, base(feeds.size());
+  std::vector<std::int32_t> row_token;
+  for (std::size_t s = 0; s < feeds.size(); ++s) {
+    KvCache& cache = *feeds[s].cache;
+    base[s] = cache.length;
+    assert(cache.length + static_cast<int>(feeds[s].tokens.size()) <=
+           config_.ctx);
+    for (std::size_t j = 0; j < feeds[s].tokens.size(); ++j) {
+      const int p = cache.length + static_cast<int>(j);
+      assert(feeds[s].tokens[j] >= 0 && feeds[s].tokens[j] < config_.vocab);
+      row_feed.push_back(static_cast<int>(s));
+      row_pos.push_back(p);
+      row_token.push_back(feeds[s].tokens[j]);
+      prepare_append(cache, p, config_.ctx);
+    }
   }
+  const int n = static_cast<int>(row_token.size());
+  if (n == 0) return;
 
   const std::size_t nd = static_cast<std::size_t>(n) * d;
   Vec x(nd);
-  for (int s = 0; s < n; ++s)
-    std::memcpy(x.data() + static_cast<std::size_t>(s) * d,
-                wte_.w.data() + static_cast<std::size_t>(tokens[s]) * d,
+  for (int r = 0; r < n; ++r)
+    std::memcpy(x.data() + static_cast<std::size_t>(r) * d,
+                wte_.w.data() +
+                    static_cast<std::size_t>(
+                        row_token[static_cast<std::size_t>(r)]) *
+                        d,
                 d * sizeof(float));
   Vec a1(nd), qkv(static_cast<std::size_t>(n) * 3 * d), mix(nd), tmp(nd),
       a2(nd), fc(static_cast<std::size_t>(n) * ff), mean(n), rstd(n);
 
-  // Attention work this step: q·K^T plus probs·V per (sequence, head).
+  // Attention work this step: q·K^T plus probs·V per (row, head).
   std::size_t att_madds = 0;
-  for (int s = 0; s < n; ++s)
-    att_madds += 2ull * static_cast<std::size_t>(h) *
-                 static_cast<std::size_t>(pos[static_cast<std::size_t>(s)] + 1) *
-                 static_cast<std::size_t>(hd);
+  for (int r = 0; r < n; ++r)
+    att_madds +=
+        2ull * static_cast<std::size_t>(h) *
+        static_cast<std::size_t>(row_pos[static_cast<std::size_t>(r)] + 1) *
+        static_cast<std::size_t>(hd);
 
-  std::vector<std::vector<KvRun>> runs(caches.size());
+  std::vector<std::vector<KvRun>> runs(feeds.size());
 
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const Layer& L = layers_[li];
-    // Batched rows: every kernel below computes each sequence's row
-    // exactly as the n = 1 step would (row-independent kernels), so the
-    // fused step is bit-identical to n sequential decode_steps.
+    // Batched rows: every kernel below computes each row exactly as the
+    // single-row step would (row-independent kernels), and a row's causal
+    // attention reads exactly the K/V rows a sequential feed of its run
+    // would have written, in the same order — so the fused pass is
+    // bit-identical to sequential decode_steps.
     nn::layernorm(x.data(), L.ln1_g.w.data(), L.ln1_b.w.data(), a1.data(),
                   mean.data(), rstd.data(), n, d);
     nn::matmul(a1.data(), L.wqkv.w.data(), qkv.data(), n, d, 3 * d);
     nn::add_bias(qkv.data(), L.bqkv.w.data(), qkv.data(), n, 3 * d);
-    for (int s = 0; s < n; ++s) {
-      float* row = qkv.data() + static_cast<std::size_t>(s) * 3 * d;
-      const int p = pos[static_cast<std::size_t>(s)];
-      // Rotate q and k at this sequence's position.
+    for (int r = 0; r < n; ++r) {
+      float* row = qkv.data() + static_cast<std::size_t>(r) * 3 * d;
+      const int p = row_pos[static_cast<std::size_t>(r)];
+      KvCache& cache = *feeds[static_cast<std::size_t>(
+                                  row_feed[static_cast<std::size_t>(r)])]
+                            .cache;
+      // Rotate q and k at this row's position.
       for (int head = 0; head < h; ++head) {
         nn::rotary(row + head * hd, 1, hd, rot, p);
         nn::rotary(row + d + head * hd, 1, hd, rot, p);
       }
       // Append rotated k and v.
-      std::memcpy(key_append_row(*caches[s], static_cast<int>(li), p),
-                  row + d, d * sizeof(float));
-      std::memcpy(value_append_row(*caches[s], static_cast<int>(li), p),
+      std::memcpy(key_append_row(cache, static_cast<int>(li), p), row + d,
+                  d * sizeof(float));
+      std::memcpy(value_append_row(cache, static_cast<int>(li), p),
                   row + 2 * d, d * sizeof(float));
-      collect_runs(*caches[s], static_cast<int>(li), p + 1,
-                   runs[static_cast<std::size_t>(s)]);
     }
+    // All of this layer's rows are appended; each attention row below caps
+    // its walk at its own causal horizon (earlier rows of the same run
+    // included, later ones not).
+    for (std::size_t s = 0; s < feeds.size(); ++s)
+      collect_runs(*feeds[s].cache, static_cast<int>(li),
+                   base[s] + static_cast<int>(feeds[s].tokens.size()),
+                   runs[s]);
 
     for_each_head(n, h, att_madds, [&](int s0, int s1) {
       Vec att(static_cast<std::size_t>(config_.ctx));
       for (int slot = s0; slot < s1; ++slot) {
-        const int s = slot / h;
+        const int r = slot / h;
         const int head = slot % h;
+        const std::size_t s =
+            static_cast<std::size_t>(row_feed[static_cast<std::size_t>(r)]);
         const float* q =
-            qkv.data() + static_cast<std::size_t>(s) * 3 * d + head * hd;
-        const int count = pos[static_cast<std::size_t>(s)] + 1;
+            qkv.data() + static_cast<std::size_t>(r) * 3 * d + head * hd;
+        const int count = row_pos[static_cast<std::size_t>(r)] + 1;
         int j = 0;
-        for (const KvRun& run : runs[static_cast<std::size_t>(s)]) {
-          for (int r = 0; r < run.rows; ++r) {
+        for (const KvRun& run : runs[s]) {
+          const int rows = std::min(run.rows, count - j);
+          for (int rr = 0; rr < rows; ++rr) {
             const float* krow =
-                run.k + static_cast<std::size_t>(r) * d + head * hd;
+                run.k + static_cast<std::size_t>(rr) * d + head * hd;
             float acc = 0.0f;
             for (int c = 0; c < hd; ++c) acc += q[c] * krow[c];
             att[static_cast<std::size_t>(j++)] = acc * att_scale;
           }
+          if (j >= count) break;
         }
         nn::softmax(att.data(), att.data(), 1, count);
-        float* out = mix.data() + static_cast<std::size_t>(s) * d + head * hd;
+        float* out = mix.data() + static_cast<std::size_t>(r) * d + head * hd;
         std::fill(out, out + hd, 0.0f);
         j = 0;
-        for (const KvRun& run : runs[static_cast<std::size_t>(s)]) {
-          for (int r = 0; r < run.rows; ++r) {
+        for (const KvRun& run : runs[s]) {
+          const int rows = std::min(run.rows, count - j);
+          for (int rr = 0; rr < rows; ++rr) {
             const float w = att[static_cast<std::size_t>(j++)];
             const float* vrow =
-                run.v + static_cast<std::size_t>(r) * d + head * hd;
+                run.v + static_cast<std::size_t>(rr) * d + head * hd;
             for (int c = 0; c < hd; ++c) out[c] += w * vrow[c];
           }
+          if (j >= count) break;
         }
       }
     });
@@ -843,12 +884,20 @@ void Transformer::decode_step_batch(
                 mean.data(), rstd.data(), n, d);
   Vec logits_all(static_cast<std::size_t>(n) * v);
   nn::matmul(a1.data(), head_.w.data(), logits_all.data(), n, d, v);
-  for (int s = 0; s < n; ++s) {
-    KvCache& cache = *caches[s];
-    cache.logits.assign(
-        logits_all.begin() + static_cast<std::ptrdiff_t>(s) * v,
-        logits_all.begin() + static_cast<std::ptrdiff_t>(s + 1) * v);
-    cache.length = pos[static_cast<std::size_t>(s)] + 1;
+  if (row_logits)
+    row_logits->assign(logits_all.begin(), logits_all.end());
+  for (int r = 0; r < n; ++r) {
+    const std::size_t s =
+        static_cast<std::size_t>(row_feed[static_cast<std::size_t>(r)]);
+    KvCache& cache = *feeds[s].cache;
+    // The run's last row becomes the cache's next-token logits.
+    if (static_cast<std::size_t>(r + 1) == row_token.size() ||
+        static_cast<std::size_t>(
+            row_feed[static_cast<std::size_t>(r + 1)]) != s)
+      cache.logits.assign(
+          logits_all.begin() + static_cast<std::ptrdiff_t>(r) * v,
+          logits_all.begin() + static_cast<std::ptrdiff_t>(r + 1) * v);
+    cache.length = row_pos[static_cast<std::size_t>(r)] + 1;
   }
 }
 

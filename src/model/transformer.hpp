@@ -126,6 +126,28 @@ class Transformer {
   void decode_step_batch(std::span<KvCache* const> caches,
                          std::span<const std::int32_t> tokens) const;
 
+  // A run of tokens to append to one cache in a fused multi-position pass.
+  struct SpanFeed {
+    KvCache* cache = nullptr;
+    std::span<const std::int32_t> tokens;
+  };
+  // The speculative-verify forward: appends feeds[i].tokens (in order) to
+  // feeds[i].cache for every feed in ONE fused pass, computing logits at
+  // every fed position. Causal attention within a run reads the K/V rows
+  // the same pass just appended, in logical row order, so each position's
+  // logits are bit-identical to feeding its run through sequential
+  // decode_step calls — at any WISDOM_THREADS. decode_step_batch is the
+  // all-runs-length-1 special case and delegates here.
+  //
+  // When `row_logits` is non-null it receives the per-position logits,
+  // row-major over the flattened feed order (sum of run lengths x vocab) —
+  // what a verifier needs to check a drafted chain token by token. Each
+  // cache's own `logits` member ends up holding its run's last row.
+  // Caches must be distinct; each run must fit (length + run size <= ctx)
+  // and may be empty (contributing no rows).
+  void verify_step_batch(std::span<const SpanFeed> feeds,
+                         std::vector<float>* row_logits = nullptr) const;
+
   // Filled by generate()/generate_beam() when a caller passes a status
   // pointer: whether decoding ran to completion or was cut short by its
   // deadline (the returned tokens are then the partial result).

@@ -92,6 +92,23 @@ struct Seq {
   std::optional<obs::TraceContext::Scope> decode_span;
   std::chrono::steady_clock::time_point prefill_start;
 
+  // --- speculative-decoding state ----------------------------------------
+  bool speculating = false;  // draft configured and this seq is greedy
+  Transformer::KvCache draft_cache;
+  int draft_fed = 0;  // committed tokens currently fed into draft_cache
+  // Catch-up scratch: committed tokens the draft has not seen yet. Kept
+  // in the Seq so the fused draft feed can borrow stable storage.
+  std::vector<std::int32_t> draft_pending;
+  // This iteration's fed run: the anchor token select() committed plus
+  // the drafted guesses (clamped to feed_n rows at verify time).
+  std::vector<std::int32_t> candidates;
+  int guess_fed = 0;   // guesses actually fed into the draft this round
+  int feed_n = 1;      // rows this seq contributed to the fused step
+  bool guessing = false;     // still extending the drafted chain
+  bool spec_round = false;   // drafted this iteration (needs spec_post)
+  std::optional<obs::TraceContext::Scope> draft_span;
+  std::optional<obs::TraceContext::Scope> verify_span;
+
   bool recomputing() const { return cache->length < recompute_until; }
   // The token occupying cache row `p`: prompt rows first, then the
   // generated tail — the sequence a warm-start recompute must re-feed.
@@ -101,6 +118,9 @@ struct Seq {
                : out[static_cast<std::size_t>(p) - kept.size()];
   }
 };
+
+// Rows per fused draft catch-up chunk (bounds workspace, not semantics).
+constexpr int kDraftChunk = 32;
 
 }  // namespace
 
@@ -120,6 +140,8 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
 
   auto retire = [&](Seq& seq) {
     seq.decode_span.reset();
+    seq.draft_span.reset();
+    seq.verify_span.reset();
     seq.prefill_span.reset();
     results[seq.index] = std::move(seq.out);
     seq.retired = true;
@@ -174,6 +196,20 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
     if (seq->observe) decode_metrics().generate_calls->inc();
     seq->kept = model_.kept_prompt(req.prompt, req.max_new_tokens);
     seq->age_bound = watchdog_bound(*seq);
+    // Speculation is greedy-only (sampled tokens cannot be verified
+    // bit-exactly) and needs a compatible draft: same vocab, a context
+    // window at least as large (so the draft can always mirror the
+    // committed sequence).
+    seq->speculating =
+        options_.draft != nullptr && options_.speculative_k > 0 &&
+        req.temperature <= 0.0f &&
+        options_.draft->config().vocab == model_.config().vocab &&
+        options_.draft->config().ctx >= ctx;
+    if (seq->speculating)
+      seq->draft_cache =
+          options_.draft_arena
+              ? options_.draft->make_paged_cache(options_.draft_arena)
+              : options_.draft->make_cache();
 
     if (req.warm_cache) {
       assert(req.warm_cache->length <=
@@ -293,13 +329,106 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
       retire(seq);
   };
 
+  const int vocab = model_.config().vocab;
   std::vector<std::unique_ptr<Seq>> live;
   std::deque<std::unique_ptr<Seq>> requeue;  // preempted, FIFO
-  std::vector<Transformer::KvCache*> step_caches;
-  std::vector<std::int32_t> step_tokens;
   std::vector<Seq*> step_seqs;
+  std::vector<Seq*> spec_seqs;  // drafting subset of step_seqs
+  std::vector<Transformer::SpanFeed> feeds;
+  std::vector<Transformer::SpanFeed> draft_feeds;
+  std::vector<Transformer::KvCache*> draft_caches;
+  std::vector<std::int32_t> draft_tokens;
+  std::vector<Seq*> draft_guessers;
+  std::vector<int> row_base;
+  std::vector<float> row_logits;
   std::size_t next_pending = 0;
   int step = 0;
+
+  // Post-step for a sequence that drafted this iteration. Row 0 is the
+  // anchor token select() committed — generate()'s own post-step
+  // bookkeeping. Rows 1..feed_n-1 are drafted tokens: each is committed
+  // iff it equals the verifier's argmax at its position, with the same
+  // deadline/stop handling sequential decode runs (one deadline check per
+  // committed token, in order). On mismatch the speculated suffix is
+  // dropped and the verifier token's commit is deferred to the next
+  // iteration's select — the restored logits re-derive it there, where it
+  // consumes its deadline check.
+  auto spec_post = [&](Seq& seq, int row0, double step_ms) {
+    const int L0 = seq.cache->length - seq.feed_n;
+    ++seq.status->steps_taken;
+    if (seq.observe) {
+      decode_metrics().token_ms->observe(step_ms);
+      decode_metrics().decoded_tokens->inc();
+    }
+    seq.decode_span.reset();
+    ++seq.iterations;
+    int accepted = 0;
+    bool ended = false;  // stop token or deadline inside the chain
+    int kept_rows = seq.feed_n;
+    for (int j = 1; j < seq.feed_n; ++j) {
+      // Logits after feeding candidates[0..j-1]: sequential decode's
+      // state when it would pick this round's token number j.
+      const std::span<const float> row(
+          row_logits.data() +
+              static_cast<std::size_t>(row0 + j - 1) * vocab,
+          static_cast<std::size_t>(vocab));
+      const std::int32_t true_t = model_.argmax_token(row);
+      if (true_t != seq.candidates[static_cast<std::size_t>(j)]) {
+        seq.cache->truncate(L0 + j);
+        seq.cache->logits.assign(row.begin(), row.end());
+        kept_rows = j;
+        break;
+      }
+      if (seq.req->deadline.expired()) {
+        seq.status->deadline_expired = true;
+        seq.cache->truncate(L0 + j);
+        seq.cache->logits.assign(row.begin(), row.end());
+        kept_rows = j;
+        ended = true;
+        break;
+      }
+      if (true_t == seq.req->stop_token) {
+        seq.cache->truncate(L0 + j);
+        seq.cache->logits.assign(row.begin(), row.end());
+        kept_rows = j;
+        ended = true;
+        break;
+      }
+      seq.out.push_back(true_t);
+      if (seq.req->on_token) seq.req->on_token(true_t);
+      ++seq.status->steps_taken;
+      ++seq.iterations;
+      ++accepted;
+      if (seq.observe) decode_metrics().decoded_tokens->inc();
+    }
+    const int proposed = seq.feed_n - 1;
+    ++last_run_.spec_verify_steps;
+    last_run_.spec_proposed += proposed;
+    last_run_.spec_accepted += accepted;
+    last_run_.spec_rejected += proposed - accepted;
+    if (metrics_.spec_verify_steps) metrics_.spec_verify_steps->inc();
+    if (metrics_.spec_proposed && proposed > 0)
+      metrics_.spec_proposed->inc(static_cast<std::uint64_t>(proposed));
+    if (metrics_.spec_accepted && accepted > 0)
+      metrics_.spec_accepted->inc(static_cast<std::uint64_t>(accepted));
+    if (metrics_.spec_rejected && proposed - accepted > 0)
+      metrics_.spec_rejected->inc(
+          static_cast<std::uint64_t>(proposed - accepted));
+    if (metrics_.spec_commit_per_verify)
+      metrics_.spec_commit_per_verify->observe(
+          static_cast<double>(kept_rows));
+    // Resync the draft to the committed prefix: accepted guesses stay
+    // fed, everything past them is forgotten (truncate drops the draft
+    // logits; the next catch-up feed regenerates them).
+    const int draft_keep = seq.draft_fed + std::min(seq.guess_fed, accepted);
+    seq.draft_cache.truncate(draft_keep);
+    seq.draft_fed = draft_keep;
+    seq.verify_span.reset();
+    seq.spec_round = false;
+    if (ended || seq.iterations >= seq.req->max_new_tokens ||
+        seq.cache->length >= ctx)
+      retire(seq);
+  };
 
   // Blocks the arena appears to have free — zero once an injected
   // arena-exhaustion step is reached, the real free count otherwise.
@@ -308,16 +437,26 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
     return options_.arena->free_blocks();
   };
 
-  // Blocks this sequence's next append needs beyond what it holds: a
-  // fresh block at a block boundary, or an exclusive copy when the tail
-  // block is shared with a snapshot (COW).
+  // Blocks this sequence's next append needs beyond what it holds: fresh
+  // blocks to cover the planned rows (one for plain decode, up to
+  // 1 + speculative_k for a drafting sequence), plus an exclusive copy
+  // when the tail block is shared with a snapshot (COW).
   auto step_block_need = [&](const Seq& seq) {
     if (!seq.cache->paged()) return 0;
+    int width = 1;
+    if (seq.speculating && !seq.prefilling && !seq.recomputing())
+      width = std::min(1 + options_.speculative_k,
+                       std::max(1, ctx - seq.cache->length));
+    int need =
+        options_.arena->blocks_for_tokens(seq.cache->length + width) -
+        static_cast<int>(seq.cache->block_table.size());
+    if (need < 0) need = 0;
     const int bi = seq.cache->length / options_.arena->block_size();
-    if (bi >= static_cast<int>(seq.cache->block_table.size())) return 1;
-    const std::int32_t block =
-        seq.cache->block_table[static_cast<std::size_t>(bi)];
-    return options_.arena->ref_count(block) > 1 ? 1 : 0;
+    if (bi < static_cast<int>(seq.cache->block_table.size()) &&
+        options_.arena->ref_count(
+            seq.cache->block_table[static_cast<std::size_t>(bi)]) > 1)
+      ++need;
+    return need;
   };
 
   // Blocks a preemption of `seq` could return: everything past the
@@ -342,6 +481,14 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
     seq.recompute_until = std::max(seq.recompute_until, seq.cache->length);
     seq.cache->truncate(keep);  // drops the tail blocks AND the logits;
                                 // the recompute regenerates both
+    // A parked sequence must not sit on draft memory either: drop the
+    // whole draft cache (releasing its paged blocks). The next drafting
+    // round re-feeds the committed tokens — correctness never depended
+    // on the draft state, only latency does.
+    if (seq.speculating) {
+      seq.draft_cache.truncate(0);
+      seq.draft_fed = 0;
+    }
     const int released = options_.arena->free_blocks() - free_before;
     const int recompute = seq.recompute_until - keep;
     ++seq.preemptions;
@@ -463,24 +610,130 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
     if (!stalled) {
       relieve_pressure();
 
-      step_caches.clear();
-      step_tokens.clear();
       step_seqs.clear();
       for (auto& seq : live) {
         if (auto token = select(*seq)) {
-          step_caches.push_back(seq->cache);
-          step_tokens.push_back(*token);
+          seq->candidates.clear();
+          seq->candidates.push_back(*token);
+          seq->feed_n = 1;
+          seq->spec_round = false;
           step_seqs.push_back(seq.get());
         }
       }
       std::erase_if(live, [](const auto& s) { return s->retired; });
 
       if (!step_seqs.empty()) {
+        // --- draft phase: greedy decode rows propose up to k tokens from
+        // their per-sequence draft caches, batched across sequences.
+        // Prefill and recompute rows never draft; draft work consumes no
+        // deadline checks (check-count parity with sequential decode).
+        spec_seqs.clear();
+        if (options_.draft && options_.speculative_k > 0)
+          for (Seq* seq : step_seqs)
+            if (seq->speculating && !seq->prefilling && !seq->recomputing())
+              spec_seqs.push_back(seq);
+        if (!spec_seqs.empty()) {
+          for (Seq* seq : spec_seqs) {
+            seq->spec_round = true;
+            seq->draft_span = seq->trace->span("draft");
+            seq->guess_fed = 0;
+            seq->guessing = true;
+            const int target =
+                static_cast<int>(seq->kept.size() + seq->out.size());
+            seq->draft_pending.clear();
+            for (int i = seq->draft_fed; i < target; ++i)
+              seq->draft_pending.push_back(seq->token_at(i));
+            seq->draft_fed = target;
+          }
+          // Catch-up: feed each draft the committed tokens it has not
+          // seen yet, fused across sequences, chunked to bound workspace.
+          std::size_t max_pending = 0;
+          for (Seq* seq : spec_seqs)
+            max_pending = std::max(max_pending, seq->draft_pending.size());
+          for (std::size_t off = 0; off < max_pending; off += kDraftChunk) {
+            draft_feeds.clear();
+            int fed_rows = 0;
+            for (Seq* seq : spec_seqs) {
+              if (off >= seq->draft_pending.size()) continue;
+              const std::size_t len = std::min<std::size_t>(
+                  kDraftChunk, seq->draft_pending.size() - off);
+              draft_feeds.push_back(
+                  {&seq->draft_cache,
+                   std::span<const std::int32_t>(seq->draft_pending)
+                       .subspan(off, len)});
+              fed_rows += static_cast<int>(len);
+            }
+            options_.draft->verify_step_batch(draft_feeds);
+            last_run_.spec_draft_steps += fed_rows;
+            if (metrics_.spec_draft_steps)
+              metrics_.spec_draft_steps->inc(
+                  static_cast<std::uint64_t>(fed_rows));
+          }
+          // Guess rounds: one batched draft step per drafted position.
+          for (int g = 1; g <= options_.speculative_k; ++g) {
+            draft_caches.clear();
+            draft_tokens.clear();
+            draft_guessers.clear();
+            for (Seq* seq : spec_seqs) {
+              if (!seq->guessing) continue;
+              const std::int32_t guess =
+                  options_.draft->argmax_token(seq->draft_cache.logits);
+              seq->candidates.push_back(guess);
+              if (guess == seq->req->stop_token ||
+                  seq->draft_cache.length >=
+                      options_.draft->config().ctx) {
+                seq->guessing = false;
+                continue;
+              }
+              if (g < options_.speculative_k) {
+                draft_caches.push_back(&seq->draft_cache);
+                draft_tokens.push_back(guess);
+                draft_guessers.push_back(seq);
+              }
+            }
+            if (draft_caches.empty()) break;
+            options_.draft->decode_step_batch(draft_caches, draft_tokens);
+            for (Seq* seq : draft_guessers) ++seq->guess_fed;
+            last_run_.spec_draft_steps +=
+                static_cast<int>(draft_caches.size());
+            if (metrics_.spec_draft_steps)
+              metrics_.spec_draft_steps->inc(
+                  static_cast<std::uint64_t>(draft_caches.size()));
+          }
+          for (Seq* seq : spec_seqs) {
+            seq->draft_span.reset();
+            seq->verify_span = seq->trace->span("verify");
+            // Clamp the fed run so every row is one sequential decode
+            // would also feed: the anchor's own append plus at most the
+            // remaining token budget and remaining context rows.
+            seq->feed_n = std::min(
+                {static_cast<int>(seq->candidates.size()),
+                 1 + seq->req->max_new_tokens -
+                     static_cast<int>(seq->out.size()),
+                 ctx - seq->cache->length});
+          }
+        }
+
+        // --- fused forward: every selected row plus the drafted chains.
+        // With no drafting sequences this is exactly the old width-1
+        // decode_step_batch step.
+        feeds.clear();
+        row_base.clear();
+        int rows = 0;
+        for (Seq* seq : step_seqs) {
+          row_base.push_back(rows);
+          rows += seq->feed_n;
+          feeds.push_back(
+              {seq->cache,
+               std::span<const std::int32_t>(seq->candidates)
+                   .first(static_cast<std::size_t>(seq->feed_n))});
+        }
         const bool observe = obs::enabled();
         const auto step_start =
             observe ? std::chrono::steady_clock::now()
                     : std::chrono::steady_clock::time_point{};
-        model_.decode_step_batch(step_caches, step_tokens);
+        model_.verify_step_batch(feeds,
+                                 spec_seqs.empty() ? nullptr : &row_logits);
         const double step_ms =
             observe ? elapsed_ms_since(step_start) : 0.0;
         ++last_run_.steps;
@@ -491,7 +744,13 @@ std::vector<std::vector<std::int32_t>> ContinuousScheduler::run(
         if (metrics_.admissions_per_step)
           metrics_.admissions_per_step->observe(
               static_cast<double>(admissions));
-        for (Seq* seq : step_seqs) post_step(*seq, step_ms);
+        for (std::size_t i = 0; i < step_seqs.size(); ++i) {
+          Seq* seq = step_seqs[i];
+          if (seq->spec_round)
+            spec_post(*seq, row_base[i], step_ms);
+          else
+            post_step(*seq, step_ms);
+        }
         std::erase_if(live, [](const auto& s) { return s->retired; });
       }
     }

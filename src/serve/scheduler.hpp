@@ -87,6 +87,21 @@ struct SchedulerOptions {
   // Max sequences decoded together per step; arrivals past this wait for
   // a retirement (admission is strictly in request order).
   int max_in_flight = 8;
+  // --- speculative decoding ----------------------------------------------
+  // Draft model for speculative decoding (borrowed, may be null = off).
+  // Greedy sequences (temperature 0) then draft speculative_k tokens from
+  // a per-sequence draft cache each iteration and the batched forward
+  // step verifies them fused — committed tokens stay byte-identical to
+  // non-speculative serving (greedy acceptance, deferred-mismatch commit,
+  // one deadline check per committed token in order). Sampled sequences,
+  // prefill rows, and preemption recomputes never speculate.
+  const model::Transformer* draft = nullptr;
+  // Draft tokens proposed per sequence per iteration (<= 0 disables).
+  int speculative_k = 0;
+  // Optional paged arena for draft caches; its geometry must match the
+  // *draft* model. Null = monolithic draft caches. Preempting a sequence
+  // releases its draft blocks along with its generated-tail KV blocks.
+  model::KvBlockAllocator* draft_arena = nullptr;
   // Paged-KV arena for sequence caches; borrowed, may be null (sequences
   // then use monolithic caches — still continuously batched).
   model::KvBlockAllocator* arena = nullptr;
@@ -125,6 +140,12 @@ struct SchedulerMetrics {
   obs::Counter* preempt_blocks_released = nullptr;
   obs::Counter* preempt_recompute_tokens = nullptr;
   obs::Counter* watchdog_retired = nullptr;
+  obs::Counter* spec_proposed = nullptr;   // draft tokens verified
+  obs::Counter* spec_accepted = nullptr;   // draft tokens committed
+  obs::Counter* spec_rejected = nullptr;   // draft tokens discarded
+  obs::Counter* spec_verify_steps = nullptr;  // fused verify rounds
+  obs::Counter* spec_draft_steps = nullptr;   // tokens fed to the draft
+  obs::Histogram* spec_commit_per_verify = nullptr;  // tokens/verify round
 };
 
 struct SchedulerRunStats {
@@ -137,6 +158,12 @@ struct SchedulerRunStats {
   int preempt_recompute_tokens = 0;  // rows re-fed by warm-start resumes
   int watchdog_retired = 0;      // sequences force-retired by the watchdog
   int max_seq_age = 0;           // longest per-sequence residence (iters)
+  // Speculative-decoding tallies (zero when no draft is configured).
+  int spec_proposed = 0;         // draft tokens fed to the verifier
+  int spec_accepted = 0;         // draft tokens committed verbatim
+  int spec_rejected = 0;         // draft tokens discarded
+  int spec_verify_steps = 0;     // sequences' fused verify rounds
+  int spec_draft_steps = 0;      // tokens fed through the draft model
 };
 
 class ContinuousScheduler {

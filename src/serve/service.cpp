@@ -8,6 +8,7 @@
 
 #include "analysis/rules.hpp"
 #include "core/postprocess.hpp"
+#include "model/checkpoint.hpp"
 #include "metrics/schema_correct.hpp"
 #include "obs/obs.hpp"
 #include "util/strings.hpp"
@@ -155,6 +156,33 @@ InferenceService::InferenceService(const model::Transformer& model,
   h_.stage_cache = &registry_.histogram(
       "wisdom_serve_stage_cache_ms", {},
       "Cache stage time (memo + prefix lookups, snapshot inserts).");
+  h_.stage_draft = &registry_.histogram(
+      "wisdom_serve_stage_draft_ms", {},
+      "Speculative draft stage time (catch-up + guess decode).");
+  h_.stage_verify = &registry_.histogram(
+      "wisdom_serve_stage_verify_ms", {},
+      "Speculative verify stage time (fused forward + accept/commit).");
+  // wisdom_spec_* families: registered even with speculation off, so the
+  // exposition (and the CI smoke grep) always sees them.
+  h_.spec_proposed = &registry_.counter(
+      "wisdom_spec_proposed_total", "Draft tokens fed to the verifier.");
+  h_.spec_accepted = &registry_.counter(
+      "wisdom_spec_accepted_total",
+      "Draft tokens committed verbatim (verifier agreed).");
+  h_.spec_rejected = &registry_.counter(
+      "wisdom_spec_rejected_total",
+      "Draft tokens discarded (verifier disagreed or the round was cut).");
+  h_.spec_verify_steps = &registry_.counter(
+      "wisdom_spec_verify_steps_total", "Fused draft-verify rounds.");
+  h_.spec_draft_steps = &registry_.counter(
+      "wisdom_spec_draft_steps_total",
+      "Tokens fed through the draft model (catch-up + guesses).");
+  h_.spec_acceptance = &registry_.gauge(
+      "wisdom_spec_acceptance_rate",
+      "accepted / proposed draft tokens over the service lifetime.");
+  h_.spec_commit_per_verify = &registry_.histogram(
+      "wisdom_spec_commit_tokens_per_verify", {},
+      "Tokens committed per fused verify round (1 = no speculation win).");
   // wisdom_cache_* families: registered even when both caches are
   // disabled, so the exposition (and the CI smoke grep) always sees them.
   h_.cache_prefix_hits = &registry_.counter(
@@ -284,6 +312,33 @@ InferenceService::InferenceService(const model::Transformer& model,
         std::make_unique<CircuitBreaker>(options_.breaker, breaker_metrics);
   }
 
+  // --- speculative decoding: resolve the draft model ----------------------
+  // A borrowed draft wins; otherwise load an owned one from the configured
+  // checkpoint. Anything unusable — missing file, bad checksum, vocab
+  // mismatch — disables speculation instead of failing construction:
+  // the service then decodes exactly as a speculation-free one would.
+  if (options_.speculative_k > 0) {
+    if (options_.draft_model) {
+      draft_ = options_.draft_model;
+    } else if (!options_.draft_checkpoint.empty()) {
+      if (auto loaded =
+              model::load_checkpoint_file(options_.draft_checkpoint, nullptr)) {
+        owned_draft_ = std::make_unique<model::Transformer>(std::move(*loaded));
+        // Weights are position-independent (rotary), so an owned draft can
+        // be re-windowed to mirror the verifier's context exactly.
+        if (owned_draft_->config().ctx != model_.config().ctx)
+          owned_draft_->set_context_window(model_.config().ctx);
+        draft_ = owned_draft_.get();
+      }
+    }
+    if (draft_ && (draft_->config().vocab != model_.config().vocab ||
+                   draft_->config().ctx < model_.config().ctx)) {
+      draft_ = nullptr;
+      owned_draft_.reset();
+    }
+    if (!draft_) options_.speculative_k = 0;
+  }
+
   if (options_.continuous_batching) {
     if (options_.max_batch_sequences < 1) options_.max_batch_sequences = 1;
     if (options_.kv_block_size < 1) options_.kv_block_size = 16;
@@ -300,6 +355,20 @@ InferenceService::InferenceService(const model::Transformer& model,
     sched_options.max_preemptions_per_seq = options_.max_preemptions_per_seq;
     sched_options.watchdog_iterations = options_.watchdog_iterations;
     sched_options.faults = options_.faults;
+    if (draft_ && options_.speculative_k > 0) {
+      // Per-sequence draft caches page out of their own arena (the block
+      // geometry is tied to the draft's layer count and width, so the
+      // main arena cannot back them).
+      const model::ModelConfig& dconfig = draft_->config();
+      const int draft_blocks_per_seq =
+          (dconfig.ctx + options_.kv_block_size - 1) / options_.kv_block_size;
+      draft_arena_ = std::make_unique<model::KvBlockAllocator>(
+          2 * options_.max_batch_sequences * draft_blocks_per_seq,
+          options_.kv_block_size, dconfig.n_layer, dconfig.d_model);
+      sched_options.draft = draft_;
+      sched_options.speculative_k = options_.speculative_k;
+      sched_options.draft_arena = draft_arena_.get();
+    }
     SchedulerMetrics sched_metrics;
     sched_metrics.inflight = h_.sched_inflight;
     sched_metrics.blocks_in_use = h_.kv_blocks_in_use;
@@ -314,6 +383,12 @@ InferenceService::InferenceService(const model::Transformer& model,
     sched_metrics.preempt_blocks_released = h_.sched_preempt_blocks;
     sched_metrics.preempt_recompute_tokens = h_.sched_preempt_recompute;
     sched_metrics.watchdog_retired = h_.sched_watchdog_retired;
+    sched_metrics.spec_proposed = h_.spec_proposed;
+    sched_metrics.spec_accepted = h_.spec_accepted;
+    sched_metrics.spec_rejected = h_.spec_rejected;
+    sched_metrics.spec_verify_steps = h_.spec_verify_steps;
+    sched_metrics.spec_draft_steps = h_.spec_draft_steps;
+    sched_metrics.spec_commit_per_verify = h_.spec_commit_per_verify;
     scheduler_ = std::make_unique<ContinuousScheduler>(model_, sched_options,
                                                        sched_metrics);
   }
@@ -686,6 +761,19 @@ SuggestionResponse InferenceService::run_one(
       beam.warm_cache = prep.gen.warm_cache;
       beam.prompt_snapshot = prep.gen.prompt_snapshot;
       out = model_.generate_beam(prep.ids, beam);
+    } else if (draft_ && options_.speculative_k > 0) {
+      // Speculative greedy decode: byte-identical to model_.generate()
+      // (greedy acceptance), so every downstream consumer — postprocess,
+      // caches, goldens, streaming — sees exactly the baseline bytes.
+      // Each request drafts into its own monolithic cache here (the
+      // paged draft arena is the scheduler's; this path is concurrent).
+      model::SpeculativeStats spec_stats;
+      model::SpeculativeOptions spec;
+      spec.draft = draft_;
+      spec.k = options_.speculative_k;
+      spec.stats = &spec_stats;
+      out = model::generate_speculative(model_, prep.ids, prep.gen, spec);
+      record_speculation(spec_stats);
     } else {
       out = model_.generate(prep.ids, prep.gen);
     }
@@ -737,6 +825,28 @@ void InferenceService::breaker_record(const SuggestionResponse& response) {
   breaker_->record(failure);
 }
 
+void InferenceService::record_speculation(
+    const model::SpeculativeStats& stats) const {
+  if (stats.proposed > 0)
+    h_.spec_proposed->inc(static_cast<std::uint64_t>(stats.proposed));
+  if (stats.accepted > 0)
+    h_.spec_accepted->inc(static_cast<std::uint64_t>(stats.accepted));
+  if (stats.rejected > 0)
+    h_.spec_rejected->inc(static_cast<std::uint64_t>(stats.rejected));
+  if (stats.draft_steps > 0)
+    h_.spec_draft_steps->inc(static_cast<std::uint64_t>(stats.draft_steps));
+  if (stats.verify_steps > 0) {
+    h_.spec_verify_steps->inc(static_cast<std::uint64_t>(stats.verify_steps));
+    h_.spec_commit_per_verify->observe(
+        static_cast<double>(stats.committed) /
+        static_cast<double>(stats.verify_steps));
+  }
+  const std::uint64_t proposed = h_.spec_proposed->value();
+  if (proposed > 0)
+    h_.spec_acceptance->set(static_cast<double>(h_.spec_accepted->value()) /
+                            static_cast<double>(proposed));
+}
+
 void InferenceService::observe_stages(const obs::Trace& trace) const {
   for (const obs::Span& span : trace.spans) {
     obs::Histogram* histogram = nullptr;
@@ -748,6 +858,8 @@ void InferenceService::observe_stages(const obs::Trace& trace) const {
     else if (span.name == "postprocess") histogram = h_.stage_postprocess;
     else if (span.name == "fallback") histogram = h_.stage_fallback;
     else if (span.name == "cache") histogram = h_.stage_cache;
+    else if (span.name == "draft") histogram = h_.stage_draft;
+    else if (span.name == "verify") histogram = h_.stage_verify;
     if (histogram) histogram->observe(span.duration_ms);
   }
 }
@@ -1013,7 +1125,16 @@ std::vector<SuggestionResponse> InferenceService::suggest_batch_continuous(
     slot_of.push_back(i);
   }
   std::vector<std::vector<std::int32_t>> outs;
-  if (!seq_requests.empty()) outs = scheduler_->run(seq_requests);
+  if (!seq_requests.empty()) {
+    outs = scheduler_->run(seq_requests);
+    // The scheduler bumps the wisdom_spec_* counters live through its
+    // metric handles; derive the acceptance-rate gauge from the totals.
+    const std::uint64_t proposed = h_.spec_proposed->value();
+    if (proposed > 0)
+      h_.spec_acceptance->set(
+          static_cast<double>(h_.spec_accepted->value()) /
+          static_cast<double>(proposed));
+  }
 
   // Post phase, again in arrival order (snapshot/memo insert order matches
   // sequential serving).

@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "model/kv_block.hpp"
+#include "model/speculative.hpp"
 #include "model/transformer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -135,6 +136,24 @@ struct ServiceOptions {
   // arena is exhausted, sequences fall back to monolithic caches —
   // serving never fails for lack of blocks.
   int kv_arena_blocks = 0;
+  // --- speculative decoding -----------------------------------------------
+  // Draft tokens proposed per verify round; <= 0 disables speculation (the
+  // seed behaviour, preserved exactly). With a draft configured, greedy
+  // requests decode speculatively — a small config drafts k tokens, the
+  // served model verifies them in one fused forward pass — with output
+  // byte-identical to non-speculative serving (greedy acceptance). Beam
+  // and sampled requests always decode non-speculatively.
+  int speculative_k = 0;
+  // Draft model (borrowed; must outlive the service). Takes precedence
+  // over draft_checkpoint. Must share the verifier's vocab; a context
+  // window at least as large is required (an owned checkpoint draft is
+  // re-windowed automatically). An incompatible draft disables
+  // speculation rather than failing construction.
+  const model::Transformer* draft_model = nullptr;
+  // Checkpoint path to load an owned draft from when draft_model is null.
+  // A missing or corrupt file disables speculation (serving never fails
+  // for lack of a draft).
+  std::string draft_checkpoint;
   // --- overload resilience ------------------------------------------------
   // KV-pressure preemption cap: a sequence preempted this many times is
   // exempt from further preemption (see SchedulerOptions).
@@ -387,6 +406,18 @@ class InferenceService {
     obs::Gauge* drain_state = nullptr;
     obs::Counter* drain_rejected = nullptr;
     obs::Counter* drain_completed = nullptr;
+    // Speculative-decoding families (wisdom_spec_*) plus the draft/verify
+    // stage histograms. Registered unconditionally so every family is
+    // scrapeable at 0 with speculation off.
+    obs::Counter* spec_proposed = nullptr;
+    obs::Counter* spec_accepted = nullptr;
+    obs::Counter* spec_rejected = nullptr;
+    obs::Counter* spec_verify_steps = nullptr;
+    obs::Counter* spec_draft_steps = nullptr;
+    obs::Gauge* spec_acceptance = nullptr;
+    obs::Histogram* spec_commit_per_verify = nullptr;
+    obs::Histogram* stage_draft = nullptr;
+    obs::Histogram* stage_verify = nullptr;
   };
 
   // State carried between pre_generate() and post_generate(): everything
@@ -475,6 +506,9 @@ class InferenceService {
                             obs::TraceContext& trace) const;
   // Counter updates for one gate outcome (per-rule, severity, repair).
   void record_lint(const LintOutcome& outcome) const;
+  // Merges one request's speculative-decoding tallies into the
+  // wisdom_spec_* families and refreshes the acceptance-rate gauge.
+  void record_speculation(const model::SpeculativeStats& stats) const;
   // Feeds the completed trace's stage totals into the per-stage
   // histograms.
   void observe_stages(const obs::Trace& trace) const;
@@ -491,6 +525,12 @@ class InferenceService {
   ServiceOptions options_;
   FallbackSuggester fallback_;
   AdmissionQueue queue_;
+  // Speculative decoding: the resolved draft (borrowed from options or
+  // owned via draft_checkpoint; null = speculation off) and the paged
+  // arena backing the scheduler's per-sequence draft caches.
+  std::unique_ptr<model::Transformer> owned_draft_;
+  const model::Transformer* draft_ = nullptr;
+  std::unique_ptr<model::KvBlockAllocator> draft_arena_;
   // Paged-KV arena and iteration-level scheduler (continuous batching).
   // Declared before prefix_cache_: cached snapshots share arena blocks,
   // so the trie must release them before the arena is torn down.

@@ -15,6 +15,7 @@
 #include "serve/prefix_cache.hpp"
 #include "serve/response_cache.hpp"
 #include "serve/service.hpp"
+#include "test_util.hpp"
 #include "text/bpe.hpp"
 #include "util/thread_pool.hpp"
 
@@ -27,54 +28,10 @@ namespace wu = wisdom::util;
 
 namespace {
 
-// One trained micro-model shared by the suite (training takes ~2s).
-struct Fixture {
-  wt::BpeTokenizer tokenizer;
-  wm::Transformer model;
-
-  Fixture()
-      : tokenizer(wt::BpeTokenizer::train(corpus(), 300)),
-        model(config(), 21) {
-    std::vector<std::string> texts;
-    const char* pkgs[] = {"nginx", "redis", "git", "curl", "vim",
-                          "htop", "jq", "wget"};
-    for (int rep = 0; rep < 12; ++rep) {
-      for (const char* pkg : pkgs) {
-        texts.push_back(std::string("- name: Install ") + pkg +
-                        "\n  ansible.builtin.apt:\n    name: " + pkg +
-                        "\n    state: present\n");
-      }
-    }
-    auto set = wd::pack_samples(tokenizer, texts, 48);
-    wc::TrainConfig tc;
-    tc.epochs = 30;
-    tc.micro_batch = 4;
-    tc.grad_accum = 1;
-    tc.lr = 3e-3f;
-    wc::train_model(model, set, nullptr, tc);
-  }
-
-  static std::string corpus() {
-    return "- name: Install nginx\n"
-           "  ansible.builtin.apt:\n"
-           "    name: nginx\n"
-           "    state: present\n";
-  }
-  wm::ModelConfig config() const {
-    wm::ModelConfig cfg;
-    cfg.vocab = static_cast<int>(tokenizer.vocab_size());
-    cfg.ctx = 48;
-    cfg.d_model = 24;
-    cfg.n_head = 2;
-    cfg.n_layer = 2;
-    cfg.d_ff = 48;
-    return cfg;
-  }
-};
-
-Fixture& fixture() {
-  static Fixture f;
-  return f;
+// One trained micro-model shared by the suite (training takes ~2s);
+// the builder lives in test_util.hpp, shared with the other suites.
+wisdom::testutil::TrainedTinyModel& fixture() {
+  return wisdom::testutil::trained_tiny();
 }
 
 // Synthetic snapshot for structure-level tests: 2 layers, 8-wide rows.

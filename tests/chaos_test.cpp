@@ -26,11 +26,13 @@
 
 #include "model/config.hpp"
 #include "model/kv_block.hpp"
+#include "model/speculative.hpp"
 #include "model/transformer.hpp"
 #include "nn/ops.hpp"
 #include "serve/fault.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
+#include "test_util.hpp"
 #include "text/bpe.hpp"
 #include "util/deadline.hpp"
 #include "util/rng.hpp"
@@ -53,35 +55,11 @@ std::uint64_t chaos_seed() {
   return 101;
 }
 
-wm::ModelConfig tiny_config() {
-  wm::ModelConfig cfg;
-  cfg.vocab = 96;
-  cfg.ctx = 48;
-  cfg.d_model = 24;
-  cfg.n_head = 2;
-  cfg.n_layer = 2;
-  cfg.d_ff = 48;
-  return cfg;
-}
-
-// Forces every kernel through the pool (threshold 0) while alive, so the
-// cross-thread parity test actually exercises parallel kernels on the
-// tiny model.
-struct ForceParallel {
-  std::size_t saved = nn::parallel_threshold();
-  ForceParallel() { nn::set_parallel_threshold(0); }
-  ~ForceParallel() { nn::set_parallel_threshold(saved); }
-};
-
-std::vector<std::int32_t> random_prompt(Rng& rng, int min_len, int max_len,
-                                        std::int32_t vocab) {
-  std::vector<std::int32_t> prompt(
-      static_cast<std::size_t>(rng.uniform_int(min_len, max_len)));
-  for (auto& t : prompt)
-    t = static_cast<std::int32_t>(
-        rng.uniform(static_cast<std::uint64_t>(vocab)));
-  return prompt;
-}
+// Model builders and the ForceParallel guard are shared via
+// test_util.hpp with the scheduler and parity suites.
+using wisdom::testutil::ForceParallel;
+using wisdom::testutil::random_prompt;
+using wisdom::testutil::tiny_config;
 
 struct Reference {
   std::vector<std::int32_t> tokens;
@@ -258,22 +236,152 @@ TEST(ChaosParity, FaultFreePreemptingRunsMatchSequentialAcrossThreads) {
   EXPECT_EQ(per_thread_outs[0], per_thread_outs[1]);
 }
 
+// --- speculative-decoding chaos --------------------------------------------
+
+// Seeded fuzz over the speculative scheduler path: random draft depth k,
+// deliberately tiny KV and draft arenas (preemption and monolithic
+// fallback fire mid-verify), check-count deadlines that expire inside
+// verify rounds, and a greedy/sampled request mix (sampled sequences must
+// take the non-speculative path). Invariants, for every schedule:
+//
+//   * on_token never sees a non-verified token: the emitted stream equals
+//     the final output exactly (drafted-but-rejected tokens are invisible),
+//   * outputs, step counts and deadline outcomes stay byte-identical to
+//     sequential generate() — speculation is an execution strategy, never
+//     an output decision,
+//   * both arenas drain to empty afterwards: preempting a speculating
+//     sequence releases its draft blocks along with its KV tail.
+TEST(ChaosSpeculative, SeededSpeculativeSchedulesStayVerifiedAndLeakFree) {
+  const std::uint64_t seed = chaos_seed();
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::ModelConfig draft_cfg = wisdom::testutil::tiny_draft_config();
+  const wm::Transformer model(cfg, 17);
+  const wm::Transformer draft(draft_cfg, 29);
+  std::int64_t total_proposed = 0;
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    Rng rng(seed * 31337 + round);
+    wm::KvBlockAllocator arena(static_cast<int>(rng.uniform_int(6, 24)), 4,
+                               cfg.n_layer, cfg.d_model);
+    wm::KvBlockAllocator draft_arena(
+        static_cast<int>(rng.uniform_int(2, 12)), 4, draft_cfg.n_layer,
+        draft_cfg.d_model);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    ws::FaultInjector faults;
+    if (rng.chance(0.4))
+      faults.set_arena_exhaust_at_step(rng.uniform_int(0, 12));
+    if (rng.chance(0.3)) faults.set_fail_alloc(rng.uniform_int(1, 3));
+    if (rng.chance(0.3)) faults.set_stall_steps(rng.uniform_int(1, 4));
+
+    std::vector<ws::SeqRequest> requests(n);
+    std::vector<Reference> expected;
+    std::vector<wm::Transformer::GenerateStatus> statuses(n);
+    std::vector<std::vector<std::int32_t>> emitted(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ws::SeqRequest& req = requests[i];
+      req.prompt = random_prompt(rng, 1, 20, cfg.vocab);
+      req.max_new_tokens = static_cast<int>(rng.uniform_int(1, 12));
+      req.stop_token = rng.chance(0.3) ? 7 : -1;
+      req.arrival_step = static_cast<int>(rng.uniform_int(0, 10));
+      req.status = &statuses[i];
+      // Request 0 stays greedy so every round provably speculates.
+      if (i > 0 && rng.chance(0.3)) {
+        req.temperature = 0.8f;
+        req.top_k = 5;
+        req.sample_seed = 1000 + i;
+      }
+      req.on_token = [&emitted, i](std::int32_t t) {
+        emitted[i].push_back(t);
+      };
+      const std::int64_t budget =
+          rng.chance(0.4) ? rng.uniform_int(0, 30) : -1;
+      if (budget >= 0) req.deadline = Deadline::after_checks(budget);
+      expected.push_back(run_reference(model, req.prompt, req.max_new_tokens,
+                                       req.stop_token, req.temperature,
+                                       req.top_k, req.sample_seed, budget));
+    }
+    ws::SchedulerOptions options;
+    options.max_in_flight = static_cast<int>(rng.uniform_int(1, 4));
+    options.arena = &arena;
+    options.draft = &draft;
+    options.speculative_k = static_cast<int>(rng.uniform_int(1, 6));
+    options.draft_arena = rng.chance(0.7) ? &draft_arena : nullptr;
+    options.faults = &faults;
+    options.max_preemptions_per_seq = static_cast<int>(rng.uniform_int(1, 3));
+    ws::ContinuousScheduler scheduler(model, options);
+
+    const auto outs = scheduler.run(requests);
+    ASSERT_EQ(outs.size(), n) << "round " << round << " seed " << seed;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(outs[i], expected[i].tokens)
+          << "round " << round << " request " << i << " seed " << seed;
+      EXPECT_EQ(emitted[i], outs[i])
+          << "round " << round << " request " << i << " seed " << seed
+          << ": on_token saw a token the verifier never committed";
+      EXPECT_EQ(statuses[i].steps_taken, expected[i].status.steps_taken)
+          << "round " << round << " request " << i << " seed " << seed;
+      EXPECT_EQ(statuses[i].deadline_expired,
+                expected[i].status.deadline_expired)
+          << "round " << round << " request " << i << " seed " << seed;
+    }
+    const ws::SchedulerRunStats& stats = scheduler.last_run();
+    total_proposed += stats.spec_proposed;
+    EXPECT_EQ(stats.spec_proposed, stats.spec_accepted + stats.spec_rejected)
+        << "round " << round << " seed " << seed;
+    // Leak checks: every main-arena AND draft-arena block came back.
+    EXPECT_EQ(arena.free_blocks(), arena.capacity())
+        << "round " << round << " seed " << seed;
+    EXPECT_EQ(draft_arena.free_blocks(), draft_arena.capacity())
+        << "round " << round << " seed " << seed << ": leaked draft blocks";
+  }
+  EXPECT_GT(total_proposed, 0) << "speculation never engaged; seed " << seed;
+}
+
+// Request-level speculative fuzz: generate_speculative() against
+// generate() under random k, random deadline budgets (expiry lands inside
+// draft and verify phases alike), and warm caches — the emitted stream
+// must equal the returned tokens and both must match sequential decode.
+TEST(ChaosSpeculative, SeededRequestLevelSpeculationMatchesSequential) {
+  const std::uint64_t seed = chaos_seed();
+  const wm::ModelConfig cfg = tiny_config();
+  const wm::Transformer model(cfg, 17);
+  const wm::Transformer draft(wisdom::testutil::tiny_draft_config(), 29);
+  for (std::uint64_t round = 0; round < 24; ++round) {
+    Rng rng(seed * 65537 + round);
+    const auto prompt = random_prompt(rng, 1, 20, cfg.vocab);
+    const int max_new = static_cast<int>(rng.uniform_int(1, 16));
+    const std::int32_t stop = rng.chance(0.3) ? 7 : -1;
+    const std::int64_t budget =
+        rng.chance(0.5) ? rng.uniform_int(0, 40) : -1;
+    const Reference ref =
+        run_reference(model, prompt, max_new, stop, 0.0f, 0, 1, budget);
+
+    wm::Transformer::GenerateOptions gen;
+    gen.max_new_tokens = max_new;
+    gen.stop_token = stop;
+    if (budget >= 0) gen.deadline = Deadline::after_checks(budget);
+    wm::Transformer::GenerateStatus status;
+    gen.status = &status;
+    std::vector<std::int32_t> emitted;
+    gen.on_token = [&emitted](std::int32_t t) { emitted.push_back(t); };
+    wm::SpeculativeOptions spec;
+    spec.draft = &draft;
+    spec.k = static_cast<int>(rng.uniform_int(1, 8));
+    const auto out = wm::generate_speculative(model, prompt, gen, spec);
+    EXPECT_EQ(out, ref.tokens) << "round " << round << " seed " << seed;
+    EXPECT_EQ(emitted, out) << "round " << round << " seed " << seed;
+    EXPECT_EQ(status.steps_taken, ref.status.steps_taken)
+        << "round " << round << " seed " << seed;
+    EXPECT_EQ(status.deadline_expired, ref.status.deadline_expired)
+        << "round " << round << " seed " << seed;
+  }
+}
+
 // --- service-level chaos ---------------------------------------------------
 
 namespace {
 
-wt::BpeTokenizer serving_tokenizer() {
-  return wt::BpeTokenizer::train(
-      "- name: Install nginx\n  ansible.builtin.apt:\n"
-      "    name: nginx\n    state: present\n",
-      280);
-}
-
-wm::Transformer serving_model(const wt::BpeTokenizer& tokenizer) {
-  wm::ModelConfig cfg = tiny_config();
-  cfg.vocab = static_cast<std::int32_t>(tokenizer.vocab_size());
-  return wm::Transformer(cfg, 17);
-}
+using wisdom::testutil::serving_model;
+using wisdom::testutil::serving_tokenizer;
 
 // Terminal = the caller can act on it: a successful suggestion, or a typed
 // error explaining the refusal/degradation. The storm runs under

@@ -24,6 +24,7 @@
 #include "serve/fault.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
+#include "test_util.hpp"
 #include "text/bpe.hpp"
 #include "util/thread_pool.hpp"
 
@@ -210,54 +211,10 @@ TEST(ApiTable, ServiceErrorToHttpStatus) {
 // --- end-to-end over loopback ----------------------------------------------
 
 // The tests' micro model: seconds to train, deterministic, schema-shaped
-// output. Shared across every e2e test.
-struct TinyModel {
-  text::BpeTokenizer tokenizer;
-  model::Transformer model;
+// output. Shared across every e2e test; built by test_util.hpp.
+using TinyModel = wisdom::testutil::TrainedTinyModel;
 
-  TinyModel()
-      : tokenizer(text::BpeTokenizer::train(
-            "- name: Install nginx\n"
-            "  ansible.builtin.apt:\n"
-            "    name: nginx\n"
-            "    state: present\n",
-            300)),
-        model(config(), 21) {
-    std::vector<std::string> texts;
-    const char* pkgs[] = {"nginx", "redis", "git", "curl", "vim",
-                          "htop", "jq", "wget"};
-    for (int rep = 0; rep < 12; ++rep) {
-      for (const char* pkg : pkgs) {
-        texts.push_back(std::string("- name: Install ") + pkg +
-                        "\n  ansible.builtin.apt:\n    name: " + pkg +
-                        "\n    state: present\n");
-      }
-    }
-    auto set = data::pack_samples(tokenizer, texts, 48);
-    core::TrainConfig tc;
-    tc.epochs = 30;
-    tc.micro_batch = 4;
-    tc.grad_accum = 1;
-    tc.lr = 3e-3f;
-    core::train_model(model, set, nullptr, tc);
-  }
-
-  model::ModelConfig config() const {
-    model::ModelConfig cfg;
-    cfg.vocab = static_cast<int>(tokenizer.vocab_size());
-    cfg.ctx = 48;
-    cfg.d_model = 24;
-    cfg.n_head = 2;
-    cfg.n_layer = 2;
-    cfg.d_ff = 48;
-    return cfg;
-  }
-};
-
-TinyModel& tiny() {
-  static TinyModel* instance = new TinyModel();
-  return *instance;
-}
+TinyModel& tiny() { return wisdom::testutil::trained_tiny(); }
 
 // Minimal blocking client for tests: one connection, full-response reads
 // (Content-Length or chunked).

@@ -22,6 +22,7 @@
 #include "serve/fault.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
+#include "test_util.hpp"
 #include "text/bpe.hpp"
 #include "util/deadline.hpp"
 #include "util/rng.hpp"
@@ -37,33 +38,11 @@ using wisdom::util::ThreadPool;
 
 namespace {
 
-wm::ModelConfig tiny_config() {
-  wm::ModelConfig cfg;
-  cfg.vocab = 96;
-  cfg.ctx = 48;
-  cfg.d_model = 24;
-  cfg.n_head = 2;
-  cfg.n_layer = 2;
-  cfg.d_ff = 48;
-  return cfg;
-}
-
-// Forces every kernel through the pool (threshold 0) while alive.
-struct ForceParallel {
-  std::size_t saved = nn::parallel_threshold();
-  ForceParallel() { nn::set_parallel_threshold(0); }
-  ~ForceParallel() { nn::set_parallel_threshold(saved); }
-};
-
-std::vector<std::int32_t> random_prompt(Rng& rng, int min_len, int max_len,
-                                        std::int32_t vocab) {
-  std::vector<std::int32_t> prompt(
-      static_cast<std::size_t>(rng.uniform_int(min_len, max_len)));
-  for (auto& t : prompt)
-    t = static_cast<std::int32_t>(rng.uniform(
-        static_cast<std::uint64_t>(vocab)));
-  return prompt;
-}
+// Model builders and the ForceParallel guard are shared via
+// test_util.hpp with the chaos and parity suites.
+using wisdom::testutil::ForceParallel;
+using wisdom::testutil::random_prompt;
+using wisdom::testutil::tiny_config;
 
 void expect_same_logits(std::span<const float> a, std::span<const float> b) {
   ASSERT_EQ(a.size(), b.size());
@@ -576,18 +555,8 @@ TEST(ContinuousScheduler, FuzzInterleavedAdmissionsMatchSequential) {
 
 namespace {
 
-wt::BpeTokenizer serving_tokenizer() {
-  return wt::BpeTokenizer::train(
-      "- name: Install nginx\n  ansible.builtin.apt:\n"
-      "    name: nginx\n    state: present\n",
-      280);
-}
-
-wm::Transformer serving_model(const wt::BpeTokenizer& tokenizer) {
-  wm::ModelConfig cfg = tiny_config();
-  cfg.vocab = static_cast<std::int32_t>(tokenizer.vocab_size());
-  return wm::Transformer(cfg, 17);
-}
+using wisdom::testutil::serving_model;
+using wisdom::testutil::serving_tokenizer;
 
 std::vector<ws::SuggestionRequest> serving_requests() {
   std::vector<ws::SuggestionRequest> requests(7);
